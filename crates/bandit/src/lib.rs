@@ -1,0 +1,23 @@
+//! Online sparse-ratio decision making.
+//!
+//! The paper casts the per-client choice of sparse ratio as a multi-armed
+//! bandit over the continuous arm space `[0, 1)` and solves it with
+//! **P-UCBV** (Prompt Upper Confidence Bound Variance, Algorithm 2): the arm
+//! space is recursively partitioned at the ratios actually tried, partitions
+//! whose ratio sharply hurt accuracy are promptly eliminated, and the next
+//! partition is chosen by a variance-aware UCB score fed by the reward
+//! `G(s) = (U(a^r) − U(a^{r−1})) / T^r` (Eq. 15-17).
+//!
+//! The crate also provides the baseline ratio policies the paper compares
+//! against: fixed ratios, the rigid Resource-Controlled Ratio rule (RCR, used
+//! by HeteroFL / Fjord / FedRolex) and the discrete UCB used by FedMP.
+
+pub mod partition;
+pub mod pucbv;
+pub mod ratio_policy;
+pub mod reward;
+pub mod ucb;
+
+pub use pucbv::{PUcbv, PUcbvConfig};
+pub use ratio_policy::{RatioController, RatioFeedback, RatioPolicy};
+pub use reward::{reward, utility};

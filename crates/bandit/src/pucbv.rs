@@ -1,0 +1,310 @@
+//! P-UCBV — Prompt Upper Confidence Bound Variance (Algorithm 2).
+//!
+//! One P-UCBV agent runs per client on the server. Each round the agent
+//! receives the client's local cost `T_k^r` and average training accuracy
+//! `a_k^r`, splits the partition that contained the ratio it last proposed,
+//! eliminates the lower sub-partition if the accuracy dropped by more than the
+//! threshold `Δ` (accuracy-dominated prompt arm elimination), records the Eq.
+//! (15) reward, recomputes the variance-aware UCB score (Eq. 17) of every
+//! partition and samples the next ratio from the best-scoring partition.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::partition::PartitionSet;
+use crate::reward::reward;
+
+/// Hyper-parameters of a P-UCBV agent.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PUcbvConfig {
+    /// Number of initial partitions `I_0` of the feasible ratio space.
+    pub initial_partitions: usize,
+    /// Exploration constant `ρ` of Eq. (17).
+    pub rho: f64,
+    /// Differential accuracy threshold `Δ`: if `a^r − a^{r−1} < Δ` the lower
+    /// sub-partition is eliminated.
+    pub accuracy_threshold: f64,
+    /// Total number of communication rounds `R` (enters `ξ = R / (K·ϵ)`).
+    pub total_rounds: usize,
+    /// Expected number of participations per client `K·ϵ` ... i.e. the
+    /// denominator of `ξ`; callers pass `num_clients * selection_fraction`.
+    pub expected_selections: f64,
+    /// Smallest ratio the agent will ever propose (avoids degenerate empty
+    /// submodels; the paper's arm space is `[0, 1)`).
+    pub ratio_floor: f64,
+    /// Minimum partition width below which splits stop.
+    pub min_partition_width: f64,
+}
+
+impl Default for PUcbvConfig {
+    fn default() -> Self {
+        Self {
+            initial_partitions: 4,
+            rho: 1.0,
+            accuracy_threshold: -0.02,
+            total_rounds: 100,
+            expected_selections: 10.0,
+            ratio_floor: 0.05,
+            min_partition_width: 0.02,
+        }
+    }
+}
+
+/// The feedback an agent receives after its client finishes a round.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PUcbvFeedback {
+    /// The sparse ratio that was actually used in the round.
+    pub ratio: f64,
+    /// Local cost `T_k^r` in seconds.
+    pub local_cost: f64,
+    /// Average local training accuracy `a_k^r` in `[0, 1]`.
+    pub accuracy: f64,
+}
+
+/// One client's P-UCBV agent.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PUcbv {
+    config: PUcbvConfig,
+    partitions: PartitionSet,
+    /// `ε_r`, halved every update (Algorithm 2 line 6).
+    epsilon: f64,
+    /// `ξ = R / (K · ϵ)`.
+    xi: f64,
+    /// Accuracy of the previous round (`a^{r−1}`), seeded with the initial
+    /// global-model accuracy `a^{−1}`.
+    prev_accuracy: f64,
+    /// Number of updates performed so far.
+    updates: usize,
+}
+
+impl PUcbv {
+    /// Creates an agent whose feasible ratio space is `[ratio_floor, max_ratio)`
+    /// — `max_ratio` is the client's capability cap `z_k`.
+    pub fn new(config: PUcbvConfig, max_ratio: f64, initial_accuracy: f64) -> Self {
+        let ceil = max_ratio.clamp(config.ratio_floor + config.min_partition_width, 1.0);
+        let partitions = PartitionSet::uniform(
+            config.ratio_floor,
+            ceil,
+            config.initial_partitions,
+            config.min_partition_width,
+        );
+        let xi = config.total_rounds as f64 / config.expected_selections.max(1e-9);
+        Self {
+            config,
+            partitions,
+            epsilon: 1.0,
+            xi,
+            prev_accuracy: initial_accuracy,
+            updates: 0,
+        }
+    }
+
+    /// Agent hyper-parameters.
+    pub fn config(&self) -> &PUcbvConfig {
+        &self.config
+    }
+
+    /// Current number of arms (partitions).
+    pub fn num_partitions(&self) -> usize {
+        self.partitions.len()
+    }
+
+    /// The partition set (exposed for tests / analysis).
+    pub fn partitions(&self) -> &PartitionSet {
+        &self.partitions
+    }
+
+    /// Samples the initial sparse ratio uniformly from a random partition
+    /// (Algorithm 2 initialisation).
+    pub fn initial_ratio(&self, rng: &mut impl Rng) -> f64 {
+        let idx = rng.gen_range(0..self.partitions.len());
+        let p = &self.partitions.partitions()[idx];
+        p.lo + rng.gen::<f64>() * p.width()
+    }
+
+    /// UCBV score of partition `i` (Eq. 17) for the upcoming round.
+    fn ucbv_score(&self, idx: usize, epsilon_next: f64) -> f64 {
+        let p = &self.partitions.partitions()[idx];
+        let pulls = p.pulls() as f64;
+        let i_next = self.partitions.len().max(1) as f64;
+        let psi = self.xi / (i_next * i_next);
+        // The log argument shrinks as ε halves; clamp at e so the bonus stays
+        // real and non-negative (the theoretical analysis assumes large R).
+        let log_term = (self.xi * psi * epsilon_next).max(std::f64::consts::E).ln();
+        let bonus = (self.config.rho * (p.reward_variance() + 2.0) * log_term
+            / (4.0 * (pulls + 1.0)))
+            .sqrt();
+        p.mean_reward() + bonus
+    }
+
+    /// Algorithm 2: consumes the round's feedback and returns the sparse ratio
+    /// to use in the next round.
+    pub fn update(&mut self, feedback: PUcbvFeedback, rng: &mut impl Rng) -> f64 {
+        let PUcbvFeedback { ratio, local_cost, accuracy } = feedback;
+
+        // Lines 1-2: split the partition where the used ratio resides.
+        let split = self.partitions.split_at(ratio.clamp(
+            self.partitions.range().0,
+            self.partitions.range().1 - 1e-9,
+        ));
+
+        // Lines 3-5: accuracy-dominated prompt arm elimination of the lower part.
+        let mut upper_idx = split.map(|(_, u)| u);
+        if let Some((lower, upper)) = split {
+            if lower != upper && accuracy - self.prev_accuracy < self.config.accuracy_threshold {
+                if self.partitions.eliminate(lower) {
+                    upper_idx = Some(upper - 1);
+                }
+            }
+        }
+
+        // Lines 6-7: ε ← ε/2 (ψ is recomputed inside the score function).
+        self.epsilon /= 2.0;
+
+        // Line 8: record the reward in the surviving sub-partitions.
+        let g = reward(accuracy, self.prev_accuracy, local_cost);
+        if let Some((lower, upper)) = split {
+            let exists_lower = lower != upper && self.partitions.len() > upper;
+            // After a possible elimination the indices may have shifted; use the
+            // partition that still contains (or borders) the ratio.
+            if let Some(idx) = upper_idx.filter(|&i| i < self.partitions.len()) {
+                self.partitions.partition_mut(idx).record(g);
+            }
+            if exists_lower {
+                if let Some(idx) = self.partitions.find((ratio - 1e-6).max(self.partitions.range().0)) {
+                    if idx != upper_idx.unwrap_or(usize::MAX) {
+                        self.partitions.partition_mut(idx).record(g);
+                    }
+                }
+            }
+        } else if let Some(idx) = self.partitions.find(ratio) {
+            self.partitions.partition_mut(idx).record(g);
+        }
+
+        self.prev_accuracy = accuracy;
+        self.updates += 1;
+
+        // Lines 9-11: pick the partition with the best UCBV score and sample a
+        // ratio from it.
+        let epsilon_next = self.epsilon;
+        let mut best_idx = 0;
+        let mut best_score = f64::NEG_INFINITY;
+        for i in 0..self.partitions.len() {
+            let score = self.ucbv_score(i, epsilon_next);
+            if score > best_score {
+                best_score = score;
+                best_idx = i;
+            }
+        }
+        let p = &self.partitions.partitions()[best_idx];
+        p.lo + rng.gen::<f64>() * p.width()
+    }
+
+    /// Number of feedback updates consumed so far.
+    pub fn updates(&self) -> usize {
+        self.updates
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedlps_tensor::rng_from_seed;
+
+    fn agent() -> PUcbv {
+        PUcbv::new(PUcbvConfig::default(), 1.0, 0.1)
+    }
+
+    #[test]
+    fn initial_ratio_is_in_range() {
+        let a = agent();
+        let mut rng = rng_from_seed(1);
+        for _ in 0..50 {
+            let r = a.initial_ratio(&mut rng);
+            assert!(r >= 0.05 && r < 1.0, "{r}");
+        }
+    }
+
+    #[test]
+    fn update_returns_feasible_ratios_and_refines_partitions() {
+        let mut a = agent();
+        let mut rng = rng_from_seed(2);
+        let mut ratio = a.initial_ratio(&mut rng);
+        let before = a.num_partitions();
+        for round in 0..30 {
+            let acc = 0.1 + 0.02 * round as f64;
+            ratio = a.update(
+                PUcbvFeedback { ratio, local_cost: 1.0 + ratio, accuracy: acc },
+                &mut rng,
+            );
+            assert!(ratio >= 0.05 && ratio < 1.0, "round {round}: {ratio}");
+            assert!(a.partitions().is_well_formed());
+        }
+        assert!(a.num_partitions() >= before);
+        assert_eq!(a.updates(), 30);
+    }
+
+    #[test]
+    fn capability_cap_restricts_the_arm_space() {
+        let a = PUcbv::new(PUcbvConfig::default(), 0.25, 0.1);
+        let mut rng = rng_from_seed(3);
+        for _ in 0..50 {
+            assert!(a.initial_ratio(&mut rng) <= 0.25);
+        }
+    }
+
+    #[test]
+    fn accuracy_drop_triggers_elimination() {
+        let cfg = PUcbvConfig { accuracy_threshold: 0.0, ..PUcbvConfig::default() };
+        let mut a = PUcbv::new(cfg, 1.0, 0.5);
+        let mut rng = rng_from_seed(4);
+        let before = a.num_partitions();
+        // Feedback with a big accuracy drop: the split's lower half must go.
+        a.update(
+            PUcbvFeedback { ratio: 0.5, local_cost: 1.0, accuracy: 0.2 },
+            &mut rng,
+        );
+        // A split adds one partition and the elimination removes one, so the
+        // count stays the same; without elimination it would have grown.
+        assert_eq!(a.num_partitions(), before);
+    }
+
+    #[test]
+    fn improving_accuracy_keeps_both_halves() {
+        let cfg = PUcbvConfig { accuracy_threshold: -0.5, ..PUcbvConfig::default() };
+        let mut a = PUcbv::new(cfg, 1.0, 0.1);
+        let mut rng = rng_from_seed(5);
+        let before = a.num_partitions();
+        a.update(
+            PUcbvFeedback { ratio: 0.5, local_cost: 1.0, accuracy: 0.4 },
+            &mut rng,
+        );
+        assert_eq!(a.num_partitions(), before + 1);
+    }
+
+    #[test]
+    fn bandit_prefers_cheap_high_reward_ratios_over_time() {
+        // Synthetic environment: accuracy gain is flat in the ratio, but cost
+        // grows with the ratio, so low ratios earn strictly higher rewards.
+        // After enough rounds the agent should propose mostly low ratios.
+        let mut a = PUcbv::new(
+            PUcbvConfig { accuracy_threshold: -1.0, ..PUcbvConfig::default() },
+            1.0,
+            0.0,
+        );
+        let mut rng = rng_from_seed(6);
+        let mut ratio = a.initial_ratio(&mut rng);
+        let mut acc = 0.0f64;
+        let mut late_ratios = Vec::new();
+        for round in 0..120 {
+            acc = (acc + 0.01).min(0.9);
+            let cost = 0.5 + 4.0 * ratio;
+            ratio = a.update(PUcbvFeedback { ratio, local_cost: cost, accuracy: acc }, &mut rng);
+            if round >= 80 {
+                late_ratios.push(ratio);
+            }
+        }
+        let mean_late: f64 = late_ratios.iter().sum::<f64>() / late_ratios.len() as f64;
+        assert!(mean_late < 0.55, "late mean ratio {mean_late} should drift low");
+    }
+}

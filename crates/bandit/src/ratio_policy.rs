@@ -1,0 +1,246 @@
+//! Ratio policies: how the server decides every client's sparse ratio.
+//!
+//! The paper contrasts FedLPS's adaptive P-UCBV decision with the rigid rules
+//! used by prior work: fixed uniform ratios (FedSpa / CS), the
+//! Resource-Controlled Ratio rule that sets `s_k = z_k` (HeteroFL / Fjord /
+//! FedRolex, "RCR" in Table II) and FedMP's discrete UCB. The
+//! [`RatioController`] wraps the per-client agents behind one interface so
+//! both the FedLPS core and the baselines can share the plumbing.
+
+use fedlps_tensor::{rng_from_seed, split_seed};
+use rand::rngs::StdRng;
+use serde::{Deserialize, Serialize};
+
+use crate::pucbv::{PUcbv, PUcbvConfig, PUcbvFeedback};
+use crate::ucb::DiscreteUcb;
+
+/// The ratio-decision rule.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum RatioPolicy {
+    /// Every client always uses the same ratio (capped by capability).
+    Fixed(f64),
+    /// Resource-Controlled Ratio: `s_k = z_k`, the rigid capability rule.
+    ResourceControlled,
+    /// FedLPS's P-UCBV bandit.
+    PUcbv(PUcbvConfig),
+    /// FedMP-style discrete UCB over a fixed ratio grid.
+    DiscreteUcb { exploration: f64 },
+    /// Dense training: ratio 1 for everyone regardless of capability (used by
+    /// the conventional-FL baselines).
+    Dense,
+}
+
+impl RatioPolicy {
+    /// Short name used in experiment tables.
+    pub fn name(&self) -> String {
+        match self {
+            RatioPolicy::Fixed(r) => format!("fixed({r})"),
+            RatioPolicy::ResourceControlled => "rcr".to_string(),
+            RatioPolicy::PUcbv(_) => "p-ucbv".to_string(),
+            RatioPolicy::DiscreteUcb { .. } => "ucb".to_string(),
+            RatioPolicy::Dense => "dense".to_string(),
+        }
+    }
+}
+
+/// Per-round feedback forwarded to the learning policies.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RatioFeedback {
+    /// The ratio that was actually used (after capability capping).
+    pub ratio: f64,
+    /// Local cost of the round in seconds.
+    pub local_cost: f64,
+    /// Average local training accuracy in `[0, 1]`.
+    pub accuracy: f64,
+}
+
+enum AgentState {
+    Stateless,
+    PUcbv(Box<PUcbv>),
+    Ucb(DiscreteUcb),
+}
+
+/// Per-client ratio decision state for a whole federation.
+pub struct RatioController {
+    policy: RatioPolicy,
+    capabilities: Vec<f64>,
+    agents: Vec<AgentState>,
+    /// The next ratio each agent proposes (learning policies update this).
+    proposals: Vec<f64>,
+    rng: StdRng,
+}
+
+impl RatioController {
+    /// Creates the controller for `capabilities.len()` clients.
+    ///
+    /// `initial_accuracy` seeds the bandits' `a^{−1}` baseline (the accuracy of
+    /// the initial global model on local data, as Algorithm 2 prescribes).
+    pub fn new(
+        policy: RatioPolicy,
+        capabilities: &[f64],
+        initial_accuracy: &[f64],
+        seed: u64,
+    ) -> Self {
+        assert_eq!(capabilities.len(), initial_accuracy.len());
+        let mut rng = rng_from_seed(split_seed(seed, 0xBAD17));
+        let mut agents = Vec::with_capacity(capabilities.len());
+        let mut proposals = Vec::with_capacity(capabilities.len());
+        for (k, &z) in capabilities.iter().enumerate() {
+            match &policy {
+                RatioPolicy::Fixed(r) => {
+                    agents.push(AgentState::Stateless);
+                    proposals.push(r.min(z));
+                }
+                RatioPolicy::ResourceControlled => {
+                    agents.push(AgentState::Stateless);
+                    proposals.push(z);
+                }
+                RatioPolicy::Dense => {
+                    agents.push(AgentState::Stateless);
+                    proposals.push(1.0);
+                }
+                RatioPolicy::PUcbv(cfg) => {
+                    let agent = PUcbv::new(*cfg, z, initial_accuracy[k]);
+                    let ratio = agent.initial_ratio(&mut rng);
+                    agents.push(AgentState::PUcbv(Box::new(agent)));
+                    proposals.push(ratio.min(z));
+                }
+                RatioPolicy::DiscreteUcb { exploration } => {
+                    let ucb = DiscreteUcb::new(DiscreteUcb::default_grid(z), *exploration);
+                    let arm = ucb.select(&mut rng);
+                    let ratio = ucb.ratio_of(arm);
+                    agents.push(AgentState::Ucb(ucb));
+                    proposals.push(ratio.min(z));
+                }
+            }
+        }
+        Self {
+            policy,
+            capabilities: capabilities.to_vec(),
+            agents,
+            proposals,
+            rng,
+        }
+    }
+
+    /// The policy this controller implements.
+    pub fn policy(&self) -> &RatioPolicy {
+        &self.policy
+    }
+
+    /// The sparse ratio to use for `client` this round. Always capped at the
+    /// client's capability (`s_k ≤ z_k`), which mirrors the client-side reset
+    /// in the paper's "Client-side Update".
+    pub fn ratio_for(&self, client: usize) -> f64 {
+        self.proposals[client].min(self.capabilities[client]).max(0.0)
+    }
+
+    /// Reports a finished round for `client`; learning policies use it to
+    /// propose the next ratio (Algorithm 1 lines 9-15).
+    pub fn report(&mut self, client: usize, feedback: RatioFeedback) {
+        match &mut self.agents[client] {
+            AgentState::Stateless => {}
+            AgentState::PUcbv(agent) => {
+                let next = agent.update(
+                    PUcbvFeedback {
+                        ratio: feedback.ratio,
+                        local_cost: feedback.local_cost,
+                        accuracy: feedback.accuracy,
+                    },
+                    &mut self.rng,
+                );
+                self.proposals[client] = next;
+            }
+            AgentState::Ucb(ucb) => {
+                let arm = ucb.nearest_arm(feedback.ratio);
+                ucb.record(arm, crate::reward::reward(feedback.accuracy, 0.0, feedback.local_cost));
+                let next_arm = ucb.select(&mut self.rng);
+                self.proposals[client] = ucb.ratio_of(next_arm);
+            }
+        }
+    }
+
+    /// Current proposals for every client (used by analyses / examples).
+    pub fn proposals(&self) -> Vec<f64> {
+        (0..self.proposals.len()).map(|k| self.ratio_for(k)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn caps() -> Vec<f64> {
+        vec![1.0, 0.5, 0.25, 0.0625]
+    }
+
+    #[test]
+    fn fixed_policy_caps_at_capability() {
+        let ctrl = RatioController::new(RatioPolicy::Fixed(0.5), &caps(), &[0.0; 4], 1);
+        assert_eq!(ctrl.ratio_for(0), 0.5);
+        assert_eq!(ctrl.ratio_for(1), 0.5);
+        assert_eq!(ctrl.ratio_for(2), 0.25);
+        assert_eq!(ctrl.ratio_for(3), 0.0625);
+    }
+
+    #[test]
+    fn rcr_policy_matches_capability() {
+        let ctrl = RatioController::new(RatioPolicy::ResourceControlled, &caps(), &[0.0; 4], 1);
+        for (k, &z) in caps().iter().enumerate() {
+            assert_eq!(ctrl.ratio_for(k), z);
+        }
+    }
+
+    #[test]
+    fn dense_policy_ignores_capability_cap_only_via_explicit_one() {
+        let ctrl = RatioController::new(RatioPolicy::Dense, &caps(), &[0.0; 4], 1);
+        // Dense baselines train the full model even on weak devices (that is
+        // exactly why they straggle), but the controller still reports the
+        // capability-capped value used for submodel extraction — which for the
+        // dense policy is the capability itself on weak clients.
+        assert_eq!(ctrl.ratio_for(0), 1.0);
+        assert_eq!(ctrl.ratio_for(3), 0.0625);
+    }
+
+    #[test]
+    fn pucbv_policy_adapts_over_reports() {
+        let mut ctrl = RatioController::new(
+            RatioPolicy::PUcbv(PUcbvConfig::default()),
+            &caps(),
+            &[0.1; 4],
+            7,
+        );
+        let first = ctrl.ratio_for(0);
+        assert!(first > 0.0 && first <= 1.0);
+        for round in 0..20 {
+            let r = ctrl.ratio_for(0);
+            ctrl.report(
+                0,
+                RatioFeedback { ratio: r, local_cost: 1.0 + r, accuracy: 0.1 + 0.03 * round as f64 },
+            );
+            assert!(ctrl.ratio_for(0) <= 1.0 && ctrl.ratio_for(0) > 0.0);
+        }
+    }
+
+    #[test]
+    fn ucb_policy_stays_on_grid_and_under_cap() {
+        let mut ctrl = RatioController::new(
+            RatioPolicy::DiscreteUcb { exploration: 2.0 },
+            &caps(),
+            &[0.1; 4],
+            9,
+        );
+        for _ in 0..10 {
+            let r = ctrl.ratio_for(2);
+            assert!(r <= 0.25 + 1e-9);
+            ctrl.report(2, RatioFeedback { ratio: r, local_cost: 1.0, accuracy: 0.2 });
+        }
+    }
+
+    #[test]
+    fn policy_names() {
+        assert_eq!(RatioPolicy::ResourceControlled.name(), "rcr");
+        assert_eq!(RatioPolicy::Dense.name(), "dense");
+        assert!(RatioPolicy::Fixed(0.5).name().starts_with("fixed"));
+    }
+}

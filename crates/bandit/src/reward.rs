@@ -1,0 +1,66 @@
+//! The reward function of P-UCBV (Eq. 15) and its utility transform.
+
+/// The utility function used by the paper's experiments:
+/// `U(x) = 10 − 20 / (1 + e^{0.35 x})` with the accuracy `x` expressed in
+/// percent. It saturates near 10 as accuracy approaches 100%, which discounts
+/// marginal accuracy gains near the end of training (the stated design goal).
+pub fn utility(accuracy_percent: f64) -> f64 {
+    10.0 - 20.0 / (1.0 + (0.35 * accuracy_percent).exp())
+}
+
+/// Eq. (15): the reward of the sparse ratio tried in round `r`, given the
+/// training accuracy it achieved, the previous round's accuracy and the local
+/// cost `T_k^r` it incurred.
+///
+/// Accuracies are fractions in `[0, 1]`; they are converted to percent before
+/// the utility transform to match the paper's configuration.
+pub fn reward(accuracy: f64, prev_accuracy: f64, local_cost_seconds: f64) -> f64 {
+    let cost = local_cost_seconds.max(1e-9);
+    (utility(accuracy * 100.0) - utility(prev_accuracy * 100.0)) / cost
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn utility_is_monotone_and_bounded() {
+        assert!(utility(0.0).abs() < 1e-9);
+        assert!(utility(100.0) < 10.0 + 1e-9);
+        assert!(utility(100.0) > 9.9);
+        let mut prev = f64::NEG_INFINITY;
+        for pct in 0..=100 {
+            let u = utility(pct as f64);
+            assert!(u >= prev);
+            prev = u;
+        }
+    }
+
+    #[test]
+    fn utility_saturates_at_high_accuracy() {
+        // Marginal gain from 90% -> 95% is smaller than from 10% -> 15%.
+        let low_gain = utility(15.0) - utility(10.0);
+        let high_gain = utility(95.0) - utility(90.0);
+        assert!(high_gain < low_gain);
+    }
+
+    #[test]
+    fn reward_signs_follow_accuracy_changes() {
+        assert!(reward(0.6, 0.5, 2.0) > 0.0);
+        assert!(reward(0.4, 0.5, 2.0) < 0.0);
+        assert_eq!(reward(0.5, 0.5, 2.0), 0.0);
+    }
+
+    #[test]
+    fn cheaper_rounds_earn_higher_reward_for_same_gain() {
+        let fast = reward(0.6, 0.5, 1.0);
+        let slow = reward(0.6, 0.5, 10.0);
+        assert!(fast > slow);
+        assert!((fast / slow - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_cost_does_not_divide_by_zero() {
+        assert!(reward(0.9, 0.1, 0.0).is_finite());
+    }
+}

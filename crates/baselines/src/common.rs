@@ -1,0 +1,236 @@
+//! Helpers shared across the baseline families.
+
+use fedlps_device::DeviceProfile;
+use fedlps_sim::algorithm::ClientReport;
+use fedlps_sim::env::FlEnv;
+use fedlps_sim::train::{account_round, local_sgd, LocalTrainOptions, LocalTrainSummary};
+use fedlps_sparse::mask::UnitMask;
+use rand::rngs::StdRng;
+
+/// A staged contribution from one client: its aggregation weight, its full
+/// local parameter vector and (for sparse methods) the parameter mask telling
+/// the server which coordinates the client actually trained.
+pub struct Contribution {
+    pub client_id: usize,
+    pub weight: f64,
+    pub params: Vec<f32>,
+    pub param_mask: Option<Vec<f32>>,
+}
+
+/// Coverage-aware weighted aggregation: every parameter is averaged over the
+/// clients whose mask covered it; uncovered parameters keep their previous
+/// global value. With dense contributions this reduces to FedAvg.
+///
+/// This is the aggregation rule of HeteroFL / Fjord / FedRolex / Hermes: each
+/// submodel only updates the slice of the global model it trained.
+pub fn coverage_aggregate(global: &mut [f32], contributions: &[Contribution]) {
+    if contributions.is_empty() {
+        return;
+    }
+    let dim = global.len();
+    let mut num = vec![0.0f64; dim];
+    let mut den = vec![0.0f64; dim];
+    for c in contributions {
+        assert_eq!(c.params.len(), dim);
+        match &c.param_mask {
+            None => {
+                for i in 0..dim {
+                    num[i] += c.weight * c.params[i] as f64;
+                    den[i] += c.weight;
+                }
+            }
+            Some(mask) => {
+                assert_eq!(mask.len(), dim);
+                for i in 0..dim {
+                    if mask[i] != 0.0 {
+                        num[i] += c.weight * c.params[i] as f64;
+                        den[i] += c.weight;
+                    }
+                }
+            }
+        }
+    }
+    for i in 0..dim {
+        if den[i] > 0.0 {
+            global[i] = (num[i] / den[i]) as f32;
+        }
+    }
+}
+
+/// Runs a plain (optionally masked / proximal) local training pass for a
+/// baseline client and assembles its [`ClientReport`], so each baseline only
+/// has to describe *what* it trains, not how the accounting works.
+#[allow(clippy::too_many_arguments)]
+pub fn baseline_client_round(
+    env: &FlEnv,
+    client: usize,
+    device: &DeviceProfile,
+    params: &mut [f32],
+    mask: Option<&UnitMask>,
+    prox: Option<(f32, &[f32])>,
+    frozen: Option<&[f32]>,
+    sparse_ratio: f64,
+    rng: &mut StdRng,
+) -> (ClientReport, LocalTrainSummary) {
+    let pmask = mask.map(|m| m.param_mask(env.arch.unit_layout()));
+    let options = LocalTrainOptions {
+        iterations: env.config.local_iterations,
+        batch_size: env.config.batch_size,
+        sgd: env.config.sgd,
+        param_mask: pmask.as_deref(),
+        prox,
+        frozen,
+    };
+    let summary = local_sgd(&*env.arch, params, env.train_data(client), &options, rng);
+    let uploaded = match mask {
+        Some(m) => m.retained_params(env.arch.unit_layout()),
+        None => env.arch.param_count(),
+    };
+    let accounting = account_round(
+        &*env.arch,
+        &env.cost,
+        device,
+        mask,
+        env.config.local_iterations,
+        env.config.batch_size,
+        uploaded,
+        env.arch.param_count(),
+    );
+    let report = ClientReport {
+        client_id: client,
+        flops: accounting.flops,
+        upload_bytes: accounting.upload_bytes,
+        download_bytes: accounting.download_bytes,
+        local_cost: accounting.local_cost,
+        train_accuracy: summary.mean_accuracy,
+        train_loss: summary.mean_loss,
+        sparse_ratio,
+    };
+    (report, summary)
+}
+
+/// A 0/1 vector marking the classifier ("head") parameters of the
+/// architecture — used by FedPer / FedRep / FedP3 to keep heads personal.
+pub fn head_indicator(env: &FlEnv) -> Vec<f32> {
+    let mut head = vec![0.0f32; env.arch.param_count()];
+    for i in env.arch.classifier_params() {
+        head[i] = 1.0;
+    }
+    head
+}
+
+/// The complement of [`head_indicator`]: 1 on body parameters.
+pub fn body_indicator(env: &FlEnv) -> Vec<f32> {
+    head_indicator(env).iter().map(|h| 1.0 - h).collect()
+}
+
+/// Overwrites the head coordinates of `target` with those of `source`.
+pub fn copy_head(env: &FlEnv, target: &mut [f32], source: &[f32]) {
+    for i in env.arch.classifier_params() {
+        target[i] = source[i];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedlps_data::scenario::{DatasetKind, ScenarioConfig};
+    use fedlps_device::HeterogeneityLevel;
+    use fedlps_sim::config::FlConfig;
+
+    fn env() -> FlEnv {
+        FlEnv::from_scenario(
+            &ScenarioConfig::tiny(DatasetKind::MnistLike),
+            HeterogeneityLevel::Low,
+            FlConfig::tiny(),
+        )
+    }
+
+    #[test]
+    fn coverage_aggregate_reduces_to_fedavg_for_dense_inputs() {
+        let mut global = vec![0.0f32; 3];
+        let contributions = vec![
+            Contribution { client_id: 0, weight: 1.0, params: vec![1.0, 1.0, 1.0], param_mask: None },
+            Contribution { client_id: 1, weight: 3.0, params: vec![5.0, 5.0, 5.0], param_mask: None },
+        ];
+        coverage_aggregate(&mut global, &contributions);
+        for v in global {
+            assert!((v - 4.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn coverage_aggregate_respects_masks() {
+        let mut global = vec![10.0f32, 10.0, 10.0];
+        let contributions = vec![
+            Contribution {
+                client_id: 0,
+                weight: 1.0,
+                params: vec![2.0, 2.0, 2.0],
+                param_mask: Some(vec![1.0, 0.0, 0.0]),
+            },
+            Contribution {
+                client_id: 1,
+                weight: 1.0,
+                params: vec![4.0, 4.0, 4.0],
+                param_mask: Some(vec![1.0, 1.0, 0.0]),
+            },
+        ];
+        coverage_aggregate(&mut global, &contributions);
+        assert!((global[0] - 3.0).abs() < 1e-6, "covered by both");
+        assert!((global[1] - 4.0).abs() < 1e-6, "covered by client 1 only");
+        assert_eq!(global[2], 10.0, "uncovered keeps the old global value");
+    }
+
+    #[test]
+    fn empty_contributions_are_a_noop() {
+        let mut global = vec![1.0f32, 2.0];
+        coverage_aggregate(&mut global, &[]);
+        assert_eq!(global, vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn head_and_body_indicators_partition_the_parameters() {
+        let env = env();
+        let head = head_indicator(&env);
+        let body = body_indicator(&env);
+        let head_count = head.iter().filter(|&&v| v != 0.0).count();
+        assert!(head_count > 0, "MLP classifier head must be non-empty");
+        assert!(head_count < env.arch.param_count());
+        for (h, b) in head.iter().zip(body.iter()) {
+            assert_eq!(h + b, 1.0);
+        }
+    }
+
+    #[test]
+    fn copy_head_only_touches_head_coordinates() {
+        let env = env();
+        let n = env.arch.param_count();
+        let mut target = vec![0.0f32; n];
+        let source = vec![7.0f32; n];
+        copy_head(&env, &mut target, &source);
+        let head = head_indicator(&env);
+        for i in 0..n {
+            if head[i] != 0.0 {
+                assert_eq!(target[i], 7.0);
+            } else {
+                assert_eq!(target[i], 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn baseline_round_produces_consistent_report() {
+        let env = env();
+        let mut rng = fedlps_tensor::rng_from_seed(1);
+        let mut params = env.initial_params();
+        let device = env.fleet.static_profile(0);
+        let (report, summary) = baseline_client_round(
+            &env, 0, &device, &mut params, None, None, None, 1.0, &mut rng,
+        );
+        assert_eq!(report.client_id, 0);
+        assert!(report.flops > 0.0);
+        assert!(report.local_cost.total() > 0.0);
+        assert_eq!(summary.iterations, env.config.local_iterations);
+    }
+}

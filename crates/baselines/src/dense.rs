@@ -1,0 +1,249 @@
+//! Conventional dense FL baselines: FedAvg, FedProx, Oort and REFL.
+//!
+//! All four train the full dense model on every selected client and aggregate
+//! with the data-size-weighted mean; they differ in the local objective
+//! (FedProx's proximal term) and in how clients are selected (Oort's
+//! utility-guided selection, REFL's resource-aware staleness-conscious
+//! selection). They deploy the single shared global model on every client.
+
+use fedlps_nn::model::EvalStats;
+use fedlps_sim::algorithm::{ClientReport, FlAlgorithm};
+use fedlps_sim::env::FlEnv;
+use fedlps_tensor::rng::{sample_weighted, sample_without_replacement};
+use rand::rngs::StdRng;
+
+use crate::common::{baseline_client_round, coverage_aggregate, Contribution};
+
+/// Which conventional baseline to run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DenseVariant {
+    /// Plain FedAvg (McMahan et al.).
+    FedAvg,
+    /// FedProx with proximal weight `mu`.
+    FedProx { mu: f32 },
+    /// Oort: utility-guided client selection (statistical utility × speed).
+    Oort,
+    /// REFL: resource-efficient FL — prefers fresh, capable clients and decays
+    /// the contribution of clients whose last participation is stale.
+    Refl,
+}
+
+impl DenseVariant {
+    fn label(&self) -> &'static str {
+        match self {
+            DenseVariant::FedAvg => "FedAvg",
+            DenseVariant::FedProx { .. } => "FedProx",
+            DenseVariant::Oort => "Oort",
+            DenseVariant::Refl => "REFL",
+        }
+    }
+}
+
+/// Driver for the conventional dense-FL family.
+pub struct DenseFl {
+    variant: DenseVariant,
+    global: Vec<f32>,
+    staged: Vec<Contribution>,
+    /// Oort utility per client (statistical utility × system speed).
+    utilities: Vec<f64>,
+    /// Round at which each client last participated (REFL freshness).
+    last_selected: Vec<Option<usize>>,
+}
+
+impl DenseFl {
+    /// Creates a driver for the given variant.
+    pub fn new(variant: DenseVariant) -> Self {
+        Self {
+            variant,
+            global: Vec::new(),
+            staged: Vec::new(),
+            utilities: Vec::new(),
+            last_selected: Vec::new(),
+        }
+    }
+}
+
+impl FlAlgorithm for DenseFl {
+    fn name(&self) -> String {
+        self.variant.label().to_string()
+    }
+
+    fn setup(&mut self, env: &FlEnv) {
+        self.global = env.initial_params();
+        self.staged.clear();
+        // Optimistic initial utility so every client gets explored.
+        self.utilities = vec![f64::MAX / 1e6; env.num_clients()];
+        self.last_selected = vec![None; env.num_clients()];
+    }
+
+    fn select_clients(&mut self, env: &FlEnv, round: usize, rng: &mut StdRng) -> Vec<usize> {
+        let c = env.config.clients_per_round.min(env.num_clients()).max(1);
+        match self.variant {
+            DenseVariant::FedAvg | DenseVariant::FedProx { .. } => {
+                sample_without_replacement(env.num_clients(), c, rng)
+            }
+            DenseVariant::Oort => {
+                // Sample proportionally to utility (loss-based utility divided
+                // by expected round time), which is Oort's exploit phase with
+                // softened exploration through the proportional sampling.
+                let mut chosen = Vec::with_capacity(c);
+                let mut weights: Vec<f64> = self
+                    .utilities
+                    .iter()
+                    .enumerate()
+                    .map(|(k, u)| u / (1.0 + 1.0 / env.capabilities()[k]))
+                    .collect();
+                for _ in 0..c {
+                    let pick = sample_weighted(&weights, rng);
+                    chosen.push(pick);
+                    weights[pick] = 0.0;
+                }
+                chosen.sort_unstable();
+                chosen.dedup();
+                while chosen.len() < c {
+                    let extra = sample_without_replacement(env.num_clients(), c, rng);
+                    for e in extra {
+                        if !chosen.contains(&e) {
+                            chosen.push(e);
+                            if chosen.len() == c {
+                                break;
+                            }
+                        }
+                    }
+                }
+                chosen
+            }
+            DenseVariant::Refl => {
+                // Resource-aware + staleness-aware: rank by capability and how
+                // long ago the client last contributed, with random
+                // tie-breaking supplied by a small noise term.
+                let mut scored: Vec<(usize, f64)> = (0..env.num_clients())
+                    .map(|k| {
+                        let staleness = match self.last_selected[k] {
+                            None => round as f64 + 1.0,
+                            Some(r) => (round - r) as f64,
+                        };
+                        let noise = fedlps_tensor::rng::sample_normal(rng) as f64 * 0.01;
+                        (k, env.capabilities()[k] + 0.1 * staleness + noise)
+                    })
+                    .collect();
+                scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+                scored.into_iter().take(c).map(|(k, _)| k).collect()
+            }
+        }
+    }
+
+    fn run_client(
+        &mut self,
+        env: &FlEnv,
+        round: usize,
+        client: usize,
+        rng: &mut StdRng,
+    ) -> ClientReport {
+        let device = env.fleet.available_profile(client, round);
+        let global_snapshot = self.global.clone();
+        let mut params = global_snapshot.clone();
+        let prox = match self.variant {
+            DenseVariant::FedProx { mu } => Some((mu, global_snapshot.as_slice())),
+            _ => None,
+        };
+        let (report, summary) = baseline_client_round(
+            env, client, &device, &mut params, None, prox, None, 1.0, rng,
+        );
+
+        // Oort statistical utility: |D_k| * sqrt(mean loss); REFL freshness.
+        self.utilities[client] =
+            env.train_sizes()[client] * summary.mean_loss.max(1e-6).sqrt();
+        self.last_selected[client] = Some(round);
+
+        // REFL decays stale contributions in aggregation; here staleness is
+        // zero for the clients that just trained, so the weight is their data
+        // size (kept for clarity and future asynchronous extensions).
+        self.staged.push(Contribution {
+            client_id: client,
+            weight: env.train_sizes()[client].max(1.0),
+            params,
+            param_mask: None,
+        });
+        report
+    }
+
+    fn aggregate(&mut self, _env: &FlEnv, _round: usize, _reports: &[ClientReport]) {
+        coverage_aggregate(&mut self.global, &self.staged);
+        self.staged.clear();
+    }
+
+    fn evaluate_client(&self, env: &FlEnv, client: usize) -> EvalStats {
+        env.arch.evaluate(&self.global, env.test_data(client))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedlps_data::scenario::{DatasetKind, ScenarioConfig};
+    use fedlps_device::HeterogeneityLevel;
+    use fedlps_sim::config::FlConfig;
+    use fedlps_sim::runner::Simulator;
+
+    fn sim() -> Simulator {
+        Simulator::new(FlEnv::from_scenario(
+            &ScenarioConfig::tiny(DatasetKind::MnistLike),
+            HeterogeneityLevel::High,
+            FlConfig::tiny(),
+        ))
+    }
+
+    #[test]
+    fn all_variants_run() {
+        for variant in [
+            DenseVariant::FedAvg,
+            DenseVariant::FedProx { mu: 0.1 },
+            DenseVariant::Oort,
+            DenseVariant::Refl,
+        ] {
+            let s = sim();
+            let mut algo = DenseFl::new(variant);
+            let result = s.run(&mut algo);
+            assert_eq!(result.rounds.len(), FlConfig::tiny().rounds, "{}", algo.name());
+            assert!(result.final_accuracy >= 0.0);
+            // Dense baselines always report ratio 1.
+            assert!(result.mean_sparse_ratio() > 0.999);
+        }
+    }
+
+    #[test]
+    fn refl_prefers_capable_or_stale_clients() {
+        let env = FlEnv::from_scenario(
+            &ScenarioConfig::tiny(DatasetKind::MnistLike),
+            HeterogeneityLevel::High,
+            FlConfig::tiny(),
+        );
+        let mut algo = DenseFl::new(DenseVariant::Refl);
+        algo.setup(&env);
+        let mut rng = fedlps_tensor::rng_from_seed(1);
+        let selected = algo.select_clients(&env, 0, &mut rng);
+        assert_eq!(selected.len(), env.config.clients_per_round);
+        // All selected indices are valid and distinct.
+        let mut sorted = selected.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), selected.len());
+    }
+
+    #[test]
+    fn oort_selection_returns_requested_count() {
+        let env = FlEnv::from_scenario(
+            &ScenarioConfig::tiny(DatasetKind::MnistLike),
+            HeterogeneityLevel::High,
+            FlConfig::tiny(),
+        );
+        let mut algo = DenseFl::new(DenseVariant::Oort);
+        algo.setup(&env);
+        let mut rng = fedlps_tensor::rng_from_seed(2);
+        for round in 0..3 {
+            let selected = algo.select_clients(&env, round, &mut rng);
+            assert_eq!(selected.len(), env.config.clients_per_round);
+        }
+    }
+}

@@ -1,0 +1,85 @@
+//! Name-based registry of every baseline, using the labels of the paper's
+//! Table I so the benchmark harness can sweep the full comparison by name.
+
+use fedlps_sim::algorithm::FlAlgorithm;
+
+use crate::dense::{DenseFl, DenseVariant};
+use crate::global_sparse::GlobalSparse;
+use crate::personalized::{PersonalizedFl, PersonalizedVariant};
+use crate::sparse_personalized::SparsePersonalized;
+use crate::width::{WidthScaling, WidthVariant};
+
+/// The baseline names in the order of the paper's Table I.
+pub fn baseline_names() -> Vec<&'static str> {
+    vec![
+        "FedAvg",
+        "FedProx",
+        "Oort",
+        "REFL",
+        "PruneFL",
+        "CS",
+        "Fjord",
+        "HeteroFL",
+        "FedRolex",
+        "FedMP",
+        "DepthFL",
+        "Ditto",
+        "FedPer",
+        "FedRep",
+        "Per-FedAvg",
+        "LotteryFL",
+        "Hermes",
+        "FedSpa",
+        "FedP3",
+    ]
+}
+
+/// Builds a baseline by its Table-I name. Returns `None` for unknown names.
+pub fn baseline_by_name(name: &str) -> Option<Box<dyn FlAlgorithm>> {
+    let algo: Box<dyn FlAlgorithm> = match name {
+        "FedAvg" => Box::new(DenseFl::new(DenseVariant::FedAvg)),
+        "FedProx" => Box::new(DenseFl::new(DenseVariant::FedProx { mu: 0.1 })),
+        "Oort" => Box::new(DenseFl::new(DenseVariant::Oort)),
+        "REFL" => Box::new(DenseFl::new(DenseVariant::Refl)),
+        "PruneFL" => Box::new(GlobalSparse::prunefl()),
+        "CS" => Box::new(GlobalSparse::cs()),
+        "Fjord" => Box::new(WidthScaling::new(WidthVariant::Fjord)),
+        "HeteroFL" => Box::new(WidthScaling::new(WidthVariant::HeteroFl)),
+        "FedRolex" => Box::new(WidthScaling::new(WidthVariant::FedRolex)),
+        "FedMP" => Box::new(WidthScaling::new(WidthVariant::FedMp)),
+        "DepthFL" => Box::new(WidthScaling::new(WidthVariant::DepthFl)),
+        "Ditto" => Box::new(PersonalizedFl::ditto()),
+        "FedPer" => Box::new(PersonalizedFl::new(PersonalizedVariant::FedPer)),
+        "FedRep" => Box::new(PersonalizedFl::new(PersonalizedVariant::FedRep)),
+        "Per-FedAvg" => Box::new(PersonalizedFl::per_fedavg()),
+        "LotteryFL" => Box::new(SparsePersonalized::lotteryfl()),
+        "Hermes" => Box::new(SparsePersonalized::hermes()),
+        "FedSpa" => Box::new(SparsePersonalized::fedspa()),
+        "FedP3" => Box::new(SparsePersonalized::fedp3()),
+        _ => return None,
+    };
+    Some(algo)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_listed_name_resolves() {
+        for name in baseline_names() {
+            let algo = baseline_by_name(name).unwrap_or_else(|| panic!("missing baseline {name}"));
+            assert_eq!(algo.name(), name);
+        }
+    }
+
+    #[test]
+    fn unknown_names_return_none() {
+        assert!(baseline_by_name("NotAMethod").is_none());
+    }
+
+    #[test]
+    fn nineteen_baselines_are_registered() {
+        assert_eq!(baseline_names().len(), 19);
+    }
+}

@@ -1,0 +1,274 @@
+//! Heterogeneous sparse-training baselines that scale the model's width (or
+//! depth) to each client's capability: Fjord, HeteroFL, FedRolex, FedMP and
+//! DepthFL.
+//!
+//! All of them (i) pick a sparse ratio from the client's resources — the rigid
+//! RCR rule for Fjord / HeteroFL / FedRolex / DepthFL, a discrete UCB for
+//! FedMP — (ii) extract a submodel with a heuristic pattern (ordered prefix,
+//! rolling window, magnitude, or dropping the deepest layers), (iii) train the
+//! submodel locally and (iv) aggregate coverage-wise into the shared global
+//! model, which is what every client deploys for inference.
+
+use fedlps_bandit::ratio_policy::{RatioController, RatioFeedback, RatioPolicy};
+use fedlps_nn::model::EvalStats;
+use fedlps_sim::algorithm::{ClientReport, FlAlgorithm};
+use fedlps_sim::env::FlEnv;
+use fedlps_sparse::mask::UnitMask;
+use fedlps_sparse::pattern::PatternStrategy;
+use fedlps_sparse::ratio::retained_units;
+use rand::rngs::StdRng;
+
+use crate::common::{baseline_client_round, coverage_aggregate, Contribution};
+
+/// Which width/depth-scaling baseline to run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WidthVariant {
+    /// Fjord: ordered dropout, ratio = capability, re-randomised each round by
+    /// sampling a ratio uniformly below the capability.
+    Fjord,
+    /// HeteroFL: static ordered prefix submodel with ratio = capability.
+    HeteroFl,
+    /// FedRolex: rolling ordered window advancing every round.
+    FedRolex,
+    /// FedMP: magnitude-based pattern with a discrete-UCB ratio decision.
+    FedMp,
+    /// DepthFL: drops the deepest sparsifiable layers instead of thinning
+    /// every layer.
+    DepthFl,
+}
+
+impl WidthVariant {
+    fn label(&self) -> &'static str {
+        match self {
+            WidthVariant::Fjord => "Fjord",
+            WidthVariant::HeteroFl => "HeteroFL",
+            WidthVariant::FedRolex => "FedRolex",
+            WidthVariant::FedMp => "FedMP",
+            WidthVariant::DepthFl => "DepthFL",
+        }
+    }
+
+    fn pattern(&self) -> PatternStrategy {
+        match self {
+            WidthVariant::Fjord | WidthVariant::HeteroFl => PatternStrategy::Ordered,
+            WidthVariant::FedRolex => PatternStrategy::RollingOrdered,
+            WidthVariant::FedMp => PatternStrategy::Magnitude,
+            // DepthFL builds its own layer-dropping mask.
+            WidthVariant::DepthFl => PatternStrategy::Ordered,
+        }
+    }
+
+    fn ratio_policy(&self) -> RatioPolicy {
+        match self {
+            WidthVariant::FedMp => RatioPolicy::DiscreteUcb { exploration: 2.0 },
+            _ => RatioPolicy::ResourceControlled,
+        }
+    }
+}
+
+/// Driver for the width/depth-scaling family.
+pub struct WidthScaling {
+    variant: WidthVariant,
+    global: Vec<f32>,
+    controller: Option<RatioController>,
+    staged: Vec<Contribution>,
+    feedback: Vec<(usize, RatioFeedback)>,
+}
+
+impl WidthScaling {
+    /// Creates a driver for the given variant.
+    pub fn new(variant: WidthVariant) -> Self {
+        Self {
+            variant,
+            global: Vec::new(),
+            controller: None,
+            staged: Vec::new(),
+            feedback: Vec::new(),
+        }
+    }
+
+    /// DepthFL's mask: keep the earliest layers fully dense and drop the
+    /// deepest sparsifiable layers so that roughly `ratio` of the units (and
+    /// hence compute) remains.
+    fn depth_mask(env: &FlEnv, ratio: f64) -> UnitMask {
+        let layout = env.arch.unit_layout();
+        let per_layer = layout.units_per_layer();
+        let total: usize = per_layer.iter().sum();
+        let budget = retained_units(total, ratio);
+        let mut keep = Vec::with_capacity(total);
+        let mut used = 0usize;
+        for &units in &per_layer {
+            // Keep whole layers until the budget runs out; always keep at
+            // least one unit of the first layer to stay connected.
+            let keep_layer = used < budget;
+            let kept_here = if keep_layer { units.min(budget - used) } else { 0 };
+            for j in 0..units {
+                keep.push(j < kept_here.max(if keep.is_empty() { 1 } else { 0 }));
+            }
+            used += kept_here;
+        }
+        UnitMask::from_keep(keep)
+    }
+}
+
+impl FlAlgorithm for WidthScaling {
+    fn name(&self) -> String {
+        self.variant.label().to_string()
+    }
+
+    fn setup(&mut self, env: &FlEnv) {
+        self.global = env.initial_params();
+        let capabilities = env.capabilities();
+        let initial_accuracy = vec![0.0; env.num_clients()];
+        self.controller = Some(RatioController::new(
+            self.variant.ratio_policy(),
+            &capabilities,
+            &initial_accuracy,
+            env.config.seed,
+        ));
+        self.staged.clear();
+        self.feedback.clear();
+    }
+
+    fn run_client(
+        &mut self,
+        env: &FlEnv,
+        round: usize,
+        client: usize,
+        rng: &mut StdRng,
+    ) -> ClientReport {
+        let device = env.fleet.available_profile(client, round);
+        let controller = self.controller.as_ref().expect("setup() not called");
+        let mut ratio = controller.ratio_for(client);
+        if matches!(self.variant, WidthVariant::Fjord) {
+            // Fjord samples the dropout rate uniformly up to the capability.
+            ratio *= 0.5 + 0.5 * rand::Rng::gen::<f64>(rng);
+        }
+        ratio = ratio.clamp(0.05, 1.0);
+
+        let mask = if matches!(self.variant, WidthVariant::DepthFl) {
+            Self::depth_mask(env, ratio)
+        } else {
+            self.variant.pattern().build_mask(
+                env.arch.unit_layout(),
+                &self.global,
+                None,
+                ratio,
+                round,
+                rng,
+            )
+        };
+
+        let mut params = self.global.clone();
+        let (report, summary) = baseline_client_round(
+            env,
+            client,
+            &device,
+            &mut params,
+            Some(&mask),
+            None,
+            None,
+            ratio,
+            rng,
+        );
+
+        self.staged.push(Contribution {
+            client_id: client,
+            weight: env.train_sizes()[client].max(1.0),
+            params,
+            param_mask: Some(mask.param_mask(env.arch.unit_layout())),
+        });
+        self.feedback.push((
+            client,
+            RatioFeedback {
+                ratio,
+                local_cost: report.local_cost.total(),
+                accuracy: summary.mean_accuracy,
+            },
+        ));
+        report
+    }
+
+    fn aggregate(&mut self, _env: &FlEnv, _round: usize, _reports: &[ClientReport]) {
+        coverage_aggregate(&mut self.global, &self.staged);
+        self.staged.clear();
+        if let Some(controller) = self.controller.as_mut() {
+            for (client, feedback) in self.feedback.drain(..) {
+                controller.report(client, feedback);
+            }
+        }
+    }
+
+    fn evaluate_client(&self, env: &FlEnv, client: usize) -> EvalStats {
+        env.arch.evaluate(&self.global, env.test_data(client))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedlps_data::scenario::{DatasetKind, ScenarioConfig};
+    use fedlps_device::HeterogeneityLevel;
+    use fedlps_sim::config::FlConfig;
+    use fedlps_sim::runner::Simulator;
+
+    fn sim() -> Simulator {
+        Simulator::new(FlEnv::from_scenario(
+            &ScenarioConfig::tiny(DatasetKind::MnistLike),
+            HeterogeneityLevel::High,
+            FlConfig::tiny(),
+        ))
+    }
+
+    #[test]
+    fn all_variants_run_and_use_sparsity() {
+        for variant in [
+            WidthVariant::Fjord,
+            WidthVariant::HeteroFl,
+            WidthVariant::FedRolex,
+            WidthVariant::FedMp,
+            WidthVariant::DepthFl,
+        ] {
+            let s = sim();
+            let mut algo = WidthScaling::new(variant);
+            let result = s.run(&mut algo);
+            assert_eq!(result.rounds.len(), FlConfig::tiny().rounds, "{}", algo.name());
+            assert!(
+                result.mean_sparse_ratio() < 0.999,
+                "{} should train submodels on a heterogeneous fleet",
+                algo.name()
+            );
+        }
+    }
+
+    #[test]
+    fn sparse_ratios_never_exceed_static_capability_for_rcr_variants() {
+        let s = sim();
+        let caps = s.env().capabilities();
+        let mut algo = WidthScaling::new(WidthVariant::HeteroFl);
+        let result = s.run(&mut algo);
+        // Every round's mean ratio must be below the best capability.
+        let max_cap = caps.iter().cloned().fold(0.0, f64::max);
+        for r in &result.rounds {
+            assert!(r.mean_sparse_ratio <= max_cap + 1e-9);
+        }
+    }
+
+    #[test]
+    fn depth_mask_keeps_early_layers_and_respects_budget() {
+        let env = FlEnv::from_scenario(
+            &ScenarioConfig::tiny(DatasetKind::MnistLike),
+            HeterogeneityLevel::None,
+            FlConfig::tiny(),
+        );
+        let mask = WidthScaling::depth_mask(&env, 0.5);
+        let layout = env.arch.unit_layout();
+        let retained = mask.retained_per_layer(layout);
+        let per_layer = layout.units_per_layer();
+        // The first layer keeps more (or equal) share than the last layer.
+        let first_share = retained[0] as f64 / per_layer[0] as f64;
+        let last_share = *retained.last().unwrap() as f64 / *per_layer.last().unwrap() as f64;
+        assert!(first_share >= last_share);
+        assert!(mask.retained_units() >= 1);
+    }
+}

@@ -1,0 +1,93 @@
+//! Component-level micro-benchmarks: the building blocks whose cost dominates
+//! a FedLPS round (local sparse training, mask construction, the P-UCBV
+//! update and the residual aggregation).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fedlps_bandit::pucbv::{PUcbv, PUcbvConfig, PUcbvFeedback};
+use fedlps_core::client::{client_update, ClientState, ClientUpdateOptions};
+use fedlps_core::server::{aggregate_residuals, StagedUpdate};
+use fedlps_data::scenario::{DatasetKind, ScenarioConfig};
+use fedlps_nn::model::ModelKind;
+use fedlps_nn::sgd::SgdConfig;
+use fedlps_sparse::pattern::PatternStrategy;
+use fedlps_tensor::rng_from_seed;
+use std::time::Duration;
+
+fn bench_components(c: &mut Criterion) {
+    let mut group = c.benchmark_group("components");
+    group.sample_size(20);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(2));
+
+    let fed = ScenarioConfig::tiny(DatasetKind::MnistLike).build();
+    let arch = ModelKind::for_dataset(DatasetKind::MnistLike).build(fed.input, fed.num_classes);
+    let mut rng = rng_from_seed(1);
+    let global = arch.init_params(&mut rng);
+    let data = &fed.clients[0].train;
+
+    group.bench_function("client_update_importance_pattern", |b| {
+        b.iter(|| {
+            let mut state = ClientState::default();
+            let mut rng = rng_from_seed(2);
+            client_update(
+                &*arch,
+                &global,
+                &mut state,
+                data,
+                &ClientUpdateOptions {
+                    iterations: 3,
+                    batch_size: 16,
+                    sgd: SgdConfig::vision(),
+                    importance_lr: 0.1,
+                    mu: 1.0,
+                    lambda: 1.0,
+                    pattern: PatternStrategy::Importance,
+                    ratio: 0.5,
+                    round: 0,
+                },
+                &mut rng,
+            )
+            .uploaded_params
+        })
+    });
+
+    group.bench_function("pattern_magnitude_mask_build", |b| {
+        let mut rng = rng_from_seed(3);
+        b.iter(|| {
+            PatternStrategy::Magnitude
+                .build_mask(arch.unit_layout(), &global, None, 0.5, 0, &mut rng)
+                .retained_units()
+        })
+    });
+
+    group.bench_function("pucbv_update", |b| {
+        b.iter(|| {
+            let mut agent = PUcbv::new(PUcbvConfig::default(), 1.0, 0.1);
+            let mut rng = rng_from_seed(4);
+            let mut ratio = agent.initial_ratio(&mut rng);
+            for i in 0..20 {
+                ratio = agent.update(
+                    PUcbvFeedback { ratio, local_cost: 1.0 + ratio, accuracy: 0.1 + 0.01 * i as f64 },
+                    &mut rng,
+                );
+            }
+            ratio
+        })
+    });
+
+    group.bench_function("aggregate_residuals_8_clients", |b| {
+        let staged: Vec<StagedUpdate> = (0..8)
+            .map(|i| StagedUpdate { weight: 1.0 + i as f64, residual: vec![0.01; global.len()] })
+            .collect();
+        b.iter(|| {
+            let mut g = global.clone();
+            aggregate_residuals(&mut g, &staged);
+            g[0]
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(components, bench_components);
+criterion_main!(components);

@@ -1,0 +1,133 @@
+//! Criterion benches that exercise a reduced version of every table / figure
+//! experiment, so `cargo bench` regenerates the full pipeline end-to-end.
+//! The printed tables themselves come from the `src/bin/*` harnesses; these
+//! benches measure how long each experiment's core loop takes at quick scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fedlps_bench::harness::{run_fedlps_with, run_method, ExperimentEnv};
+use fedlps_bench::Scale;
+use fedlps_core::FedLpsConfig;
+use fedlps_data::partition::PartitionStrategy;
+use fedlps_data::scenario::DatasetKind;
+use fedlps_device::HeterogeneityLevel;
+use fedlps_sparse::pattern::PatternStrategy;
+use std::time::Duration;
+
+fn tiny_env(dataset: DatasetKind) -> ExperimentEnv {
+    let mut env = ExperimentEnv::paper_default(Scale::Quick, dataset);
+    // Benches shrink the round budget further so each iteration stays fast.
+    env.seed = 7;
+    env
+}
+
+fn configure(c: &mut Criterion) -> criterion::BenchmarkGroup<'_, criterion::measurement::WallTime> {
+    let mut group = c.benchmark_group("paper");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(2));
+    group
+}
+
+fn bench_table1(c: &mut Criterion) {
+    let mut group = configure(c);
+    let env = tiny_env(DatasetKind::MnistLike);
+    group.bench_function("table1_fedlps_mnist_like", |b| {
+        b.iter(|| run_method("FedLPS", &env).final_accuracy)
+    });
+    group.bench_function("table1_fedavg_mnist_like", |b| {
+        b.iter(|| run_method("FedAvg", &env).final_accuracy)
+    });
+    group.finish();
+}
+
+fn bench_table2_ablation(c: &mut Criterion) {
+    let mut group = configure(c);
+    let env = tiny_env(DatasetKind::MnistLike);
+    group.bench_function("table2_flst_fixed_ratio", |b| {
+        b.iter(|| run_fedlps_with(&env, FedLpsConfig::flst(0.5)).final_accuracy)
+    });
+    group.bench_function("table2_rcr", |b| {
+        b.iter(|| run_fedlps_with(&env, FedLpsConfig::rcr()).final_accuracy)
+    });
+    group.finish();
+}
+
+fn bench_fig3_fig4_convergence_traces(c: &mut Criterion) {
+    let mut group = configure(c);
+    let env = tiny_env(DatasetKind::MnistLike);
+    group.bench_function("fig3_fig4_accuracy_vs_cost_trace", |b| {
+        b.iter(|| {
+            let result = run_method("FedLPS", &env);
+            (result.accuracy_vs_flops().len(), result.accuracy_vs_time().len())
+        })
+    });
+    group.finish();
+}
+
+fn bench_fig5_tta(c: &mut Criterion) {
+    let mut group = configure(c);
+    let env = tiny_env(DatasetKind::Cifar10Like);
+    group.bench_function("fig5_time_to_accuracy", |b| {
+        b.iter(|| {
+            let result = run_method("FedLPS", &env);
+            result.time_to_accuracy(result.final_accuracy * 0.8)
+        })
+    });
+    group.finish();
+}
+
+fn bench_fig6_noniid(c: &mut Criterion) {
+    let mut group = configure(c);
+    let mut env = tiny_env(DatasetKind::MnistLike);
+    env.partition_override = Some(PartitionStrategy::Pathological { classes_per_client: 4 });
+    group.bench_function("fig6_noniid_level_sweep_point", |b| {
+        b.iter(|| run_method("FedLPS", &env).final_accuracy)
+    });
+    group.finish();
+}
+
+fn bench_fig7_fig8_heterogeneity(c: &mut Criterion) {
+    let mut group = configure(c);
+    let mut env = tiny_env(DatasetKind::Cifar10Like);
+    env.heterogeneity = HeterogeneityLevel::Median;
+    group.bench_function("fig7_fig8_median_heterogeneity_point", |b| {
+        b.iter(|| {
+            let result = run_method("FedLPS", &env);
+            (result.final_accuracy, result.total_time)
+        })
+    });
+    group.finish();
+}
+
+fn bench_fig9_pattern_and_ratio(c: &mut Criterion) {
+    let mut group = configure(c);
+    let env = tiny_env(DatasetKind::MnistLike);
+    group.bench_function("fig9a_learnable_pattern_ratio_0_4", |b| {
+        b.iter(|| {
+            run_fedlps_with(&env, FedLpsConfig::with_pattern(PatternStrategy::Importance, 0.4))
+                .final_accuracy
+        })
+    });
+    group.bench_function("fig9a_magnitude_pattern_ratio_0_4", |b| {
+        b.iter(|| {
+            run_fedlps_with(&env, FedLpsConfig::with_pattern(PatternStrategy::Magnitude, 0.4))
+                .final_accuracy
+        })
+    });
+    group.bench_function("fig9b_time_breakdown_ratio_0_4", |b| {
+        b.iter(|| run_fedlps_with(&env, FedLpsConfig::flst(0.4)).total_time)
+    });
+    group.finish();
+}
+
+criterion_group!(
+    paper_experiments,
+    bench_table1,
+    bench_table2_ablation,
+    bench_fig3_fig4_convergence_traces,
+    bench_fig5_tta,
+    bench_fig6_noniid,
+    bench_fig7_fig8_heterogeneity,
+    bench_fig9_pattern_and_ratio
+);
+criterion_main!(paper_experiments);

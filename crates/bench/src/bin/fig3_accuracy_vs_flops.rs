@@ -1,0 +1,27 @@
+//! Figure 3: test accuracy versus cumulative FLOPs for the convergence
+//! comparison methods.
+
+use fedlps_bench::harness::{datasets_from_args, figure_methods, methods_from_args, run_method, ExperimentEnv};
+use fedlps_bench::table::{gflops, pct, TableBuilder};
+use fedlps_bench::Scale;
+use fedlps_data::scenario::DatasetKind;
+
+fn main() {
+    let scale = Scale::from_args();
+    let datasets = datasets_from_args(vec![DatasetKind::MnistLike]);
+    let methods = methods_from_args(figure_methods());
+    for dataset in datasets {
+        let env = ExperimentEnv::paper_default(scale, dataset);
+        let mut table = TableBuilder::new(
+            &format!("Figure 3 — accuracy vs FLOPs on {}", dataset.name()),
+            &["Method", "FLOPs (1e9)", "Acc (%)"],
+        );
+        for method in &methods {
+            let result = run_method(method, &env);
+            for (flops, acc) in result.accuracy_vs_flops() {
+                table.row(vec![result.algorithm.clone(), gflops(flops), pct(acc)]);
+            }
+        }
+        table.print();
+    }
+}

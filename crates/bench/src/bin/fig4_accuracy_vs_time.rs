@@ -1,0 +1,26 @@
+//! Figure 4: test accuracy versus simulated running time.
+
+use fedlps_bench::harness::{datasets_from_args, figure_methods, methods_from_args, run_method, ExperimentEnv};
+use fedlps_bench::table::{pct, secs, TableBuilder};
+use fedlps_bench::Scale;
+use fedlps_data::scenario::DatasetKind;
+
+fn main() {
+    let scale = Scale::from_args();
+    let datasets = datasets_from_args(vec![DatasetKind::MnistLike]);
+    let methods = methods_from_args(figure_methods());
+    for dataset in datasets {
+        let env = ExperimentEnv::paper_default(scale, dataset);
+        let mut table = TableBuilder::new(
+            &format!("Figure 4 — accuracy vs running time on {}", dataset.name()),
+            &["Method", "Time (s)", "Acc (%)"],
+        );
+        for method in &methods {
+            let result = run_method(method, &env);
+            for (time, acc) in result.accuracy_vs_time() {
+                table.row(vec![result.algorithm.clone(), secs(time), pct(acc)]);
+            }
+        }
+        table.print();
+    }
+}

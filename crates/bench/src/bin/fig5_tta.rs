@@ -1,0 +1,40 @@
+//! Figure 5: Time-To-Accuracy on the CIFAR-10 / CIFAR-100 / Tiny-ImageNet
+//! analogues. The accuracy targets are set to 80% of FedLPS's own final
+//! accuracy per dataset so the same relative bar applies across methods.
+
+use fedlps_bench::harness::{run_method, ExperimentEnv};
+use fedlps_bench::table::{pct, TableBuilder};
+use fedlps_bench::Scale;
+use fedlps_data::scenario::DatasetKind;
+
+fn main() {
+    let scale = Scale::from_args();
+    let methods = ["FedPer", "Hermes", "FedSpa", "Per-FedAvg", "FedLPS"];
+    let mut table = TableBuilder::new(
+        "Figure 5 — Time-To-Accuracy",
+        &["Dataset", "Target (%)", "Method", "TTA (s)"],
+    );
+    for dataset in [
+        DatasetKind::Cifar10Like,
+        DatasetKind::Cifar100Like,
+        DatasetKind::TinyImagenetLike,
+    ] {
+        let env = ExperimentEnv::paper_default(scale, dataset);
+        let fedlps = run_method("FedLPS", &env);
+        let target = fedlps.final_accuracy * 0.8;
+        for method in methods {
+            let result = if method == "FedLPS" { fedlps.clone() } else { run_method(method, &env) };
+            let tta = result
+                .time_to_accuracy(target)
+                .map(|t| format!("{t:.2}"))
+                .unwrap_or_else(|| "not reached".to_string());
+            table.row(vec![
+                dataset.name().to_string(),
+                pct(target),
+                result.algorithm.clone(),
+                tta,
+            ]);
+        }
+    }
+    table.print();
+}

@@ -1,0 +1,29 @@
+//! Figure 6: accuracy versus the non-IID level on the MNIST analogue. The
+//! x-axis is the number of classes each client *lacks* (larger = more skewed).
+
+use fedlps_bench::harness::{run_method, ExperimentEnv};
+use fedlps_bench::table::{pct, TableBuilder};
+use fedlps_bench::Scale;
+use fedlps_data::partition::PartitionStrategy;
+use fedlps_data::scenario::DatasetKind;
+
+fn main() {
+    let scale = Scale::from_args();
+    let methods = ["FedPer", "Hermes", "FedSpa", "Per-FedAvg", "FedLPS"];
+    let num_classes = DatasetKind::MnistLike.num_classes();
+    let mut table = TableBuilder::new(
+        "Figure 6 — accuracy vs non-IID level (mnist-like)",
+        &["Missing classes", "Method", "Acc (%)"],
+    );
+    for missing in [2usize, 4, 6, 8] {
+        let mut env = ExperimentEnv::paper_default(scale, DatasetKind::MnistLike);
+        env.partition_override = Some(PartitionStrategy::Pathological {
+            classes_per_client: num_classes - missing,
+        });
+        for method in methods {
+            let result = run_method(method, &env);
+            table.row(vec![missing.to_string(), result.algorithm.clone(), pct(result.final_accuracy)]);
+        }
+    }
+    table.print();
+}

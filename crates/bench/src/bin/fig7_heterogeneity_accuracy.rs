@@ -1,0 +1,32 @@
+//! Figure 7: accuracy under low / median / high system heterogeneity.
+
+use fedlps_bench::harness::{run_method, ExperimentEnv};
+use fedlps_bench::table::{pct, TableBuilder};
+use fedlps_bench::Scale;
+use fedlps_data::scenario::DatasetKind;
+use fedlps_device::HeterogeneityLevel;
+
+fn main() {
+    let scale = Scale::from_args();
+    let methods = ["FedAvg", "FedMP", "FedSpa", "FedLPS"];
+    let mut table = TableBuilder::new(
+        "Figure 7 — accuracy vs system heterogeneity",
+        &["Dataset", "Level", "Method", "Acc (%)"],
+    );
+    for dataset in [DatasetKind::Cifar10Like, DatasetKind::TinyImagenetLike] {
+        for level in HeterogeneityLevel::swept() {
+            let mut env = ExperimentEnv::paper_default(scale, dataset);
+            env.heterogeneity = level;
+            for method in methods {
+                let result = run_method(method, &env);
+                table.row(vec![
+                    dataset.name().to_string(),
+                    level.name().to_string(),
+                    result.algorithm.clone(),
+                    pct(result.final_accuracy),
+                ]);
+            }
+        }
+    }
+    table.print();
+}

@@ -1,0 +1,33 @@
+//! Figure 8: total simulated running time under low / median / high system
+//! heterogeneity.
+
+use fedlps_bench::harness::{run_method, ExperimentEnv};
+use fedlps_bench::table::{secs, TableBuilder};
+use fedlps_bench::Scale;
+use fedlps_data::scenario::DatasetKind;
+use fedlps_device::HeterogeneityLevel;
+
+fn main() {
+    let scale = Scale::from_args();
+    let methods = ["FedAvg", "FedMP", "FedSpa", "FedLPS"];
+    let mut table = TableBuilder::new(
+        "Figure 8 — running time vs system heterogeneity",
+        &["Dataset", "Level", "Method", "Time (s)"],
+    );
+    for dataset in [DatasetKind::Cifar10Like, DatasetKind::TinyImagenetLike] {
+        for level in HeterogeneityLevel::swept() {
+            let mut env = ExperimentEnv::paper_default(scale, dataset);
+            env.heterogeneity = level;
+            for method in methods {
+                let result = run_method(method, &env);
+                table.row(vec![
+                    dataset.name().to_string(),
+                    level.name().to_string(),
+                    result.algorithm.clone(),
+                    secs(result.total_time),
+                ]);
+            }
+        }
+    }
+    table.print();
+}

@@ -1,0 +1,38 @@
+//! Figure 9a: accuracy of the different sparse-pattern strategies (random,
+//! ordered, magnitude, learnable) across fixed sparse ratios.
+
+use fedlps_bench::harness::{run_fedlps_with, ExperimentEnv};
+use fedlps_bench::table::{pct, TableBuilder};
+use fedlps_bench::Scale;
+use fedlps_core::FedLpsConfig;
+use fedlps_data::scenario::DatasetKind;
+use fedlps_sparse::pattern::PatternStrategy;
+
+fn main() {
+    let scale = Scale::from_args();
+    let strategies = [
+        PatternStrategy::Random,
+        PatternStrategy::Ordered,
+        PatternStrategy::Magnitude,
+        PatternStrategy::Importance,
+    ];
+    for dataset in [DatasetKind::MnistLike, DatasetKind::RedditLike] {
+        let env = ExperimentEnv::paper_default(scale, dataset);
+        let mut table = TableBuilder::new(
+            &format!("Figure 9a — pattern strategies on {}", dataset.name()),
+            &["Sparse ratio", "Pattern", "Acc (%)"],
+        );
+        for ratio in [0.2, 0.4, 0.6, 0.8] {
+            for strategy in strategies {
+                let cfg = FedLpsConfig::with_pattern(strategy, ratio);
+                let result = run_fedlps_with(&env, cfg);
+                table.row(vec![
+                    format!("{ratio:.1}"),
+                    strategy.name().to_string(),
+                    pct(result.final_accuracy),
+                ]);
+            }
+        }
+        table.print();
+    }
+}

@@ -1,0 +1,53 @@
+//! Figure 9b: training / communication / total time of FedLPS's learnable
+//! sparsification as the (fixed) sparse ratio grows.
+
+use fedlps_bench::harness::ExperimentEnv;
+use fedlps_bench::table::{secs, TableBuilder};
+use fedlps_bench::Scale;
+use fedlps_core::{FedLps, FedLpsConfig};
+use fedlps_data::scenario::DatasetKind;
+use fedlps_sim::algorithm::FlAlgorithm;
+use fedlps_sim::runner::Simulator;
+use fedlps_tensor::rng_from_seed;
+
+fn main() {
+    let scale = Scale::from_args();
+    for dataset in [DatasetKind::MnistLike, DatasetKind::RedditLike] {
+        let env_spec = ExperimentEnv::paper_default(scale, dataset);
+        let mut table = TableBuilder::new(
+            &format!("Figure 9b — per-round time breakdown on {}", dataset.name()),
+            &["Sparse ratio", "Train (s)", "Comm (s)", "Total (s)"],
+        );
+        for ratio in [0.2, 0.4, 0.6, 0.8] {
+            // One representative client round at this ratio: run the client
+            // work directly to split compute vs communication time.
+            let env = env_spec.build();
+            let mut algo = FedLps::new(FedLpsConfig::flst(ratio));
+            algo.setup(&env);
+            let mut rng = rng_from_seed(7);
+            let _ = &mut rng;
+            let mut compute = 0.0;
+            let mut comm = 0.0;
+            let sim = Simulator::new(env);
+            let result = sim.run(&mut algo);
+            // Recover the split from the recorded per-round totals: compute
+            // time scales with FLOPs, communication with uploaded bytes.
+            for r in &result.rounds {
+                compute += r.round_flops;
+                comm += r.round_upload_bytes;
+            }
+            let total_time = result.total_time;
+            // Convert the aggregate FLOPs/bytes back into seconds using the
+            // same reference capacities as the cost model (top-tier device).
+            let train_s = compute / fedlps_device::capability::REFERENCE_GFLOPS;
+            let comm_s = comm / fedlps_device::capability::REFERENCE_BANDWIDTH;
+            table.row(vec![
+                format!("{ratio:.1}"),
+                secs(train_s),
+                secs(comm_s),
+                secs(total_time.max(train_s + comm_s)),
+            ]);
+        }
+        table.print();
+    }
+}

@@ -1,0 +1,46 @@
+//! Table II: the ablation of FedLPS's two learnable components.
+//!
+//! * FLST — learnable pattern, fixed ratio 0.5 (no P-UCBV);
+//! * RCR-Fix / P-UCBV-Fix — static device capabilities;
+//! * RCR-Dyn / P-UCBV-Dyn — per-round dynamic available capability.
+
+use fedlps_bench::harness::{run_fedlps_with, ExperimentEnv};
+use fedlps_bench::table::{gflops, pct, TableBuilder};
+use fedlps_bench::Scale;
+use fedlps_core::FedLpsConfig;
+use fedlps_data::scenario::DatasetKind;
+
+fn main() {
+    let scale = Scale::from_args();
+    for dataset in [DatasetKind::MnistLike, DatasetKind::Cifar10Like] {
+        let static_env = ExperimentEnv::paper_default(scale, dataset);
+        let mut dynamic_env = static_env.clone();
+        dynamic_env.dynamic_capability = true;
+
+        let fl_cfg = scale.fl_config();
+        let pucbv = |rounds: usize| {
+            FedLpsConfig::for_federation(rounds, 0, fl_cfg.clients_per_round)
+        };
+
+        let mut table = TableBuilder::new(
+            &format!("Table II — ablation on {} ({:?} scale)", dataset.name(), scale),
+            &["Variant", "Acc (%)", "FLOPs (1e9)"],
+        );
+        let cases: Vec<(&str, FedLpsConfig, &ExperimentEnv)> = vec![
+            ("FLST (fixed 0.5)", FedLpsConfig::flst(0.5), &static_env),
+            ("RCR-Fix", FedLpsConfig::rcr(), &static_env),
+            ("P-UCBV-Fix", pucbv(fl_cfg.rounds), &static_env),
+            ("RCR-Dyn", FedLpsConfig::rcr(), &dynamic_env),
+            ("P-UCBV-Dyn", pucbv(fl_cfg.rounds), &dynamic_env),
+        ];
+        for (label, cfg, env) in cases {
+            let result = run_fedlps_with(env, cfg);
+            table.row(vec![
+                label.to_string(),
+                pct(result.final_accuracy),
+                gflops(result.total_flops),
+            ]);
+        }
+        table.print();
+    }
+}

@@ -1,0 +1,274 @@
+//! The FedLPS server/driver implementing [`FlAlgorithm`].
+
+use fedlps_bandit::ratio_policy::{RatioController, RatioFeedback};
+use fedlps_nn::model::EvalStats;
+use fedlps_sim::algorithm::{ClientReport, FlAlgorithm};
+use fedlps_sim::env::FlEnv;
+use fedlps_sim::train::account_round;
+use rand::rngs::StdRng;
+
+use crate::client::{client_update, ClientState, ClientUpdateOptions};
+use crate::config::FedLpsConfig;
+use crate::server::{aggregate_residuals, StagedUpdate};
+
+/// FedLPS: learnable personalized sparsification with P-UCBV ratio decisions.
+///
+/// Create it with [`FedLps::new`], hand it to
+/// [`Simulator::run`](fedlps_sim::runner::Simulator::run) and read the
+/// resulting [`RunResult`](fedlps_sim::metrics::RunResult).
+pub struct FedLps {
+    config: FedLpsConfig,
+    global: Vec<f32>,
+    clients: Vec<ClientState>,
+    controller: Option<RatioController>,
+    staged: Vec<StagedUpdate>,
+    feedback: Vec<(usize, RatioFeedback)>,
+}
+
+impl FedLps {
+    /// Creates a FedLPS driver with the given configuration.
+    pub fn new(config: FedLpsConfig) -> Self {
+        Self {
+            config,
+            global: Vec::new(),
+            clients: Vec::new(),
+            controller: None,
+            staged: Vec::new(),
+            feedback: Vec::new(),
+        }
+    }
+
+    /// FedLPS with the paper's default configuration sized for the federation
+    /// described by `env` (bandit horizon = round budget, etc.).
+    pub fn for_env(env: &FlEnv) -> Self {
+        Self::new(FedLpsConfig::for_federation(
+            env.config.rounds,
+            env.num_clients(),
+            env.config.clients_per_round,
+        ))
+    }
+
+    /// The algorithm configuration.
+    pub fn config(&self) -> &FedLpsConfig {
+        &self.config
+    }
+
+    /// Current dense global parameters (empty before `setup`).
+    pub fn global_params(&self) -> &[f32] {
+        &self.global
+    }
+
+    /// A client's persistent state (indicator, personalized model, last mask).
+    pub fn client_state(&self, client: usize) -> &ClientState {
+        &self.clients[client]
+    }
+
+    /// The sparse ratios the controller currently proposes for every client.
+    pub fn proposed_ratios(&self) -> Vec<f64> {
+        self.controller
+            .as_ref()
+            .map(|c| c.proposals())
+            .unwrap_or_default()
+    }
+
+    fn update_options(&self, env: &FlEnv, ratio: f64, round: usize) -> ClientUpdateOptions {
+        ClientUpdateOptions {
+            iterations: env.config.local_iterations,
+            batch_size: env.config.batch_size,
+            sgd: env.config.sgd,
+            importance_lr: self.config.importance_lr.unwrap_or(env.config.sgd.lr),
+            mu: self.config.mu,
+            lambda: self.config.lambda,
+            pattern: self.config.pattern,
+            ratio,
+            round,
+        }
+    }
+}
+
+impl FlAlgorithm for FedLps {
+    fn name(&self) -> String {
+        let ratio = self.config.ratio_policy.name();
+        let pattern = self.config.pattern.name();
+        if pattern == "learnable-importance" && ratio == "p-ucbv" {
+            "FedLPS".to_string()
+        } else {
+            format!("FedLPS[{pattern},{ratio}]")
+        }
+    }
+
+    fn setup(&mut self, env: &FlEnv) {
+        self.global = env.initial_params();
+        self.clients = vec![ClientState::default(); env.num_clients()];
+        let capabilities = env.capabilities();
+        let initial_accuracy = env.initial_training_accuracy(&self.global);
+        self.controller = Some(RatioController::new(
+            self.config.ratio_policy.clone(),
+            &capabilities,
+            &initial_accuracy,
+            env.config.seed,
+        ));
+        self.staged.clear();
+        self.feedback.clear();
+    }
+
+    fn run_client(
+        &mut self,
+        env: &FlEnv,
+        round: usize,
+        client: usize,
+        rng: &mut StdRng,
+    ) -> ClientReport {
+        let controller = self.controller.as_ref().expect("setup() not called");
+        // Server proposal capped by the static capability, then by what the
+        // device can actually spare this round (dynamic heterogeneity).
+        let available = env.fleet.available_profile(client, round);
+        let mut ratio = controller.ratio_for(client);
+        if self.config.respect_dynamic_capability {
+            ratio = ratio.min(available.max_sparse_ratio());
+        }
+        ratio = ratio.max(0.01);
+
+        let options = self.update_options(env, ratio, round);
+        let outcome = client_update(
+            &*env.arch,
+            &self.global,
+            &mut self.clients[client],
+            env.train_data(client),
+            &options,
+            rng,
+        );
+
+        let accounting = account_round(
+            &*env.arch,
+            &env.cost,
+            &available,
+            Some(&outcome.mask),
+            env.config.local_iterations,
+            env.config.batch_size,
+            outcome.uploaded_params,
+            env.arch.param_count(),
+        );
+
+        self.staged.push(StagedUpdate {
+            weight: env.train_sizes()[client].max(1.0),
+            residual: outcome.residual,
+        });
+        self.feedback.push((
+            client,
+            RatioFeedback {
+                ratio,
+                local_cost: accounting.local_cost.total(),
+                accuracy: outcome.mean_accuracy,
+            },
+        ));
+
+        ClientReport {
+            client_id: client,
+            flops: accounting.flops,
+            upload_bytes: accounting.upload_bytes,
+            download_bytes: accounting.download_bytes,
+            local_cost: accounting.local_cost,
+            train_accuracy: outcome.mean_accuracy,
+            train_loss: outcome.mean_loss,
+            sparse_ratio: ratio,
+        }
+    }
+
+    fn aggregate(&mut self, _env: &FlEnv, _round: usize, _reports: &[ClientReport]) {
+        aggregate_residuals(&mut self.global, &self.staged);
+        self.staged.clear();
+        if let Some(controller) = self.controller.as_mut() {
+            for (client, feedback) in self.feedback.drain(..) {
+                controller.report(client, feedback);
+            }
+        }
+    }
+
+    fn evaluate_client(&self, env: &FlEnv, client: usize) -> EvalStats {
+        // Personalized deployment: the client's own sparse model if it has
+        // ever trained, otherwise the dense global model.
+        match &self.clients[client].personal_model {
+            Some(personal) => env.arch.evaluate(personal, env.test_data(client)),
+            None => env.arch.evaluate(&self.global, env.test_data(client)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedlps_data::scenario::{DatasetKind, ScenarioConfig};
+    use fedlps_device::HeterogeneityLevel;
+    use fedlps_sim::config::FlConfig;
+    use fedlps_sim::runner::Simulator;
+
+    fn tiny_env() -> FlEnv {
+        FlEnv::from_scenario(
+            &ScenarioConfig::tiny(DatasetKind::MnistLike),
+            HeterogeneityLevel::High,
+            FlConfig::tiny().with_rounds(8),
+        )
+    }
+
+    #[test]
+    fn fedlps_runs_and_improves_over_initialization() {
+        let env = tiny_env();
+        let initial = env.global_model_accuracy(&env.initial_params());
+        let sim = Simulator::new(env);
+        let mut algo = FedLps::for_env(sim.env());
+        let result = sim.run(&mut algo);
+        assert_eq!(result.algorithm, "FedLPS");
+        assert!(
+            result.best_accuracy > initial,
+            "FedLPS should beat the untrained model ({} vs {initial})",
+            result.best_accuracy
+        );
+        // Some sparsification must actually have happened on this
+        // heterogeneous fleet.
+        assert!(result.mean_sparse_ratio() < 0.999);
+    }
+
+    #[test]
+    fn ratios_respect_capabilities() {
+        let env = tiny_env();
+        let caps = env.capabilities();
+        let sim = Simulator::new(env);
+        let mut algo = FedLps::for_env(sim.env());
+        let _ = sim.run(&mut algo);
+        for (k, ratio) in algo.proposed_ratios().iter().enumerate() {
+            assert!(
+                *ratio <= caps[k] + 1e-9,
+                "client {k}: proposed ratio {ratio} exceeds capability {}",
+                caps[k]
+            );
+        }
+    }
+
+    #[test]
+    fn personalized_states_are_created_for_participants() {
+        let env = tiny_env();
+        let sim = Simulator::new(env);
+        let mut algo = FedLps::for_env(sim.env());
+        let _ = sim.run(&mut algo);
+        let trained = (0..sim.env().num_clients())
+            .filter(|&k| algo.client_state(k).personal_model.is_some())
+            .count();
+        assert!(trained > 0);
+        for k in 0..sim.env().num_clients() {
+            if let Some(mask) = &algo.client_state(k).last_mask {
+                assert_eq!(mask.len(), sim.env().arch.unit_layout().total_units());
+            }
+        }
+    }
+
+    #[test]
+    fn ablation_names_are_distinguishable() {
+        use fedlps_sparse::pattern::PatternStrategy;
+        assert_eq!(FedLps::new(FedLpsConfig::default()).name(), "FedLPS");
+        assert!(FedLps::new(FedLpsConfig::flst(0.5)).name().contains("fixed"));
+        assert!(FedLps::new(FedLpsConfig::with_pattern(PatternStrategy::Random, 0.5))
+            .name()
+            .contains("random"));
+    }
+}

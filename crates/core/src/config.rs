@@ -1,0 +1,147 @@
+//! FedLPS hyper-parameters and ablation switches.
+
+use fedlps_bandit::pucbv::PUcbvConfig;
+use fedlps_bandit::ratio_policy::RatioPolicy;
+use fedlps_sparse::pattern::PatternStrategy;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the FedLPS algorithm.
+///
+/// The defaults follow the paper's experimental setup: `μ = 1`, `λ = 1`,
+/// the learnable importance pattern and P-UCBV ratio decisions.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FedLpsConfig {
+    /// Weight `μ` of the local-parameter regularisation term (Eq. 7).
+    pub mu: f32,
+    /// Weight `λ` of the importance regularisation term (Eq. 8).
+    pub lambda: f32,
+    /// Learning rate used for the importance-indicator update (Eq. 11); the
+    /// paper uses the shared round learning rate, so this defaults to the
+    /// model learning rate and is exposed only for sensitivity studies.
+    pub importance_lr: Option<f32>,
+    /// How sparse ratios are decided (Table II ablations swap this out).
+    pub ratio_policy: RatioPolicy,
+    /// How sparse patterns are derived. FedLPS proper uses
+    /// [`PatternStrategy::Importance`]; the Figure 9a ablation sweeps the
+    /// heuristics through this switch while keeping the rest of the pipeline
+    /// identical.
+    pub pattern: PatternStrategy,
+    /// Whether the per-round *available* capability (dynamic heterogeneity) is
+    /// used to cap ratios, in addition to the static tier.
+    pub respect_dynamic_capability: bool,
+}
+
+impl Default for FedLpsConfig {
+    fn default() -> Self {
+        Self {
+            mu: 1.0,
+            lambda: 1.0,
+            importance_lr: None,
+            ratio_policy: RatioPolicy::PUcbv(PUcbvConfig::default()),
+            pattern: PatternStrategy::Importance,
+            respect_dynamic_capability: true,
+        }
+    }
+}
+
+impl FedLpsConfig {
+    /// FedLPS with P-UCBV configured for a given federation size (`ξ = R/(K·ϵ)`
+    /// depends on the round budget and selection fraction).
+    pub fn for_federation(rounds: usize, num_clients: usize, clients_per_round: usize) -> Self {
+        let expected = clients_per_round.max(1) as f64;
+        let _ = num_clients;
+        Self {
+            ratio_policy: RatioPolicy::PUcbv(PUcbvConfig {
+                total_rounds: rounds.max(1),
+                expected_selections: expected,
+                ..PUcbvConfig::default()
+            }),
+            ..Self::default()
+        }
+    }
+
+    /// The FLST ablation of Table II: the learnable pattern with a *fixed*
+    /// uniform sparse ratio instead of P-UCBV.
+    pub fn flst(fixed_ratio: f64) -> Self {
+        Self {
+            ratio_policy: RatioPolicy::Fixed(fixed_ratio),
+            ..Self::default()
+        }
+    }
+
+    /// The RCR ablation of Table II: learnable pattern, but ratios follow the
+    /// rigid resource-controlled rule `s_k = z_k`.
+    pub fn rcr() -> Self {
+        Self {
+            ratio_policy: RatioPolicy::ResourceControlled,
+            ..Self::default()
+        }
+    }
+
+    /// A pattern-ablated variant (Figure 9a): identical training pipeline but
+    /// with a heuristic pattern strategy at a fixed ratio.
+    pub fn with_pattern(pattern: PatternStrategy, fixed_ratio: f64) -> Self {
+        Self {
+            pattern,
+            ratio_policy: RatioPolicy::Fixed(fixed_ratio),
+            ..Self::default()
+        }
+    }
+
+    /// Builder-style override of the regularisation weights.
+    pub fn with_regularisation(mut self, mu: f32, lambda: f32) -> Self {
+        self.mu = mu;
+        self.lambda = lambda;
+        self
+    }
+
+    /// Builder-style override of the ratio policy.
+    pub fn with_ratio_policy(mut self, policy: RatioPolicy) -> Self {
+        self.ratio_policy = policy;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let cfg = FedLpsConfig::default();
+        assert_eq!(cfg.mu, 1.0);
+        assert_eq!(cfg.lambda, 1.0);
+        assert_eq!(cfg.pattern, PatternStrategy::Importance);
+        assert!(matches!(cfg.ratio_policy, RatioPolicy::PUcbv(_)));
+    }
+
+    #[test]
+    fn ablation_constructors() {
+        assert!(matches!(FedLpsConfig::flst(0.5).ratio_policy, RatioPolicy::Fixed(r) if r == 0.5));
+        assert!(matches!(FedLpsConfig::rcr().ratio_policy, RatioPolicy::ResourceControlled));
+        let p = FedLpsConfig::with_pattern(PatternStrategy::Random, 0.4);
+        assert_eq!(p.pattern, PatternStrategy::Random);
+    }
+
+    #[test]
+    fn federation_constructor_wires_bandit_horizon() {
+        let cfg = FedLpsConfig::for_federation(200, 100, 10);
+        match cfg.ratio_policy {
+            RatioPolicy::PUcbv(c) => {
+                assert_eq!(c.total_rounds, 200);
+                assert_eq!(c.expected_selections, 10.0);
+            }
+            _ => panic!("expected P-UCBV"),
+        }
+    }
+
+    #[test]
+    fn builders() {
+        let cfg = FedLpsConfig::default()
+            .with_regularisation(0.5, 2.0)
+            .with_ratio_policy(RatioPolicy::Dense);
+        assert_eq!(cfg.mu, 0.5);
+        assert_eq!(cfg.lambda, 2.0);
+        assert_eq!(cfg.ratio_policy, RatioPolicy::Dense);
+    }
+}

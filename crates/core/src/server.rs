@@ -1,0 +1,101 @@
+//! Server-side aggregation (Eq. 13).
+
+/// One staged client contribution: its data-size weight `|D_k|` and the masked
+/// residual `(ω^r − ω_{k,E}) ⊙ m_{k,E}` it uploaded.
+#[derive(Debug, Clone)]
+pub struct StagedUpdate {
+    /// Aggregation weight `|D_k|`.
+    pub weight: f64,
+    /// Masked residual update (Eq. 12).
+    pub residual: Vec<f32>,
+}
+
+/// Eq. (13): `ω^{r+1} = Σ_k |D_k| (ω^r − ω̂_k) / Σ_k |D_k|`.
+///
+/// Because each client's residual is masked with its own personalized pattern
+/// while `ω^r` is dense, the aggregate remains a relatively dense update of
+/// the global parameters (the paper's observation below Eq. 13).
+pub fn aggregate_residuals(global: &mut [f32], staged: &[StagedUpdate]) {
+    if staged.is_empty() {
+        return;
+    }
+    let total_weight: f64 = staged.iter().map(|s| s.weight).sum();
+    assert!(total_weight > 0.0, "aggregation weights must be positive");
+    let mut next = vec![0.0f32; global.len()];
+    for s in staged {
+        assert_eq!(s.residual.len(), global.len(), "residual length mismatch");
+        let coeff = (s.weight / total_weight) as f32;
+        for ((n, &g), &r) in next.iter_mut().zip(global.iter()).zip(s.residual.iter()) {
+            *n += coeff * (g - r);
+        }
+    }
+    global.copy_from_slice(&next);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregation_with_zero_residuals_is_identity() {
+        let mut global = vec![1.0, -2.0, 3.0];
+        let staged = vec![
+            StagedUpdate { weight: 3.0, residual: vec![0.0; 3] },
+            StagedUpdate { weight: 1.0, residual: vec![0.0; 3] },
+        ];
+        aggregate_residuals(&mut global, &staged);
+        assert_eq!(global, vec![1.0, -2.0, 3.0]);
+    }
+
+    #[test]
+    fn aggregation_moves_towards_client_models() {
+        // One client with residual (ω^r − ω_k) = 1 on every coordinate means
+        // its local model is ω^r − 1; with equal weights the global model moves
+        // halfway when the other client reports no change.
+        let mut global = vec![0.0, 0.0];
+        let staged = vec![
+            StagedUpdate { weight: 1.0, residual: vec![1.0, 1.0] },
+            StagedUpdate { weight: 1.0, residual: vec![0.0, 0.0] },
+        ];
+        aggregate_residuals(&mut global, &staged);
+        assert_eq!(global, vec![-0.5, -0.5]);
+    }
+
+    #[test]
+    fn weights_bias_the_average() {
+        let mut global = vec![0.0];
+        let staged = vec![
+            StagedUpdate { weight: 3.0, residual: vec![4.0] },
+            StagedUpdate { weight: 1.0, residual: vec![0.0] },
+        ];
+        aggregate_residuals(&mut global, &staged);
+        assert!((global[0] + 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_staging_is_a_noop() {
+        let mut global = vec![5.0];
+        aggregate_residuals(&mut global, &[]);
+        assert_eq!(global, vec![5.0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_weights_panic() {
+        let mut global = vec![0.0];
+        aggregate_residuals(
+            &mut global,
+            &[StagedUpdate { weight: 0.0, residual: vec![0.0] }],
+        );
+    }
+
+    #[test]
+    fn masked_residuals_only_affect_their_units() {
+        // A residual that is zero outside a client's mask leaves the masked-out
+        // coordinates at the weighted mean of ω^r itself (i.e. unchanged).
+        let mut global = vec![2.0, 2.0];
+        let staged = vec![StagedUpdate { weight: 1.0, residual: vec![1.0, 0.0] }];
+        aggregate_residuals(&mut global, &staged);
+        assert_eq!(global, vec![1.0, 2.0]);
+    }
+}

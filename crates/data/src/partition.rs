@@ -1,0 +1,277 @@
+//! Non-IID partitioning strategies.
+//!
+//! The paper's main experiments use the *pathological* partition of
+//! McMahan et al. / Dai et al. [45]: every client is assigned a small fixed
+//! number of classes (2 for MNIST/CIFAR-10, 10 for CIFAR-100, 20 for
+//! Tiny-ImageNet). Figure 6 additionally sweeps the non-IID level by varying
+//! how many classes each client *lacks*. This module implements that scheme
+//! plus IID and Dirichlet label-skew partitioning for completeness.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// How the per-client class allocations are chosen.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum PartitionStrategy {
+    /// Every client samples uniformly from all classes.
+    Iid,
+    /// Pathological label skew: each client holds exactly `classes_per_client`
+    /// distinct classes (the paper's default non-IID setting).
+    Pathological { classes_per_client: usize },
+    /// Dirichlet label skew with concentration `alpha` (smaller = more skewed).
+    Dirichlet { alpha: f64 },
+}
+
+impl PartitionStrategy {
+    /// Short human-readable name used in experiment logs.
+    pub fn label(&self) -> String {
+        match self {
+            PartitionStrategy::Iid => "iid".to_string(),
+            PartitionStrategy::Pathological { classes_per_client } => {
+                format!("pathological({classes_per_client})")
+            }
+            PartitionStrategy::Dirichlet { alpha } => format!("dirichlet({alpha})"),
+        }
+    }
+
+    /// Produces, for each client, the number of samples of every class it
+    /// should receive, so that each client ends up with exactly
+    /// `samples_per_client` samples.
+    ///
+    /// The result is a `num_clients x num_classes` count table that the
+    /// scenario builder feeds to the data generators.
+    pub fn class_counts(
+        &self,
+        num_clients: usize,
+        num_classes: usize,
+        samples_per_client: usize,
+        rng: &mut impl Rng,
+    ) -> Vec<Vec<usize>> {
+        assert!(num_clients > 0 && num_classes > 0);
+        match *self {
+            PartitionStrategy::Iid => (0..num_clients)
+                .map(|_| spread_evenly(samples_per_client, num_classes, None, rng))
+                .collect(),
+            PartitionStrategy::Pathological { classes_per_client } => {
+                let per_client = classes_per_client.clamp(1, num_classes);
+                // Deal classes round-robin from a shuffled deck so the overall
+                // class coverage across the federation stays balanced, exactly
+                // like the pathological sharding used by the paper.
+                let mut deck: Vec<usize> = Vec::new();
+                while deck.len() < num_clients * per_client {
+                    let mut classes: Vec<usize> = (0..num_classes).collect();
+                    shuffle(&mut classes, rng);
+                    deck.extend(classes);
+                }
+                (0..num_clients)
+                    .map(|k| {
+                        let mut chosen: Vec<usize> =
+                            deck[k * per_client..(k + 1) * per_client].to_vec();
+                        chosen.sort_unstable();
+                        chosen.dedup();
+                        // If the deck dealt duplicate classes to one client,
+                        // top up with unused classes to keep the count exact.
+                        let mut extra = 0;
+                        while chosen.len() < per_client {
+                            let candidate = (chosen[0] + 1 + extra) % num_classes;
+                            if !chosen.contains(&candidate) {
+                                chosen.push(candidate);
+                            }
+                            extra += 1;
+                        }
+                        spread_evenly(samples_per_client, num_classes, Some(&chosen), rng)
+                    })
+                    .collect()
+            }
+            PartitionStrategy::Dirichlet { alpha } => (0..num_clients)
+                .map(|_| {
+                    let props = dirichlet_sample(num_classes, alpha, rng);
+                    proportional_counts(samples_per_client, &props)
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Distributes `total` samples over the allowed classes as evenly as possible
+/// (all classes when `allowed` is `None`).
+fn spread_evenly(
+    total: usize,
+    num_classes: usize,
+    allowed: Option<&[usize]>,
+    rng: &mut impl Rng,
+) -> Vec<usize> {
+    let mut counts = vec![0usize; num_classes];
+    let allowed: Vec<usize> = match allowed {
+        Some(a) => a.to_vec(),
+        None => (0..num_classes).collect(),
+    };
+    assert!(!allowed.is_empty());
+    let base = total / allowed.len();
+    let remainder = total % allowed.len();
+    for &c in &allowed {
+        counts[c] = base;
+    }
+    // Hand out the remainder to random allowed classes.
+    let mut order = allowed.clone();
+    shuffle(&mut order, rng);
+    for &c in order.iter().take(remainder) {
+        counts[c] += 1;
+    }
+    counts
+}
+
+/// Rounds proportions into integer counts summing exactly to `total`.
+fn proportional_counts(total: usize, proportions: &[f64]) -> Vec<usize> {
+    let mut counts: Vec<usize> = proportions
+        .iter()
+        .map(|p| (p * total as f64).floor() as usize)
+        .collect();
+    let mut assigned: usize = counts.iter().sum();
+    // Assign leftover samples to the classes with the largest fractional parts.
+    let mut fracs: Vec<(usize, f64)> = proportions
+        .iter()
+        .enumerate()
+        .map(|(i, p)| (i, p * total as f64 - counts[i] as f64))
+        .collect();
+    fracs.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+    let mut i = 0;
+    while assigned < total {
+        counts[fracs[i % fracs.len()].0] += 1;
+        assigned += 1;
+        i += 1;
+    }
+    counts
+}
+
+/// Samples from a symmetric Dirichlet(alpha) via normalised Gamma draws
+/// (Marsaglia–Tsang would be overkill; the simple -ln(U) trick with shape
+/// boosting is accurate enough for partitioning purposes).
+fn dirichlet_sample(k: usize, alpha: f64, rng: &mut impl Rng) -> Vec<f64> {
+    let mut draws: Vec<f64> = (0..k).map(|_| gamma_draw(alpha, rng)).collect();
+    let total: f64 = draws.iter().sum();
+    if total <= 0.0 {
+        return vec![1.0 / k as f64; k];
+    }
+    for d in &mut draws {
+        *d /= total;
+    }
+    draws
+}
+
+/// Gamma(shape, 1) sampling via the Ahrens–Dieter/boosting approach that only
+/// needs uniform draws; adequate for shapes in (0, 10].
+fn gamma_draw(shape: f64, rng: &mut impl Rng) -> f64 {
+    // For shape >= 1 use the sum-of-exponentials approximation on the integer
+    // part plus a fractional-part boost.
+    let int_part = shape.floor() as usize;
+    let frac = shape - int_part as f64;
+    let mut x = 0.0;
+    for _ in 0..int_part {
+        let u: f64 = rng.gen::<f64>().max(1e-12);
+        x += -u.ln();
+    }
+    if frac > 1e-9 {
+        // Boosting: Gamma(frac) = Gamma(frac + 1) * U^(1/frac).
+        let u1: f64 = rng.gen::<f64>().max(1e-12);
+        let u2: f64 = rng.gen::<f64>().max(1e-12);
+        x += -u1.ln() * u2.powf(1.0 / frac);
+    }
+    x
+}
+
+fn shuffle<T>(items: &mut [T], rng: &mut impl Rng) {
+    if items.len() < 2 {
+        return;
+    }
+    for i in (1..items.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        items.swap(i, j);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedlps_tensor::rng_from_seed;
+
+    #[test]
+    fn iid_counts_sum_and_cover() {
+        let mut rng = rng_from_seed(1);
+        let counts = PartitionStrategy::Iid.class_counts(5, 10, 100, &mut rng);
+        assert_eq!(counts.len(), 5);
+        for c in &counts {
+            assert_eq!(c.iter().sum::<usize>(), 100);
+            assert!(c.iter().all(|&x| x >= 9), "IID split should cover all classes: {c:?}");
+        }
+    }
+
+    #[test]
+    fn pathological_limits_classes_per_client() {
+        let mut rng = rng_from_seed(2);
+        let counts =
+            PartitionStrategy::Pathological { classes_per_client: 2 }.class_counts(20, 10, 60, &mut rng);
+        for c in &counts {
+            assert_eq!(c.iter().sum::<usize>(), 60);
+            let present = c.iter().filter(|&&x| x > 0).count();
+            assert!(present <= 2, "client has {present} classes");
+        }
+        // Across the federation every class should appear somewhere.
+        let mut union = vec![0usize; 10];
+        for c in &counts {
+            for (u, &x) in union.iter_mut().zip(c.iter()) {
+                *u += x;
+            }
+        }
+        assert!(union.iter().all(|&x| x > 0));
+    }
+
+    #[test]
+    fn pathological_clamps_to_available_classes() {
+        let mut rng = rng_from_seed(3);
+        let counts = PartitionStrategy::Pathological { classes_per_client: 50 }
+            .class_counts(3, 5, 25, &mut rng);
+        for c in &counts {
+            assert_eq!(c.iter().sum::<usize>(), 25);
+        }
+    }
+
+    #[test]
+    fn dirichlet_counts_sum_exactly() {
+        let mut rng = rng_from_seed(4);
+        let counts = PartitionStrategy::Dirichlet { alpha: 0.3 }.class_counts(8, 10, 47, &mut rng);
+        for c in &counts {
+            assert_eq!(c.iter().sum::<usize>(), 47);
+        }
+    }
+
+    #[test]
+    fn dirichlet_low_alpha_is_more_skewed_than_high_alpha() {
+        let mut rng = rng_from_seed(5);
+        let skewed = PartitionStrategy::Dirichlet { alpha: 0.05 }.class_counts(20, 10, 100, &mut rng);
+        let flat = PartitionStrategy::Dirichlet { alpha: 50.0 }.class_counts(20, 10, 100, &mut rng);
+        let avg_max = |cs: &[Vec<usize>]| {
+            cs.iter()
+                .map(|c| *c.iter().max().unwrap() as f64 / 100.0)
+                .sum::<f64>()
+                / cs.len() as f64
+        };
+        assert!(avg_max(&skewed) > avg_max(&flat) + 0.1);
+    }
+
+    #[test]
+    fn labels_are_descriptive() {
+        assert_eq!(PartitionStrategy::Iid.label(), "iid");
+        assert_eq!(
+            PartitionStrategy::Pathological { classes_per_client: 2 }.label(),
+            "pathological(2)"
+        );
+        assert!(PartitionStrategy::Dirichlet { alpha: 0.3 }.label().starts_with("dirichlet"));
+    }
+
+    #[test]
+    fn proportional_counts_exact_total() {
+        let counts = proportional_counts(10, &[0.33, 0.33, 0.34]);
+        assert_eq!(counts.iter().sum::<usize>(), 10);
+    }
+}

@@ -1,0 +1,44 @@
+//! Property-based tests of the non-IID partitioners.
+
+use fedlps_data::partition::PartitionStrategy;
+use fedlps_tensor::rng_from_seed;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every strategy gives every client exactly the requested sample count.
+    #[test]
+    fn partitions_preserve_sample_counts(clients in 1usize..12, classes in 2usize..15,
+                                          per_client in 1usize..80, seed in 0u64..500,
+                                          classes_per_client in 1usize..6, alpha in 0.05f64..5.0) {
+        let mut rng = rng_from_seed(seed);
+        for strategy in [
+            PartitionStrategy::Iid,
+            PartitionStrategy::Pathological { classes_per_client },
+            PartitionStrategy::Dirichlet { alpha },
+        ] {
+            let counts = strategy.class_counts(clients, classes, per_client, &mut rng);
+            prop_assert_eq!(counts.len(), clients);
+            for c in &counts {
+                prop_assert_eq!(c.len(), classes);
+                prop_assert_eq!(c.iter().sum::<usize>(), per_client);
+            }
+        }
+    }
+
+    /// The pathological partition never gives a client more distinct classes
+    /// than requested.
+    #[test]
+    fn pathological_limits_class_support(clients in 1usize..12, classes in 2usize..15,
+                                          per_client in 1usize..60, seed in 0u64..500,
+                                          classes_per_client in 1usize..6) {
+        let mut rng = rng_from_seed(seed);
+        let counts = PartitionStrategy::Pathological { classes_per_client }
+            .class_counts(clients, classes, per_client, &mut rng);
+        for c in &counts {
+            let support = c.iter().filter(|&&n| n > 0).count();
+            prop_assert!(support <= classes_per_client.clamp(1, classes));
+        }
+    }
+}

@@ -1,0 +1,150 @@
+//! Device capability tiers and per-device resource profiles.
+
+use serde::{Deserialize, Serialize};
+
+/// Peak compute of the paper's reference device (Adreno 630): 727 GFLOPS.
+pub const REFERENCE_GFLOPS: f64 = 727.0e9;
+
+/// Reference uplink bandwidth assumed for the top-tier device (bytes/second).
+/// The paper does not pin a number; 10 MB/s is a typical LTE uplink and only
+/// relative differences between tiers matter for the reported trends.
+pub const REFERENCE_BANDWIDTH: f64 = 10.0e6;
+
+/// The five capability tiers `z_k ∈ {1, 1/2, 1/4, 1/8, 1/16}` of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CapabilityTier {
+    Full,
+    Half,
+    Quarter,
+    Eighth,
+    Sixteenth,
+}
+
+impl CapabilityTier {
+    /// All tiers from strongest to weakest.
+    pub fn all() -> [CapabilityTier; 5] {
+        [
+            CapabilityTier::Full,
+            CapabilityTier::Half,
+            CapabilityTier::Quarter,
+            CapabilityTier::Eighth,
+            CapabilityTier::Sixteenth,
+        ]
+    }
+
+    /// The capability fraction `z_k` of the tier.
+    pub fn fraction(&self) -> f64 {
+        match self {
+            CapabilityTier::Full => 1.0,
+            CapabilityTier::Half => 0.5,
+            CapabilityTier::Quarter => 0.25,
+            CapabilityTier::Eighth => 0.125,
+            CapabilityTier::Sixteenth => 0.0625,
+        }
+    }
+
+    /// Tier from a capability fraction (nearest match).
+    pub fn from_fraction(z: f64) -> CapabilityTier {
+        let mut best = CapabilityTier::Full;
+        let mut best_err = f64::INFINITY;
+        for tier in CapabilityTier::all() {
+            let err = (tier.fraction() - z).abs();
+            if err < best_err {
+                best_err = err;
+                best = tier;
+            }
+        }
+        best
+    }
+}
+
+/// One edge device's resource profile.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DeviceProfile {
+    /// Capability fraction `z_k ∈ (0, 1]` relative to the reference device.
+    pub capability: f64,
+    /// Peak local compute `F_k` in FLOPs/second.
+    pub compute_flops_per_sec: f64,
+    /// Uplink bandwidth `B_k` in bytes/second.
+    pub bandwidth_bytes_per_sec: f64,
+}
+
+impl DeviceProfile {
+    /// Builds a profile from a capability tier, scaling both compute and
+    /// bandwidth from the reference device (weaker devices are assumed to sit
+    /// on proportionally weaker links, as in the paper's heterogeneity setup).
+    pub fn from_tier(tier: CapabilityTier) -> Self {
+        Self::from_fraction(tier.fraction())
+    }
+
+    /// Builds a profile from an arbitrary capability fraction.
+    pub fn from_fraction(z: f64) -> Self {
+        assert!(z > 0.0 && z <= 1.0, "capability fraction must be in (0, 1]");
+        Self {
+            capability: z,
+            compute_flops_per_sec: REFERENCE_GFLOPS * z,
+            bandwidth_bytes_per_sec: REFERENCE_BANDWIDTH * z,
+        }
+    }
+
+    /// The maximum sparse ratio this device can afford: the paper caps the
+    /// server-chosen ratio at the client capability (`s_k ≤ z_k`,
+    /// "Client-side Update").
+    pub fn max_sparse_ratio(&self) -> f64 {
+        self.capability
+    }
+
+    /// Returns a copy scaled by a transient availability factor in `(0, 1]`,
+    /// modelling other workloads competing for the device in a round.
+    pub fn with_availability(&self, factor: f64) -> DeviceProfile {
+        let f = factor.clamp(0.05, 1.0);
+        DeviceProfile {
+            capability: self.capability * f,
+            compute_flops_per_sec: self.compute_flops_per_sec * f,
+            bandwidth_bytes_per_sec: self.bandwidth_bytes_per_sec * f,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tier_fractions_match_paper() {
+        let fr: Vec<f64> = CapabilityTier::all().iter().map(|t| t.fraction()).collect();
+        assert_eq!(fr, vec![1.0, 0.5, 0.25, 0.125, 0.0625]);
+    }
+
+    #[test]
+    fn from_fraction_roundtrip() {
+        for tier in CapabilityTier::all() {
+            assert_eq!(CapabilityTier::from_fraction(tier.fraction()), tier);
+        }
+        assert_eq!(CapabilityTier::from_fraction(0.3), CapabilityTier::Quarter);
+    }
+
+    #[test]
+    fn profile_scales_with_capability() {
+        let full = DeviceProfile::from_tier(CapabilityTier::Full);
+        let sixteenth = DeviceProfile::from_tier(CapabilityTier::Sixteenth);
+        assert!((full.compute_flops_per_sec / sixteenth.compute_flops_per_sec - 16.0).abs() < 1e-9);
+        assert_eq!(full.max_sparse_ratio(), 1.0);
+        assert_eq!(sixteenth.max_sparse_ratio(), 0.0625);
+    }
+
+    #[test]
+    fn availability_reduces_capacity_but_is_clamped() {
+        let p = DeviceProfile::from_tier(CapabilityTier::Half);
+        let busy = p.with_availability(0.5);
+        assert!((busy.compute_flops_per_sec - p.compute_flops_per_sec * 0.5).abs() < 1.0);
+        let floor = p.with_availability(0.0);
+        assert!(floor.compute_flops_per_sec > 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_capability_rejected() {
+        DeviceProfile::from_fraction(0.0);
+    }
+}

@@ -1,0 +1,254 @@
+//! Device fleets and heterogeneity levels.
+//!
+//! The paper samples each client's capability tier uniformly from a tier set
+//! that depends on the system-heterogeneity level (Figures 7-8): *low* uses
+//! `{1, 1/2}`, *median* `{1, 1/2, 1/4}` and *high* the full
+//! `{1, 1/2, 1/4, 1/8, 1/16}`. During training the locally *available*
+//! capability can additionally fluctuate because devices run other workloads;
+//! the fleet models this with a per-round availability factor.
+
+use fedlps_tensor::{rng_from_seed, split_seed};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::capability::{CapabilityTier, DeviceProfile};
+
+/// The three system-heterogeneity levels swept in Figures 7-8, plus the
+/// homogeneous control setting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum HeterogeneityLevel {
+    /// All devices are top tier (no system heterogeneity).
+    None,
+    /// Tiers sampled from `{1, 1/2}`.
+    Low,
+    /// Tiers sampled from `{1, 1/2, 1/4}`.
+    Median,
+    /// Tiers sampled from `{1, 1/2, 1/4, 1/8, 1/16}` — the paper's default.
+    High,
+}
+
+impl HeterogeneityLevel {
+    /// The tier pool associated with the level.
+    pub fn tiers(&self) -> Vec<CapabilityTier> {
+        match self {
+            HeterogeneityLevel::None => vec![CapabilityTier::Full],
+            HeterogeneityLevel::Low => vec![CapabilityTier::Full, CapabilityTier::Half],
+            HeterogeneityLevel::Median => vec![
+                CapabilityTier::Full,
+                CapabilityTier::Half,
+                CapabilityTier::Quarter,
+            ],
+            HeterogeneityLevel::High => CapabilityTier::all().to_vec(),
+        }
+    }
+
+    /// Level name used in experiment tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            HeterogeneityLevel::None => "none",
+            HeterogeneityLevel::Low => "low",
+            HeterogeneityLevel::Median => "median",
+            HeterogeneityLevel::High => "high",
+        }
+    }
+
+    /// The three levels compared in Figures 7-8.
+    pub fn swept() -> [HeterogeneityLevel; 3] {
+        [
+            HeterogeneityLevel::Low,
+            HeterogeneityLevel::Median,
+            HeterogeneityLevel::High,
+        ]
+    }
+}
+
+/// Configuration of per-round availability dynamics.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DynamicsConfig {
+    /// Whether availability fluctuates at all.
+    pub enabled: bool,
+    /// Minimum availability factor (1.0 = full capability available).
+    pub min_availability: f64,
+}
+
+impl Default for DynamicsConfig {
+    fn default() -> Self {
+        Self {
+            enabled: false,
+            min_availability: 0.5,
+        }
+    }
+}
+
+/// A fleet of edge devices with static tiers and optional dynamics.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DeviceFleet {
+    devices: Vec<DeviceProfile>,
+    level: HeterogeneityLevel,
+    dynamics: DynamicsConfig,
+    seed: u64,
+}
+
+impl DeviceFleet {
+    /// Samples a fleet of `num_devices` devices from the given heterogeneity
+    /// level, uniformly over its tier pool (the paper's configuration).
+    pub fn sample(num_devices: usize, level: HeterogeneityLevel, seed: u64) -> Self {
+        let tiers = level.tiers();
+        let mut rng = rng_from_seed(split_seed(seed, 0xDE71CE));
+        let devices = (0..num_devices)
+            .map(|_| {
+                let tier = tiers[rng.gen_range(0..tiers.len())];
+                DeviceProfile::from_tier(tier)
+            })
+            .collect();
+        Self {
+            devices,
+            level,
+            dynamics: DynamicsConfig::default(),
+            seed,
+        }
+    }
+
+    /// Builds a fleet from explicit profiles.
+    pub fn from_profiles(devices: Vec<DeviceProfile>, seed: u64) -> Self {
+        Self {
+            devices,
+            level: HeterogeneityLevel::High,
+            dynamics: DynamicsConfig::default(),
+            seed,
+        }
+    }
+
+    /// Enables per-round availability dynamics (the "Dyn" configurations of
+    /// the paper's Table II ablation).
+    pub fn with_dynamics(mut self, dynamics: DynamicsConfig) -> Self {
+        self.dynamics = dynamics;
+        self
+    }
+
+    /// Number of devices in the fleet.
+    pub fn len(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Whether the fleet is empty.
+    pub fn is_empty(&self) -> bool {
+        self.devices.is_empty()
+    }
+
+    /// The heterogeneity level the fleet was sampled from.
+    pub fn level(&self) -> HeterogeneityLevel {
+        self.level
+    }
+
+    /// The *static* profile of device `k` (its nominal tier).
+    pub fn static_profile(&self, k: usize) -> DeviceProfile {
+        self.devices[k]
+    }
+
+    /// All static profiles.
+    pub fn profiles(&self) -> &[DeviceProfile] {
+        &self.devices
+    }
+
+    /// The profile of device `k` as available in round `r`: the static profile
+    /// scaled by a deterministic pseudo-random availability factor when
+    /// dynamics are enabled.
+    pub fn available_profile(&self, k: usize, round: usize) -> DeviceProfile {
+        let base = self.devices[k];
+        if !self.dynamics.enabled {
+            return base;
+        }
+        let mut rng = rng_from_seed(split_seed(
+            self.seed,
+            0xD1A1 ^ ((k as u64) << 20) ^ round as u64,
+        ));
+        let span = 1.0 - self.dynamics.min_availability;
+        let factor = self.dynamics.min_availability + span * rng.gen::<f64>();
+        base.with_availability(factor)
+    }
+
+    /// Mean capability fraction of the fleet (a summary used in logs).
+    pub fn mean_capability(&self) -> f64 {
+        if self.devices.is_empty() {
+            return 0.0;
+        }
+        self.devices.iter().map(|d| d.capability).sum::<f64>() / self.devices.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tier_pools_match_paper() {
+        assert_eq!(HeterogeneityLevel::Low.tiers().len(), 2);
+        assert_eq!(HeterogeneityLevel::Median.tiers().len(), 3);
+        assert_eq!(HeterogeneityLevel::High.tiers().len(), 5);
+        assert_eq!(HeterogeneityLevel::None.tiers().len(), 1);
+    }
+
+    #[test]
+    fn sampled_fleet_only_uses_allowed_tiers() {
+        let fleet = DeviceFleet::sample(50, HeterogeneityLevel::Low, 3);
+        assert_eq!(fleet.len(), 50);
+        for d in fleet.profiles() {
+            assert!(d.capability >= 0.5 - 1e-12);
+        }
+    }
+
+    #[test]
+    fn higher_heterogeneity_reduces_mean_capability() {
+        let low = DeviceFleet::sample(200, HeterogeneityLevel::Low, 5);
+        let high = DeviceFleet::sample(200, HeterogeneityLevel::High, 5);
+        assert!(low.mean_capability() > high.mean_capability());
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let a = DeviceFleet::sample(10, HeterogeneityLevel::High, 7);
+        let b = DeviceFleet::sample(10, HeterogeneityLevel::High, 7);
+        let c = DeviceFleet::sample(10, HeterogeneityLevel::High, 8);
+        assert_eq!(a.profiles(), b.profiles());
+        assert_ne!(a.profiles(), c.profiles());
+    }
+
+    #[test]
+    fn static_profile_without_dynamics_is_stable() {
+        let fleet = DeviceFleet::sample(5, HeterogeneityLevel::High, 1);
+        for r in 0..5 {
+            assert_eq!(fleet.available_profile(2, r), fleet.static_profile(2));
+        }
+    }
+
+    #[test]
+    fn dynamics_vary_but_respect_floor() {
+        let fleet = DeviceFleet::sample(5, HeterogeneityLevel::High, 1).with_dynamics(DynamicsConfig {
+            enabled: true,
+            min_availability: 0.5,
+        });
+        let base = fleet.static_profile(0);
+        let mut saw_change = false;
+        for r in 0..20 {
+            let p = fleet.available_profile(0, r);
+            assert!(p.compute_flops_per_sec <= base.compute_flops_per_sec + 1.0);
+            assert!(p.compute_flops_per_sec >= base.compute_flops_per_sec * 0.5 * 0.999);
+            if (p.compute_flops_per_sec - base.compute_flops_per_sec).abs() > 1.0 {
+                saw_change = true;
+            }
+        }
+        assert!(saw_change);
+    }
+
+    #[test]
+    fn dynamics_are_deterministic() {
+        let mk = || {
+            DeviceFleet::sample(3, HeterogeneityLevel::High, 9).with_dynamics(DynamicsConfig {
+                enabled: true,
+                min_availability: 0.3,
+            })
+        };
+        assert_eq!(mk().available_profile(1, 4), mk().available_profile(1, 4));
+    }
+}

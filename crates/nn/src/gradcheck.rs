@@ -1,0 +1,86 @@
+//! Finite-difference gradient checking.
+//!
+//! Every architecture's hand-written backward pass is validated against a
+//! central-difference approximation of the loss. The checker is exported (not
+//! test-only) so downstream crates can verify custom loss compositions — the
+//! FedLPS importance-associated loss in `fedlps-core` reuses it.
+
+use fedlps_data::dataset::Dataset;
+use rand::Rng;
+
+use crate::model::ModelArch;
+
+/// Result of a gradient check.
+#[derive(Debug, Clone)]
+pub struct GradCheckReport {
+    /// Maximum relative error observed across the checked coordinates.
+    pub max_rel_error: f64,
+    /// Number of coordinates checked.
+    pub checked: usize,
+}
+
+/// Compares the analytic gradient of `arch` on a minibatch against central
+/// finite differences at `num_coords` randomly chosen coordinates.
+///
+/// Returns the worst relative error `|analytic - numeric| / max(1, |analytic|,
+/// |numeric|)`.
+pub fn check_gradients(
+    arch: &dyn ModelArch,
+    params: &[f32],
+    data: &Dataset,
+    indices: &[usize],
+    num_coords: usize,
+    rng: &mut impl Rng,
+) -> GradCheckReport {
+    let mut grad = vec![0.0f32; params.len()];
+    arch.loss_and_grad(params, data, indices, &mut grad);
+
+    let eps = 1e-3f32;
+    let mut max_rel_error: f64 = 0.0;
+    let mut checked = 0;
+    let mut perturbed = params.to_vec();
+    for _ in 0..num_coords {
+        let i = rng.gen_range(0..params.len());
+        perturbed[i] = params[i] + eps;
+        let mut scratch = vec![0.0f32; params.len()];
+        let plus = arch.loss_and_grad(&perturbed, data, indices, &mut scratch).loss;
+        perturbed[i] = params[i] - eps;
+        scratch.fill(0.0);
+        let minus = arch.loss_and_grad(&perturbed, data, indices, &mut scratch).loss;
+        perturbed[i] = params[i];
+
+        let numeric = (plus - minus) / (2.0 * eps as f64);
+        let analytic = grad[i] as f64;
+        let denom = analytic.abs().max(numeric.abs()).max(1.0);
+        let rel = (analytic - numeric).abs() / denom;
+        if rel > max_rel_error {
+            max_rel_error = rel;
+        }
+        checked += 1;
+    }
+    GradCheckReport {
+        max_rel_error,
+        checked,
+    }
+}
+
+/// Convenience wrapper asserting that the analytic gradients match finite
+/// differences to within `tol`.
+pub fn assert_gradients_close(
+    arch: &dyn ModelArch,
+    params: &[f32],
+    data: &Dataset,
+    indices: &[usize],
+    num_coords: usize,
+    tol: f64,
+    rng: &mut impl Rng,
+) {
+    let report = check_gradients(arch, params, data, indices, num_coords, rng);
+    assert!(
+        report.max_rel_error < tol,
+        "gradient check failed for {}: max relative error {} over {} coordinates",
+        arch.name(),
+        report.max_rel_error,
+        report.checked
+    );
+}

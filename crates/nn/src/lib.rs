@@ -1,0 +1,37 @@
+//! From-scratch neural networks with *unit-level* structured sparsity support.
+//!
+//! The FedLPS paper sparsifies models at the granularity of "structurally
+//! indivisible elements" — neurons of fully-connected layers, output channels
+//! of convolutions, hidden units of recurrent cells. This crate provides:
+//!
+//! * three model families matching the paper's backbones at laptop scale —
+//!   [`mlp::Mlp`] (the MNIST CNN/MLP analogue), [`convnet::ConvNet`] (the
+//!   VGG11/13/16 analogue with configurable depth) and [`lstm::LstmLm`] (the
+//!   Reddit 2-layer-LSTM analogue);
+//! * a uniform [`model::ModelArch`] interface: parameters live in a flat
+//!   `Vec<f32>` owned by the federated-learning algorithms, and the
+//!   architecture is a pure function computing losses, gradients and
+//!   predictions from that vector — which makes aggregation, masking and
+//!   personalization trivial to express;
+//! * a [`unit::UnitLayout`] describing which parameter ranges belong to which
+//!   sparsifiable unit, used by `fedlps-sparse` to expand unit masks into
+//!   parameter masks;
+//! * analytic FLOP counting (`flops`) parameterised by the number of retained
+//!   units per layer — the same accounting the paper uses for its cost model.
+//!
+//! Gradients are implemented manually per architecture and validated against
+//! finite differences in [`gradcheck`].
+
+pub mod activation;
+pub mod convnet;
+pub mod flops;
+pub mod gradcheck;
+pub mod lstm;
+pub mod mlp;
+pub mod model;
+pub mod sgd;
+pub mod unit;
+
+pub use model::{EvalStats, ModelArch, ModelKind, TrainStats};
+pub use sgd::SgdConfig;
+pub use unit::{LayerUnits, UnitLayout};

@@ -1,0 +1,392 @@
+//! Multi-layer perceptron with ReLU hidden layers.
+//!
+//! This is the backbone used for the MNIST-like scenario (the paper uses a
+//! small CNN there; an MLP of comparable capacity keeps the unit abstraction
+//! identical — hidden *neurons* are the sparsifiable units). Each hidden
+//! neuron owns its incoming weight row and bias; masking a neuron therefore
+//! zeroes its pre-activation, which silences it for the rest of the network.
+
+use fedlps_data::dataset::Dataset;
+use fedlps_tensor::{Initializer, Matrix};
+use rand::rngs::StdRng;
+use serde::{Deserialize, Serialize};
+
+use crate::activation::{relu, relu_grad};
+use crate::flops::dense_layer_flops;
+use crate::model::{EvalStats, ModelArch, TrainStats};
+use crate::unit::{LayerUnits, ParamRange, UnitLayout, UnitParams};
+
+/// MLP configuration.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MlpConfig {
+    /// Input feature dimensionality.
+    pub input_dim: usize,
+    /// Hidden layer widths (each hidden neuron is a sparsifiable unit).
+    pub hidden: Vec<usize>,
+    /// Number of output classes.
+    pub num_classes: usize,
+}
+
+/// Offsets of one linear layer inside the flat parameter vector.
+#[derive(Debug, Clone, Copy)]
+struct LayerOffsets {
+    w_start: usize,
+    b_start: usize,
+    in_dim: usize,
+    out_dim: usize,
+}
+
+/// A multi-layer perceptron.
+#[derive(Debug, Clone)]
+pub struct Mlp {
+    config: MlpConfig,
+    layers: Vec<LayerOffsets>,
+    layout: UnitLayout,
+    param_count: usize,
+}
+
+impl Mlp {
+    /// Builds the architecture and its unit layout.
+    pub fn new(config: MlpConfig) -> Self {
+        assert!(config.input_dim > 0 && config.num_classes > 0);
+        let mut widths = vec![config.input_dim];
+        widths.extend(&config.hidden);
+        widths.push(config.num_classes);
+
+        let mut layers = Vec::new();
+        let mut offset = 0;
+        for w in widths.windows(2) {
+            let (in_dim, out_dim) = (w[0], w[1]);
+            layers.push(LayerOffsets {
+                w_start: offset,
+                b_start: offset + in_dim * out_dim,
+                in_dim,
+                out_dim,
+            });
+            offset += in_dim * out_dim + out_dim;
+        }
+        let param_count = offset;
+
+        // Hidden neurons are the sparsifiable units; the output layer is never
+        // sparsified (as in the paper, the classifier stays dense).
+        let mut unit_layers = Vec::new();
+        for (li, layer) in layers.iter().enumerate().take(layers.len() - 1) {
+            let units = (0..layer.out_dim)
+                .map(|j| UnitParams {
+                    ranges: vec![
+                        ParamRange::new(layer.w_start + j * layer.in_dim, layer.in_dim),
+                        ParamRange::new(layer.b_start + j, 1),
+                    ],
+                })
+                .collect();
+            unit_layers.push(LayerUnits {
+                name: format!("hidden{li}"),
+                units,
+            });
+        }
+        let layout = UnitLayout::new(unit_layers, param_count);
+
+        Self {
+            config,
+            layers,
+            layout,
+            param_count,
+        }
+    }
+
+    /// Architecture configuration.
+    pub fn config(&self) -> &MlpConfig {
+        &self.config
+    }
+
+    fn weight_matrix(&self, params: &[f32], layer: usize) -> Matrix {
+        let l = self.layers[layer];
+        Matrix::from_vec(
+            l.out_dim,
+            l.in_dim,
+            params[l.w_start..l.w_start + l.in_dim * l.out_dim].to_vec(),
+        )
+    }
+
+    fn bias<'p>(&self, params: &'p [f32], layer: usize) -> &'p [f32] {
+        let l = self.layers[layer];
+        &params[l.b_start..l.b_start + l.out_dim]
+    }
+
+    /// Runs the forward pass and returns pre-activations of every layer plus
+    /// the input batch, which the backward pass re-uses.
+    fn forward(&self, params: &[f32], batch: &Matrix) -> Vec<Matrix> {
+        let mut pre_activations = Vec::with_capacity(self.layers.len());
+        let mut activ = batch.clone();
+        for (li, _layer) in self.layers.iter().enumerate() {
+            let w = self.weight_matrix(params, li);
+            let mut z = activ.matmul_nt(&w);
+            let b = self.bias(params, li);
+            for r in 0..z.rows() {
+                let row = z.row_mut(r);
+                for (v, &bias) in row.iter_mut().zip(b.iter()) {
+                    *v += bias;
+                }
+            }
+            pre_activations.push(z.clone());
+            if li + 1 < self.layers.len() {
+                z.map_inplace(relu);
+                activ = z;
+            }
+        }
+        pre_activations
+    }
+
+    fn batch_matrix(&self, data: &Dataset, indices: &[usize]) -> Matrix {
+        let mut m = Matrix::zeros(indices.len(), data.feature_dim());
+        for (row, &idx) in indices.iter().enumerate() {
+            m.row_mut(row).copy_from_slice(data.features.row(idx));
+        }
+        m
+    }
+}
+
+impl ModelArch for Mlp {
+    fn name(&self) -> String {
+        format!("mlp{:?}", self.config.hidden)
+    }
+
+    fn param_count(&self) -> usize {
+        self.param_count
+    }
+
+    fn unit_layout(&self) -> &UnitLayout {
+        &self.layout
+    }
+
+    fn init_params(&self, rng: &mut StdRng) -> Vec<f32> {
+        let mut params = vec![0.0f32; self.param_count];
+        for layer in &self.layers {
+            Initializer::He.fill(
+                &mut params[layer.w_start..layer.w_start + layer.in_dim * layer.out_dim],
+                layer.in_dim,
+                layer.out_dim,
+                rng,
+            );
+            // Biases start at zero.
+        }
+        params
+    }
+
+    fn loss_and_grad(
+        &self,
+        params: &[f32],
+        data: &Dataset,
+        indices: &[usize],
+        grad: &mut [f32],
+    ) -> TrainStats {
+        assert_eq!(grad.len(), self.param_count);
+        assert!(!indices.is_empty(), "empty minibatch");
+        let batch = self.batch_matrix(data, indices);
+        let n = indices.len();
+        let pre = self.forward(params, &batch);
+
+        // Loss + gradient at the logits.
+        let logits = &pre[pre.len() - 1];
+        let mut d_logits = Matrix::zeros(n, self.config.num_classes);
+        let mut loss = 0.0f64;
+        let mut correct = 0usize;
+        for (row, &idx) in indices.iter().enumerate() {
+            let label = data.labels[idx];
+            let (sample_loss, probs) =
+                crate::activation::softmax_cross_entropy(logits.row(row), label);
+            loss += sample_loss as f64;
+            if fedlps_tensor::ops::argmax(logits.row(row)) == label {
+                correct += 1;
+            }
+            let out = d_logits.row_mut(row);
+            for (c, &p) in probs.iter().enumerate() {
+                out[c] = (p - if c == label { 1.0 } else { 0.0 }) / n as f32;
+            }
+        }
+
+        // Backward pass through the layers.
+        let mut delta = d_logits; // d loss / d pre-activation of current layer
+        for li in (0..self.layers.len()).rev() {
+            let layer = self.layers[li];
+            // Activation feeding this layer.
+            let input_act = if li == 0 {
+                batch.clone()
+            } else {
+                pre[li - 1].map(relu)
+            };
+            let dw = delta.matmul_tn(&input_act); // out x in
+            for (i, v) in dw.as_slice().iter().enumerate() {
+                grad[layer.w_start + i] += v;
+            }
+            for r in 0..delta.rows() {
+                let row = delta.row(r);
+                for (j, &v) in row.iter().enumerate() {
+                    grad[layer.b_start + j] += v;
+                }
+            }
+            if li > 0 {
+                let w = self.weight_matrix(params, li);
+                let mut d_input = delta.matmul(&w); // n x in
+                // Chain through the ReLU of the previous layer.
+                let prev_pre = &pre[li - 1];
+                for r in 0..d_input.rows() {
+                    let drow = d_input.row_mut(r);
+                    let prow = prev_pre.row(r);
+                    for (dv, &pv) in drow.iter_mut().zip(prow.iter()) {
+                        *dv *= relu_grad(pv);
+                    }
+                }
+                delta = d_input;
+            }
+        }
+
+        TrainStats {
+            loss: loss / n as f64,
+            accuracy: correct as f64 / n as f64,
+        }
+    }
+
+    fn evaluate(&self, params: &[f32], data: &Dataset) -> EvalStats {
+        if data.is_empty() {
+            return EvalStats::empty();
+        }
+        let indices: Vec<usize> = (0..data.len()).collect();
+        let batch = self.batch_matrix(data, &indices);
+        let pre = self.forward(params, &batch);
+        let logits = &pre[pre.len() - 1];
+        let mut loss = 0.0f64;
+        let mut correct = 0usize;
+        for (row, &label) in data.labels.iter().enumerate() {
+            let (sample_loss, _) = crate::activation::softmax_cross_entropy(logits.row(row), label);
+            loss += sample_loss as f64;
+            if fedlps_tensor::ops::argmax(logits.row(row)) == label {
+                correct += 1;
+            }
+        }
+        EvalStats {
+            loss: loss / data.len() as f64,
+            accuracy: correct as f64 / data.len() as f64,
+            samples: data.len(),
+        }
+    }
+
+    fn classifier_params(&self) -> std::ops::Range<usize> {
+        let last = self.layers[self.layers.len() - 1];
+        last.w_start..self.param_count
+    }
+
+    fn train_flops_per_sample(&self, retained_per_layer: &[usize]) -> f64 {
+        assert_eq!(retained_per_layer.len(), self.layers.len() - 1);
+        let mut widths = vec![self.config.input_dim];
+        widths.extend(retained_per_layer);
+        widths.push(self.config.num_classes);
+        let forward: f64 = widths
+            .windows(2)
+            .map(|w| dense_layer_flops(w[0], w[1]))
+            .sum();
+        forward * 3.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::assert_gradients_close;
+    use fedlps_data::dataset::InputKind;
+    use fedlps_tensor::rng_from_seed;
+
+    fn toy_dataset(n: usize, dim: usize, classes: usize) -> Dataset {
+        let mut rng = rng_from_seed(3);
+        let features = Matrix::random_normal(n, dim, 1.0, &mut rng);
+        let labels: Vec<usize> = (0..n).map(|i| i % classes).collect();
+        Dataset::new(features, labels, classes, InputKind::Vector { dim })
+    }
+
+    fn toy_mlp() -> Mlp {
+        Mlp::new(MlpConfig {
+            input_dim: 6,
+            hidden: vec![8, 5],
+            num_classes: 3,
+        })
+    }
+
+    #[test]
+    fn param_count_matches_manual_formula() {
+        let mlp = toy_mlp();
+        let expected = 6 * 8 + 8 + 8 * 5 + 5 + 5 * 3 + 3;
+        assert_eq!(mlp.param_count(), expected);
+        assert_eq!(mlp.unit_layout().total_units(), 13);
+        assert_eq!(mlp.unit_layout().units_per_layer(), vec![8, 5]);
+    }
+
+    #[test]
+    fn gradients_match_finite_differences() {
+        let mlp = toy_mlp();
+        let data = toy_dataset(12, 6, 3);
+        let mut rng = rng_from_seed(1);
+        let params = mlp.init_params(&mut rng);
+        let indices: Vec<usize> = (0..8).collect();
+        assert_gradients_close(&mlp, &params, &data, &indices, 40, 2e-2, &mut rng);
+    }
+
+    #[test]
+    fn training_reduces_loss_on_small_problem() {
+        let mlp = toy_mlp();
+        let data = toy_dataset(30, 6, 3);
+        let mut rng = rng_from_seed(2);
+        let mut params = mlp.init_params(&mut rng);
+        let indices: Vec<usize> = (0..data.len()).collect();
+        let before = mlp.evaluate(&params, &data);
+        for _ in 0..60 {
+            let mut grad = vec![0.0; params.len()];
+            mlp.loss_and_grad(&params, &data, &indices, &mut grad);
+            fedlps_tensor::ops::axpy(&mut params, -0.5, &grad);
+        }
+        let after = mlp.evaluate(&params, &data);
+        assert!(after.loss < before.loss * 0.7, "loss {} -> {}", before.loss, after.loss);
+        assert!(after.accuracy > before.accuracy);
+    }
+
+    #[test]
+    fn masked_neuron_has_no_effect_on_outputs() {
+        let mlp = toy_mlp();
+        let data = toy_dataset(10, 6, 3);
+        let mut rng = rng_from_seed(4);
+        let params = mlp.init_params(&mut rng);
+        // Zero the first hidden neuron's parameters.
+        let mut keep = vec![true; mlp.unit_layout().total_units()];
+        keep[0] = false;
+        let mask = mlp.unit_layout().expand_mask(&keep);
+        let masked: Vec<f32> = params.iter().zip(mask.iter()).map(|(p, m)| p * m).collect();
+        // Now also perturb the masked-out neuron's incoming weights hugely;
+        // predictions must not change because its activation is zero.
+        let mut perturbed = masked.clone();
+        for i in 0..6 {
+            perturbed[i] = 0.0; // row 0 of W0 already zero; keep zero
+        }
+        let a = mlp.evaluate(&masked, &data);
+        let b = mlp.evaluate(&perturbed, &data);
+        assert!((a.loss - b.loss).abs() < 1e-9);
+    }
+
+    #[test]
+    fn flops_scale_with_retained_units() {
+        let mlp = toy_mlp();
+        let dense = mlp.dense_train_flops_per_sample();
+        let half = mlp.train_flops_per_sample(&[4, 2]);
+        assert!(half < dense);
+        assert!(half > 0.0);
+        let none = mlp.train_flops_per_sample(&[0, 0]);
+        assert!(none < half);
+    }
+
+    #[test]
+    fn evaluate_empty_dataset() {
+        let mlp = toy_mlp();
+        let mut rng = rng_from_seed(5);
+        let params = mlp.init_params(&mut rng);
+        let empty = Dataset::empty(3, InputKind::Vector { dim: 6 });
+        assert_eq!(mlp.evaluate(&params, &empty).samples, 0);
+    }
+}

@@ -1,0 +1,318 @@
+//! The sparsifiable-unit abstraction.
+//!
+//! A *unit* is the paper's "network topology element at the sparse
+//! granularity level": a hidden neuron, a convolution output channel or an
+//! LSTM hidden cell. Each unit owns a set of parameter index ranges in the
+//! flat parameter vector — typically its outgoing weight row, its bias and
+//! the incoming columns of the next layer. Masking a unit zeroes all of those
+//! parameters.
+//!
+//! [`UnitLayout`] is produced once per architecture and consumed by
+//! `fedlps-sparse` (to expand unit masks into parameter masks and to compute
+//! per-unit magnitude sums `|ω|_J`) and by the FLOP model (retained units per
+//! layer determine the analytic cost).
+
+use serde::{Deserialize, Serialize};
+
+/// A contiguous `[start, start + len)` range of parameter indices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ParamRange {
+    pub start: usize,
+    pub len: usize,
+}
+
+impl ParamRange {
+    /// Creates a range covering `len` parameters starting at `start`.
+    pub fn new(start: usize, len: usize) -> Self {
+        Self { start, len }
+    }
+
+    /// End index (exclusive).
+    pub fn end(&self) -> usize {
+        self.start + self.len
+    }
+}
+
+/// The parameter ranges owned by one sparsifiable unit.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct UnitParams {
+    pub ranges: Vec<ParamRange>,
+}
+
+impl UnitParams {
+    /// Total number of parameters owned by the unit.
+    pub fn param_count(&self) -> usize {
+        self.ranges.iter().map(|r| r.len).sum()
+    }
+
+    /// Sum of `|params[i]|` over the unit's parameters.
+    pub fn magnitude_sum(&self, params: &[f32]) -> f32 {
+        self.ranges
+            .iter()
+            .map(|r| params[r.start..r.end()].iter().map(|v| v.abs()).sum::<f32>())
+            .sum()
+    }
+}
+
+/// All sparsifiable units of one layer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LayerUnits {
+    /// Human-readable layer name (e.g. `"hidden0"`, `"conv2"`, `"lstm"`).
+    pub name: String,
+    /// One entry per unit in this layer.
+    pub units: Vec<UnitParams>,
+}
+
+impl LayerUnits {
+    /// Number of units in the layer.
+    pub fn len(&self) -> usize {
+        self.units.len()
+    }
+
+    /// Whether the layer has no units.
+    pub fn is_empty(&self) -> bool {
+        self.units.is_empty()
+    }
+}
+
+/// The full unit layout of a model: its sparsifiable layers plus the total
+/// parameter count (covering also non-sparsifiable parameters such as
+/// embeddings and the output layer, which are always retained).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UnitLayout {
+    layers: Vec<LayerUnits>,
+    total_params: usize,
+}
+
+impl UnitLayout {
+    /// Builds a layout, checking that all ranges stay inside the parameter
+    /// vector.
+    pub fn new(layers: Vec<LayerUnits>, total_params: usize) -> Self {
+        for layer in &layers {
+            for unit in &layer.units {
+                for r in &unit.ranges {
+                    assert!(
+                        r.end() <= total_params,
+                        "unit range {:?} exceeds parameter count {}",
+                        r,
+                        total_params
+                    );
+                }
+            }
+        }
+        Self {
+            layers,
+            total_params,
+        }
+    }
+
+    /// Sparsifiable layers in network order.
+    pub fn layers(&self) -> &[LayerUnits] {
+        &self.layers
+    }
+
+    /// Total parameters of the model (sparsifiable or not).
+    pub fn total_params(&self) -> usize {
+        self.total_params
+    }
+
+    /// Total number of sparsifiable units `J` across all layers.
+    pub fn total_units(&self) -> usize {
+        self.layers.iter().map(|l| l.len()).sum()
+    }
+
+    /// Units per layer, in layer order.
+    pub fn units_per_layer(&self) -> Vec<usize> {
+        self.layers.iter().map(|l| l.len()).collect()
+    }
+
+    /// Maps a global unit index `j ∈ 0..J` to `(layer_index, unit_index)`.
+    pub fn locate(&self, mut j: usize) -> (usize, usize) {
+        for (li, layer) in self.layers.iter().enumerate() {
+            if j < layer.len() {
+                return (li, j);
+            }
+            j -= layer.len();
+        }
+        panic!("unit index out of range");
+    }
+
+    /// The parameter ranges of global unit `j`.
+    pub fn unit(&self, j: usize) -> &UnitParams {
+        let (li, ui) = self.locate(j);
+        &self.layers[li].units[ui]
+    }
+
+    /// Iterates over `(global_unit_index, layer_index, &UnitParams)`.
+    pub fn iter_units(&self) -> impl Iterator<Item = (usize, usize, &UnitParams)> {
+        let mut global = 0;
+        self.layers.iter().enumerate().flat_map(move |(li, layer)| {
+            layer.units.iter().map(move |u| (li, u))
+        }).map(move |(li, u)| {
+            let idx = global;
+            global += 1;
+            (idx, li, u)
+        })
+    }
+
+    /// Per-unit magnitude sums `|ω|_J` (Eq. 8 of the paper): the j-th entry is
+    /// the sum of absolute parameter values owned by unit j.
+    pub fn magnitude_sums(&self, params: &[f32]) -> Vec<f32> {
+        assert_eq!(params.len(), self.total_params, "parameter length mismatch");
+        let mut out = Vec::with_capacity(self.total_units());
+        for layer in &self.layers {
+            for unit in &layer.units {
+                out.push(unit.magnitude_sum(params));
+            }
+        }
+        out
+    }
+
+    /// Expands a unit-level keep mask (length `J`, layer-major order) into a
+    /// parameter-level multiplicative mask (length `total_params`).
+    ///
+    /// Parameters not owned by any unit (embeddings, classifier biases, …) are
+    /// always kept.
+    pub fn expand_mask(&self, unit_keep: &[bool]) -> Vec<f32> {
+        assert_eq!(unit_keep.len(), self.total_units(), "unit mask length mismatch");
+        let mut mask = vec![1.0f32; self.total_params];
+        let mut j = 0;
+        for layer in &self.layers {
+            for unit in &layer.units {
+                if !unit_keep[j] {
+                    for r in &unit.ranges {
+                        for m in &mut mask[r.start..r.end()] {
+                            *m = 0.0;
+                        }
+                    }
+                }
+                j += 1;
+            }
+        }
+        mask
+    }
+
+    /// Number of retained units in every layer for a given unit-level mask.
+    pub fn retained_per_layer(&self, unit_keep: &[bool]) -> Vec<usize> {
+        assert_eq!(unit_keep.len(), self.total_units());
+        let mut out = Vec::with_capacity(self.layers.len());
+        let mut j = 0;
+        for layer in &self.layers {
+            let mut count = 0;
+            for _ in 0..layer.len() {
+                if unit_keep[j] {
+                    count += 1;
+                }
+                j += 1;
+            }
+            out.push(count);
+        }
+        out
+    }
+
+    /// Number of *parameters* kept by a unit-level mask (counting always-kept
+    /// non-unit parameters too). This is the quantity behind the paper's
+    /// communication-volume accounting.
+    pub fn retained_params(&self, unit_keep: &[bool]) -> usize {
+        let mask = self.expand_mask(unit_keep);
+        mask.iter().filter(|&&m| m != 0.0).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_layout() -> UnitLayout {
+        // 2 layers, 2 + 3 units, 20 total params; unit params do not overlap.
+        let l0 = LayerUnits {
+            name: "hidden0".into(),
+            units: vec![
+                UnitParams { ranges: vec![ParamRange::new(0, 2), ParamRange::new(10, 1)] },
+                UnitParams { ranges: vec![ParamRange::new(2, 2), ParamRange::new(11, 1)] },
+            ],
+        };
+        let l1 = LayerUnits {
+            name: "hidden1".into(),
+            units: vec![
+                UnitParams { ranges: vec![ParamRange::new(4, 2)] },
+                UnitParams { ranges: vec![ParamRange::new(6, 2)] },
+                UnitParams { ranges: vec![ParamRange::new(8, 2)] },
+            ],
+        };
+        UnitLayout::new(vec![l0, l1], 20)
+    }
+
+    #[test]
+    fn totals_and_locate() {
+        let layout = toy_layout();
+        assert_eq!(layout.total_units(), 5);
+        assert_eq!(layout.units_per_layer(), vec![2, 3]);
+        assert_eq!(layout.locate(0), (0, 0));
+        assert_eq!(layout.locate(1), (0, 1));
+        assert_eq!(layout.locate(2), (1, 0));
+        assert_eq!(layout.locate(4), (1, 2));
+    }
+
+    #[test]
+    #[should_panic]
+    fn locate_out_of_range_panics() {
+        toy_layout().locate(5);
+    }
+
+    #[test]
+    fn expand_mask_zeroes_only_masked_units() {
+        let layout = toy_layout();
+        let mask = layout.expand_mask(&[true, false, true, true, false]);
+        // Unit 1 owns params 2,3,11; unit 4 owns params 8,9.
+        for i in [2usize, 3, 11, 8, 9] {
+            assert_eq!(mask[i], 0.0, "param {i}");
+        }
+        // Everything else (including non-unit params 12..20) stays 1.
+        for i in [0usize, 1, 4, 5, 6, 7, 10, 12, 19] {
+            assert_eq!(mask[i], 1.0, "param {i}");
+        }
+    }
+
+    #[test]
+    fn retained_counts() {
+        let layout = toy_layout();
+        let keep = [true, false, true, true, false];
+        assert_eq!(layout.retained_per_layer(&keep), vec![1, 2]);
+        // 20 total - 3 (unit1) - 2 (unit4) = 15.
+        assert_eq!(layout.retained_params(&keep), 15);
+    }
+
+    #[test]
+    fn magnitude_sums_per_unit() {
+        let layout = toy_layout();
+        let mut params = vec![0.0f32; 20];
+        params[0] = 1.0;
+        params[1] = -2.0;
+        params[10] = 0.5;
+        params[8] = 3.0;
+        let sums = layout.magnitude_sums(&params);
+        assert_eq!(sums.len(), 5);
+        assert!((sums[0] - 3.5).abs() < 1e-6);
+        assert!((sums[4] - 3.0).abs() < 1e-6);
+        assert_eq!(sums[1], 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_bounds_range_rejected() {
+        let l = LayerUnits {
+            name: "bad".into(),
+            units: vec![UnitParams { ranges: vec![ParamRange::new(18, 5)] }],
+        };
+        UnitLayout::new(vec![l], 20);
+    }
+
+    #[test]
+    fn full_keep_mask_retains_everything() {
+        let layout = toy_layout();
+        let keep = vec![true; layout.total_units()];
+        assert_eq!(layout.retained_params(&keep), 20);
+        assert!(layout.expand_mask(&keep).iter().all(|&m| m == 1.0));
+    }
+}

@@ -1,0 +1,136 @@
+//! The interface every federated-learning framework implements.
+
+use fedlps_device::LocalCost;
+use fedlps_nn::model::EvalStats;
+use rand::rngs::StdRng;
+use serde::{Deserialize, Serialize};
+
+use crate::env::FlEnv;
+
+/// What one selected client reports back to the server after a round: the
+/// resource accounting the paper tracks plus its local training statistics.
+/// The model update itself is exchanged through the algorithm's own state
+/// (each algorithm defines its own aggregation rule and update format).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClientReport {
+    /// Which client produced the report.
+    pub client_id: usize,
+    /// Training FLOPs spent by the client this round.
+    pub flops: f64,
+    /// Bytes uploaded to the server this round.
+    pub upload_bytes: f64,
+    /// Bytes downloaded from the server this round.
+    pub download_bytes: f64,
+    /// Eq. (14) local cost breakdown.
+    pub local_cost: LocalCost,
+    /// Average local training accuracy over the round (`a_k^r`).
+    pub train_accuracy: f64,
+    /// Average local training loss over the round.
+    pub train_loss: f64,
+    /// The sparse ratio the client actually used (1.0 for dense baselines).
+    pub sparse_ratio: f64,
+}
+
+impl ClientReport {
+    /// A zeroed report for a client that did no work (e.g. dropped out).
+    pub fn idle(client_id: usize) -> Self {
+        Self {
+            client_id,
+            flops: 0.0,
+            upload_bytes: 0.0,
+            download_bytes: 0.0,
+            local_cost: LocalCost::default(),
+            train_accuracy: 0.0,
+            train_loss: 0.0,
+            sparse_ratio: 1.0,
+        }
+    }
+}
+
+/// A federated-learning framework: FedLPS or one of the baselines.
+///
+/// The [`Simulator`](crate::runner::Simulator) drives implementations through
+/// the synchronous round loop of Algorithm 1: `select_clients` →
+/// `run_client` for each selected client → `aggregate` → periodic
+/// `evaluate_client` over the whole federation.
+pub trait FlAlgorithm: Send + Sync {
+    /// Human-readable name used in tables (e.g. `"FedLPS"`, `"FedAvg"`).
+    fn name(&self) -> String;
+
+    /// One-time initialisation with access to the environment (draw initial
+    /// global parameters, create per-client state, …).
+    fn setup(&mut self, env: &FlEnv);
+
+    /// Chooses the clients participating in `round`. The default implements
+    /// the paper's uniform random selection of `C` clients.
+    fn select_clients(&mut self, env: &FlEnv, round: usize, rng: &mut StdRng) -> Vec<usize> {
+        let _ = round;
+        fedlps_tensor::rng::sample_without_replacement(
+            env.num_clients(),
+            env.config.clients_per_round,
+            rng,
+        )
+    }
+
+    /// Executes one selected client's local work for the round and returns its
+    /// report. Implementations store whatever update payload their
+    /// `aggregate` needs in their own state.
+    fn run_client(&mut self, env: &FlEnv, round: usize, client: usize, rng: &mut StdRng)
+        -> ClientReport;
+
+    /// Server-side aggregation at the end of the round.
+    fn aggregate(&mut self, env: &FlEnv, round: usize, reports: &[ClientReport]);
+
+    /// Evaluates the model this algorithm would *deploy on client `k`* on that
+    /// client's local test data. Personalized methods evaluate the client's
+    /// personal (possibly sparse) model; conventional methods evaluate the
+    /// shared global model.
+    fn evaluate_client(&self, env: &FlEnv, client: usize) -> EvalStats;
+
+    /// Mean deployed-model accuracy across every client in the federation —
+    /// the headline metric of the paper's Table I.
+    fn mean_accuracy(&self, env: &FlEnv) -> f64 {
+        let mut acc = 0.0;
+        let mut samples = 0usize;
+        for k in 0..env.num_clients() {
+            let stats = self.evaluate_client(env, k);
+            acc += stats.accuracy * stats.samples as f64;
+            samples += stats.samples;
+        }
+        if samples == 0 {
+            0.0
+        } else {
+            acc / samples as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_report_is_zeroed() {
+        let r = ClientReport::idle(3);
+        assert_eq!(r.client_id, 3);
+        assert_eq!(r.flops, 0.0);
+        assert_eq!(r.local_cost.total(), 0.0);
+    }
+
+    #[test]
+    fn report_serde_roundtrip() {
+        let r = ClientReport {
+            client_id: 1,
+            flops: 2.0,
+            upload_bytes: 3.0,
+            download_bytes: 4.0,
+            local_cost: LocalCost { compute_seconds: 0.5, comm_seconds: 0.25 },
+            train_accuracy: 0.8,
+            train_loss: 0.4,
+            sparse_ratio: 0.5,
+        };
+        let json = serde_json::to_string(&r).unwrap();
+        let back: ClientReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(r, back);
+    }
+}

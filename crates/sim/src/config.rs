@@ -1,0 +1,128 @@
+//! Federation hyper-parameters.
+
+use fedlps_nn::sgd::SgdConfig;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of a federated-learning run.
+///
+/// Defaults follow the paper's setup scaled down for CPU execution: the paper
+/// uses `R = 100` rounds, 10 clients per round, `E` local iterations with batch
+/// size 20 and SGD with learning rate 0.1 (8 + clipping for the LSTM).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FlConfig {
+    /// Number of communication rounds `R`.
+    pub rounds: usize,
+    /// Number of clients selected per round (`C = max(⌊ϵK⌋, 1)`).
+    pub clients_per_round: usize,
+    /// Local iterations `E` per selected client per round.
+    pub local_iterations: usize,
+    /// Minibatch size for local SGD.
+    pub batch_size: usize,
+    /// Local optimiser settings.
+    pub sgd: SgdConfig,
+    /// Evaluate every client's model every `eval_every` rounds (1 = every
+    /// round, matching the paper's accuracy-vs-round curves).
+    pub eval_every: usize,
+    /// Weight `α` of the communication term in the Eq. (14) cost model.
+    pub cost_alpha: f64,
+    /// Base RNG seed for client selection / minibatch sampling.
+    pub seed: u64,
+}
+
+impl Default for FlConfig {
+    fn default() -> Self {
+        Self {
+            rounds: 30,
+            clients_per_round: 5,
+            local_iterations: 5,
+            batch_size: 20,
+            sgd: SgdConfig::vision(),
+            eval_every: 1,
+            cost_alpha: 1.0,
+            seed: 7,
+        }
+    }
+}
+
+impl FlConfig {
+    /// A very small configuration for unit and integration tests.
+    pub fn tiny() -> Self {
+        Self {
+            rounds: 6,
+            clients_per_round: 3,
+            local_iterations: 3,
+            batch_size: 10,
+            eval_every: 2,
+            ..Self::default()
+        }
+    }
+
+    /// The client-selection fraction `ϵ` implied by the configuration for a
+    /// federation of `num_clients` clients.
+    pub fn selection_fraction(&self, num_clients: usize) -> f64 {
+        if num_clients == 0 {
+            return 0.0;
+        }
+        self.clients_per_round.min(num_clients) as f64 / num_clients as f64
+    }
+
+    /// Builder-style override of the number of rounds.
+    pub fn with_rounds(mut self, rounds: usize) -> Self {
+        self.rounds = rounds;
+        self
+    }
+
+    /// Builder-style override of the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Builder-style override of the optimiser.
+    pub fn with_sgd(mut self, sgd: SgdConfig) -> Self {
+        self.sgd = sgd;
+        self
+    }
+
+    /// Builder-style override of clients per round.
+    pub fn with_clients_per_round(mut self, c: usize) -> Self {
+        self.clients_per_round = c.max(1);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let cfg = FlConfig::default();
+        assert!(cfg.rounds > 0 && cfg.clients_per_round > 0 && cfg.local_iterations > 0);
+        assert!(cfg.eval_every >= 1);
+    }
+
+    #[test]
+    fn selection_fraction() {
+        let cfg = FlConfig::default().with_clients_per_round(10);
+        assert!((cfg.selection_fraction(100) - 0.1).abs() < 1e-12);
+        assert!((cfg.selection_fraction(5) - 1.0).abs() < 1e-12);
+        assert_eq!(cfg.selection_fraction(0), 0.0);
+    }
+
+    #[test]
+    fn builders_apply() {
+        let cfg = FlConfig::tiny().with_rounds(3).with_seed(99).with_clients_per_round(0);
+        assert_eq!(cfg.rounds, 3);
+        assert_eq!(cfg.seed, 99);
+        assert_eq!(cfg.clients_per_round, 1, "clamps to at least one client");
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let cfg = FlConfig::default();
+        let json = serde_json::to_string(&cfg).unwrap();
+        let back: FlConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(cfg, back);
+    }
+}

@@ -1,0 +1,179 @@
+//! The immutable federation environment shared by server and clients.
+
+use std::sync::Arc;
+
+use fedlps_data::dataset::{Dataset, FederatedDataset};
+use fedlps_data::scenario::{DatasetKind, ScenarioConfig};
+use fedlps_device::{CostModel, DeviceFleet, HeterogeneityLevel};
+use fedlps_nn::model::{ModelArch, ModelKind};
+use fedlps_nn::sgd::SgdConfig;
+use fedlps_tensor::rng_from_seed;
+
+use crate::config::FlConfig;
+
+/// Everything an [`FlAlgorithm`](crate::algorithm::FlAlgorithm) needs to read
+/// about the world: the federated dataset, the device fleet, the model
+/// architecture and the cost model. Algorithms keep their own mutable state
+/// (global parameters, personalized models, bandit agents, …).
+pub struct FlEnv {
+    /// The federated dataset.
+    pub data: FederatedDataset,
+    /// Device profiles, one per client.
+    pub fleet: DeviceFleet,
+    /// The model architecture shared by all clients.
+    pub arch: Arc<dyn ModelArch>,
+    /// Federation hyper-parameters.
+    pub config: FlConfig,
+    /// Eq. (14) cost model.
+    pub cost: CostModel,
+}
+
+impl FlEnv {
+    /// Builds an environment from its parts.
+    pub fn new(
+        data: FederatedDataset,
+        fleet: DeviceFleet,
+        arch: Arc<dyn ModelArch>,
+        config: FlConfig,
+    ) -> Self {
+        assert_eq!(
+            data.num_clients(),
+            fleet.len(),
+            "fleet size must match the number of clients"
+        );
+        let cost = CostModel::new(config.cost_alpha);
+        Self {
+            data,
+            fleet,
+            arch,
+            config,
+            cost,
+        }
+    }
+
+    /// Convenience constructor: builds the dataset from a scenario, samples a
+    /// fleet at the given heterogeneity level and instantiates the paper's
+    /// default backbone for that dataset.
+    pub fn from_scenario(
+        scenario: &ScenarioConfig,
+        heterogeneity: HeterogeneityLevel,
+        config: FlConfig,
+    ) -> Self {
+        let data = scenario.build();
+        let fleet = DeviceFleet::sample(data.num_clients(), heterogeneity, config.seed);
+        let arch: Arc<dyn ModelArch> = ModelKind::for_dataset(scenario.kind)
+            .build(data.input, data.num_classes)
+            .into();
+        let mut config = config;
+        if scenario.kind == DatasetKind::RedditLike {
+            config.sgd = SgdConfig::text();
+        }
+        Self::new(data, fleet, arch, config)
+    }
+
+    /// Number of clients in the federation.
+    pub fn num_clients(&self) -> usize {
+        self.data.num_clients()
+    }
+
+    /// A client's local training data.
+    pub fn train_data(&self, client: usize) -> &Dataset {
+        &self.data.clients[client].train
+    }
+
+    /// A client's local test data.
+    pub fn test_data(&self, client: usize) -> &Dataset {
+        &self.data.clients[client].test
+    }
+
+    /// Capability fractions `z_k` of every client (static tiers).
+    pub fn capabilities(&self) -> Vec<f64> {
+        self.fleet.profiles().iter().map(|p| p.capability).collect()
+    }
+
+    /// FedAvg aggregation weights `|D_k|`.
+    pub fn train_sizes(&self) -> Vec<f64> {
+        self.data.train_sizes().iter().map(|&n| n as f64).collect()
+    }
+
+    /// Draws initial global parameters deterministically from the run seed.
+    pub fn initial_params(&self) -> Vec<f32> {
+        let mut rng = rng_from_seed(fedlps_tensor::split_seed(self.config.seed, 0x1217));
+        self.arch.init_params(&mut rng)
+    }
+
+    /// The accuracy of a parameter vector on every client's local *training*
+    /// data — used to seed the bandits' `a^{−1}` baseline.
+    pub fn initial_training_accuracy(&self, params: &[f32]) -> Vec<f64> {
+        (0..self.num_clients())
+            .map(|k| self.arch.evaluate(params, self.train_data(k)).accuracy)
+            .collect()
+    }
+
+    /// Mean personalized test accuracy of a *single shared* parameter vector
+    /// across all clients (the deployment model of the conventional and
+    /// heterogeneous sparse-training baselines).
+    pub fn global_model_accuracy(&self, params: &[f32]) -> f64 {
+        let mut acc = 0.0;
+        let mut n = 0usize;
+        for k in 0..self.num_clients() {
+            let stats = self.arch.evaluate(params, self.test_data(k));
+            acc += stats.accuracy * stats.samples as f64;
+            n += stats.samples;
+        }
+        if n == 0 {
+            0.0
+        } else {
+            acc / n as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_env() -> FlEnv {
+        FlEnv::from_scenario(
+            &ScenarioConfig::tiny(DatasetKind::MnistLike),
+            HeterogeneityLevel::High,
+            FlConfig::tiny(),
+        )
+    }
+
+    #[test]
+    fn env_shapes_are_consistent() {
+        let env = tiny_env();
+        assert_eq!(env.num_clients(), 8);
+        assert_eq!(env.capabilities().len(), 8);
+        assert_eq!(env.train_sizes().len(), 8);
+        assert!(env.arch.param_count() > 0);
+    }
+
+    #[test]
+    fn initial_params_are_deterministic() {
+        let env = tiny_env();
+        assert_eq!(env.initial_params(), env.initial_params());
+    }
+
+    #[test]
+    fn text_scenario_uses_text_optimizer() {
+        let env = FlEnv::from_scenario(
+            &ScenarioConfig::tiny(DatasetKind::RedditLike),
+            HeterogeneityLevel::Low,
+            FlConfig::tiny(),
+        );
+        assert!(env.config.sgd.clip_norm.is_some());
+    }
+
+    #[test]
+    fn initial_accuracies_are_probabilities() {
+        let env = tiny_env();
+        let params = env.initial_params();
+        for a in env.initial_training_accuracy(&params) {
+            assert!((0.0..=1.0).contains(&a));
+        }
+        let g = env.global_model_accuracy(&params);
+        assert!((0.0..=1.0).contains(&g));
+    }
+}

@@ -1,0 +1,36 @@
+//! The federated-learning simulator.
+//!
+//! Every FL framework in this workspace — FedLPS itself and the nineteen
+//! baselines — is expressed as an implementation of [`algorithm::FlAlgorithm`]
+//! and executed by [`runner::Simulator`], which owns the round loop of a
+//! synchronous federation: sample clients, run their local work, aggregate,
+//! and periodically evaluate every client's deployed model on its local test
+//! data (the paper's personalized-accuracy metric). The runner also maintains
+//! the cost accounting the paper reports: cumulative training FLOPs, uplink
+//! bytes and the simulated wall-clock time of Eq. (14)/(18).
+//!
+//! Module map:
+//!
+//! * [`config`] — federation hyper-parameters (rounds, selection fraction,
+//!   local iterations, batch size, …);
+//! * [`env`] — the immutable environment handed to algorithms: dataset,
+//!   device fleet, model architecture, cost model;
+//! * [`algorithm`] — the [`FlAlgorithm`](algorithm::FlAlgorithm) trait and the
+//!   per-round [`ClientReport`](algorithm::ClientReport);
+//! * [`train`] — shared local-training helpers (masked/proximal SGD, FLOP and
+//!   byte accounting) reused by every algorithm;
+//! * [`metrics`] — per-round metrics, run results, time-to-accuracy;
+//! * [`runner`] — the simulator itself.
+
+pub mod algorithm;
+pub mod config;
+pub mod env;
+pub mod metrics;
+pub mod runner;
+pub mod train;
+
+pub use algorithm::{ClientReport, FlAlgorithm};
+pub use config::FlConfig;
+pub use env::FlEnv;
+pub use metrics::{RoundMetrics, RunResult};
+pub use runner::Simulator;

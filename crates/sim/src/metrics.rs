@@ -1,0 +1,220 @@
+//! Run metrics: per-round traces and end-of-run summaries.
+//!
+//! The paper reports (i) final mean personalized accuracy and total FLOPs
+//! (Table I), (ii) accuracy-versus-FLOPs and accuracy-versus-time curves
+//! (Figures 3-4), (iii) time-to-accuracy (Figure 5) and (iv) per-level
+//! accuracy/time summaries (Figures 6-8). All of those are derived from the
+//! [`RunResult`] collected by the simulator.
+
+use serde::{Deserialize, Serialize};
+
+/// Metrics recorded at the end of one communication round.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RoundMetrics {
+    /// Round index `r`.
+    pub round: usize,
+    /// Mean deployed-model accuracy across all clients (None on rounds where
+    /// evaluation was skipped).
+    pub mean_accuracy: Option<f64>,
+    /// Mean training accuracy over the round's selected clients.
+    pub train_accuracy: f64,
+    /// Mean training loss over the round's selected clients.
+    pub train_loss: f64,
+    /// Wall-clock cost of this round (Eq. 18: the slowest selected client).
+    pub round_time: f64,
+    /// Cumulative simulated time up to and including this round.
+    pub cumulative_time: f64,
+    /// FLOPs spent by the selected clients this round.
+    pub round_flops: f64,
+    /// Cumulative FLOPs across the federation so far.
+    pub cumulative_flops: f64,
+    /// Bytes uploaded this round.
+    pub round_upload_bytes: f64,
+    /// Cumulative uploaded bytes.
+    pub cumulative_upload_bytes: f64,
+    /// Mean sparse ratio used by the selected clients.
+    pub mean_sparse_ratio: f64,
+}
+
+/// The full trace of one federated run plus its summary statistics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunResult {
+    /// Algorithm name (e.g. `"FedLPS"`).
+    pub algorithm: String,
+    /// Dataset scenario name.
+    pub dataset: String,
+    /// Per-round metrics.
+    pub rounds: Vec<RoundMetrics>,
+    /// Mean personalized accuracy after the final round.
+    pub final_accuracy: f64,
+    /// Best mean personalized accuracy observed at any evaluation point.
+    pub best_accuracy: f64,
+    /// Total FLOPs across the whole run.
+    pub total_flops: f64,
+    /// Total simulated time (seconds) across the whole run.
+    pub total_time: f64,
+    /// Total uploaded bytes across the whole run.
+    pub total_upload_bytes: f64,
+}
+
+impl RunResult {
+    /// Builds the summary fields from a trace.
+    pub fn from_rounds(algorithm: String, dataset: String, rounds: Vec<RoundMetrics>) -> Self {
+        let final_accuracy = rounds
+            .iter()
+            .rev()
+            .find_map(|r| r.mean_accuracy)
+            .unwrap_or(0.0);
+        let best_accuracy = rounds
+            .iter()
+            .filter_map(|r| r.mean_accuracy)
+            .fold(0.0, f64::max);
+        let last = rounds.last();
+        Self {
+            algorithm,
+            dataset,
+            final_accuracy,
+            best_accuracy,
+            total_flops: last.map_or(0.0, |r| r.cumulative_flops),
+            total_time: last.map_or(0.0, |r| r.cumulative_time),
+            total_upload_bytes: last.map_or(0.0, |r| r.cumulative_upload_bytes),
+            rounds,
+        }
+    }
+
+    /// Mean accuracy over the last `n` evaluation points — the paper reports
+    /// "accuracy in the last three rounds" for the convergence comparison.
+    pub fn mean_accuracy_last(&self, n: usize) -> f64 {
+        let accs: Vec<f64> = self.rounds.iter().filter_map(|r| r.mean_accuracy).collect();
+        if accs.is_empty() {
+            return 0.0;
+        }
+        let take = n.min(accs.len());
+        accs[accs.len() - take..].iter().sum::<f64>() / take as f64
+    }
+
+    /// Time-To-Accuracy (Figure 5): the simulated time at which the mean
+    /// accuracy first reached `target`, or `None` if it never did.
+    pub fn time_to_accuracy(&self, target: f64) -> Option<f64> {
+        self.rounds
+            .iter()
+            .find(|r| r.mean_accuracy.is_some_and(|a| a >= target))
+            .map(|r| r.cumulative_time)
+    }
+
+    /// FLOPs-to-accuracy: cumulative FLOPs at which the mean accuracy first
+    /// reached `target`.
+    pub fn flops_to_accuracy(&self, target: f64) -> Option<f64> {
+        self.rounds
+            .iter()
+            .find(|r| r.mean_accuracy.is_some_and(|a| a >= target))
+            .map(|r| r.cumulative_flops)
+    }
+
+    /// `(cumulative FLOPs, accuracy)` series for the Figure 3 curves.
+    pub fn accuracy_vs_flops(&self) -> Vec<(f64, f64)> {
+        self.rounds
+            .iter()
+            .filter_map(|r| r.mean_accuracy.map(|a| (r.cumulative_flops, a)))
+            .collect()
+    }
+
+    /// `(cumulative time, accuracy)` series for the Figure 4 curves.
+    pub fn accuracy_vs_time(&self) -> Vec<(f64, f64)> {
+        self.rounds
+            .iter()
+            .filter_map(|r| r.mean_accuracy.map(|a| (r.cumulative_time, a)))
+            .collect()
+    }
+
+    /// Mean sparse ratio actually used across the run.
+    pub fn mean_sparse_ratio(&self) -> f64 {
+        if self.rounds.is_empty() {
+            return 1.0;
+        }
+        self.rounds.iter().map(|r| r.mean_sparse_ratio).sum::<f64>() / self.rounds.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round(i: usize, acc: Option<f64>, flops: f64, time: f64) -> RoundMetrics {
+        RoundMetrics {
+            round: i,
+            mean_accuracy: acc,
+            train_accuracy: 0.5,
+            train_loss: 1.0,
+            round_time: time,
+            cumulative_time: time * (i + 1) as f64,
+            round_flops: flops,
+            cumulative_flops: flops * (i + 1) as f64,
+            round_upload_bytes: 10.0,
+            cumulative_upload_bytes: 10.0 * (i + 1) as f64,
+            mean_sparse_ratio: 0.5,
+        }
+    }
+
+    fn result() -> RunResult {
+        RunResult::from_rounds(
+            "algo".into(),
+            "data".into(),
+            vec![
+                round(0, Some(0.2), 100.0, 2.0),
+                round(1, None, 100.0, 2.0),
+                round(2, Some(0.5), 100.0, 2.0),
+                round(3, Some(0.4), 100.0, 2.0),
+            ],
+        )
+    }
+
+    #[test]
+    fn summary_fields() {
+        let r = result();
+        assert_eq!(r.final_accuracy, 0.4);
+        assert_eq!(r.best_accuracy, 0.5);
+        assert_eq!(r.total_flops, 400.0);
+        assert_eq!(r.total_time, 8.0);
+        assert_eq!(r.total_upload_bytes, 40.0);
+    }
+
+    #[test]
+    fn time_and_flops_to_accuracy() {
+        let r = result();
+        assert_eq!(r.time_to_accuracy(0.45), Some(6.0));
+        assert_eq!(r.flops_to_accuracy(0.45), Some(300.0));
+        assert_eq!(r.time_to_accuracy(0.9), None);
+    }
+
+    #[test]
+    fn curves_skip_unevaluated_rounds() {
+        let r = result();
+        assert_eq!(r.accuracy_vs_flops().len(), 3);
+        assert_eq!(r.accuracy_vs_time().len(), 3);
+    }
+
+    #[test]
+    fn last_n_mean_accuracy() {
+        let r = result();
+        assert!((r.mean_accuracy_last(2) - 0.45).abs() < 1e-12);
+        assert!((r.mean_accuracy_last(10) - (0.2 + 0.5 + 0.4) / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_run_is_safe() {
+        let r = RunResult::from_rounds("a".into(), "d".into(), vec![]);
+        assert_eq!(r.final_accuracy, 0.0);
+        assert_eq!(r.time_to_accuracy(0.1), None);
+        assert_eq!(r.mean_accuracy_last(3), 0.0);
+        assert_eq!(r.mean_sparse_ratio(), 1.0);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let r = result();
+        let json = serde_json::to_string(&r).unwrap();
+        let back: RunResult = serde_json::from_str(&json).unwrap();
+        assert_eq!(r, back);
+    }
+}

@@ -1,0 +1,276 @@
+//! The synchronous federation round loop.
+
+use fedlps_device::CostModel;
+use fedlps_tensor::{rng_from_seed, split_seed};
+use rayon::prelude::*;
+
+use crate::algorithm::FlAlgorithm;
+use crate::env::FlEnv;
+use crate::metrics::{RoundMetrics, RunResult};
+
+/// Drives an [`FlAlgorithm`] through the paper's synchronous round loop and
+/// collects the per-round metric trace.
+pub struct Simulator {
+    env: FlEnv,
+}
+
+impl Simulator {
+    /// Creates a simulator over the given environment.
+    pub fn new(env: FlEnv) -> Self {
+        Self { env }
+    }
+
+    /// Read access to the environment (used by examples and benches).
+    pub fn env(&self) -> &FlEnv {
+        &self.env
+    }
+
+    /// Consumes the simulator and returns the environment.
+    pub fn into_env(self) -> FlEnv {
+        self.env
+    }
+
+    /// Runs the full federation and returns the metric trace.
+    pub fn run(&self, algorithm: &mut dyn FlAlgorithm) -> RunResult {
+        let env = &self.env;
+        algorithm.setup(env);
+        let mut selection_rng = rng_from_seed(split_seed(env.config.seed, 0x5E1E));
+
+        let mut rounds = Vec::with_capacity(env.config.rounds);
+        let mut cumulative_time = 0.0;
+        let mut cumulative_flops = 0.0;
+        let mut cumulative_upload = 0.0;
+
+        for round in 0..env.config.rounds {
+            let selected = algorithm.select_clients(env, round, &mut selection_rng);
+            assert!(!selected.is_empty(), "a round must select at least one client");
+
+            let mut reports = Vec::with_capacity(selected.len());
+            for &client in &selected {
+                let mut client_rng = rng_from_seed(split_seed(
+                    env.config.seed,
+                    0xC11E ^ ((client as u64) << 24) ^ round as u64,
+                ));
+                let report = algorithm.run_client(env, round, client, &mut client_rng);
+                reports.push(report);
+            }
+            algorithm.aggregate(env, round, &reports);
+
+            // Cost accounting (Eq. 14 / Eq. 18).
+            let local_costs: Vec<_> = reports.iter().map(|r| r.local_cost).collect();
+            let round_time = CostModel::global_round_cost(&local_costs);
+            let round_flops: f64 = reports.iter().map(|r| r.flops).sum();
+            let round_upload: f64 = reports.iter().map(|r| r.upload_bytes).sum();
+            cumulative_time += round_time;
+            cumulative_flops += round_flops;
+            cumulative_upload += round_upload;
+
+            let train_accuracy =
+                reports.iter().map(|r| r.train_accuracy).sum::<f64>() / reports.len() as f64;
+            let train_loss =
+                reports.iter().map(|r| r.train_loss).sum::<f64>() / reports.len() as f64;
+            let mean_sparse_ratio =
+                reports.iter().map(|r| r.sparse_ratio).sum::<f64>() / reports.len() as f64;
+
+            // Periodic personalized evaluation across the *whole* federation.
+            let evaluate_now =
+                round % env.config.eval_every == 0 || round + 1 == env.config.rounds;
+            let mean_accuracy = if evaluate_now {
+                Some(Self::mean_accuracy_parallel(env, algorithm))
+            } else {
+                None
+            };
+
+            rounds.push(RoundMetrics {
+                round,
+                mean_accuracy,
+                train_accuracy,
+                train_loss,
+                round_time,
+                cumulative_time,
+                round_flops,
+                cumulative_flops,
+                round_upload_bytes: round_upload,
+                cumulative_upload_bytes: cumulative_upload,
+                mean_sparse_ratio,
+            });
+        }
+
+        RunResult::from_rounds(algorithm.name(), env.data.name.clone(), rounds)
+    }
+
+    /// Sample-weighted mean deployed-model accuracy across every client,
+    /// evaluated in parallel (evaluation dominates the simulator's wall-clock
+    /// cost, and unlike training it only needs `&` access to the algorithm).
+    fn mean_accuracy_parallel(env: &FlEnv, algorithm: &dyn FlAlgorithm) -> f64 {
+        let per_client: Vec<(f64, usize)> = (0..env.num_clients())
+            .into_par_iter()
+            .map(|k| {
+                let stats = algorithm.evaluate_client(env, k);
+                (stats.accuracy * stats.samples as f64, stats.samples)
+            })
+            .collect();
+        let total_samples: usize = per_client.iter().map(|(_, n)| n).sum();
+        if total_samples == 0 {
+            return 0.0;
+        }
+        per_client.iter().map(|(a, _)| a).sum::<f64>() / total_samples as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithm::ClientReport;
+    use crate::config::FlConfig;
+    use crate::train::{account_round, local_sgd, LocalTrainOptions};
+    use fedlps_data::scenario::{DatasetKind, ScenarioConfig};
+    use fedlps_device::HeterogeneityLevel;
+    use fedlps_nn::model::EvalStats;
+    use fedlps_tensor::ops::weighted_mean_into;
+    use rand::rngs::StdRng;
+
+    /// A miniature FedAvg used to exercise the runner; the real baselines live
+    /// in `fedlps-baselines`.
+    struct MiniFedAvg {
+        global: Vec<f32>,
+        staged: Vec<(usize, Vec<f32>)>,
+    }
+
+    impl MiniFedAvg {
+        fn new() -> Self {
+            Self { global: Vec::new(), staged: Vec::new() }
+        }
+    }
+
+    impl FlAlgorithm for MiniFedAvg {
+        fn name(&self) -> String {
+            "MiniFedAvg".into()
+        }
+
+        fn setup(&mut self, env: &FlEnv) {
+            self.global = env.initial_params();
+        }
+
+        fn run_client(
+            &mut self,
+            env: &FlEnv,
+            _round: usize,
+            client: usize,
+            rng: &mut StdRng,
+        ) -> ClientReport {
+            let mut params = self.global.clone();
+            let options = LocalTrainOptions {
+                iterations: env.config.local_iterations,
+                batch_size: env.config.batch_size,
+                sgd: env.config.sgd,
+                param_mask: None,
+                prox: None,
+                frozen: None,
+            };
+            let summary = local_sgd(&*env.arch, &mut params, env.train_data(client), &options, rng);
+            let accounting = account_round(
+                &*env.arch,
+                &env.cost,
+                &env.fleet.static_profile(client),
+                None,
+                env.config.local_iterations,
+                env.config.batch_size,
+                env.arch.param_count(),
+                env.arch.param_count(),
+            );
+            self.staged.push((client, params));
+            ClientReport {
+                client_id: client,
+                flops: accounting.flops,
+                upload_bytes: accounting.upload_bytes,
+                download_bytes: accounting.download_bytes,
+                local_cost: accounting.local_cost,
+                train_accuracy: summary.mean_accuracy,
+                train_loss: summary.mean_loss,
+                sparse_ratio: 1.0,
+            }
+        }
+
+        fn aggregate(&mut self, env: &FlEnv, _round: usize, _reports: &[ClientReport]) {
+            if self.staged.is_empty() {
+                return;
+            }
+            let weights: Vec<f64> = self
+                .staged
+                .iter()
+                .map(|(k, _)| env.train_sizes()[*k])
+                .collect();
+            let inputs: Vec<&[f32]> = self.staged.iter().map(|(_, p)| p.as_slice()).collect();
+            let mut new_global = vec![0.0f32; self.global.len()];
+            weighted_mean_into(&mut new_global, &inputs, &weights);
+            self.global = new_global;
+            self.staged.clear();
+        }
+
+        fn evaluate_client(&self, env: &FlEnv, client: usize) -> EvalStats {
+            env.arch.evaluate(&self.global, env.test_data(client))
+        }
+    }
+
+    #[test]
+    fn runner_produces_monotone_cumulative_metrics() {
+        let env = FlEnv::from_scenario(
+            &ScenarioConfig::tiny(DatasetKind::MnistLike),
+            HeterogeneityLevel::High,
+            FlConfig::tiny(),
+        );
+        let sim = Simulator::new(env);
+        let mut algo = MiniFedAvg::new();
+        let result = sim.run(&mut algo);
+
+        assert_eq!(result.rounds.len(), FlConfig::tiny().rounds);
+        assert_eq!(result.algorithm, "MiniFedAvg");
+        let mut prev_flops = 0.0;
+        let mut prev_time = 0.0;
+        for r in &result.rounds {
+            assert!(r.cumulative_flops >= prev_flops);
+            assert!(r.cumulative_time >= prev_time);
+            prev_flops = r.cumulative_flops;
+            prev_time = r.cumulative_time;
+            assert!(r.round_time > 0.0);
+        }
+        // The last round is always evaluated.
+        assert!(result.rounds.last().unwrap().mean_accuracy.is_some());
+        assert!(result.final_accuracy >= 0.0 && result.final_accuracy <= 1.0);
+    }
+
+    #[test]
+    fn training_beats_untrained_baseline() {
+        let env = FlEnv::from_scenario(
+            &ScenarioConfig::tiny(DatasetKind::MnistLike),
+            HeterogeneityLevel::Low,
+            FlConfig::tiny().with_rounds(10),
+        );
+        let initial_acc = env.global_model_accuracy(&env.initial_params());
+        let sim = Simulator::new(env);
+        let mut algo = MiniFedAvg::new();
+        let result = sim.run(&mut algo);
+        assert!(
+            result.best_accuracy > initial_acc,
+            "federated training should beat the untrained model ({} vs {})",
+            result.best_accuracy,
+            initial_acc
+        );
+    }
+
+    #[test]
+    fn runs_are_deterministic_for_a_seed() {
+        let mk = || {
+            let env = FlEnv::from_scenario(
+                &ScenarioConfig::tiny(DatasetKind::MnistLike),
+                HeterogeneityLevel::High,
+                FlConfig::tiny(),
+            );
+            Simulator::new(env).run(&mut MiniFedAvg::new())
+        };
+        let a = mk();
+        let b = mk();
+        assert_eq!(a, b);
+    }
+}

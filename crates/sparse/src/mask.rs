@@ -1,0 +1,209 @@
+//! Unit-level masks and their parameter-level expansions.
+
+use fedlps_nn::unit::UnitLayout;
+use serde::{Deserialize, Serialize};
+
+/// A keep/drop decision for every sparsifiable unit of a model, in the
+/// layer-major order defined by the model's [`UnitLayout`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UnitMask {
+    keep: Vec<bool>,
+}
+
+impl UnitMask {
+    /// Creates a mask from explicit keep flags.
+    pub fn from_keep(keep: Vec<bool>) -> Self {
+        Self { keep }
+    }
+
+    /// A mask keeping every unit (the dense model).
+    pub fn dense(total_units: usize) -> Self {
+        Self {
+            keep: vec![true; total_units],
+        }
+    }
+
+    /// Number of units covered by the mask.
+    pub fn len(&self) -> usize {
+        self.keep.len()
+    }
+
+    /// Whether the mask covers zero units.
+    pub fn is_empty(&self) -> bool {
+        self.keep.is_empty()
+    }
+
+    /// Keep flags in layer-major unit order.
+    pub fn keep_flags(&self) -> &[bool] {
+        &self.keep
+    }
+
+    /// Whether unit `j` is retained.
+    pub fn is_kept(&self, j: usize) -> bool {
+        self.keep[j]
+    }
+
+    /// Number of retained units.
+    pub fn retained_units(&self) -> usize {
+        self.keep.iter().filter(|&&k| k).count()
+    }
+
+    /// Fraction of retained units (the realised unit-level sparse ratio).
+    pub fn unit_ratio(&self) -> f64 {
+        if self.keep.is_empty() {
+            return 1.0;
+        }
+        self.retained_units() as f64 / self.keep.len() as f64
+    }
+
+    /// Expands to a multiplicative parameter mask (1.0 kept / 0.0 dropped).
+    pub fn param_mask(&self, layout: &UnitLayout) -> Vec<f32> {
+        layout.expand_mask(&self.keep)
+    }
+
+    /// Number of parameters retained under this mask (non-unit parameters are
+    /// always retained).
+    pub fn retained_params(&self, layout: &UnitLayout) -> usize {
+        layout.retained_params(&self.keep)
+    }
+
+    /// Fraction of parameters retained — the quantity the paper's
+    /// communication accounting uses.
+    pub fn param_ratio(&self, layout: &UnitLayout) -> f64 {
+        self.retained_params(layout) as f64 / layout.total_params() as f64
+    }
+
+    /// Retained units per sparsifiable layer (feeds the FLOP model).
+    pub fn retained_per_layer(&self, layout: &UnitLayout) -> Vec<usize> {
+        layout.retained_per_layer(&self.keep)
+    }
+
+    /// Returns `params ⊙ m` as a new vector.
+    pub fn apply(&self, layout: &UnitLayout, params: &[f32]) -> Vec<f32> {
+        let mask = self.param_mask(layout);
+        params.iter().zip(mask.iter()).map(|(p, m)| p * m).collect()
+    }
+
+    /// Applies the mask in place: `params[i] = 0` for dropped parameters.
+    pub fn apply_in_place(&self, layout: &UnitLayout, params: &mut [f32]) {
+        let mask = self.param_mask(layout);
+        for (p, m) in params.iter_mut().zip(mask.iter()) {
+            *p *= m;
+        }
+    }
+
+    /// Element-wise logical AND of two masks (units kept by both).
+    pub fn intersect(&self, other: &UnitMask) -> UnitMask {
+        assert_eq!(self.len(), other.len());
+        UnitMask {
+            keep: self
+                .keep
+                .iter()
+                .zip(other.keep.iter())
+                .map(|(a, b)| *a && *b)
+                .collect(),
+        }
+    }
+
+    /// Element-wise logical OR of two masks (units kept by either).
+    pub fn union(&self, other: &UnitMask) -> UnitMask {
+        assert_eq!(self.len(), other.len());
+        UnitMask {
+            keep: self
+                .keep
+                .iter()
+                .zip(other.keep.iter())
+                .map(|(a, b)| *a || *b)
+                .collect(),
+        }
+    }
+
+    /// Overlap (Jaccard index) between the retained sets of two masks — used
+    /// in tests and analyses of pattern personalization.
+    pub fn jaccard(&self, other: &UnitMask) -> f64 {
+        assert_eq!(self.len(), other.len());
+        let inter = self.intersect(other).retained_units();
+        let uni = self.union(other).retained_units();
+        if uni == 0 {
+            1.0
+        } else {
+            inter as f64 / uni as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedlps_nn::mlp::{Mlp, MlpConfig};
+    use fedlps_nn::model::ModelArch;
+    use fedlps_tensor::rng_from_seed;
+
+    fn toy_mlp() -> Mlp {
+        Mlp::new(MlpConfig {
+            input_dim: 4,
+            hidden: vec![6, 4],
+            num_classes: 3,
+        })
+    }
+
+    #[test]
+    fn dense_mask_retains_everything() {
+        let mlp = toy_mlp();
+        let mask = UnitMask::dense(mlp.unit_layout().total_units());
+        assert_eq!(mask.retained_units(), 10);
+        assert_eq!(mask.unit_ratio(), 1.0);
+        assert_eq!(mask.retained_params(mlp.unit_layout()), mlp.param_count());
+        assert_eq!(mask.param_ratio(mlp.unit_layout()), 1.0);
+    }
+
+    #[test]
+    fn apply_zeroes_dropped_units_only() {
+        let mlp = toy_mlp();
+        let mut rng = rng_from_seed(1);
+        let params = mlp.init_params(&mut rng);
+        let mut keep = vec![true; 10];
+        keep[0] = false;
+        let mask = UnitMask::from_keep(keep);
+        let masked = mask.apply(mlp.unit_layout(), &params);
+        // Unit 0 of hidden0 owns W0 row 0 (4 params) and b0[0].
+        assert!(masked[..4].iter().all(|&v| v == 0.0));
+        assert_ne!(&masked[4..8], &[0.0; 4]);
+        let zeroed = params.len() - masked.iter().zip(params.iter()).filter(|(m, p)| *m == *p).count();
+        // Exactly the 5 owned parameters changed (assuming none were already 0).
+        assert_eq!(zeroed, 4, "bias started at zero so only 4 weight values change");
+    }
+
+    #[test]
+    fn set_operations_and_jaccard() {
+        let a = UnitMask::from_keep(vec![true, true, false, false]);
+        let b = UnitMask::from_keep(vec![true, false, true, false]);
+        assert_eq!(a.intersect(&b).retained_units(), 1);
+        assert_eq!(a.union(&b).retained_units(), 3);
+        assert!((a.jaccard(&b) - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(a.jaccard(&a), 1.0);
+        let empty = UnitMask::from_keep(vec![false; 4]);
+        assert_eq!(empty.jaccard(&empty), 1.0);
+    }
+
+    #[test]
+    fn apply_in_place_matches_apply() {
+        let mlp = toy_mlp();
+        let mut rng = rng_from_seed(2);
+        let params = mlp.init_params(&mut rng);
+        let mask = UnitMask::from_keep((0..10).map(|i| i % 2 == 0).collect());
+        let expect = mask.apply(mlp.unit_layout(), &params);
+        let mut in_place = params.clone();
+        mask.apply_in_place(mlp.unit_layout(), &mut in_place);
+        assert_eq!(expect, in_place);
+    }
+
+    #[test]
+    fn ratios_decrease_with_dropped_units() {
+        let mlp = toy_mlp();
+        let half = UnitMask::from_keep((0..10).map(|i| i < 5).collect());
+        assert!(half.param_ratio(mlp.unit_layout()) < 1.0);
+        assert!(half.unit_ratio() == 0.5);
+        assert_eq!(half.retained_per_layer(mlp.unit_layout()), vec![5, 0]);
+    }
+}

@@ -1,0 +1,82 @@
+//! Sparse-ratio bookkeeping.
+//!
+//! The paper performs *layer-wise* sparsification with the same ratio `s` for
+//! every sparsifiable layer (Section III-B, "Client-side Update"), so a ratio
+//! translates into "keep `⌈s · J_l⌉` units of layer `l`". These helpers
+//! centralise that rounding so every pattern strategy and every baseline uses
+//! identical semantics.
+
+/// Clamps a sparse ratio into the valid `[0, 1]` range.
+pub fn clamp_ratio(ratio: f64) -> f64 {
+    ratio.clamp(0.0, 1.0)
+}
+
+/// Number of units to retain in a layer of `layer_units` units at ratio `s`.
+///
+/// At least one unit is always retained in a non-empty layer (a layer with
+/// zero units would disconnect the network), matching the behaviour of the
+/// width-scaling baselines (HeteroFL/Fjord keep at least one channel).
+pub fn retained_units(layer_units: usize, ratio: f64) -> usize {
+    if layer_units == 0 {
+        return 0;
+    }
+    let s = clamp_ratio(ratio);
+    ((layer_units as f64 * s).ceil() as usize).clamp(1, layer_units)
+}
+
+/// Retained unit counts for every layer under the uniform layer-wise ratio.
+pub fn retained_per_layer(units_per_layer: &[usize], ratio: f64) -> Vec<usize> {
+    units_per_layer
+        .iter()
+        .map(|&j| retained_units(j, ratio))
+        .collect()
+}
+
+/// The realised unit-level ratio after rounding (can be slightly above the
+/// requested ratio because of the ceil and the ≥1 rule).
+pub fn realised_ratio(units_per_layer: &[usize], ratio: f64) -> f64 {
+    let total: usize = units_per_layer.iter().sum();
+    if total == 0 {
+        return 1.0;
+    }
+    let kept: usize = retained_per_layer(units_per_layer, ratio).iter().sum();
+    kept as f64 / total as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clamping() {
+        assert_eq!(clamp_ratio(-0.5), 0.0);
+        assert_eq!(clamp_ratio(0.3), 0.3);
+        assert_eq!(clamp_ratio(2.0), 1.0);
+    }
+
+    #[test]
+    fn retained_units_basics() {
+        assert_eq!(retained_units(10, 0.5), 5);
+        assert_eq!(retained_units(10, 0.55), 6);
+        assert_eq!(retained_units(10, 1.0), 10);
+        assert_eq!(retained_units(10, 0.0), 1, "at least one unit survives");
+        assert_eq!(retained_units(0, 0.5), 0);
+    }
+
+    #[test]
+    fn per_layer_and_realised_ratio() {
+        let layers = vec![8, 4, 0];
+        assert_eq!(retained_per_layer(&layers, 0.25), vec![2, 1, 0]);
+        let realised = realised_ratio(&layers, 0.25);
+        assert!((realised - 3.0 / 12.0).abs() < 1e-12);
+        assert_eq!(realised_ratio(&[], 0.3), 1.0);
+    }
+
+    #[test]
+    fn realised_ratio_never_below_requested() {
+        for &ratio in &[0.1, 0.33, 0.5, 0.77, 1.0] {
+            let layers = vec![7, 13, 5];
+            assert!(realised_ratio(&layers, ratio) + 1e-9 >= ratio);
+        }
+    }
+}

@@ -1,0 +1,81 @@
+//! Property-based tests of the mask / pattern / ratio invariants that the
+//! whole sparsification pipeline rests on.
+
+use fedlps_nn::mlp::{Mlp, MlpConfig};
+use fedlps_nn::model::ModelArch;
+use fedlps_sparse::pattern::{learnable_pattern, PatternStrategy};
+use fedlps_sparse::ratio::{realised_ratio, retained_per_layer, retained_units};
+use fedlps_tensor::rng_from_seed;
+use proptest::prelude::*;
+
+fn mlp(h0: usize, h1: usize) -> Mlp {
+    Mlp::new(MlpConfig { input_dim: 5, hidden: vec![h0, h1], num_classes: 4 })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every pattern strategy retains exactly ⌈s·J_l⌉ units per layer (≥ 1).
+    #[test]
+    fn strategies_hit_the_layerwise_budget(h0 in 2usize..16, h1 in 2usize..12,
+                                            ratio in 0.01f64..1.0, seed in 0u64..500) {
+        let model = mlp(h0, h1);
+        let layout = model.unit_layout();
+        let mut rng = rng_from_seed(seed);
+        let params = model.init_params(&mut rng);
+        let scores: Vec<f32> = (0..layout.total_units()).map(|i| (i as f32 * 0.37).sin()).collect();
+        for strategy in [
+            PatternStrategy::Random,
+            PatternStrategy::Ordered,
+            PatternStrategy::RollingOrdered,
+            PatternStrategy::Magnitude,
+            PatternStrategy::Importance,
+        ] {
+            let mask = strategy.build_mask(layout, &params, Some(&scores), ratio, seed as usize, &mut rng);
+            prop_assert_eq!(mask.retained_per_layer(layout), retained_per_layer(&layout.units_per_layer(), ratio));
+        }
+    }
+
+    /// Expanding a unit mask never zeroes parameters owned by retained units,
+    /// and the retained-parameter count is monotone in the ratio.
+    #[test]
+    fn retained_params_monotone_in_ratio(h0 in 2usize..12, h1 in 2usize..10,
+                                          r1 in 0.01f64..1.0, r2 in 0.01f64..1.0, seed in 0u64..500) {
+        let model = mlp(h0, h1);
+        let layout = model.unit_layout();
+        let scores: Vec<f32> = (0..layout.total_units()).map(|i| i as f32).collect();
+        let (lo, hi) = if r1 <= r2 { (r1, r2) } else { (r2, r1) };
+        let small = learnable_pattern(layout, &scores, lo);
+        let large = learnable_pattern(layout, &scores, hi);
+        prop_assert!(small.retained_params(layout) <= large.retained_params(layout));
+        // Importance-based masks at nested ratios are nested sets.
+        prop_assert_eq!(small.intersect(&large), small.clone());
+    }
+
+    /// The realised ratio never falls below the requested ratio and never
+    /// exceeds 1.
+    #[test]
+    fn realised_ratio_bounds(layers in prop::collection::vec(1usize..40, 1..5), ratio in 0.0f64..1.0) {
+        let realised = realised_ratio(&layers, ratio);
+        prop_assert!(realised + 1e-9 >= ratio.min(1.0));
+        prop_assert!(realised <= 1.0 + 1e-9);
+        for &j in &layers {
+            let k = retained_units(j, ratio);
+            prop_assert!(k >= 1 && k <= j);
+        }
+    }
+
+    /// Applying a mask twice is the same as applying it once (idempotence).
+    #[test]
+    fn mask_application_is_idempotent(h0 in 2usize..12, h1 in 2usize..10,
+                                       ratio in 0.05f64..1.0, seed in 0u64..500) {
+        let model = mlp(h0, h1);
+        let layout = model.unit_layout();
+        let mut rng = rng_from_seed(seed);
+        let params = model.init_params(&mut rng);
+        let mask = PatternStrategy::Random.build_mask(layout, &params, None, ratio, 0, &mut rng);
+        let once = mask.apply(layout, &params);
+        let twice = mask.apply(layout, &once);
+        prop_assert_eq!(once, twice);
+    }
+}

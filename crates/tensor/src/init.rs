@@ -1,0 +1,82 @@
+//! Weight-initialisation schemes for the from-scratch neural networks.
+
+use rand::Rng;
+
+use crate::rng::sample_normal;
+
+/// Xavier/Glorot standard deviation for a layer with the given fan-in/out.
+pub fn xavier_std(fan_in: usize, fan_out: usize) -> f32 {
+    (2.0 / (fan_in + fan_out).max(1) as f32).sqrt()
+}
+
+/// He/Kaiming standard deviation for ReLU layers.
+pub fn he_std(fan_in: usize) -> f32 {
+    (2.0 / fan_in.max(1) as f32).sqrt()
+}
+
+/// Initialisation scheme selector used by the model architectures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Initializer {
+    /// Gaussian with Xavier/Glorot scaling — used for linear / LSTM layers.
+    Xavier,
+    /// Gaussian with He/Kaiming scaling — used for ReLU conv / dense stacks.
+    He,
+    /// All zeros — used for biases.
+    Zeros,
+}
+
+impl Initializer {
+    /// Fills `out` with samples appropriate for a layer of the given fan-in/out.
+    pub fn fill(self, out: &mut [f32], fan_in: usize, fan_out: usize, rng: &mut impl Rng) {
+        match self {
+            Initializer::Xavier => {
+                let std = xavier_std(fan_in, fan_out);
+                for v in out {
+                    *v = sample_normal(rng) * std;
+                }
+            }
+            Initializer::He => {
+                let std = he_std(fan_in);
+                for v in out {
+                    *v = sample_normal(rng) * std;
+                }
+            }
+            Initializer::Zeros => {
+                for v in out {
+                    *v = 0.0;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng_from_seed;
+
+    #[test]
+    fn std_formulas() {
+        assert!((xavier_std(100, 100) - (2.0f32 / 200.0).sqrt()).abs() < 1e-7);
+        assert!((he_std(50) - (2.0f32 / 50.0).sqrt()).abs() < 1e-7);
+    }
+
+    #[test]
+    fn zero_fan_in_does_not_divide_by_zero() {
+        assert!(xavier_std(0, 0).is_finite());
+        assert!(he_std(0).is_finite());
+    }
+
+    #[test]
+    fn initializer_fill_scales() {
+        let mut rng = rng_from_seed(5);
+        let mut buf = vec![0.0f32; 10_000];
+        Initializer::He.fill(&mut buf, 200, 100, &mut rng);
+        let var = buf.iter().map(|x| x * x).sum::<f32>() / buf.len() as f32;
+        let expected = 2.0 / 200.0;
+        assert!((var - expected).abs() < expected * 0.2, "var {var}");
+
+        Initializer::Zeros.fill(&mut buf, 200, 100, &mut rng);
+        assert!(buf.iter().all(|&x| x == 0.0));
+    }
+}

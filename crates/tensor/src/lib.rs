@@ -1,0 +1,52 @@
+//! Dense `f32` linear-algebra primitives used throughout the FedLPS reproduction.
+//!
+//! The neural-network substrate in [`fedlps-nn`] is written against plain
+//! slices and the small [`Matrix`] type defined here, rather than a heavyweight
+//! tensor library: every model in the paper (MLP, VGG-style CNN, LSTM) only
+//! needs dense mat-mul, element-wise maps and a handful of reductions, and
+//! keeping the math in one small crate makes gradient-checking and property
+//! testing straightforward.
+//!
+//! The crate also hosts the deterministic RNG helpers ([`rng`]) and the
+//! statistics utilities ([`stats`]) — quantiles, means, variances — that the
+//! sparse-pattern and bandit crates rely on.
+
+pub mod init;
+pub mod matrix;
+pub mod ops;
+pub mod rng;
+pub mod stats;
+
+pub use init::{he_std, xavier_std, Initializer};
+pub use matrix::Matrix;
+pub use rng::{rng_from_seed, split_seed};
+
+/// Numerical tolerance used by tests and the finite-difference gradient checker.
+pub const EPS: f32 = 1e-5;
+
+/// Absolute-or-relative closeness check used across the workspace's tests.
+pub fn approx_eq(a: f32, b: f32, tol: f32) -> bool {
+    let diff = (a - b).abs();
+    if diff <= tol {
+        return true;
+    }
+    let scale = a.abs().max(b.abs()).max(1.0);
+    diff <= tol * scale
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn approx_eq_absolute() {
+        assert!(approx_eq(1.0, 1.0 + 1e-7, 1e-5));
+        assert!(!approx_eq(1.0, 1.1, 1e-5));
+    }
+
+    #[test]
+    fn approx_eq_relative() {
+        assert!(approx_eq(1e6, 1e6 * (1.0 + 1e-6), 1e-5));
+        assert!(!approx_eq(1e6, 1e6 * 1.01, 1e-5));
+    }
+}

@@ -1,0 +1,138 @@
+//! Deterministic random-number helpers.
+//!
+//! Every stochastic component in the reproduction (data generation, client
+//! selection, weight initialisation, the P-UCBV bandit's sampling step) takes
+//! an explicit seed so that experiments are repeatable and the benchmark
+//! harness can regenerate the paper's tables deterministically.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Builds a [`StdRng`] from a 64-bit seed.
+pub fn rng_from_seed(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Derives a child seed from a parent seed and a stream index.
+///
+/// Uses SplitMix64-style mixing so that adjacent `(seed, stream)` pairs give
+/// uncorrelated child seeds; this is how the simulator hands each client and
+/// each round its own RNG stream.
+pub fn split_seed(seed: u64, stream: u64) -> u64 {
+    let mut z = seed
+        .wrapping_add(0x9E3779B97F4A7C15)
+        .wrapping_add(stream.wrapping_mul(0xBF58476D1CE4E5B9));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// Draws a standard-normal sample using the Box–Muller transform.
+///
+/// Kept local (instead of `rand_distr::StandardNormal`) in hot inner loops so
+/// the initialisation path has no trait-object indirection; `rand_distr` is
+/// still used where distribution variety matters (e.g. Dirichlet partitioning).
+pub fn sample_normal(rng: &mut impl Rng) -> f32 {
+    loop {
+        let u1: f32 = rng.gen::<f32>();
+        if u1 <= f32::MIN_POSITIVE {
+            continue;
+        }
+        let u2: f32 = rng.gen::<f32>();
+        let r = (-2.0 * u1.ln()).sqrt();
+        return r * (2.0 * std::f32::consts::PI * u2).cos();
+    }
+}
+
+/// Samples an index in `0..weights.len()` proportionally to non-negative weights.
+///
+/// Falls back to uniform sampling when the weights sum to zero.
+pub fn sample_weighted(weights: &[f64], rng: &mut impl Rng) -> usize {
+    assert!(!weights.is_empty(), "cannot sample from empty weights");
+    let total: f64 = weights.iter().map(|w| w.max(0.0)).sum();
+    if total <= 0.0 {
+        return rng.gen_range(0..weights.len());
+    }
+    let mut t = rng.gen::<f64>() * total;
+    for (i, w) in weights.iter().enumerate() {
+        t -= w.max(0.0);
+        if t <= 0.0 {
+            return i;
+        }
+    }
+    weights.len() - 1
+}
+
+/// Samples `count` distinct indices from `0..n` uniformly without replacement.
+pub fn sample_without_replacement(n: usize, count: usize, rng: &mut impl Rng) -> Vec<usize> {
+    let count = count.min(n);
+    let mut indices: Vec<usize> = (0..n).collect();
+    // Partial Fisher–Yates: only the first `count` positions need shuffling.
+    for i in 0..count {
+        let j = rng.gen_range(i..n);
+        indices.swap(i, j);
+    }
+    indices.truncate(count);
+    indices
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn split_seed_is_deterministic_and_varies() {
+        assert_eq!(split_seed(42, 1), split_seed(42, 1));
+        assert_ne!(split_seed(42, 1), split_seed(42, 2));
+        assert_ne!(split_seed(42, 1), split_seed(43, 1));
+    }
+
+    #[test]
+    fn normal_samples_have_reasonable_moments() {
+        let mut rng = rng_from_seed(7);
+        let n = 20_000;
+        let samples: Vec<f32> = (0..n).map(|_| sample_normal(&mut rng)).collect();
+        let mean = samples.iter().sum::<f32>() / n as f32;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / n as f32;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn weighted_sampling_respects_weights() {
+        let mut rng = rng_from_seed(3);
+        let weights = [0.0, 0.0, 1.0];
+        for _ in 0..100 {
+            assert_eq!(sample_weighted(&weights, &mut rng), 2);
+        }
+    }
+
+    #[test]
+    fn weighted_sampling_zero_weights_falls_back_to_uniform() {
+        let mut rng = rng_from_seed(3);
+        let weights = [0.0, 0.0, 0.0];
+        let mut seen = HashSet::new();
+        for _ in 0..200 {
+            seen.insert(sample_weighted(&weights, &mut rng));
+        }
+        assert_eq!(seen.len(), 3);
+    }
+
+    #[test]
+    fn sample_without_replacement_is_distinct_and_bounded() {
+        let mut rng = rng_from_seed(11);
+        let picks = sample_without_replacement(10, 4, &mut rng);
+        assert_eq!(picks.len(), 4);
+        let set: HashSet<_> = picks.iter().collect();
+        assert_eq!(set.len(), 4);
+        assert!(picks.iter().all(|&i| i < 10));
+    }
+
+    #[test]
+    fn sample_without_replacement_caps_at_population() {
+        let mut rng = rng_from_seed(11);
+        let picks = sample_without_replacement(3, 10, &mut rng);
+        assert_eq!(picks.len(), 3);
+    }
+}

@@ -1,0 +1,72 @@
+//! Property-based tests for the tensor primitives.
+
+use fedlps_tensor::{approx_eq, ops, stats, Matrix};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Multiplying by the identity never changes a matrix.
+    #[test]
+    fn matmul_identity_is_noop(rows in 1usize..6, cols in 1usize..6, seed in 0u64..1000) {
+        let mut rng = fedlps_tensor::rng_from_seed(seed);
+        let a = Matrix::random_normal(rows, cols, 1.0, &mut rng);
+        let id = Matrix::identity(cols);
+        let b = a.matmul(&id);
+        for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+            prop_assert!(approx_eq(*x, *y, 1e-4));
+        }
+    }
+
+    /// The transpose is an involution.
+    #[test]
+    fn transpose_involution(rows in 1usize..8, cols in 1usize..8, seed in 0u64..1000) {
+        let mut rng = fedlps_tensor::rng_from_seed(seed);
+        let a = Matrix::random_normal(rows, cols, 1.0, &mut rng);
+        prop_assert_eq!(a.transpose().transpose(), a);
+    }
+
+    /// The weighted mean of identical vectors is that vector, for any positive weights.
+    #[test]
+    fn weighted_mean_of_identical_inputs(v in prop::collection::vec(-10.0f32..10.0, 1..20),
+                                          w1 in 0.1f64..10.0, w2 in 0.1f64..10.0) {
+        let mut out = vec![0.0f32; v.len()];
+        ops::weighted_mean_into(&mut out, &[&v, &v], &[w1, w2]);
+        for (o, x) in out.iter().zip(v.iter()) {
+            prop_assert!(approx_eq(*o, *x, 1e-4));
+        }
+    }
+
+    /// Softmax outputs are a probability distribution for any finite logits.
+    #[test]
+    fn softmax_is_a_distribution(logits in prop::collection::vec(-50.0f32..50.0, 1..12)) {
+        let mut probs = vec![0.0f32; logits.len()];
+        ops::softmax_into(&mut probs, &logits);
+        prop_assert!(probs.iter().all(|p| (0.0..=1.0).contains(p)));
+        prop_assert!(approx_eq(probs.iter().sum::<f32>(), 1.0, 1e-4));
+    }
+
+    /// Gradient clipping never increases the norm and never exceeds the cap.
+    #[test]
+    fn clip_norm_caps_the_norm(mut g in prop::collection::vec(-100.0f32..100.0, 1..30),
+                               cap in 0.1f32..10.0) {
+        let before = ops::norm(&g);
+        ops::clip_norm(&mut g, cap);
+        let after = ops::norm(&g);
+        prop_assert!(after <= cap + 1e-4);
+        prop_assert!(after <= before + 1e-4);
+    }
+
+    /// Quantiles are monotone in the fraction and bounded by the extremes.
+    #[test]
+    fn quantiles_are_monotone(values in prop::collection::vec(-100.0f32..100.0, 1..30),
+                              q1 in 0.0f64..1.0, q2 in 0.0f64..1.0) {
+        let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        let a = stats::quantile(&values, lo);
+        let b = stats::quantile(&values, hi);
+        prop_assert!(a <= b + 1e-4);
+        let min = values.iter().cloned().fold(f32::INFINITY, f32::min);
+        let max = values.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        prop_assert!(a >= min - 1e-4 && b <= max + 1e-4);
+    }
+}

@@ -1,0 +1,64 @@
+//! System-heterogeneity scenario: compare FedLPS against a dense baseline
+//! (FedAvg) and a width-scaling baseline (HeteroFL) as the device fleet gets
+//! more heterogeneous — the workload behind the paper's Figures 7 and 8.
+//!
+//! ```text
+//! cargo run --release --example heterogeneous_fleet
+//! ```
+
+use fedlps::baselines::registry::baseline_by_name;
+use fedlps::core::FedLps;
+use fedlps::prelude::*;
+
+fn run_once(level: HeterogeneityLevel, method: &str) -> RunResult {
+    let scenario = ScenarioConfig::small(DatasetKind::Cifar10Like).with_clients(12);
+    let fl_config = FlConfig {
+        rounds: 12,
+        clients_per_round: 4,
+        local_iterations: 4,
+        batch_size: 16,
+        eval_every: 3,
+        ..FlConfig::default()
+    };
+    let env = FlEnv::from_scenario(&scenario, level, fl_config);
+    let sim = Simulator::new(env);
+    if method == "FedLPS" {
+        let mut algo = FedLps::for_env(sim.env());
+        sim.run(&mut algo)
+    } else {
+        let mut algo = baseline_by_name(method).expect("unknown baseline");
+        sim.run(&mut *algo)
+    }
+}
+
+fn main() {
+    println!("accuracy / simulated time as system heterogeneity grows (cifar10-like)\n");
+    println!(
+        "{:<8} {:<10} {:>10} {:>12} {:>14}",
+        "level", "method", "acc (%)", "time (s)", "FLOPs (1e9)"
+    );
+    for level in [
+        HeterogeneityLevel::Low,
+        HeterogeneityLevel::Median,
+        HeterogeneityLevel::High,
+    ] {
+        for method in ["FedAvg", "HeteroFL", "FedLPS"] {
+            let result = run_once(level, method);
+            println!(
+                "{:<8} {:<10} {:>10.2} {:>12.2} {:>14.2}",
+                level.name(),
+                method,
+                result.final_accuracy * 100.0,
+                result.total_time,
+                result.total_flops / 1e9
+            );
+        }
+        println!();
+    }
+    println!(
+        "Expected shape (as in the paper): the dense baseline's time explodes with \
+         heterogeneity because stragglers train the full model, the width-scaling \
+         baseline trades accuracy for speed, and FedLPS keeps both accuracy and time \
+         roughly stable by adapting each client's sparse ratio."
+    );
+}

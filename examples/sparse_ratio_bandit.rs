@@ -1,0 +1,79 @@
+//! P-UCBV in isolation: watch the per-client sparse-ratio decisions adapt to a
+//! synthetic environment where accuracy gains saturate with the ratio while
+//! cost keeps growing — the trade-off the bandit is designed to learn.
+//!
+//! ```text
+//! cargo run --release --example sparse_ratio_bandit
+//! ```
+
+use fedlps::bandit::pucbv::{PUcbv, PUcbvConfig, PUcbvFeedback};
+use fedlps::device::{CapabilityTier, DeviceProfile};
+use fedlps::tensor::rng_from_seed;
+
+/// A toy client environment: training accuracy follows a saturating curve in
+/// the sparse ratio, and local cost is the Eq. (14) cost of a submodel whose
+/// FLOPs scale linearly with the ratio.
+struct ToyClient {
+    device: DeviceProfile,
+    accuracy: f64,
+}
+
+impl ToyClient {
+    fn step(&mut self, ratio: f64) -> (f64, f64) {
+        // Diminishing returns: beyond ~0.5 the extra units barely help.
+        let gain = 0.03 * (1.0 - (-4.0 * ratio).exp());
+        self.accuracy = (self.accuracy + gain).min(0.95);
+        let flops = 2.0e11 * ratio;
+        let bytes = 2.0e6 * ratio;
+        let cost = flops / self.device.compute_flops_per_sec
+            + bytes / self.device.bandwidth_bytes_per_sec;
+        (self.accuracy, cost)
+    }
+}
+
+fn main() {
+    let rounds = 60;
+    println!("P-UCBV ratio trajectories for three capability tiers ({rounds} rounds)\n");
+    for tier in [CapabilityTier::Full, CapabilityTier::Quarter, CapabilityTier::Sixteenth] {
+        let device = DeviceProfile::from_tier(tier);
+        let mut client = ToyClient { device, accuracy: 0.1 };
+        let mut agent = PUcbv::new(
+            PUcbvConfig { total_rounds: rounds, ..PUcbvConfig::default() },
+            device.max_sparse_ratio(),
+            client.accuracy,
+        );
+        let mut rng = rng_from_seed(11);
+        let mut ratio = agent.initial_ratio(&mut rng);
+        let mut trajectory = Vec::new();
+        for _ in 0..rounds {
+            let (accuracy, cost) = client.step(ratio);
+            trajectory.push(ratio);
+            ratio = agent.update(PUcbvFeedback { ratio, local_cost: cost, accuracy }, &mut rng);
+        }
+        let early: f64 = trajectory[..10].iter().sum::<f64>() / 10.0;
+        let late: f64 = trajectory[rounds - 10..].iter().sum::<f64>() / 10.0;
+        println!(
+            "tier z={:<7} cap={:<7.4} first-10 mean ratio {:.3} -> last-10 mean ratio {:.3} \
+             (final accuracy {:.2}%)",
+            format!("{:?}", tier),
+            device.capability,
+            early,
+            late,
+            client.accuracy * 100.0
+        );
+        // A compact sparkline of the trajectory.
+        let spark: String = trajectory
+            .iter()
+            .map(|r| {
+                let bucket = ((r / device.max_sparse_ratio()) * 7.0).round() as usize;
+                ['.', ':', '-', '=', '+', '*', '#', '@'][bucket.min(7)]
+            })
+            .collect();
+        println!("  {spark}\n");
+    }
+    println!(
+        "Weak devices are confined to small ratios by their capability cap; strong \
+         devices start exploring large ratios but drift towards the cheapest ratio \
+         that still improves accuracy, exactly the behaviour FedLPS relies on."
+    );
+}
