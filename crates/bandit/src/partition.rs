@@ -85,7 +85,11 @@ impl PartitionSet {
         let partitions = (0..initial_count)
             .map(|i| {
                 let lo = floor + i as f64 * step;
-                let hi = if i + 1 == initial_count { ceil } else { floor + (i + 1) as f64 * step };
+                let hi = if i + 1 == initial_count {
+                    ceil
+                } else {
+                    floor + (i + 1) as f64 * step
+                };
                 Partition::new(lo, hi)
             })
             .collect();

@@ -140,21 +140,25 @@ impl PUcbv {
     /// Algorithm 2: consumes the round's feedback and returns the sparse ratio
     /// to use in the next round.
     pub fn update(&mut self, feedback: PUcbvFeedback, rng: &mut impl Rng) -> f64 {
-        let PUcbvFeedback { ratio, local_cost, accuracy } = feedback;
+        let PUcbvFeedback {
+            ratio,
+            local_cost,
+            accuracy,
+        } = feedback;
 
         // Lines 1-2: split the partition where the used ratio resides.
-        let split = self.partitions.split_at(ratio.clamp(
-            self.partitions.range().0,
-            self.partitions.range().1 - 1e-9,
-        ));
+        let split = self
+            .partitions
+            .split_at(ratio.clamp(self.partitions.range().0, self.partitions.range().1 - 1e-9));
 
         // Lines 3-5: accuracy-dominated prompt arm elimination of the lower part.
         let mut upper_idx = split.map(|(_, u)| u);
         if let Some((lower, upper)) = split {
-            if lower != upper && accuracy - self.prev_accuracy < self.config.accuracy_threshold {
-                if self.partitions.eliminate(lower) {
-                    upper_idx = Some(upper - 1);
-                }
+            if lower != upper
+                && accuracy - self.prev_accuracy < self.config.accuracy_threshold
+                && self.partitions.eliminate(lower)
+            {
+                upper_idx = Some(upper - 1);
             }
         }
 
@@ -171,7 +175,10 @@ impl PUcbv {
                 self.partitions.partition_mut(idx).record(g);
             }
             if exists_lower {
-                if let Some(idx) = self.partitions.find((ratio - 1e-6).max(self.partitions.range().0)) {
+                if let Some(idx) = self
+                    .partitions
+                    .find((ratio - 1e-6).max(self.partitions.range().0))
+                {
                     if idx != upper_idx.unwrap_or(usize::MAX) {
                         self.partitions.partition_mut(idx).record(g);
                     }
@@ -221,7 +228,7 @@ mod tests {
         let mut rng = rng_from_seed(1);
         for _ in 0..50 {
             let r = a.initial_ratio(&mut rng);
-            assert!(r >= 0.05 && r < 1.0, "{r}");
+            assert!((0.05..1.0).contains(&r), "{r}");
         }
     }
 
@@ -234,10 +241,14 @@ mod tests {
         for round in 0..30 {
             let acc = 0.1 + 0.02 * round as f64;
             ratio = a.update(
-                PUcbvFeedback { ratio, local_cost: 1.0 + ratio, accuracy: acc },
+                PUcbvFeedback {
+                    ratio,
+                    local_cost: 1.0 + ratio,
+                    accuracy: acc,
+                },
                 &mut rng,
             );
-            assert!(ratio >= 0.05 && ratio < 1.0, "round {round}: {ratio}");
+            assert!((0.05..1.0).contains(&ratio), "round {round}: {ratio}");
             assert!(a.partitions().is_well_formed());
         }
         assert!(a.num_partitions() >= before);
@@ -255,13 +266,20 @@ mod tests {
 
     #[test]
     fn accuracy_drop_triggers_elimination() {
-        let cfg = PUcbvConfig { accuracy_threshold: 0.0, ..PUcbvConfig::default() };
+        let cfg = PUcbvConfig {
+            accuracy_threshold: 0.0,
+            ..PUcbvConfig::default()
+        };
         let mut a = PUcbv::new(cfg, 1.0, 0.5);
         let mut rng = rng_from_seed(4);
         let before = a.num_partitions();
         // Feedback with a big accuracy drop: the split's lower half must go.
         a.update(
-            PUcbvFeedback { ratio: 0.5, local_cost: 1.0, accuracy: 0.2 },
+            PUcbvFeedback {
+                ratio: 0.5,
+                local_cost: 1.0,
+                accuracy: 0.2,
+            },
             &mut rng,
         );
         // A split adds one partition and the elimination removes one, so the
@@ -271,12 +289,19 @@ mod tests {
 
     #[test]
     fn improving_accuracy_keeps_both_halves() {
-        let cfg = PUcbvConfig { accuracy_threshold: -0.5, ..PUcbvConfig::default() };
+        let cfg = PUcbvConfig {
+            accuracy_threshold: -0.5,
+            ..PUcbvConfig::default()
+        };
         let mut a = PUcbv::new(cfg, 1.0, 0.1);
         let mut rng = rng_from_seed(5);
         let before = a.num_partitions();
         a.update(
-            PUcbvFeedback { ratio: 0.5, local_cost: 1.0, accuracy: 0.4 },
+            PUcbvFeedback {
+                ratio: 0.5,
+                local_cost: 1.0,
+                accuracy: 0.4,
+            },
             &mut rng,
         );
         assert_eq!(a.num_partitions(), before + 1);
@@ -288,7 +313,10 @@ mod tests {
         // grows with the ratio, so low ratios earn strictly higher rewards.
         // After enough rounds the agent should propose mostly low ratios.
         let mut a = PUcbv::new(
-            PUcbvConfig { accuracy_threshold: -1.0, ..PUcbvConfig::default() },
+            PUcbvConfig {
+                accuracy_threshold: -1.0,
+                ..PUcbvConfig::default()
+            },
             1.0,
             0.0,
         );
@@ -299,12 +327,22 @@ mod tests {
         for round in 0..120 {
             acc = (acc + 0.01).min(0.9);
             let cost = 0.5 + 4.0 * ratio;
-            ratio = a.update(PUcbvFeedback { ratio, local_cost: cost, accuracy: acc }, &mut rng);
+            ratio = a.update(
+                PUcbvFeedback {
+                    ratio,
+                    local_cost: cost,
+                    accuracy: acc,
+                },
+                &mut rng,
+            );
             if round >= 80 {
                 late_ratios.push(ratio);
             }
         }
         let mean_late: f64 = late_ratios.iter().sum::<f64>() / late_ratios.len() as f64;
-        assert!(mean_late < 0.55, "late mean ratio {mean_late} should drift low");
+        assert!(
+            mean_late < 0.55,
+            "late mean ratio {mean_late} should drift low"
+        );
     }
 }

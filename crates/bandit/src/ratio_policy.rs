@@ -132,7 +132,9 @@ impl RatioController {
     /// client's capability (`s_k ≤ z_k`), which mirrors the client-side reset
     /// in the paper's "Client-side Update".
     pub fn ratio_for(&self, client: usize) -> f64 {
-        self.proposals[client].min(self.capabilities[client]).max(0.0)
+        self.proposals[client]
+            .min(self.capabilities[client])
+            .max(0.0)
     }
 
     /// Reports a finished round for `client`; learning policies use it to
@@ -153,7 +155,10 @@ impl RatioController {
             }
             AgentState::Ucb(ucb) => {
                 let arm = ucb.nearest_arm(feedback.ratio);
-                ucb.record(arm, crate::reward::reward(feedback.accuracy, 0.0, feedback.local_cost));
+                ucb.record(
+                    arm,
+                    crate::reward::reward(feedback.accuracy, 0.0, feedback.local_cost),
+                );
                 let next_arm = ucb.select(&mut self.rng);
                 self.proposals[client] = ucb.ratio_of(next_arm);
             }
@@ -162,7 +167,9 @@ impl RatioController {
 
     /// Current proposals for every client (used by analyses / examples).
     pub fn proposals(&self) -> Vec<f64> {
-        (0..self.proposals.len()).map(|k| self.ratio_for(k)).collect()
+        (0..self.proposals.len())
+            .map(|k| self.ratio_for(k))
+            .collect()
     }
 }
 
@@ -216,7 +223,11 @@ mod tests {
             let r = ctrl.ratio_for(0);
             ctrl.report(
                 0,
-                RatioFeedback { ratio: r, local_cost: 1.0 + r, accuracy: 0.1 + 0.03 * round as f64 },
+                RatioFeedback {
+                    ratio: r,
+                    local_cost: 1.0 + r,
+                    accuracy: 0.1 + 0.03 * round as f64,
+                },
             );
             assert!(ctrl.ratio_for(0) <= 1.0 && ctrl.ratio_for(0) > 0.0);
         }
@@ -233,7 +244,14 @@ mod tests {
         for _ in 0..10 {
             let r = ctrl.ratio_for(2);
             assert!(r <= 0.25 + 1e-9);
-            ctrl.report(2, RatioFeedback { ratio: r, local_cost: 1.0, accuracy: 0.2 });
+            ctrl.report(
+                2,
+                RatioFeedback {
+                    ratio: r,
+                    local_cost: 1.0,
+                    accuracy: 0.2,
+                },
+            );
         }
     }
 

@@ -104,7 +104,7 @@ mod tests {
     fn explores_every_arm_first() {
         let mut ucb = DiscreteUcb::new(vec![0.25, 0.5, 1.0], 2.0);
         let mut rng = rng_from_seed(1);
-        let mut seen = vec![false; 3];
+        let mut seen = [false; 3];
         for _ in 0..3 {
             let arm = ucb.select(&mut rng);
             seen[arm] = true;

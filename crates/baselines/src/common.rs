@@ -150,8 +150,18 @@ mod tests {
     fn coverage_aggregate_reduces_to_fedavg_for_dense_inputs() {
         let mut global = vec![0.0f32; 3];
         let contributions = vec![
-            Contribution { client_id: 0, weight: 1.0, params: vec![1.0, 1.0, 1.0], param_mask: None },
-            Contribution { client_id: 1, weight: 3.0, params: vec![5.0, 5.0, 5.0], param_mask: None },
+            Contribution {
+                client_id: 0,
+                weight: 1.0,
+                params: vec![1.0, 1.0, 1.0],
+                param_mask: None,
+            },
+            Contribution {
+                client_id: 1,
+                weight: 3.0,
+                params: vec![5.0, 5.0, 5.0],
+                param_mask: None,
+            },
         ];
         coverage_aggregate(&mut global, &contributions);
         for v in global {
@@ -226,7 +236,15 @@ mod tests {
         let mut params = env.initial_params();
         let device = env.fleet.static_profile(0);
         let (report, summary) = baseline_client_round(
-            &env, 0, &device, &mut params, None, None, None, 1.0, &mut rng,
+            &env,
+            0,
+            &device,
+            &mut params,
+            None,
+            None,
+            None,
+            1.0,
+            &mut rng,
         );
         assert_eq!(report.client_id, 0);
         assert!(report.flops > 0.0);

@@ -148,12 +148,19 @@ impl FlAlgorithm for DenseFl {
             _ => None,
         };
         let (report, summary) = baseline_client_round(
-            env, client, &device, &mut params, None, prox, None, 1.0, rng,
+            env,
+            client,
+            &device,
+            &mut params,
+            None,
+            prox,
+            None,
+            1.0,
+            rng,
         );
 
         // Oort statistical utility: |D_k| * sqrt(mean loss); REFL freshness.
-        self.utilities[client] =
-            env.train_sizes()[client] * summary.mean_loss.max(1e-6).sqrt();
+        self.utilities[client] = env.train_sizes()[client] * summary.mean_loss.max(1e-6).sqrt();
         self.last_selected[client] = Some(round);
 
         // REFL decays stale contributions in aggregation; here staleness is
@@ -205,7 +212,12 @@ mod tests {
             let s = sim();
             let mut algo = DenseFl::new(variant);
             let result = s.run(&mut algo);
-            assert_eq!(result.rounds.len(), FlConfig::tiny().rounds, "{}", algo.name());
+            assert_eq!(
+                result.rounds.len(),
+                FlConfig::tiny().rounds,
+                "{}",
+                algo.name()
+            );
             assert!(result.final_accuracy >= 0.0);
             // Dense baselines always report ratio 1.
             assert!(result.mean_sparse_ratio() > 0.999);

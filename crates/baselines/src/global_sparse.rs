@@ -40,7 +40,9 @@ impl GlobalSparseVariant {
 
     fn ratio(&self) -> f64 {
         match self {
-            GlobalSparseVariant::PruneFl { ratio, .. } | GlobalSparseVariant::Cs { ratio } => *ratio,
+            GlobalSparseVariant::PruneFl { ratio, .. } | GlobalSparseVariant::Cs { ratio } => {
+                *ratio
+            }
         }
     }
 }
@@ -67,7 +69,10 @@ impl GlobalSparse {
     /// PruneFL with the paper-style defaults (shared ratio 0.5, re-prune every
     /// 5 rounds).
     pub fn prunefl() -> Self {
-        Self::new(GlobalSparseVariant::PruneFl { ratio: 0.5, reprune_every: 5 })
+        Self::new(GlobalSparseVariant::PruneFl {
+            ratio: 0.5,
+            reprune_every: 5,
+        })
     }
 
     /// CS with the shared ratio 0.5 the paper uses in its comparison.
@@ -180,7 +185,11 @@ mod tests {
             let mut algo = mk();
             let result = s.run(&mut algo);
             assert!(result.rounds.len() == FlConfig::tiny().rounds);
-            assert!((result.mean_sparse_ratio() - 0.5).abs() < 1e-9, "{}", algo.name());
+            assert!(
+                (result.mean_sparse_ratio() - 0.5).abs() < 1e-9,
+                "{}",
+                algo.name()
+            );
         }
     }
 

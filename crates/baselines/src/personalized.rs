@@ -18,7 +18,10 @@ use fedlps_sim::train::{local_sgd, LocalTrainOptions};
 use fedlps_tensor::split_seed;
 use rand::rngs::StdRng;
 
-use crate::common::{baseline_client_round, body_indicator, coverage_aggregate, copy_head, head_indicator, Contribution};
+use crate::common::{
+    baseline_client_round, body_indicator, copy_head, coverage_aggregate, head_indicator,
+    Contribution,
+};
 
 /// Which personalized dense baseline to run.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -73,7 +76,9 @@ impl PersonalizedFl {
 
     /// Per-FedAvg with one adaptation step, matching the first-order variant.
     pub fn per_fedavg() -> Self {
-        Self::new(PersonalizedVariant::PerFedAvg { adaptation_steps: 1 })
+        Self::new(PersonalizedVariant::PerFedAvg {
+            adaptation_steps: 1,
+        })
     }
 }
 
@@ -104,7 +109,15 @@ impl FlAlgorithm for PersonalizedFl {
                 // Shared-model update (plain FedAvg step).
                 let mut shared = global_snapshot.clone();
                 let (report, _) = baseline_client_round(
-                    env, client, &device, &mut shared, None, None, None, 1.0, rng,
+                    env,
+                    client,
+                    &device,
+                    &mut shared,
+                    None,
+                    None,
+                    None,
+                    1.0,
+                    rng,
                 );
                 // Personal model trained with a pull towards the global model.
                 let mut personal = self.personal[client]
@@ -118,7 +131,13 @@ impl FlAlgorithm for PersonalizedFl {
                     prox: Some((lambda, global_snapshot.as_slice())),
                     frozen: None,
                 };
-                local_sgd(&*env.arch, &mut personal, env.train_data(client), &options, rng);
+                local_sgd(
+                    &*env.arch,
+                    &mut personal,
+                    env.train_data(client),
+                    &options,
+                    rng,
+                );
                 self.personal[client] = Some(personal);
                 self.staged.push(Contribution {
                     client_id: client,
@@ -152,7 +171,13 @@ impl FlAlgorithm for PersonalizedFl {
                         prox: None,
                         frozen: Some(&body),
                     };
-                    local_sgd(&*env.arch, &mut params, env.train_data(client), &options, rng);
+                    local_sgd(
+                        &*env.arch,
+                        &mut params,
+                        env.train_data(client),
+                        &options,
+                        rng,
+                    );
                 }
                 // Main phase: FedPer trains everything jointly; FedRep freezes
                 // the freshly fitted head while updating the body.
@@ -162,7 +187,15 @@ impl FlAlgorithm for PersonalizedFl {
                     None
                 };
                 let (report, _) = baseline_client_round(
-                    env, client, &device, &mut params, None, None, frozen, 1.0, rng,
+                    env,
+                    client,
+                    &device,
+                    &mut params,
+                    None,
+                    None,
+                    frozen,
+                    1.0,
+                    rng,
                 );
                 // The head stays local; the body is shared.
                 self.personal[client] = Some(params.clone());
@@ -177,7 +210,15 @@ impl FlAlgorithm for PersonalizedFl {
             PersonalizedVariant::PerFedAvg { .. } => {
                 let mut params = global_snapshot.clone();
                 let (report, _) = baseline_client_round(
-                    env, client, &device, &mut params, None, None, None, 1.0, rng,
+                    env,
+                    client,
+                    &device,
+                    &mut params,
+                    None,
+                    None,
+                    None,
+                    1.0,
+                    rng,
                 );
                 self.staged.push(Contribution {
                     client_id: client,
@@ -224,7 +265,13 @@ impl FlAlgorithm for PersonalizedFl {
                     prox: None,
                     frozen: None,
                 };
-                local_sgd(&*env.arch, &mut adapted, env.train_data(client), &options, &mut rng);
+                local_sgd(
+                    &*env.arch,
+                    &mut adapted,
+                    env.train_data(client),
+                    &options,
+                    &mut rng,
+                );
                 env.arch.evaluate(&adapted, env.test_data(client))
             }
         }
@@ -253,12 +300,19 @@ mod tests {
             PersonalizedVariant::Ditto { lambda: 1.0 },
             PersonalizedVariant::FedPer,
             PersonalizedVariant::FedRep,
-            PersonalizedVariant::PerFedAvg { adaptation_steps: 1 },
+            PersonalizedVariant::PerFedAvg {
+                adaptation_steps: 1,
+            },
         ] {
             let s = sim();
             let mut algo = PersonalizedFl::new(variant);
             let result = s.run(&mut algo);
-            assert_eq!(result.rounds.len(), FlConfig::tiny().rounds, "{}", algo.name());
+            assert_eq!(
+                result.rounds.len(),
+                FlConfig::tiny().rounds,
+                "{}",
+                algo.name()
+            );
             assert!(result.final_accuracy >= 0.0 && result.final_accuracy <= 1.0);
         }
     }
@@ -268,7 +322,9 @@ mod tests {
         let s = sim();
         let ditto_result = s.run(&mut PersonalizedFl::ditto());
         let s2 = sim();
-        let fedavg_result = s2.run(&mut crate::dense::DenseFl::new(crate::dense::DenseVariant::FedAvg));
+        let fedavg_result = s2.run(&mut crate::dense::DenseFl::new(
+            crate::dense::DenseVariant::FedAvg,
+        ));
         assert!(ditto_result.total_flops > fedavg_result.total_flops * 1.5);
     }
 

@@ -22,7 +22,9 @@ use fedlps_sparse::pattern::PatternStrategy;
 use rand::rngs::StdRng;
 use rand::Rng;
 
-use crate::common::{baseline_client_round, body_indicator, coverage_aggregate, copy_head, Contribution};
+use crate::common::{
+    baseline_client_round, body_indicator, copy_head, coverage_aggregate, Contribution,
+};
 
 /// Which personalized sparse baseline to run.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -105,7 +107,10 @@ impl SparsePersonalized {
 
     /// FedSpa at the paper's uniform 0.5 ratio.
     pub fn fedspa() -> Self {
-        Self::new(SparsePersonalizedVariant::FedSpa { ratio: 0.5, regrow_fraction: 0.2 })
+        Self::new(SparsePersonalizedVariant::FedSpa {
+            ratio: 0.5,
+            regrow_fraction: 0.2,
+        })
     }
 
     /// FedP3.
@@ -132,13 +137,18 @@ impl SparsePersonalized {
                 // the achieved accuracy); here we only build the magnitude
                 // mask at the client's current ratio.
                 let ratio = prev.map(|s| s.ratio).unwrap_or(1.0).max(floor_ratio);
-                let mask = PatternStrategy::Magnitude.build_mask(layout, reference, None, ratio, round, rng);
+                let mask = PatternStrategy::Magnitude
+                    .build_mask(layout, reference, None, ratio, round, rng);
                 (mask, ratio)
             }
-            SparsePersonalizedVariant::FedSpa { ratio, regrow_fraction } => {
+            SparsePersonalizedVariant::FedSpa {
+                ratio,
+                regrow_fraction,
+            } => {
                 // Prune-and-regrow: start from a magnitude mask and randomly
                 // swap a fraction of retained units for dropped ones.
-                let mut mask = PatternStrategy::Magnitude.build_mask(layout, reference, None, ratio, round, rng);
+                let mut mask = PatternStrategy::Magnitude
+                    .build_mask(layout, reference, None, ratio, round, rng);
                 let total = layout.total_units();
                 let mut keep: Vec<bool> = (0..total).map(|j| mask.is_kept(j)).collect();
                 let kept_idx: Vec<usize> = (0..total).filter(|&j| keep[j]).collect();
@@ -155,7 +165,8 @@ impl SparsePersonalized {
             }
             SparsePersonalizedVariant::FedP3 => {
                 let ratio = env.fleet.static_profile(client).capability;
-                let mask = PatternStrategy::Ordered.build_mask(layout, reference, None, ratio, round, rng);
+                let mask =
+                    PatternStrategy::Ordered.build_mask(layout, reference, None, ratio, round, rng);
                 (mask, ratio)
             }
         }
@@ -182,7 +193,8 @@ impl FlAlgorithm for SparsePersonalized {
     ) -> ClientReport {
         let device = env.fleet.available_profile(client, round);
         let layout = env.arch.unit_layout();
-        let (mask, mut ratio) = self.next_mask(env, client, self.states[client].as_ref(), round, rng);
+        let (mask, mut ratio) =
+            self.next_mask(env, client, self.states[client].as_ref(), round, rng);
 
         // Local model: start from the global body, but keep personal pieces
         // where the method defines them.
@@ -194,17 +206,31 @@ impl FlAlgorithm for SparsePersonalized {
         }
 
         let (report, summary) = baseline_client_round(
-            env, client, &device, &mut params, Some(&mask), None, None, ratio, rng,
+            env,
+            client,
+            &device,
+            &mut params,
+            Some(&mask),
+            None,
+            None,
+            ratio,
+            rng,
         );
 
         // LotteryFL / Hermes dense-to-sparse schedule: prune further once the
         // local accuracy clears the threshold.
         match self.variant {
-            SparsePersonalizedVariant::LotteryFl { prune_step, accuracy_threshold, floor_ratio }
-            | SparsePersonalizedVariant::Hermes { prune_step, accuracy_threshold, floor_ratio } => {
-                if summary.mean_accuracy >= accuracy_threshold {
-                    ratio = (ratio - prune_step).max(floor_ratio);
-                }
+            SparsePersonalizedVariant::LotteryFl {
+                prune_step,
+                accuracy_threshold,
+                floor_ratio,
+            }
+            | SparsePersonalizedVariant::Hermes {
+                prune_step,
+                accuracy_threshold,
+                floor_ratio,
+            } if summary.mean_accuracy >= accuracy_threshold => {
+                ratio = (ratio - prune_step).max(floor_ratio);
             }
             _ => {}
         }
@@ -224,7 +250,11 @@ impl FlAlgorithm for SparsePersonalized {
             params: params.clone(),
             param_mask: Some(shared_mask),
         });
-        self.states[client] = Some(PersonalState { params, mask: Some(mask), ratio });
+        self.states[client] = Some(PersonalState {
+            params,
+            mask: Some(mask),
+            ratio,
+        });
         report
     }
 
@@ -274,7 +304,12 @@ mod tests {
             let s = sim();
             let mut algo = mk();
             let result = s.run(&mut algo);
-            assert_eq!(result.rounds.len(), FlConfig::tiny().rounds, "{}", algo.name());
+            assert_eq!(
+                result.rounds.len(),
+                FlConfig::tiny().rounds,
+                "{}",
+                algo.name()
+            );
             assert!(result.final_accuracy >= 0.0);
         }
     }
@@ -334,6 +369,9 @@ mod tests {
             .collect();
         assert!(masks.len() >= 2);
         let all_identical = masks.windows(2).all(|w| w[0] == w[1]);
-        assert!(!all_identical, "personalized patterns should differ across non-IID clients");
+        assert!(
+            !all_identical,
+            "personalized patterns should differ across non-IID clients"
+        );
     }
 }

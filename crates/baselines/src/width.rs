@@ -101,7 +101,11 @@ impl WidthScaling {
             // Keep whole layers until the budget runs out; always keep at
             // least one unit of the first layer to stay connected.
             let keep_layer = used < budget;
-            let kept_here = if keep_layer { units.min(budget - used) } else { 0 };
+            let kept_here = if keep_layer {
+                units.min(budget - used)
+            } else {
+                0
+            };
             for j in 0..units {
                 keep.push(j < kept_here.max(if keep.is_empty() { 1 } else { 0 }));
             }
@@ -232,7 +236,12 @@ mod tests {
             let s = sim();
             let mut algo = WidthScaling::new(variant);
             let result = s.run(&mut algo);
-            assert_eq!(result.rounds.len(), FlConfig::tiny().rounds, "{}", algo.name());
+            assert_eq!(
+                result.rounds.len(),
+                FlConfig::tiny().rounds,
+                "{}",
+                algo.name()
+            );
             assert!(
                 result.mean_sparse_ratio() < 0.999,
                 "{} should train submodels on a heterogeneous fleet",

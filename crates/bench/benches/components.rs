@@ -67,7 +67,11 @@ fn bench_components(c: &mut Criterion) {
             let mut ratio = agent.initial_ratio(&mut rng);
             for i in 0..20 {
                 ratio = agent.update(
-                    PUcbvFeedback { ratio, local_cost: 1.0 + ratio, accuracy: 0.1 + 0.01 * i as f64 },
+                    PUcbvFeedback {
+                        ratio,
+                        local_cost: 1.0 + ratio,
+                        accuracy: 0.1 + 0.01 * i as f64,
+                    },
                     &mut rng,
                 );
             }
@@ -77,7 +81,10 @@ fn bench_components(c: &mut Criterion) {
 
     group.bench_function("aggregate_residuals_8_clients", |b| {
         let staged: Vec<StagedUpdate> = (0..8)
-            .map(|i| StagedUpdate { weight: 1.0 + i as f64, residual: vec![0.01; global.len()] })
+            .map(|i| StagedUpdate {
+                weight: 1.0 + i as f64,
+                residual: vec![0.01; global.len()],
+            })
             .collect();
         b.iter(|| {
             let mut g = global.clone();

@@ -58,7 +58,10 @@ fn bench_fig3_fig4_convergence_traces(c: &mut Criterion) {
     group.bench_function("fig3_fig4_accuracy_vs_cost_trace", |b| {
         b.iter(|| {
             let result = run_method("FedLPS", &env);
-            (result.accuracy_vs_flops().len(), result.accuracy_vs_time().len())
+            (
+                result.accuracy_vs_flops().len(),
+                result.accuracy_vs_time().len(),
+            )
         })
     });
     group.finish();
@@ -79,7 +82,9 @@ fn bench_fig5_tta(c: &mut Criterion) {
 fn bench_fig6_noniid(c: &mut Criterion) {
     let mut group = configure(c);
     let mut env = tiny_env(DatasetKind::MnistLike);
-    env.partition_override = Some(PartitionStrategy::Pathological { classes_per_client: 4 });
+    env.partition_override = Some(PartitionStrategy::Pathological {
+        classes_per_client: 4,
+    });
     group.bench_function("fig6_noniid_level_sweep_point", |b| {
         b.iter(|| run_method("FedLPS", &env).final_accuracy)
     });
@@ -104,14 +109,20 @@ fn bench_fig9_pattern_and_ratio(c: &mut Criterion) {
     let env = tiny_env(DatasetKind::MnistLike);
     group.bench_function("fig9a_learnable_pattern_ratio_0_4", |b| {
         b.iter(|| {
-            run_fedlps_with(&env, FedLpsConfig::with_pattern(PatternStrategy::Importance, 0.4))
-                .final_accuracy
+            run_fedlps_with(
+                &env,
+                FedLpsConfig::with_pattern(PatternStrategy::Importance, 0.4),
+            )
+            .final_accuracy
         })
     });
     group.bench_function("fig9a_magnitude_pattern_ratio_0_4", |b| {
         b.iter(|| {
-            run_fedlps_with(&env, FedLpsConfig::with_pattern(PatternStrategy::Magnitude, 0.4))
-                .final_accuracy
+            run_fedlps_with(
+                &env,
+                FedLpsConfig::with_pattern(PatternStrategy::Magnitude, 0.4),
+            )
+            .final_accuracy
         })
     });
     group.bench_function("fig9b_time_breakdown_ratio_0_4", |b| {

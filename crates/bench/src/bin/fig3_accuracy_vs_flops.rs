@@ -1,7 +1,9 @@
 //! Figure 3: test accuracy versus cumulative FLOPs for the convergence
 //! comparison methods.
 
-use fedlps_bench::harness::{datasets_from_args, figure_methods, methods_from_args, run_method, ExperimentEnv};
+use fedlps_bench::harness::{
+    datasets_from_args, figure_methods, methods_from_args, run_method, ExperimentEnv,
+};
 use fedlps_bench::table::{gflops, pct, TableBuilder};
 use fedlps_bench::Scale;
 use fedlps_data::scenario::DatasetKind;

@@ -1,6 +1,8 @@
 //! Figure 4: test accuracy versus simulated running time.
 
-use fedlps_bench::harness::{datasets_from_args, figure_methods, methods_from_args, run_method, ExperimentEnv};
+use fedlps_bench::harness::{
+    datasets_from_args, figure_methods, methods_from_args, run_method, ExperimentEnv,
+};
 use fedlps_bench::table::{pct, secs, TableBuilder};
 use fedlps_bench::Scale;
 use fedlps_data::scenario::DatasetKind;

@@ -23,7 +23,11 @@ fn main() {
         let fedlps = run_method("FedLPS", &env);
         let target = fedlps.final_accuracy * 0.8;
         for method in methods {
-            let result = if method == "FedLPS" { fedlps.clone() } else { run_method(method, &env) };
+            let result = if method == "FedLPS" {
+                fedlps.clone()
+            } else {
+                run_method(method, &env)
+            };
             let tta = result
                 .time_to_accuracy(target)
                 .map(|t| format!("{t:.2}"))

@@ -22,7 +22,11 @@ fn main() {
         });
         for method in methods {
             let result = run_method(method, &env);
-            table.row(vec![missing.to_string(), result.algorithm.clone(), pct(result.final_accuracy)]);
+            table.row(vec![
+                missing.to_string(),
+                result.algorithm.clone(),
+                pct(result.final_accuracy),
+            ]);
         }
     }
     table.print();

@@ -15,8 +15,21 @@ fn main() {
     let scale = Scale::from_args();
     let datasets = datasets_from_args(vec![DatasetKind::MnistLike, DatasetKind::Cifar10Like]);
     let default_methods = vec![
-        "FedAvg", "FedProx", "REFL", "CS", "HeteroFL", "FedRolex", "FedMP", "Ditto", "FedPer",
-        "Per-FedAvg", "LotteryFL", "Hermes", "FedSpa", "FedP3", "FedLPS",
+        "FedAvg",
+        "FedProx",
+        "REFL",
+        "CS",
+        "HeteroFL",
+        "FedRolex",
+        "FedMP",
+        "Ditto",
+        "FedPer",
+        "Per-FedAvg",
+        "LotteryFL",
+        "Hermes",
+        "FedSpa",
+        "FedP3",
+        "FedLPS",
     ];
     let methods = methods_from_args(default_methods);
 

@@ -18,12 +18,15 @@ fn main() {
         dynamic_env.dynamic_capability = true;
 
         let fl_cfg = scale.fl_config();
-        let pucbv = |rounds: usize| {
-            FedLpsConfig::for_federation(rounds, 0, fl_cfg.clients_per_round)
-        };
+        let pucbv =
+            |rounds: usize| FedLpsConfig::for_federation(rounds, 0, fl_cfg.clients_per_round);
 
         let mut table = TableBuilder::new(
-            &format!("Table II — ablation on {} ({:?} scale)", dataset.name(), scale),
+            &format!(
+                "Table II — ablation on {} ({:?} scale)",
+                dataset.name(),
+                scale
+            ),
             &["Variant", "Acc (%)", "FLOPs (1e9)"],
         );
         let cases: Vec<(&str, FedLpsConfig, &ExperimentEnv)> = vec![

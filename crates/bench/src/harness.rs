@@ -87,7 +87,15 @@ pub fn run_method(name: &str, env: &ExperimentEnv) -> RunResult {
 
 /// The method subset used by the paper's Figure 3/4 convergence plots.
 pub fn figure_methods() -> Vec<&'static str> {
-    vec!["FedAvg", "REFL", "FedMP", "Per-FedAvg", "Hermes", "FedSpa", "FedLPS"]
+    vec![
+        "FedAvg",
+        "REFL",
+        "FedMP",
+        "Per-FedAvg",
+        "Hermes",
+        "FedSpa",
+        "FedLPS",
+    ]
 }
 
 /// Parses a `--methods a,b,c` style argument list, falling back to `default`.
@@ -175,7 +183,10 @@ mod tests {
         assert!(methods.contains(&"FedLPS"));
         for m in &methods {
             if *m != "FedLPS" {
-                assert!(fedlps_baselines::registry::baseline_by_name(m).is_some(), "{m}");
+                assert!(
+                    fedlps_baselines::registry::baseline_by_name(m).is_some(),
+                    "{m}"
+                );
             }
         }
     }

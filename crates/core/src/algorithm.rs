@@ -266,9 +266,13 @@ mod tests {
     fn ablation_names_are_distinguishable() {
         use fedlps_sparse::pattern::PatternStrategy;
         assert_eq!(FedLps::new(FedLpsConfig::default()).name(), "FedLPS");
-        assert!(FedLps::new(FedLpsConfig::flst(0.5)).name().contains("fixed"));
-        assert!(FedLps::new(FedLpsConfig::with_pattern(PatternStrategy::Random, 0.5))
+        assert!(FedLps::new(FedLpsConfig::flst(0.5))
             .name()
-            .contains("random"));
+            .contains("fixed"));
+        assert!(
+            FedLps::new(FedLpsConfig::with_pattern(PatternStrategy::Random, 0.5))
+                .name()
+                .contains("random")
+        );
     }
 }

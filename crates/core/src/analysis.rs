@@ -41,7 +41,10 @@ pub fn averaged_gradient_norm_sq(masked_grads: &[Vec<f32>]) -> f64 {
 /// The learning-rate ceiling of Lemma 1 / Theorem 1:
 /// `η ≤ sqrt(1 / (24 · E · R · V · L²))`.
 pub fn learning_rate_bound(local_iterations: usize, rounds: usize, v: f64, lipschitz: f64) -> f64 {
-    let denom = 24.0 * local_iterations.max(1) as f64 * rounds.max(1) as f64 * v.max(1e-12)
+    let denom = 24.0
+        * local_iterations.max(1) as f64
+        * rounds.max(1) as f64
+        * v.max(1e-12)
         * lipschitz.max(1e-12).powi(2);
     (1.0 / denom).sqrt()
 }

@@ -108,8 +108,15 @@ pub fn client_update(
             let masked: Vec<f32> = local.iter().zip(pmask.iter()).map(|(p, m)| p * m).collect();
             let indices: Vec<usize> = (0..batch).map(|_| rng.gen_range(0..data.len())).collect();
             grad.fill(0.0);
-            let breakdown =
-                objective.evaluate(arch, &masked, global_params, &indicator, data, &indices, &mut grad);
+            let breakdown = objective.evaluate(
+                arch,
+                &masked,
+                global_params,
+                &indicator,
+                data,
+                &indices,
+                &mut grad,
+            );
 
             // Line 21: importance-indicator update (uses the same gradient buffer).
             let q_grad = indicator.gradient(layout, &local, &grad, options.lambda);
@@ -143,8 +150,16 @@ pub fn client_update(
         residual,
         mask,
         uploaded_params,
-        mean_loss: if executed > 0 { loss_sum / executed as f64 } else { 0.0 },
-        mean_accuracy: if executed > 0 { acc_sum / executed as f64 } else { 0.0 },
+        mean_loss: if executed > 0 {
+            loss_sum / executed as f64
+        } else {
+            0.0
+        },
+        mean_accuracy: if executed > 0 {
+            acc_sum / executed as f64
+        } else {
+            0.0
+        },
     }
 }
 
@@ -173,7 +188,11 @@ mod tests {
     use fedlps_tensor::{rng_from_seed, Matrix};
 
     fn setup() -> (Mlp, Dataset, Vec<f32>) {
-        let mlp = Mlp::new(MlpConfig { input_dim: 6, hidden: vec![10, 8], num_classes: 3 });
+        let mlp = Mlp::new(MlpConfig {
+            input_dim: 6,
+            hidden: vec![10, 8],
+            num_classes: 3,
+        });
         let mut rng = rng_from_seed(3);
         let features = Matrix::random_normal(40, 6, 1.0, &mut rng);
         let labels: Vec<usize> = (0..40).map(|i| i % 3).collect();
@@ -213,7 +232,10 @@ mod tests {
                 assert_eq!(*r, 0.0);
             }
         }
-        assert_eq!(outcome.uploaded_params, outcome.mask.retained_params(layout));
+        assert_eq!(
+            outcome.uploaded_params,
+            outcome.mask.retained_params(layout)
+        );
         assert!(outcome.uploaded_params < mlp.param_count());
     }
 

@@ -118,7 +118,10 @@ mod tests {
     #[test]
     fn ablation_constructors() {
         assert!(matches!(FedLpsConfig::flst(0.5).ratio_policy, RatioPolicy::Fixed(r) if r == 0.5));
-        assert!(matches!(FedLpsConfig::rcr().ratio_policy, RatioPolicy::ResourceControlled));
+        assert!(matches!(
+            FedLpsConfig::rcr().ratio_policy,
+            RatioPolicy::ResourceControlled
+        ));
         let p = FedLpsConfig::with_pattern(PatternStrategy::Random, 0.4);
         assert_eq!(p.pattern, PatternStrategy::Random);
     }

@@ -117,7 +117,11 @@ mod tests {
     use fedlps_tensor::rng_from_seed;
 
     fn toy() -> Mlp {
-        Mlp::new(MlpConfig { input_dim: 4, hidden: vec![6], num_classes: 3 })
+        Mlp::new(MlpConfig {
+            input_dim: 4,
+            hidden: vec![6],
+            num_classes: 3,
+        })
     }
 
     #[test]

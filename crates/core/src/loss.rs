@@ -105,7 +105,11 @@ mod tests {
     use fedlps_tensor::{rng_from_seed, Matrix};
 
     fn setup() -> (Mlp, Dataset, Vec<f32>) {
-        let mlp = Mlp::new(MlpConfig { input_dim: 5, hidden: vec![6], num_classes: 3 });
+        let mlp = Mlp::new(MlpConfig {
+            input_dim: 5,
+            hidden: vec![6],
+            num_classes: 3,
+        });
         let mut rng = rng_from_seed(11);
         let features = Matrix::random_normal(20, 5, 1.0, &mut rng);
         let labels: Vec<usize> = (0..20).map(|i| i % 3).collect();
@@ -121,7 +125,9 @@ mod tests {
         let loss = ImportanceLoss::new(0.5, 2.0);
         let mut grad = vec![0.0f32; params.len()];
         let indices: Vec<usize> = (0..10).collect();
-        let breakdown = loss.evaluate(&mlp, &params, &params, &indicator, &data, &indices, &mut grad);
+        let breakdown = loss.evaluate(
+            &mlp, &params, &params, &indicator, &data, &indices, &mut grad,
+        );
         // At ω == ω^r the proximal term vanishes, and at Q == σ(|ω|_J) the
         // importance term vanishes, so total == task.
         assert!(breakdown.proximal.abs() < 1e-9);
@@ -142,7 +148,9 @@ mod tests {
         // Large μ so the proximal term dominates the task gradient.
         let loss = ImportanceLoss::new(50.0, 0.0);
         let mut grad = vec![0.0f32; params.len()];
-        let breakdown = loss.evaluate(&mlp, &drifted, &params, &indicator, &data, &indices, &mut grad);
+        let breakdown = loss.evaluate(
+            &mlp, &drifted, &params, &indicator, &data, &indices, &mut grad,
+        );
         assert!(breakdown.proximal > 0.0);
         // Moving against the gradient must shrink the distance to the global model.
         let mut stepped = drifted.clone();
@@ -166,6 +174,9 @@ mod tests {
         let large = ImportanceLoss::new(0.0, 10.0)
             .evaluate(&mlp, &params, &params, &indicator, &data, &indices, &mut g2);
         assert!(large.total > small.total);
-        assert!((large.importance - small.importance).abs() < 1e-9, "unweighted component is identical");
+        assert!(
+            (large.importance - small.importance).abs() < 1e-9,
+            "unweighted component is identical"
+        );
     }
 }

@@ -40,8 +40,14 @@ mod tests {
     fn aggregation_with_zero_residuals_is_identity() {
         let mut global = vec![1.0, -2.0, 3.0];
         let staged = vec![
-            StagedUpdate { weight: 3.0, residual: vec![0.0; 3] },
-            StagedUpdate { weight: 1.0, residual: vec![0.0; 3] },
+            StagedUpdate {
+                weight: 3.0,
+                residual: vec![0.0; 3],
+            },
+            StagedUpdate {
+                weight: 1.0,
+                residual: vec![0.0; 3],
+            },
         ];
         aggregate_residuals(&mut global, &staged);
         assert_eq!(global, vec![1.0, -2.0, 3.0]);
@@ -54,8 +60,14 @@ mod tests {
         // halfway when the other client reports no change.
         let mut global = vec![0.0, 0.0];
         let staged = vec![
-            StagedUpdate { weight: 1.0, residual: vec![1.0, 1.0] },
-            StagedUpdate { weight: 1.0, residual: vec![0.0, 0.0] },
+            StagedUpdate {
+                weight: 1.0,
+                residual: vec![1.0, 1.0],
+            },
+            StagedUpdate {
+                weight: 1.0,
+                residual: vec![0.0, 0.0],
+            },
         ];
         aggregate_residuals(&mut global, &staged);
         assert_eq!(global, vec![-0.5, -0.5]);
@@ -65,8 +77,14 @@ mod tests {
     fn weights_bias_the_average() {
         let mut global = vec![0.0];
         let staged = vec![
-            StagedUpdate { weight: 3.0, residual: vec![4.0] },
-            StagedUpdate { weight: 1.0, residual: vec![0.0] },
+            StagedUpdate {
+                weight: 3.0,
+                residual: vec![4.0],
+            },
+            StagedUpdate {
+                weight: 1.0,
+                residual: vec![0.0],
+            },
         ];
         aggregate_residuals(&mut global, &staged);
         assert!((global[0] + 3.0).abs() < 1e-6);
@@ -85,7 +103,10 @@ mod tests {
         let mut global = vec![0.0];
         aggregate_residuals(
             &mut global,
-            &[StagedUpdate { weight: 0.0, residual: vec![0.0] }],
+            &[StagedUpdate {
+                weight: 0.0,
+                residual: vec![0.0],
+            }],
         );
     }
 
@@ -94,7 +115,10 @@ mod tests {
         // A residual that is zero outside a client's mask leaves the masked-out
         // coordinates at the weighted mean of ω^r itself (i.e. unchanged).
         let mut global = vec![2.0, 2.0];
-        let staged = vec![StagedUpdate { weight: 1.0, residual: vec![1.0, 0.0] }];
+        let staged = vec![StagedUpdate {
+            weight: 1.0,
+            residual: vec![1.0, 0.0],
+        }];
         aggregate_residuals(&mut global, &staged);
         assert_eq!(global, vec![1.0, 2.0]);
     }

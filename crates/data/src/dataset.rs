@@ -109,7 +109,9 @@ impl Dataset {
         let mut features = Matrix::zeros(indices.len(), self.feature_dim());
         let mut labels = Vec::with_capacity(indices.len());
         for (row, &idx) in indices.iter().enumerate() {
-            features.row_mut(row).copy_from_slice(self.features.row(idx));
+            features
+                .row_mut(row)
+                .copy_from_slice(self.features.row(idx));
             labels.push(self.labels[idx]);
         }
         Dataset {
@@ -134,7 +136,10 @@ impl Dataset {
     /// Draws a minibatch of `batch_size` sample indices uniformly at random
     /// (with replacement when `batch_size > len`), returning copied rows.
     pub fn sample_batch(&self, batch_size: usize, rng: &mut impl Rng) -> Dataset {
-        assert!(!self.is_empty(), "cannot sample a batch from an empty dataset");
+        assert!(
+            !self.is_empty(),
+            "cannot sample a batch from an empty dataset"
+        );
         let indices: Vec<usize> = (0..batch_size)
             .map(|_| rng.gen_range(0..self.len()))
             .collect();

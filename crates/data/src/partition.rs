@@ -202,22 +202,27 @@ mod tests {
         assert_eq!(counts.len(), 5);
         for c in &counts {
             assert_eq!(c.iter().sum::<usize>(), 100);
-            assert!(c.iter().all(|&x| x >= 9), "IID split should cover all classes: {c:?}");
+            assert!(
+                c.iter().all(|&x| x >= 9),
+                "IID split should cover all classes: {c:?}"
+            );
         }
     }
 
     #[test]
     fn pathological_limits_classes_per_client() {
         let mut rng = rng_from_seed(2);
-        let counts =
-            PartitionStrategy::Pathological { classes_per_client: 2 }.class_counts(20, 10, 60, &mut rng);
+        let counts = PartitionStrategy::Pathological {
+            classes_per_client: 2,
+        }
+        .class_counts(20, 10, 60, &mut rng);
         for c in &counts {
             assert_eq!(c.iter().sum::<usize>(), 60);
             let present = c.iter().filter(|&&x| x > 0).count();
             assert!(present <= 2, "client has {present} classes");
         }
         // Across the federation every class should appear somewhere.
-        let mut union = vec![0usize; 10];
+        let mut union = [0usize; 10];
         for c in &counts {
             for (u, &x) in union.iter_mut().zip(c.iter()) {
                 *u += x;
@@ -229,8 +234,10 @@ mod tests {
     #[test]
     fn pathological_clamps_to_available_classes() {
         let mut rng = rng_from_seed(3);
-        let counts = PartitionStrategy::Pathological { classes_per_client: 50 }
-            .class_counts(3, 5, 25, &mut rng);
+        let counts = PartitionStrategy::Pathological {
+            classes_per_client: 50,
+        }
+        .class_counts(3, 5, 25, &mut rng);
         for c in &counts {
             assert_eq!(c.iter().sum::<usize>(), 25);
         }
@@ -248,7 +255,8 @@ mod tests {
     #[test]
     fn dirichlet_low_alpha_is_more_skewed_than_high_alpha() {
         let mut rng = rng_from_seed(5);
-        let skewed = PartitionStrategy::Dirichlet { alpha: 0.05 }.class_counts(20, 10, 100, &mut rng);
+        let skewed =
+            PartitionStrategy::Dirichlet { alpha: 0.05 }.class_counts(20, 10, 100, &mut rng);
         let flat = PartitionStrategy::Dirichlet { alpha: 50.0 }.class_counts(20, 10, 100, &mut rng);
         let avg_max = |cs: &[Vec<usize>]| {
             cs.iter()
@@ -263,10 +271,15 @@ mod tests {
     fn labels_are_descriptive() {
         assert_eq!(PartitionStrategy::Iid.label(), "iid");
         assert_eq!(
-            PartitionStrategy::Pathological { classes_per_client: 2 }.label(),
+            PartitionStrategy::Pathological {
+                classes_per_client: 2
+            }
+            .label(),
             "pathological(2)"
         );
-        assert!(PartitionStrategy::Dirichlet { alpha: 0.3 }.label().starts_with("dirichlet"));
+        assert!(PartitionStrategy::Dirichlet { alpha: 0.3 }
+            .label()
+            .starts_with("dirichlet"));
     }
 
     #[test]

@@ -227,7 +227,8 @@ impl ScenarioConfig {
         let gen = SyntheticText::new(config);
         let clients = (0..self.num_clients)
             .map(|k| {
-                let all = gen.generate_for_client(k, self.samples_per_client + self.test_per_client);
+                let all =
+                    gen.generate_for_client(k, self.samples_per_client + self.test_per_client);
                 let (train, test) = all.split(
                     self.samples_per_client as f64
                         / (self.samples_per_client + self.test_per_client) as f64,
@@ -337,7 +338,9 @@ mod tests {
     fn seeds_change_data_deterministically() {
         let a = ScenarioConfig::tiny(DatasetKind::MnistLike).build();
         let b = ScenarioConfig::tiny(DatasetKind::MnistLike).build();
-        let c = ScenarioConfig::tiny(DatasetKind::MnistLike).with_seed(7).build();
+        let c = ScenarioConfig::tiny(DatasetKind::MnistLike)
+            .with_seed(7)
+            .build();
         assert_eq!(
             a.clients[0].train.features.as_slice(),
             b.clients[0].train.features.as_slice()

@@ -98,7 +98,8 @@ impl SyntheticText {
         let skew = self.config.client_skew;
         (0..self.config.vocab)
             .map(|tok| {
-                let private = random_stochastic_row(self.config.vocab, self.config.concentration, &mut rng);
+                let private =
+                    random_stochastic_row(self.config.vocab, self.config.concentration, &mut rng);
                 self.global_transitions[tok]
                     .iter()
                     .zip(private.iter())
@@ -192,8 +193,16 @@ mod tests {
         };
         let ha = hist(&a);
         let hb = hist(&b);
-        let tv: f64 = ha.iter().zip(hb.iter()).map(|(x, y)| (x - y).abs()).sum::<f64>() / 2.0;
-        assert!(tv > 0.05, "total-variation distance {tv} too small for non-IID text");
+        let tv: f64 = ha
+            .iter()
+            .zip(hb.iter())
+            .map(|(x, y)| (x - y).abs())
+            .sum::<f64>()
+            / 2.0;
+        assert!(
+            tv > 0.05,
+            "total-variation distance {tv} too small for non-IID text"
+        );
     }
 
     #[test]

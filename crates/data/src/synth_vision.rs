@@ -10,7 +10,7 @@
 //! paper's evaluation: the difficulty knobs are the number of classes, the
 //! feature dimensionality, the prototype separation and the noise level.
 
-use fedlps_tensor::{rng_from_seed, rng::sample_normal, Matrix};
+use fedlps_tensor::{rng::sample_normal, rng_from_seed, Matrix};
 use rand::Rng;
 
 use crate::dataset::{Dataset, InputKind};
@@ -125,7 +125,12 @@ impl SyntheticVision {
                 row += 1;
             }
         }
-        Dataset::new(features, labels, self.config.num_classes, self.config.input_kind())
+        Dataset::new(
+            features,
+            labels,
+            self.config.num_classes,
+            self.config.input_kind(),
+        )
     }
 
     /// Generates a balanced pooled dataset of `samples_per_class` per class
@@ -134,7 +139,10 @@ impl SyntheticVision {
     pub fn generate_pooled(&self, samples_per_class: usize, seed_offset: u64) -> Dataset {
         let dim = self.config.feature_dim();
         let total = samples_per_class * self.config.num_classes;
-        let mut rng = rng_from_seed(fedlps_tensor::split_seed(self.config.seed, 0xA11 + seed_offset));
+        let mut rng = rng_from_seed(fedlps_tensor::split_seed(
+            self.config.seed,
+            0xA11 + seed_offset,
+        ));
         let mut features = Matrix::zeros(total, dim);
         let mut labels = Vec::with_capacity(total);
         let mut row = 0;
@@ -155,7 +163,12 @@ impl SyntheticVision {
             let j = rng.gen_range(0..=i);
             order.swap(i, j);
         }
-        let pooled = Dataset::new(features, labels, self.config.num_classes, self.config.input_kind());
+        let pooled = Dataset::new(
+            features,
+            labels,
+            self.config.num_classes,
+            self.config.input_kind(),
+        );
         pooled.subset(&order)
     }
 }

@@ -58,10 +58,7 @@ impl CostModel {
     /// Eq. (18): the synchronous global round cost — the slowest selected
     /// client determines the round's wall-clock time.
     pub fn global_round_cost(local_costs: &[LocalCost]) -> f64 {
-        local_costs
-            .iter()
-            .map(|c| c.total())
-            .fold(0.0, f64::max)
+        local_costs.iter().map(|c| c.total()).fold(0.0, f64::max)
     }
 }
 
@@ -103,9 +100,18 @@ mod tests {
     #[test]
     fn global_cost_is_the_straggler() {
         let costs = vec![
-            LocalCost { compute_seconds: 1.0, comm_seconds: 0.5 },
-            LocalCost { compute_seconds: 4.0, comm_seconds: 1.0 },
-            LocalCost { compute_seconds: 0.2, comm_seconds: 0.1 },
+            LocalCost {
+                compute_seconds: 1.0,
+                comm_seconds: 0.5,
+            },
+            LocalCost {
+                compute_seconds: 4.0,
+                comm_seconds: 1.0,
+            },
+            LocalCost {
+                compute_seconds: 0.2,
+                comm_seconds: 0.1,
+            },
         ];
         assert!((CostModel::global_round_cost(&costs) - 5.0).abs() < 1e-12);
         assert_eq!(CostModel::global_round_cost(&[]), 0.0);

@@ -224,10 +224,11 @@ mod tests {
 
     #[test]
     fn dynamics_vary_but_respect_floor() {
-        let fleet = DeviceFleet::sample(5, HeterogeneityLevel::High, 1).with_dynamics(DynamicsConfig {
-            enabled: true,
-            min_availability: 0.5,
-        });
+        let fleet =
+            DeviceFleet::sample(5, HeterogeneityLevel::High, 1).with_dynamics(DynamicsConfig {
+                enabled: true,
+                min_availability: 0.5,
+            });
         let base = fleet.static_profile(0);
         let mut saw_change = false;
         for r in 0..20 {

@@ -74,8 +74,14 @@ pub struct ConvNet {
 impl ConvNet {
     /// Builds the architecture, computing spatial sizes and parameter offsets.
     pub fn new(config: ConvNetConfig) -> Self {
-        assert!(!config.channels.is_empty(), "at least one conv block required");
-        assert!(config.height >= KERNEL && config.width >= KERNEL, "input too small");
+        assert!(
+            !config.channels.is_empty(),
+            "at least one conv block required"
+        );
+        assert!(
+            config.height >= KERNEL && config.width >= KERNEL,
+            "input too small"
+        );
         let mut convs = Vec::new();
         let mut offset = 0;
         let mut in_c = config.in_channels;
@@ -131,17 +137,26 @@ impl ConvNet {
                     ],
                 })
                 .collect();
-            unit_layers.push(LayerUnits { name: format!("conv{li}"), units });
+            unit_layers.push(LayerUnits {
+                name: format!("conv{li}"),
+                units,
+            });
         }
         let units = (0..dense_hidden.out_dim)
             .map(|j| UnitParams {
                 ranges: vec![
-                    ParamRange::new(dense_hidden.w_start + j * dense_hidden.in_dim, dense_hidden.in_dim),
+                    ParamRange::new(
+                        dense_hidden.w_start + j * dense_hidden.in_dim,
+                        dense_hidden.in_dim,
+                    ),
                     ParamRange::new(dense_hidden.b_start + j, 1),
                 ],
             })
             .collect();
-        unit_layers.push(LayerUnits { name: "dense_hidden".into(), units });
+        unit_layers.push(LayerUnits {
+            name: "dense_hidden".into(),
+            units,
+        });
         let layout = UnitLayout::new(unit_layers, param_count);
 
         Self {
@@ -220,7 +235,8 @@ impl ConvNet {
         }
 
         // Output dense layer.
-        let d_hidden_act = dense_backward(params, &self.dense_out, &cache.hidden_act, &d_logits, grad);
+        let d_hidden_act =
+            dense_backward(params, &self.dense_out, &cache.hidden_act, &d_logits, grad);
         // Hidden dense layer (through ReLU).
         let mut d_hidden_pre = d_hidden_act;
         for (d, &pre) in d_hidden_pre.iter_mut().zip(cache.hidden_pre.iter()) {
@@ -315,7 +331,14 @@ fn conv_backward(
 ) -> Vec<f32> {
     let (h, w) = (conv.in_h, conv.in_w);
     let per_channel = conv.in_channels * KERNEL * KERNEL;
-    let mut d_input = vec![0.0f32; if need_d_input { conv.in_channels * h * w } else { 0 }];
+    let mut d_input = vec![
+        0.0f32;
+        if need_d_input {
+            conv.in_channels * h * w
+        } else {
+            0
+        }
+    ];
     for oc in 0..conv.out_channels {
         let w_base = conv.w_start + oc * per_channel;
         let mut d_bias = 0.0f32;
@@ -558,7 +581,11 @@ mod tests {
             features,
             labels,
             3,
-            InputKind::Image { channels: 2, height: 6, width: 6 },
+            InputKind::Image {
+                channels: 2,
+                height: 6,
+                width: 6,
+            },
         )
     }
 
@@ -605,7 +632,12 @@ mod tests {
             fedlps_tensor::ops::axpy(&mut params, -0.3, &grad);
         }
         let after = net.evaluate(&params, &data);
-        assert!(after.loss < before.loss, "loss {} -> {}", before.loss, after.loss);
+        assert!(
+            after.loss < before.loss,
+            "loss {} -> {}",
+            before.loss,
+            after.loss
+        );
     }
 
     #[test]

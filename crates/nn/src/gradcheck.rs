@@ -43,10 +43,14 @@ pub fn check_gradients(
         let i = rng.gen_range(0..params.len());
         perturbed[i] = params[i] + eps;
         let mut scratch = vec![0.0f32; params.len()];
-        let plus = arch.loss_and_grad(&perturbed, data, indices, &mut scratch).loss;
+        let plus = arch
+            .loss_and_grad(&perturbed, data, indices, &mut scratch)
+            .loss;
         perturbed[i] = params[i] - eps;
         scratch.fill(0.0);
-        let minus = arch.loss_and_grad(&perturbed, data, indices, &mut scratch).loss;
+        let minus = arch
+            .loss_and_grad(&perturbed, data, indices, &mut scratch)
+            .loss;
         perturbed[i] = params[i];
 
         let numeric = (plus - minus) / (2.0 * eps as f64);

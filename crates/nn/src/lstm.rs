@@ -48,7 +48,12 @@ pub struct LstmLm {
 impl LstmLm {
     /// Builds the architecture and its unit layout.
     pub fn new(config: LstmLmConfig) -> Self {
-        let (v, e, h, c) = (config.vocab, config.embed, config.hidden, config.num_classes);
+        let (v, e, h, c) = (
+            config.vocab,
+            config.embed,
+            config.hidden,
+            config.num_classes,
+        );
         assert!(v > 0 && e > 0 && h > 0 && c > 0 && config.seq_len > 0);
         let embed_start = 0;
         let w_ih_start = embed_start + v * e;
@@ -70,7 +75,10 @@ impl LstmLm {
             })
             .collect();
         let layout = UnitLayout::new(
-            vec![LayerUnits { name: "lstm".into(), units }],
+            vec![LayerUnits {
+                name: "lstm".into(),
+                units,
+            }],
             param_count,
         );
 
@@ -107,7 +115,8 @@ impl LstmLm {
         let mut c_prev = vec![0.0f32; h];
         for &tok in tokens {
             let token = (tok as usize).min(self.config.vocab - 1);
-            let x = params[self.embed_start + token * e..self.embed_start + (token + 1) * e].to_vec();
+            let x =
+                params[self.embed_start + token * e..self.embed_start + (token + 1) * e].to_vec();
             // Gate pre-activations z[gate * h + j].
             let mut z = vec![0.0f32; 4 * h];
             for (row, zv) in z.iter_mut().enumerate() {
@@ -290,7 +299,12 @@ impl ModelArch for LstmLm {
             self.config.num_classes,
         );
         let mut params = vec![0.0f32; self.param_count];
-        Initializer::Xavier.fill(&mut params[self.embed_start..self.embed_start + v * e], v, e, rng);
+        Initializer::Xavier.fill(
+            &mut params[self.embed_start..self.embed_start + v * e],
+            v,
+            e,
+            rng,
+        );
         Initializer::Xavier.fill(
             &mut params[self.w_ih_start..self.w_ih_start + 4 * h * e],
             e,
@@ -303,7 +317,12 @@ impl ModelArch for LstmLm {
             h,
             rng,
         );
-        Initializer::Xavier.fill(&mut params[self.w_out_start..self.w_out_start + c * h], h, c, rng);
+        Initializer::Xavier.fill(
+            &mut params[self.w_out_start..self.w_out_start + c * h],
+            h,
+            c,
+            rng,
+        );
         // Forget-gate biases start at 1.0 (standard practice for trainability).
         for j in 0..h {
             params[self.b_start + h + j] = 1.0;
@@ -400,7 +419,12 @@ mod tests {
             }
             labels.push(rng.gen_range(0..7));
         }
-        Dataset::new(features, labels, 7, InputKind::Sequence { len: 5, vocab: 7 })
+        Dataset::new(
+            features,
+            labels,
+            7,
+            InputKind::Sequence { len: 5, vocab: 7 },
+        )
     }
 
     #[test]
@@ -437,7 +461,12 @@ mod tests {
             }
             labels.push(row[4] as usize);
         }
-        let data = Dataset::new(features, labels, 7, InputKind::Sequence { len: 5, vocab: 7 });
+        let data = Dataset::new(
+            features,
+            labels,
+            7,
+            InputKind::Sequence { len: 5, vocab: 7 },
+        );
         let mut params = m.init_params(&mut rng);
         let indices: Vec<usize> = (0..n).collect();
         let before = m.evaluate(&params, &data);
@@ -447,7 +476,12 @@ mod tests {
             fedlps_tensor::ops::axpy(&mut params, -1.0, &grad);
         }
         let after = m.evaluate(&params, &data);
-        assert!(after.loss < before.loss * 0.8, "loss {} -> {}", before.loss, after.loss);
+        assert!(
+            after.loss < before.loss * 0.8,
+            "loss {} -> {}",
+            before.loss,
+            after.loss
+        );
     }
 
     #[test]
@@ -463,7 +497,11 @@ mod tests {
         let (tokens, _) = data.sample(0);
         let cache = m.forward_sample(&masked, tokens);
         for hs in &cache.hs {
-            assert!(hs[2].abs() < 1e-7, "masked cell leaked activation {}", hs[2]);
+            assert!(
+                hs[2].abs() < 1e-7,
+                "masked cell leaked activation {}",
+                hs[2]
+            );
         }
     }
 
@@ -480,7 +518,12 @@ mod tests {
         let mut rng = rng_from_seed(9);
         let params = m.init_params(&mut rng);
         let features = Matrix::from_vec(1, 5, vec![100.0, 3.0, 2.0, 1.0, 0.0]);
-        let data = Dataset::new(features, vec![0], 7, InputKind::Sequence { len: 5, vocab: 7 });
+        let data = Dataset::new(
+            features,
+            vec![0],
+            7,
+            InputKind::Sequence { len: 5, vocab: 7 },
+        );
         let stats = m.evaluate(&params, &data);
         assert!(stats.loss.is_finite());
     }

@@ -228,7 +228,7 @@ impl ModelArch for Mlp {
             if li > 0 {
                 let w = self.weight_matrix(params, li);
                 let mut d_input = delta.matmul(&w); // n x in
-                // Chain through the ReLU of the previous layer.
+                                                    // Chain through the ReLU of the previous layer.
                 let prev_pre = &pre[li - 1];
                 for r in 0..d_input.rows() {
                     let drow = d_input.row_mut(r);
@@ -344,7 +344,12 @@ mod tests {
             fedlps_tensor::ops::axpy(&mut params, -0.5, &grad);
         }
         let after = mlp.evaluate(&params, &data);
-        assert!(after.loss < before.loss * 0.7, "loss {} -> {}", before.loss, after.loss);
+        assert!(
+            after.loss < before.loss * 0.7,
+            "loss {} -> {}",
+            before.loss,
+            after.loss
+        );
         assert!(after.accuracy > before.accuracy);
     }
 
@@ -359,15 +364,21 @@ mod tests {
         keep[0] = false;
         let mask = mlp.unit_layout().expand_mask(&keep);
         let masked: Vec<f32> = params.iter().zip(mask.iter()).map(|(p, m)| p * m).collect();
-        // Now also perturb the masked-out neuron's incoming weights hugely;
-        // predictions must not change because its activation is zero.
+        // The dropped neuron's pre-activation is exactly zero (weights and
+        // bias are masked) and relu(0) = 0, so the *downstream* weights that
+        // read its activation are multiplied by zero: perturbing them hugely
+        // must not change predictions. (A previous version of this test set
+        // the already-zeroed incoming weights to zero, which asserted
+        // nothing.)
         let mut perturbed = masked.clone();
-        for i in 0..6 {
-            perturbed[i] = 0.0; // row 0 of W0 already zero; keep zero
+        let next = &mlp.layers[1];
+        for j in 0..next.out_dim {
+            perturbed[next.w_start + j * next.in_dim] = 1e6;
         }
         let a = mlp.evaluate(&masked, &data);
         let b = mlp.evaluate(&perturbed, &data);
         assert!((a.loss - b.loss).abs() < 1e-9);
+        assert_eq!(a.accuracy, b.accuracy);
     }
 
     #[test]

@@ -137,15 +137,25 @@ impl ModelKind {
     /// for CIFAR-10/100 and Tiny-ImageNet, an LSTM for Reddit) at reduced width.
     pub fn for_dataset(kind: DatasetKind) -> ModelKind {
         match kind {
-            DatasetKind::MnistLike => ModelKind::Mlp { hidden: vec![128, 64] },
-            DatasetKind::Cifar10Like => ModelKind::ConvNet { channels: vec![12, 16], hidden: 48 },
-            DatasetKind::Cifar100Like => {
-                ModelKind::ConvNet { channels: vec![12, 16, 16], hidden: 64 }
-            }
-            DatasetKind::TinyImagenetLike => {
-                ModelKind::ConvNet { channels: vec![12, 16, 16, 24], hidden: 80 }
-            }
-            DatasetKind::RedditLike => ModelKind::LstmLm { embed: 16, hidden: 32 },
+            DatasetKind::MnistLike => ModelKind::Mlp {
+                hidden: vec![128, 64],
+            },
+            DatasetKind::Cifar10Like => ModelKind::ConvNet {
+                channels: vec![12, 16],
+                hidden: 48,
+            },
+            DatasetKind::Cifar100Like => ModelKind::ConvNet {
+                channels: vec![12, 16, 16],
+                hidden: 64,
+            },
+            DatasetKind::TinyImagenetLike => ModelKind::ConvNet {
+                channels: vec![12, 16, 16, 24],
+                hidden: 80,
+            },
+            DatasetKind::RedditLike => ModelKind::LstmLm {
+                embed: 16,
+                hidden: 32,
+            },
         }
     }
 
@@ -160,7 +170,11 @@ impl ModelKind {
             })),
             ModelKind::ConvNet { channels, hidden } => {
                 let (c, h, w) = match input {
-                    InputKind::Image { channels, height, width } => (channels, height, width),
+                    InputKind::Image {
+                        channels,
+                        height,
+                        width,
+                    } => (channels, height, width),
                     // Fall back to a 1-channel square-ish layout for vector inputs.
                     other => {
                         let dim = other.feature_dim();
@@ -200,8 +214,16 @@ mod tests {
 
     #[test]
     fn eval_stats_merge_weights_by_samples() {
-        let a = EvalStats { loss: 1.0, accuracy: 1.0, samples: 1 };
-        let b = EvalStats { loss: 3.0, accuracy: 0.0, samples: 3 };
+        let a = EvalStats {
+            loss: 1.0,
+            accuracy: 1.0,
+            samples: 1,
+        };
+        let b = EvalStats {
+            loss: 3.0,
+            accuracy: 0.0,
+            samples: 3,
+        };
         let m = a.merge(b);
         assert!((m.loss - 2.5).abs() < 1e-9);
         assert!((m.accuracy - 0.25).abs() < 1e-9);
@@ -229,15 +251,24 @@ mod tests {
     fn build_all_kinds() {
         let mlp = ModelKind::Mlp { hidden: vec![8] }.build(InputKind::Vector { dim: 12 }, 4);
         assert!(mlp.param_count() > 0);
-        let cnn = ModelKind::ConvNet { channels: vec![4], hidden: 8 }.build(
-            InputKind::Image { channels: 1, height: 6, width: 6 },
+        let cnn = ModelKind::ConvNet {
+            channels: vec![4],
+            hidden: 8,
+        }
+        .build(
+            InputKind::Image {
+                channels: 1,
+                height: 6,
+                width: 6,
+            },
             4,
         );
         assert!(cnn.param_count() > 0);
-        let lm = ModelKind::LstmLm { embed: 4, hidden: 6 }.build(
-            InputKind::Sequence { len: 5, vocab: 11 },
-            11,
-        );
+        let lm = ModelKind::LstmLm {
+            embed: 4,
+            hidden: 6,
+        }
+        .build(InputKind::Sequence { len: 5, vocab: 11 }, 11);
         assert!(lm.param_count() > 0);
     }
 }

@@ -85,7 +85,11 @@ mod tests {
 
     #[test]
     fn step_moves_against_gradient() {
-        let cfg = SgdConfig { lr: 0.5, weight_decay: 0.0, clip_norm: None };
+        let cfg = SgdConfig {
+            lr: 0.5,
+            weight_decay: 0.0,
+            clip_norm: None,
+        };
         let mut p = vec![1.0, -1.0];
         let mut g = vec![2.0, -2.0];
         cfg.step(&mut p, &mut g);
@@ -94,7 +98,11 @@ mod tests {
 
     #[test]
     fn weight_decay_shrinks_params() {
-        let cfg = SgdConfig { lr: 0.1, weight_decay: 1.0, clip_norm: None };
+        let cfg = SgdConfig {
+            lr: 0.1,
+            weight_decay: 1.0,
+            clip_norm: None,
+        };
         let mut p = vec![1.0];
         let mut g = vec![0.0];
         cfg.step(&mut p, &mut g);
@@ -103,7 +111,11 @@ mod tests {
 
     #[test]
     fn clipping_limits_step_size() {
-        let cfg = SgdConfig { lr: 1.0, weight_decay: 0.0, clip_norm: Some(1.0) };
+        let cfg = SgdConfig {
+            lr: 1.0,
+            weight_decay: 0.0,
+            clip_norm: Some(1.0),
+        };
         let mut p = vec![0.0, 0.0];
         let mut g = vec![30.0, 40.0];
         cfg.step(&mut p, &mut g);
@@ -113,7 +125,11 @@ mod tests {
 
     #[test]
     fn masked_step_freezes_masked_params() {
-        let cfg = SgdConfig { lr: 0.1, weight_decay: 0.0, clip_norm: None };
+        let cfg = SgdConfig {
+            lr: 0.1,
+            weight_decay: 0.0,
+            clip_norm: None,
+        };
         let mut p = vec![1.0, 1.0];
         let mut g = vec![1.0, 1.0];
         cfg.step_masked(&mut p, &mut g, &[1.0, 0.0]);

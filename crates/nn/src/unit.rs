@@ -49,7 +49,12 @@ impl UnitParams {
     pub fn magnitude_sum(&self, params: &[f32]) -> f32 {
         self.ranges
             .iter()
-            .map(|r| params[r.start..r.end()].iter().map(|v| v.abs()).sum::<f32>())
+            .map(|r| {
+                params[r.start..r.end()]
+                    .iter()
+                    .map(|v| v.abs())
+                    .sum::<f32>()
+            })
             .sum()
     }
 }
@@ -146,13 +151,15 @@ impl UnitLayout {
     /// Iterates over `(global_unit_index, layer_index, &UnitParams)`.
     pub fn iter_units(&self) -> impl Iterator<Item = (usize, usize, &UnitParams)> {
         let mut global = 0;
-        self.layers.iter().enumerate().flat_map(move |(li, layer)| {
-            layer.units.iter().map(move |u| (li, u))
-        }).map(move |(li, u)| {
-            let idx = global;
-            global += 1;
-            (idx, li, u)
-        })
+        self.layers
+            .iter()
+            .enumerate()
+            .flat_map(move |(li, layer)| layer.units.iter().map(move |u| (li, u)))
+            .map(move |(li, u)| {
+                let idx = global;
+                global += 1;
+                (idx, li, u)
+            })
     }
 
     /// Per-unit magnitude sums `|ω|_J` (Eq. 8 of the paper): the j-th entry is
@@ -174,7 +181,11 @@ impl UnitLayout {
     /// Parameters not owned by any unit (embeddings, classifier biases, …) are
     /// always kept.
     pub fn expand_mask(&self, unit_keep: &[bool]) -> Vec<f32> {
-        assert_eq!(unit_keep.len(), self.total_units(), "unit mask length mismatch");
+        assert_eq!(
+            unit_keep.len(),
+            self.total_units(),
+            "unit mask length mismatch"
+        );
         let mut mask = vec![1.0f32; self.total_params];
         let mut j = 0;
         for layer in &self.layers {
@@ -228,16 +239,26 @@ mod tests {
         let l0 = LayerUnits {
             name: "hidden0".into(),
             units: vec![
-                UnitParams { ranges: vec![ParamRange::new(0, 2), ParamRange::new(10, 1)] },
-                UnitParams { ranges: vec![ParamRange::new(2, 2), ParamRange::new(11, 1)] },
+                UnitParams {
+                    ranges: vec![ParamRange::new(0, 2), ParamRange::new(10, 1)],
+                },
+                UnitParams {
+                    ranges: vec![ParamRange::new(2, 2), ParamRange::new(11, 1)],
+                },
             ],
         };
         let l1 = LayerUnits {
             name: "hidden1".into(),
             units: vec![
-                UnitParams { ranges: vec![ParamRange::new(4, 2)] },
-                UnitParams { ranges: vec![ParamRange::new(6, 2)] },
-                UnitParams { ranges: vec![ParamRange::new(8, 2)] },
+                UnitParams {
+                    ranges: vec![ParamRange::new(4, 2)],
+                },
+                UnitParams {
+                    ranges: vec![ParamRange::new(6, 2)],
+                },
+                UnitParams {
+                    ranges: vec![ParamRange::new(8, 2)],
+                },
             ],
         };
         UnitLayout::new(vec![l0, l1], 20)
@@ -303,7 +324,9 @@ mod tests {
     fn out_of_bounds_range_rejected() {
         let l = LayerUnits {
             name: "bad".into(),
-            units: vec![UnitParams { ranges: vec![ParamRange::new(18, 5)] }],
+            units: vec![UnitParams {
+                ranges: vec![ParamRange::new(18, 5)],
+            }],
         };
         UnitLayout::new(vec![l], 20);
     }

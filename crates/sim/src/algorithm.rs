@@ -75,8 +75,13 @@ pub trait FlAlgorithm: Send + Sync {
     /// Executes one selected client's local work for the round and returns its
     /// report. Implementations store whatever update payload their
     /// `aggregate` needs in their own state.
-    fn run_client(&mut self, env: &FlEnv, round: usize, client: usize, rng: &mut StdRng)
-        -> ClientReport;
+    fn run_client(
+        &mut self,
+        env: &FlEnv,
+        round: usize,
+        client: usize,
+        rng: &mut StdRng,
+    ) -> ClientReport;
 
     /// Server-side aggregation at the end of the round.
     fn aggregate(&mut self, env: &FlEnv, round: usize, reports: &[ClientReport]);
@@ -124,7 +129,10 @@ mod tests {
             flops: 2.0,
             upload_bytes: 3.0,
             download_bytes: 4.0,
-            local_cost: LocalCost { compute_seconds: 0.5, comm_seconds: 0.25 },
+            local_cost: LocalCost {
+                compute_seconds: 0.5,
+                comm_seconds: 0.25,
+            },
             train_accuracy: 0.8,
             train_loss: 0.4,
             sparse_ratio: 0.5,

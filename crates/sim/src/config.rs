@@ -112,7 +112,10 @@ mod tests {
 
     #[test]
     fn builders_apply() {
-        let cfg = FlConfig::tiny().with_rounds(3).with_seed(99).with_clients_per_round(0);
+        let cfg = FlConfig::tiny()
+            .with_rounds(3)
+            .with_seed(99)
+            .with_clients_per_round(0);
         assert_eq!(cfg.rounds, 3);
         assert_eq!(cfg.seed, 99);
         assert_eq!(cfg.clients_per_round, 1, "clamps to at least one client");

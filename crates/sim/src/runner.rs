@@ -43,7 +43,10 @@ impl Simulator {
 
         for round in 0..env.config.rounds {
             let selected = algorithm.select_clients(env, round, &mut selection_rng);
-            assert!(!selected.is_empty(), "a round must select at least one client");
+            assert!(
+                !selected.is_empty(),
+                "a round must select at least one client"
+            );
 
             let mut reports = Vec::with_capacity(selected.len());
             for &client in &selected {
@@ -73,8 +76,7 @@ impl Simulator {
                 reports.iter().map(|r| r.sparse_ratio).sum::<f64>() / reports.len() as f64;
 
             // Periodic personalized evaluation across the *whole* federation.
-            let evaluate_now =
-                round % env.config.eval_every == 0 || round + 1 == env.config.rounds;
+            let evaluate_now = round % env.config.eval_every == 0 || round + 1 == env.config.rounds;
             let mean_accuracy = if evaluate_now {
                 Some(Self::mean_accuracy_parallel(env, algorithm))
             } else {
@@ -139,7 +141,10 @@ mod tests {
 
     impl MiniFedAvg {
         fn new() -> Self {
-            Self { global: Vec::new(), staged: Vec::new() }
+            Self {
+                global: Vec::new(),
+                staged: Vec::new(),
+            }
         }
     }
 
@@ -168,7 +173,13 @@ mod tests {
                 prox: None,
                 frozen: None,
             };
-            let summary = local_sgd(&*env.arch, &mut params, env.train_data(client), &options, rng);
+            let summary = local_sgd(
+                &*env.arch,
+                &mut params,
+                env.train_data(client),
+                &options,
+                rng,
+            );
             let accounting = account_round(
                 &*env.arch,
                 &env.cost,

@@ -159,7 +159,11 @@ mod tests {
     use fedlps_tensor::{rng_from_seed, Matrix};
 
     fn toy() -> (Mlp, Dataset) {
-        let mlp = Mlp::new(MlpConfig { input_dim: 6, hidden: vec![8], num_classes: 3 });
+        let mlp = Mlp::new(MlpConfig {
+            input_dim: 6,
+            hidden: vec![8],
+            num_classes: 3,
+        });
         let mut rng = rng_from_seed(3);
         let features = Matrix::random_normal(30, 6, 1.0, &mut rng);
         let labels: Vec<usize> = (0..30).map(|i| i % 3).collect();
@@ -227,7 +231,11 @@ mod tests {
                 batch_size: 16,
                 sgd: SgdConfig::vision(),
                 param_mask: None,
-                prox: if mu > 0.0 { Some((mu, global.as_slice())) } else { None },
+                prox: if mu > 0.0 {
+                    Some((mu, global.as_slice()))
+                } else {
+                    None
+                },
                 frozen: None,
             };
             local_sgd(&mlp, &mut params, &data, &options, rng);
@@ -289,10 +297,28 @@ mod tests {
         let (mlp, _) = toy();
         let cost = CostModel::default();
         let device = DeviceProfile::from_tier(CapabilityTier::Quarter);
-        let dense = account_round(&mlp, &cost, &device, None, 5, 20, mlp.param_count(), mlp.param_count());
+        let dense = account_round(
+            &mlp,
+            &cost,
+            &device,
+            None,
+            5,
+            20,
+            mlp.param_count(),
+            mlp.param_count(),
+        );
         let mask = UnitMask::from_keep((0..8).map(|i| i < 2).collect());
         let kept = mask.retained_params(mlp.unit_layout());
-        let sparse = account_round(&mlp, &cost, &device, Some(&mask), 5, 20, kept, mlp.param_count());
+        let sparse = account_round(
+            &mlp,
+            &cost,
+            &device,
+            Some(&mask),
+            5,
+            20,
+            kept,
+            mlp.param_count(),
+        );
         assert!(sparse.flops < dense.flops);
         assert!(sparse.upload_bytes < dense.upload_bytes);
         assert!(sparse.local_cost.total() < dense.local_cost.total());

@@ -169,9 +169,17 @@ mod tests {
         // Unit 0 of hidden0 owns W0 row 0 (4 params) and b0[0].
         assert!(masked[..4].iter().all(|&v| v == 0.0));
         assert_ne!(&masked[4..8], &[0.0; 4]);
-        let zeroed = params.len() - masked.iter().zip(params.iter()).filter(|(m, p)| *m == *p).count();
+        let zeroed = params.len()
+            - masked
+                .iter()
+                .zip(params.iter())
+                .filter(|(m, p)| *m == *p)
+                .count();
         // Exactly the 5 owned parameters changed (assuming none were already 0).
-        assert_eq!(zeroed, 4, "bias started at zero so only 4 weight values change");
+        assert_eq!(
+            zeroed, 4,
+            "bias started at zero so only 4 weight values change"
+        );
     }
 
     #[test]

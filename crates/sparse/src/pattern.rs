@@ -178,14 +178,8 @@ mod tests {
             PatternStrategy::Magnitude,
             PatternStrategy::Importance,
         ] {
-            let mask = strategy.build_mask(
-                mlp.unit_layout(),
-                &params,
-                Some(&scores),
-                0.5,
-                3,
-                &mut rng,
-            );
+            let mask =
+                strategy.build_mask(mlp.unit_layout(), &params, Some(&scores), 0.5, 3, &mut rng);
             assert_eq!(
                 mask.retained_per_layer(mlp.unit_layout()),
                 vec![4, 3],
@@ -200,15 +194,33 @@ mod tests {
         let mlp = toy();
         let mut rng = rng_from_seed(2);
         let params = mlp.init_params(&mut rng);
-        let ordered =
-            PatternStrategy::Ordered.build_mask(mlp.unit_layout(), &params, None, 0.25, 0, &mut rng);
+        let ordered = PatternStrategy::Ordered.build_mask(
+            mlp.unit_layout(),
+            &params,
+            None,
+            0.25,
+            0,
+            &mut rng,
+        );
         assert!(ordered.is_kept(0) && ordered.is_kept(1));
         assert!(!ordered.is_kept(7));
 
-        let roll0 = PatternStrategy::RollingOrdered
-            .build_mask(mlp.unit_layout(), &params, None, 0.25, 0, &mut rng);
-        let roll3 = PatternStrategy::RollingOrdered
-            .build_mask(mlp.unit_layout(), &params, None, 0.25, 3, &mut rng);
+        let roll0 = PatternStrategy::RollingOrdered.build_mask(
+            mlp.unit_layout(),
+            &params,
+            None,
+            0.25,
+            0,
+            &mut rng,
+        );
+        let roll3 = PatternStrategy::RollingOrdered.build_mask(
+            mlp.unit_layout(),
+            &params,
+            None,
+            0.25,
+            3,
+            &mut rng,
+        );
         assert_ne!(roll0.keep_flags(), roll3.keep_flags());
         assert!(roll3.is_kept(3), "window should start at unit 3 in round 3");
     }
@@ -290,14 +302,8 @@ mod tests {
             PatternStrategy::Magnitude,
             PatternStrategy::Importance,
         ] {
-            let mask = strategy.build_mask(
-                mlp.unit_layout(),
-                &params,
-                Some(&scores),
-                1.0,
-                9,
-                &mut rng,
-            );
+            let mask =
+                strategy.build_mask(mlp.unit_layout(), &params, Some(&scores), 1.0, 9, &mut rng);
             assert_eq!(mask.retained_units(), mlp.unit_layout().total_units());
         }
     }

@@ -60,10 +60,7 @@ pub fn norm(a: &[f32]) -> f32 {
 /// Squared Euclidean distance between two slices.
 pub fn dist_sq(a: &[f32], b: &[f32]) -> f32 {
     assert_eq!(a.len(), b.len(), "dist_sq length mismatch");
-    a.iter()
-        .zip(b.iter())
-        .map(|(x, y)| (x - y) * (x - y))
-        .sum()
+    a.iter().zip(b.iter()).map(|(x, y)| (x - y) * (x - y)).sum()
 }
 
 /// `out = Σ_i weights[i] * inputs[i]` with the weights normalised to sum to 1.
@@ -76,7 +73,11 @@ pub fn dist_sq(a: &[f32], b: &[f32]) -> f32 {
 /// Panics if `inputs` is empty, lengths differ, or all weights are zero.
 pub fn weighted_mean_into(out: &mut [f32], inputs: &[&[f32]], weights: &[f64]) {
     assert!(!inputs.is_empty(), "weighted mean of zero inputs");
-    assert_eq!(inputs.len(), weights.len(), "weights/inputs length mismatch");
+    assert_eq!(
+        inputs.len(),
+        weights.len(),
+        "weights/inputs length mismatch"
+    );
     let total: f64 = weights.iter().sum();
     assert!(total > 0.0, "weighted mean requires positive total weight");
     out.fill(0.0);

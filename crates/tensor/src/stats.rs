@@ -35,7 +35,10 @@ pub fn std_dev(values: &[f64]) -> f64 {
 /// Panics on an empty slice or a `q` outside `[0, 1]`.
 pub fn quantile(values: &[f32], q: f64) -> f32 {
     assert!(!values.is_empty(), "quantile of empty slice");
-    assert!((0.0..=1.0).contains(&q), "quantile fraction must be in [0,1]");
+    assert!(
+        (0.0..=1.0).contains(&q),
+        "quantile fraction must be in [0,1]"
+    );
     let mut sorted: Vec<f32> = values.to_vec();
     sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
     let pos = q * (sorted.len() - 1) as f64;

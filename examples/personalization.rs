@@ -10,7 +10,6 @@
 use fedlps::baselines::registry::baseline_by_name;
 use fedlps::core::FedLps;
 use fedlps::prelude::*;
-use fedlps::sim::algorithm::FlAlgorithm as _;
 
 fn main() {
     let scenario = ScenarioConfig::small(DatasetKind::MnistLike).with_clients(12);
@@ -39,13 +38,11 @@ fn main() {
     println!("{:<10} {:>10} {:>14}", "method", "acc (%)", "FLOPs (1e9)");
     for name in ["FedAvg", "Ditto", "FedPer"] {
         let mut algo = baseline_by_name(name).unwrap();
-        let result = Simulator::new(
-            FlEnv::from_scenario(
-                &ScenarioConfig::small(DatasetKind::MnistLike).with_clients(12),
-                HeterogeneityLevel::High,
-                sim.env().config,
-            ),
-        )
+        let result = Simulator::new(FlEnv::from_scenario(
+            &ScenarioConfig::small(DatasetKind::MnistLike).with_clients(12),
+            HeterogeneityLevel::High,
+            sim.env().config,
+        ))
         .run(&mut *algo);
         println!(
             "{:<10} {:>10.2} {:>14.2}",

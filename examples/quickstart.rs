@@ -39,11 +39,26 @@ fn main() {
     // 3. Report what the paper's Table I reports: mean personalized accuracy,
     //    total FLOPs and total simulated time.
     println!("\n== {} on {} ==", result.algorithm, result.dataset);
-    println!("final mean personalized accuracy: {:.2}%", result.final_accuracy * 100.0);
-    println!("best accuracy observed:           {:.2}%", result.best_accuracy * 100.0);
-    println!("total training FLOPs:             {:.2}e9", result.total_flops / 1e9);
-    println!("total simulated time:             {:.2}s", result.total_time);
-    println!("mean sparse ratio used:           {:.2}", result.mean_sparse_ratio());
+    println!(
+        "final mean personalized accuracy: {:.2}%",
+        result.final_accuracy * 100.0
+    );
+    println!(
+        "best accuracy observed:           {:.2}%",
+        result.best_accuracy * 100.0
+    );
+    println!(
+        "total training FLOPs:             {:.2}e9",
+        result.total_flops / 1e9
+    );
+    println!(
+        "total simulated time:             {:.2}s",
+        result.total_time
+    );
+    println!(
+        "mean sparse ratio used:           {:.2}",
+        result.mean_sparse_ratio()
+    );
 
     println!("\nper-client sparse ratios proposed by P-UCBV after training:");
     for (k, ratio) in fedlps.proposed_ratios().iter().enumerate() {

@@ -25,8 +25,8 @@ impl ToyClient {
         self.accuracy = (self.accuracy + gain).min(0.95);
         let flops = 2.0e11 * ratio;
         let bytes = 2.0e6 * ratio;
-        let cost = flops / self.device.compute_flops_per_sec
-            + bytes / self.device.bandwidth_bytes_per_sec;
+        let cost =
+            flops / self.device.compute_flops_per_sec + bytes / self.device.bandwidth_bytes_per_sec;
         (self.accuracy, cost)
     }
 }
@@ -34,11 +34,21 @@ impl ToyClient {
 fn main() {
     let rounds = 60;
     println!("P-UCBV ratio trajectories for three capability tiers ({rounds} rounds)\n");
-    for tier in [CapabilityTier::Full, CapabilityTier::Quarter, CapabilityTier::Sixteenth] {
+    for tier in [
+        CapabilityTier::Full,
+        CapabilityTier::Quarter,
+        CapabilityTier::Sixteenth,
+    ] {
         let device = DeviceProfile::from_tier(tier);
-        let mut client = ToyClient { device, accuracy: 0.1 };
+        let mut client = ToyClient {
+            device,
+            accuracy: 0.1,
+        };
         let mut agent = PUcbv::new(
-            PUcbvConfig { total_rounds: rounds, ..PUcbvConfig::default() },
+            PUcbvConfig {
+                total_rounds: rounds,
+                ..PUcbvConfig::default()
+            },
             device.max_sparse_ratio(),
             client.accuracy,
         );
@@ -48,7 +58,14 @@ fn main() {
         for _ in 0..rounds {
             let (accuracy, cost) = client.step(ratio);
             trajectory.push(ratio);
-            ratio = agent.update(PUcbvFeedback { ratio, local_cost: cost, accuracy }, &mut rng);
+            ratio = agent.update(
+                PUcbvFeedback {
+                    ratio,
+                    local_cost: cost,
+                    accuracy,
+                },
+                &mut rng,
+            );
         }
         let early: f64 = trajectory[..10].iter().sum::<f64>() / 10.0;
         let late: f64 = trajectory[rounds - 10..].iter().sum::<f64>() / 10.0;

@@ -53,11 +53,7 @@ pub mod prelude {
     };
     pub use fedlps_nn::model::{ModelArch, ModelKind};
     pub use fedlps_sim::{
-        algorithm::FlAlgorithm,
-        config::FlConfig,
-        env::FlEnv,
-        metrics::RunResult,
-        runner::Simulator,
+        algorithm::FlAlgorithm, config::FlConfig, env::FlEnv, metrics::RunResult, runner::Simulator,
     };
     pub use fedlps_sparse::{mask::UnitMask, pattern::PatternStrategy};
 }

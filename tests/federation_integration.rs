@@ -5,7 +5,6 @@
 use fedlps::baselines::registry::{baseline_by_name, baseline_names};
 use fedlps::core::{FedLps, FedLpsConfig};
 use fedlps::prelude::*;
-use fedlps::sim::algorithm::FlAlgorithm;
 
 fn tiny_env(kind: DatasetKind, level: HeterogeneityLevel, rounds: usize) -> FlEnv {
     let scenario = ScenarioConfig::tiny(kind);
@@ -67,7 +66,10 @@ fn every_registered_baseline_completes_a_federation() {
         let mut algo = baseline_by_name(name).unwrap();
         let result = sim.run(&mut *algo);
         assert_eq!(result.rounds.len(), 3, "{name}");
-        assert!(result.final_accuracy >= 0.0 && result.final_accuracy <= 1.0, "{name}");
+        assert!(
+            result.final_accuracy >= 0.0 && result.final_accuracy <= 1.0,
+            "{name}"
+        );
         assert!(result.total_time > 0.0, "{name}");
     }
 }

@@ -1,0 +1,46 @@
+//! Smoke test mirroring `examples/quickstart.rs` at reduced scale, so the
+//! example's code path (scenario → env → simulator → FedLPS → metrics →
+//! P-UCBV ratio report) is exercised by `cargo test` and cannot silently rot.
+
+use fedlps::prelude::*;
+
+#[test]
+fn quickstart_code_path_runs_end_to_end() {
+    // Tiny version of the quickstart federation: fewer clients, 2 rounds.
+    let scenario = ScenarioConfig::tiny(DatasetKind::MnistLike).with_clients(4);
+    let fl_config = FlConfig {
+        rounds: 2,
+        clients_per_round: 2,
+        local_iterations: 2,
+        batch_size: 8,
+        eval_every: 1,
+        ..FlConfig::default()
+    };
+    let env = FlEnv::from_scenario(&scenario, HeterogeneityLevel::High, fl_config);
+    assert_eq!(env.num_clients(), 4);
+    assert!(env.arch.param_count() > 0);
+    assert!(!env.arch.name().is_empty());
+
+    let sim = Simulator::new(env);
+    let mut fedlps = fedlps::core::FedLps::for_env(sim.env());
+    let result = sim.run(&mut fedlps);
+
+    // The quickstart prints these fields; assert they are all populated and
+    // within their domains.
+    assert_eq!(result.algorithm, "FedLPS");
+    assert!(!result.dataset.is_empty());
+    assert!((0.0..=1.0).contains(&result.final_accuracy));
+    assert!((0.0..=1.0).contains(&result.best_accuracy));
+    assert!(result.best_accuracy >= result.final_accuracy * 0.999);
+    assert!(result.total_flops > 0.0);
+    assert!(result.total_time > 0.0);
+    assert!(result.mean_sparse_ratio() > 0.0 && result.mean_sparse_ratio() <= 1.0);
+
+    // P-UCBV proposes one feasible ratio per client, as the example reports.
+    let ratios = fedlps.proposed_ratios();
+    assert_eq!(ratios.len(), sim.env().num_clients());
+    assert_eq!(sim.env().capabilities().len(), ratios.len());
+    for &r in &ratios {
+        assert!((0.0..=1.0).contains(&r), "infeasible proposed ratio {r}");
+    }
+}

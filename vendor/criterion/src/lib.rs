@@ -1,0 +1,203 @@
+//! Minimal stand-in for `criterion`, vendored because the build environment
+//! has no crates.io access.
+//!
+//! Implements the benchmark-group API surface this workspace's benches use
+//! (`benchmark_group`, `sample_size`, `warm_up_time`, `measurement_time`,
+//! `bench_function`, `finish`) plus the `criterion_group!`/`criterion_main!`
+//! macros. Timing is a plain wall-clock median over the configured samples —
+//! no statistics, plots or regression analysis — which is enough for the
+//! relative comparisons the ROADMAP cares about.
+//!
+//! `cargo bench -- --test` (and `cargo test --benches`) runs each benchmark
+//! body exactly once, mirroring real criterion's smoke-test mode.
+
+use std::time::{Duration, Instant};
+
+/// Measurement strategies; only wall-clock time exists in this shim.
+pub mod measurement {
+    /// Wall-clock time measurement (the criterion default).
+    pub struct WallTime;
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion { test_mode }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_, measurement::WallTime> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: 100,
+            warm_up_time: Duration::from_secs(3),
+            measurement_time: Duration::from_secs(5),
+            test_mode: self.test_mode,
+            _criterion: std::marker::PhantomData,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: &str, f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut group = self.benchmark_group("default");
+        group.bench_function(id, f);
+        group.finish();
+    }
+}
+
+/// A named group of benchmarks sharing sampling configuration.
+pub struct BenchmarkGroup<'a, M> {
+    name: String,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    test_mode: bool,
+    _criterion: std::marker::PhantomData<&'a mut M>,
+}
+
+impl<M> BenchmarkGroup<'_, M> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+            sample_size: self.sample_size,
+            test_mode: self.test_mode,
+            median_ns: 0.0,
+        };
+        f(&mut bencher);
+        if self.test_mode {
+            println!("{}/{}: ok (test mode)", self.name, id);
+        } else {
+            println!(
+                "{}/{}: median {}",
+                self.name,
+                id,
+                format_ns(bencher.median_ns)
+            );
+        }
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+/// Runs one benchmark body repeatedly and records the median iteration time.
+pub struct Bencher {
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    sample_size: usize,
+    test_mode: bool,
+    median_ns: f64,
+}
+
+impl Bencher {
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        if self.test_mode {
+            black_box(f());
+            return;
+        }
+
+        // Warm-up: run until the warm-up budget is spent, measuring a rough
+        // per-iteration cost so each sample can batch enough iterations.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up_time {
+            black_box(f());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters.max(1) as f64;
+
+        let budget = self.measurement_time.as_secs_f64();
+        let per_sample = (budget / self.sample_size as f64 / per_iter.max(1e-9)).ceil() as u64;
+        let iters_per_sample = per_sample.max(1);
+
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(f());
+            }
+            samples.push(start.elapsed().as_secs_f64() / iters_per_sample as f64);
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        self.median_ns = samples[samples.len() / 2] * 1e9;
+    }
+}
+
+/// Opaque value sink, mirroring `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns/iter")
+    } else if ns < 1e6 {
+        format!("{:.2} µs/iter", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms/iter", ns / 1e6)
+    } else {
+        format!("{:.3} s/iter", ns / 1e9)
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_the_body() {
+        let mut c = Criterion { test_mode: true };
+        let mut group = c.benchmark_group("g");
+        let mut ran = false;
+        group.sample_size(10).warm_up_time(Duration::from_millis(1));
+        group.bench_function("body", |b| b.iter(|| ran = true));
+        group.finish();
+        assert!(ran);
+    }
+}

@@ -1,0 +1,201 @@
+//! Minimal stand-in for `proptest`, vendored because the build environment
+//! has no crates.io access.
+//!
+//! Supports the subset this workspace's property tests use: the `proptest!`
+//! macro with an optional `#![proptest_config(...)]` header, numeric range
+//! strategies, `prop::collection::vec`, and the `prop_assert*` macros.
+//! Inputs are generated from a deterministic per-case RNG (no shrinking);
+//! failures therefore reproduce exactly across runs and machines.
+
+use rand::{RngCore, SeedableRng, StdRng};
+use std::ops::{Range, RangeInclusive};
+
+/// Runner configuration; only `cases` is honoured.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases: env_cases().unwrap_or(cases),
+        }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: env_cases().unwrap_or(256),
+        }
+    }
+}
+
+/// `PROPTEST_CASES` overrides every test's case count (mirrors the real
+/// crate's env knob), which lets CI or a bug hunt crank up coverage without
+/// touching source.
+fn env_cases() -> Option<u32> {
+    // Unparseable or zero values are ignored rather than silently running
+    // zero cases (which would make every property test vacuously pass).
+    std::env::var("PROPTEST_CASES")
+        .ok()?
+        .parse()
+        .ok()
+        .filter(|&n| n > 0)
+}
+
+/// The RNG handed to strategies: a seeded `StdRng` per test case.
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    /// Deterministic stream for a given test case index.
+    pub fn deterministic(case: u64) -> Self {
+        TestRng(StdRng::seed_from_u64(
+            0x5eed_c0de ^ case.wrapping_mul(0x9e37_79b9_7f4a_7c15),
+        ))
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}
+
+/// A source of random values of one type.
+pub trait Strategy {
+    type Value;
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl<T: rand::SampleUniform> Strategy for Range<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::sample_half_open(rng, self.start, self.end)
+    }
+}
+
+impl<T: rand::SampleUniform> Strategy for RangeInclusive<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::sample_inclusive(rng, *self.start(), *self.end())
+    }
+}
+
+/// Strategies over collections, mirroring `proptest::collection`.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// A strategy producing `Vec`s whose length is drawn from `size` and
+    /// whose elements are drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.clone().sample(rng);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Everything a property test file needs, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    pub use crate::{ProptestConfig, Strategy, TestRng};
+
+    /// Mirror of the `prop` module alias from the real prelude.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    (($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($p:pat in $s:expr),* $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::ProptestConfig = $cfg;
+                for __case in 0..__config.cases {
+                    let mut __rng = $crate::TestRng::deterministic(__case as u64);
+                    $(let $p = $crate::Strategy::sample(&($s), &mut __rng);)*
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Ranges respect their bounds, including with `mut` bindings.
+        #[test]
+        fn ranges_respect_bounds(a in 1usize..6, mut b in 0.5f64..2.0, c in 0u64..=3) {
+            b += 0.0;
+            prop_assert!((1..6).contains(&a));
+            prop_assert!((0.5..2.0).contains(&b));
+            prop_assert!(c <= 3);
+        }
+
+        /// Vec strategies honour the length range.
+        #[test]
+        fn vec_strategy_lengths(v in prop::collection::vec(-1.0f32..1.0, 2..9)) {
+            prop_assert!(v.len() >= 2 && v.len() < 9);
+            for x in &v {
+                prop_assert!((-1.0..1.0).contains(x));
+            }
+        }
+    }
+
+    proptest! {
+        /// The default configuration (no `proptest_config` header) also works.
+        #[test]
+        fn default_config_runs(x in 0usize..10) {
+            prop_assert!(x < 10);
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! Minimal stand-in for `rayon`, vendored because the build environment has
+//! no crates.io access.
+//!
+//! Implements the one shape the workspace uses — `collection.into_par_iter()
+//! .map(f).collect()` — with genuine data parallelism: the input is chunked
+//! across `std::thread::available_parallelism()` scoped threads and results
+//! are reassembled in order, so the output is identical to the sequential
+//! equivalent.
+
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParIter};
+}
+
+/// Conversion into a (shim) parallel iterator. Blanket-implemented for every
+/// ordinary `IntoIterator`, mirroring how rayon covers ranges and `Vec`s.
+pub trait IntoParallelIterator {
+    type Item;
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<C: IntoIterator> IntoParallelIterator for C {
+    type Item = C::Item;
+    fn into_par_iter(self) -> ParIter<C::Item> {
+        ParIter {
+            items: self.into_iter().collect(),
+        }
+    }
+}
+
+/// A materialised parallel iterator: the items, waiting for a `map`.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T> ParIter<T> {
+    pub fn map<R, F: Fn(T) -> R + Sync>(self, f: F) -> ParMap<T, F> {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+}
+
+/// The result of `ParIter::map`: executes on `collect`.
+pub struct ParMap<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T, F> ParMap<T, F> {
+    pub fn collect<C, R>(self) -> C
+    where
+        T: Send,
+        R: Send,
+        F: Fn(T) -> R + Sync,
+        C: FromIterator<R>,
+    {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let n = self.items.len();
+        if threads <= 1 || n <= 1 {
+            let f = self.f;
+            return self.items.into_iter().map(f).collect();
+        }
+
+        let chunk_len = n.div_ceil(threads.min(n));
+        let mut items = self.items;
+        let mut chunks: Vec<Vec<T>> = Vec::new();
+        while !items.is_empty() {
+            let rest = items.split_off(items.len().saturating_sub(chunk_len));
+            chunks.push(rest);
+        }
+        chunks.reverse();
+
+        let f = &self.f;
+        let results: Vec<Vec<R>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = chunks
+                .into_iter()
+                .map(|chunk| scope.spawn(move || chunk.into_iter().map(f).collect::<Vec<R>>()))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("rayon shim worker panicked"))
+                .collect()
+        });
+        results.into_iter().flatten().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let out: Vec<usize> = (0..1000usize).into_par_iter().map(|x| x * 2).collect();
+        let expected: Vec<usize> = (0..1000).map(|x| x * 2).collect();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn works_on_vecs_and_tiny_inputs() {
+        let out: Vec<i32> = vec![3, 1, 2].into_par_iter().map(|x| x + 1).collect();
+        assert_eq!(out, vec![4, 2, 3]);
+        let empty: Vec<i32> = Vec::<i32>::new().into_par_iter().map(|x| x).collect();
+        assert!(empty.is_empty());
+        let one: Vec<i32> = vec![7].into_par_iter().map(|x| x).collect();
+        assert_eq!(one, vec![7]);
+    }
+}
