@@ -7,12 +7,19 @@
 //! selection). They deploy the single shared global model on every client.
 
 use fedlps_nn::model::EvalStats;
-use fedlps_sim::algorithm::{ClientReport, FlAlgorithm};
+use fedlps_sim::algorithm::{ClientOutcome, ClientReport, ClientUpdate, FlAlgorithm};
 use fedlps_sim::env::FlEnv;
 use fedlps_tensor::rng::{sample_weighted, sample_without_replacement};
 use rand::rngs::StdRng;
 
 use crate::common::{baseline_client_round, coverage_aggregate, Contribution};
+
+/// Payload of one dense client step: the staged contribution plus the Oort
+/// utility observed during training.
+struct DenseUpdate {
+    contribution: Contribution,
+    utility: f64,
+}
 
 /// Which conventional baseline to run.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -133,18 +140,17 @@ impl FlAlgorithm for DenseFl {
         }
     }
 
-    fn run_client(
-        &mut self,
+    fn client_step(
+        &self,
         env: &FlEnv,
         round: usize,
         client: usize,
         rng: &mut StdRng,
-    ) -> ClientReport {
+    ) -> ClientOutcome {
         let device = env.fleet.available_profile(client, round);
-        let global_snapshot = self.global.clone();
-        let mut params = global_snapshot.clone();
+        let mut params = self.global.clone();
         let prox = match self.variant {
-            DenseVariant::FedProx { mu } => Some((mu, global_snapshot.as_slice())),
+            DenseVariant::FedProx { mu } => Some((mu, self.global.as_slice())),
             _ => None,
         };
         let (report, summary) = baseline_client_round(
@@ -159,20 +165,30 @@ impl FlAlgorithm for DenseFl {
             rng,
         );
 
-        // Oort statistical utility: |D_k| * sqrt(mean loss); REFL freshness.
-        self.utilities[client] = env.train_sizes()[client] * summary.mean_loss.max(1e-6).sqrt();
-        self.last_selected[client] = Some(round);
-
         // REFL decays stale contributions in aggregation; here staleness is
         // zero for the clients that just trained, so the weight is their data
         // size (kept for clarity and future asynchronous extensions).
-        self.staged.push(Contribution {
-            client_id: client,
-            weight: env.train_sizes()[client].max(1.0),
-            params,
-            param_mask: None,
-        });
-        report
+        ClientOutcome::new(
+            report,
+            DenseUpdate {
+                contribution: Contribution {
+                    client_id: client,
+                    weight: env.train_sizes()[client].max(1.0),
+                    params,
+                    param_mask: None,
+                },
+                // Oort statistical utility: |D_k| * sqrt(mean loss).
+                utility: env.train_sizes()[client] * summary.mean_loss.max(1e-6).sqrt(),
+            },
+        )
+    }
+
+    fn absorb_update(&mut self, _env: &FlEnv, round: usize, update: ClientUpdate) {
+        let update = *update.downcast::<DenseUpdate>().expect("dense payload");
+        let client = update.contribution.client_id;
+        self.utilities[client] = update.utility;
+        self.last_selected[client] = Some(round);
+        self.staged.push(update.contribution);
     }
 
     fn aggregate(&mut self, _env: &FlEnv, _round: usize, _reports: &[ClientReport]) {

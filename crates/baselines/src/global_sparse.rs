@@ -13,7 +13,7 @@
 //!   recomputed every round (the substitution is documented in `DESIGN.md §1`).
 
 use fedlps_nn::model::EvalStats;
-use fedlps_sim::algorithm::{ClientReport, FlAlgorithm};
+use fedlps_sim::algorithm::{ClientOutcome, ClientReport, ClientUpdate, FlAlgorithm};
 use fedlps_sim::env::FlEnv;
 use fedlps_sparse::mask::UnitMask;
 use fedlps_sparse::pattern::PatternStrategy;
@@ -106,14 +106,10 @@ impl FlAlgorithm for GlobalSparse {
         self.staged.clear();
     }
 
-    fn run_client(
-        &mut self,
-        env: &FlEnv,
-        round: usize,
-        client: usize,
-        rng: &mut StdRng,
-    ) -> ClientReport {
+    fn begin_round(&mut self, env: &FlEnv, round: usize, _selected: &[usize], rng: &mut StdRng) {
         // CS refreshes its mask every round; PruneFL re-prunes periodically.
+        // Round-level shared state belongs here, not in the (parallel,
+        // immutable) client steps.
         match self.variant {
             GlobalSparseVariant::Cs { .. } => self.recompute_mask(env, rng),
             GlobalSparseVariant::PruneFl { reprune_every, .. } => {
@@ -122,6 +118,15 @@ impl FlAlgorithm for GlobalSparse {
                 }
             }
         }
+    }
+
+    fn client_step(
+        &self,
+        env: &FlEnv,
+        round: usize,
+        client: usize,
+        rng: &mut StdRng,
+    ) -> ClientOutcome {
         let mask = self.mask.clone().expect("setup() not called");
         let device = env.fleet.available_profile(client, round);
         let mut params = self.global.clone();
@@ -136,13 +141,20 @@ impl FlAlgorithm for GlobalSparse {
             self.variant.ratio(),
             rng,
         );
-        self.staged.push(Contribution {
+        let contribution = Contribution {
             client_id: client,
             weight: env.train_sizes()[client].max(1.0),
             params,
             param_mask: Some(mask.param_mask(env.arch.unit_layout())),
-        });
-        report
+        };
+        ClientOutcome::new(report, contribution)
+    }
+
+    fn absorb_update(&mut self, _env: &FlEnv, _round: usize, update: ClientUpdate) {
+        let contribution = *update
+            .downcast::<Contribution>()
+            .expect("global-sparse payload");
+        self.staged.push(contribution);
     }
 
     fn aggregate(&mut self, _env: &FlEnv, _round: usize, _reports: &[ClientReport]) {

@@ -12,7 +12,7 @@
 //!   few steps of local adaptation (the first-order MAML view).
 
 use fedlps_nn::model::EvalStats;
-use fedlps_sim::algorithm::{ClientReport, FlAlgorithm};
+use fedlps_sim::algorithm::{ClientOutcome, ClientReport, ClientUpdate, FlAlgorithm};
 use fedlps_sim::env::FlEnv;
 use fedlps_sim::train::{local_sgd, LocalTrainOptions};
 use fedlps_tensor::split_seed;
@@ -22,6 +22,14 @@ use crate::common::{
     baseline_client_round, body_indicator, copy_head, coverage_aggregate, head_indicator,
     Contribution,
 };
+
+/// Payload of one personalized client step: the shared contribution plus the
+/// client's new personal state (Ditto's personal model, FedPer/FedRep's
+/// personal head; `None` for Per-FedAvg, which personalizes at deployment).
+struct PersonalizedUpdate {
+    contribution: Contribution,
+    personal: Option<Vec<f32>>,
+}
 
 /// Which personalized dense baseline to run.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -93,15 +101,15 @@ impl FlAlgorithm for PersonalizedFl {
         self.staged.clear();
     }
 
-    fn run_client(
-        &mut self,
+    fn client_step(
+        &self,
         env: &FlEnv,
         round: usize,
         client: usize,
         rng: &mut StdRng,
-    ) -> ClientReport {
+    ) -> ClientOutcome {
         let device = env.fleet.available_profile(client, round);
-        let global_snapshot = self.global.clone();
+        let global_snapshot = &self.global;
         let weight = env.train_sizes()[client].max(1.0);
 
         match self.variant {
@@ -138,20 +146,24 @@ impl FlAlgorithm for PersonalizedFl {
                     &options,
                     rng,
                 );
-                self.personal[client] = Some(personal);
-                self.staged.push(Contribution {
-                    client_id: client,
-                    weight,
-                    params: shared,
-                    param_mask: None,
-                });
                 // Ditto's extra personal pass doubles the local compute, which
                 // is exactly why the paper reports it as the most expensive
                 // personalized baseline.
                 let mut doubled = report;
                 doubled.flops *= 2.0;
                 doubled.local_cost.compute_seconds *= 2.0;
-                doubled
+                ClientOutcome::new(
+                    doubled,
+                    PersonalizedUpdate {
+                        contribution: Contribution {
+                            client_id: client,
+                            weight,
+                            params: shared,
+                            param_mask: None,
+                        },
+                        personal: Some(personal),
+                    },
+                )
             }
             PersonalizedVariant::FedPer | PersonalizedVariant::FedRep => {
                 let head = head_indicator(env);
@@ -198,14 +210,18 @@ impl FlAlgorithm for PersonalizedFl {
                     rng,
                 );
                 // The head stays local; the body is shared.
-                self.personal[client] = Some(params.clone());
-                self.staged.push(Contribution {
-                    client_id: client,
-                    weight,
-                    params,
-                    param_mask: Some(body.clone()),
-                });
-                report
+                ClientOutcome::new(
+                    report,
+                    PersonalizedUpdate {
+                        contribution: Contribution {
+                            client_id: client,
+                            weight,
+                            params: params.clone(),
+                            param_mask: Some(body),
+                        },
+                        personal: Some(params),
+                    },
+                )
             }
             PersonalizedVariant::PerFedAvg { .. } => {
                 let mut params = global_snapshot.clone();
@@ -220,15 +236,30 @@ impl FlAlgorithm for PersonalizedFl {
                     1.0,
                     rng,
                 );
-                self.staged.push(Contribution {
-                    client_id: client,
-                    weight,
-                    params,
-                    param_mask: None,
-                });
-                report
+                ClientOutcome::new(
+                    report,
+                    PersonalizedUpdate {
+                        contribution: Contribution {
+                            client_id: client,
+                            weight,
+                            params,
+                            param_mask: None,
+                        },
+                        personal: None,
+                    },
+                )
             }
         }
+    }
+
+    fn absorb_update(&mut self, _env: &FlEnv, _round: usize, update: ClientUpdate) {
+        let update = *update
+            .downcast::<PersonalizedUpdate>()
+            .expect("personalized payload");
+        if let Some(personal) = update.personal {
+            self.personal[update.contribution.client_id] = Some(personal);
+        }
+        self.staged.push(update.contribution);
     }
 
     fn aggregate(&mut self, _env: &FlEnv, _round: usize, _reports: &[ClientReport]) {

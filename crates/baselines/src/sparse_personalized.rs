@@ -15,7 +15,7 @@
 //!   capability) combined with a personal classifier head.
 
 use fedlps_nn::model::EvalStats;
-use fedlps_sim::algorithm::{ClientReport, FlAlgorithm};
+use fedlps_sim::algorithm::{ClientOutcome, ClientReport, ClientUpdate, FlAlgorithm};
 use fedlps_sim::env::FlEnv;
 use fedlps_sparse::mask::UnitMask;
 use fedlps_sparse::pattern::PatternStrategy;
@@ -25,6 +25,13 @@ use rand::Rng;
 use crate::common::{
     baseline_client_round, body_indicator, copy_head, coverage_aggregate, Contribution,
 };
+
+/// Payload of one personalized-sparse client step: the shared contribution
+/// plus the client's next personal state.
+struct SparsePersonalizedUpdate {
+    contribution: Contribution,
+    state: PersonalState,
+}
 
 /// Which personalized sparse baseline to run.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -133,8 +140,8 @@ impl SparsePersonalized {
         match self.variant {
             SparsePersonalizedVariant::LotteryFl { floor_ratio, .. }
             | SparsePersonalizedVariant::Hermes { floor_ratio, .. } => {
-                // The ratio itself is adjusted in `run_client` (it depends on
-                // the achieved accuracy); here we only build the magnitude
+                // The ratio itself is adjusted in `client_step` (it depends
+                // on the achieved accuracy); here we only build the magnitude
                 // mask at the client's current ratio.
                 let ratio = prev.map(|s| s.ratio).unwrap_or(1.0).max(floor_ratio);
                 let mask = PatternStrategy::Magnitude
@@ -184,13 +191,13 @@ impl FlAlgorithm for SparsePersonalized {
         self.staged.clear();
     }
 
-    fn run_client(
-        &mut self,
+    fn client_step(
+        &self,
         env: &FlEnv,
         round: usize,
         client: usize,
         rng: &mut StdRng,
-    ) -> ClientReport {
+    ) -> ClientOutcome {
         let device = env.fleet.available_profile(client, round);
         let layout = env.arch.unit_layout();
         let (mask, mut ratio) =
@@ -244,18 +251,30 @@ impl FlAlgorithm for SparsePersonalized {
                 *m *= b;
             }
         }
-        self.staged.push(Contribution {
-            client_id: client,
-            weight: env.train_sizes()[client].max(1.0),
-            params: params.clone(),
-            param_mask: Some(shared_mask),
-        });
-        self.states[client] = Some(PersonalState {
-            params,
-            mask: Some(mask),
-            ratio,
-        });
-        report
+        ClientOutcome::new(
+            report,
+            SparsePersonalizedUpdate {
+                contribution: Contribution {
+                    client_id: client,
+                    weight: env.train_sizes()[client].max(1.0),
+                    params: params.clone(),
+                    param_mask: Some(shared_mask),
+                },
+                state: PersonalState {
+                    params,
+                    mask: Some(mask),
+                    ratio,
+                },
+            },
+        )
+    }
+
+    fn absorb_update(&mut self, _env: &FlEnv, _round: usize, update: ClientUpdate) {
+        let update = *update
+            .downcast::<SparsePersonalizedUpdate>()
+            .expect("sparse-personalized payload");
+        self.states[update.contribution.client_id] = Some(update.state);
+        self.staged.push(update.contribution);
     }
 
     fn aggregate(&mut self, _env: &FlEnv, _round: usize, _reports: &[ClientReport]) {

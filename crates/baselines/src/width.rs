@@ -11,7 +11,7 @@
 
 use fedlps_bandit::ratio_policy::{RatioController, RatioFeedback, RatioPolicy};
 use fedlps_nn::model::EvalStats;
-use fedlps_sim::algorithm::{ClientReport, FlAlgorithm};
+use fedlps_sim::algorithm::{ClientOutcome, ClientReport, ClientUpdate, FlAlgorithm};
 use fedlps_sim::env::FlEnv;
 use fedlps_sparse::mask::UnitMask;
 use fedlps_sparse::pattern::PatternStrategy;
@@ -19,6 +19,13 @@ use fedlps_sparse::ratio::retained_units;
 use rand::rngs::StdRng;
 
 use crate::common::{baseline_client_round, coverage_aggregate, Contribution};
+
+/// Payload of one width-scaling client step: the staged contribution plus the
+/// ratio feedback forwarded to the controller at aggregation time.
+struct WidthUpdate {
+    contribution: Contribution,
+    feedback: RatioFeedback,
+}
 
 /// Which width/depth-scaling baseline to run.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -134,13 +141,13 @@ impl FlAlgorithm for WidthScaling {
         self.feedback.clear();
     }
 
-    fn run_client(
-        &mut self,
+    fn client_step(
+        &self,
         env: &FlEnv,
         round: usize,
         client: usize,
         rng: &mut StdRng,
-    ) -> ClientReport {
+    ) -> ClientOutcome {
         let device = env.fleet.available_profile(client, round);
         let controller = self.controller.as_ref().expect("setup() not called");
         let mut ratio = controller.ratio_for(client);
@@ -176,21 +183,29 @@ impl FlAlgorithm for WidthScaling {
             rng,
         );
 
-        self.staged.push(Contribution {
-            client_id: client,
-            weight: env.train_sizes()[client].max(1.0),
-            params,
-            param_mask: Some(mask.param_mask(env.arch.unit_layout())),
-        });
-        self.feedback.push((
-            client,
-            RatioFeedback {
-                ratio,
-                local_cost: report.local_cost.total(),
-                accuracy: summary.mean_accuracy,
+        ClientOutcome::new(
+            report,
+            WidthUpdate {
+                contribution: Contribution {
+                    client_id: client,
+                    weight: env.train_sizes()[client].max(1.0),
+                    params,
+                    param_mask: Some(mask.param_mask(env.arch.unit_layout())),
+                },
+                feedback: RatioFeedback {
+                    ratio,
+                    local_cost: report.local_cost.total(),
+                    accuracy: summary.mean_accuracy,
+                },
             },
-        ));
-        report
+        )
+    }
+
+    fn absorb_update(&mut self, _env: &FlEnv, _round: usize, update: ClientUpdate) {
+        let update = *update.downcast::<WidthUpdate>().expect("width payload");
+        self.feedback
+            .push((update.contribution.client_id, update.feedback));
+        self.staged.push(update.contribution);
     }
 
     fn aggregate(&mut self, _env: &FlEnv, _round: usize, _reports: &[ClientReport]) {

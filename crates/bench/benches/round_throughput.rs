@@ -1,0 +1,102 @@
+//! Round-loop throughput: serial vs sharded client training on a 64-client
+//! heterogeneous fleet.
+//!
+//! The round loop's client steps are pure, so
+//! [`FlConfig::parallelism`](fedlps_sim::config::FlConfig) shards them across
+//! threads with bit-identical results; this bench tracks the speedup that
+//! sharding buys on the ROADMAP's scale path (target: ≥ 1.5× at 4 shards on
+//! a 4-core runner) plus the cross-round mask-cache hit rate after round 3
+//! (target: > 80% once ratios stabilise — the RCR line below; FedLPS proper
+//! trails it while P-UCBV explores).
+//!
+//! ```text
+//! cargo bench --bench round_throughput             # measure
+//! cargo bench --bench round_throughput -- --test   # CI smoke mode
+//! ```
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fedlps_core::config::FedLpsConfig;
+use fedlps_core::FedLps;
+use fedlps_data::scenario::{DatasetKind, ScenarioConfig};
+use fedlps_device::HeterogeneityLevel;
+use fedlps_sim::config::FlConfig;
+use fedlps_sim::env::FlEnv;
+use fedlps_sim::runner::Simulator;
+use std::time::Duration;
+
+const FLEET: usize = 64;
+const SHARDS: usize = 4;
+
+fn fleet_config(parallelism: usize) -> FlConfig {
+    FlConfig {
+        rounds: 5,
+        clients_per_round: 16,
+        local_iterations: 3,
+        batch_size: 16,
+        // Keep periodic evaluation out of the measurement: it is already
+        // parallel, while this bench isolates the client-training path.
+        eval_every: 5,
+        ..FlConfig::default()
+    }
+    .with_parallelism(parallelism)
+}
+
+fn fleet_sim(parallelism: usize) -> Simulator {
+    let scenario = ScenarioConfig::small(DatasetKind::MnistLike).with_clients(FLEET);
+    Simulator::new(FlEnv::from_scenario(
+        &scenario,
+        HeterogeneityLevel::High,
+        fleet_config(parallelism),
+    ))
+}
+
+fn bench_round_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("round_throughput");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(5));
+
+    let serial = fleet_sim(1);
+    group.bench_function("fedlps_64c_serial", |b| {
+        b.iter(|| {
+            let mut algo = FedLps::for_env(serial.env());
+            serial.run(&mut algo).total_flops
+        })
+    });
+
+    let sharded = fleet_sim(SHARDS);
+    group.bench_function("fedlps_64c_sharded_4", |b| {
+        b.iter(|| {
+            let mut algo = FedLps::for_env(sharded.env());
+            sharded.run(&mut algo).total_flops
+        })
+    });
+
+    group.finish();
+
+    // Mask-cache warm hit rates (rounds ≥ 3), printed alongside the timings
+    // so the perf trajectory records both dimensions of the optimisation.
+    // A longer horizon than the timed runs, so the cache actually warms up.
+    let scenario = ScenarioConfig::small(DatasetKind::MnistLike).with_clients(FLEET);
+    let sim = Simulator::new(FlEnv::from_scenario(
+        &scenario,
+        HeterogeneityLevel::High,
+        fleet_config(SHARDS).with_rounds(20),
+    ));
+    let mut pucbv = FedLps::for_env(sim.env());
+    let pucbv_rate = sim.run(&mut pucbv).mask_cache_hit_rate_from(3);
+    let mut rcr = FedLps::new(FedLpsConfig::rcr());
+    let rcr_rate = sim.run(&mut rcr).mask_cache_hit_rate_from(3);
+    println!(
+        "round_throughput/mask_cache_hit_rate_after_round_3: rcr {:.1}% | p-ucbv {:.1}%",
+        rcr_rate * 100.0,
+        pucbv_rate * 100.0
+    );
+    assert!(
+        rcr_rate > 0.8,
+        "stable-ratio mask-cache hit rate regressed below 80%: {rcr_rate}"
+    );
+}
+
+criterion_group!(benches, bench_round_throughput);
+criterion_main!(benches);

@@ -2,14 +2,36 @@
 
 use fedlps_bandit::ratio_policy::{RatioController, RatioFeedback};
 use fedlps_nn::model::EvalStats;
-use fedlps_sim::algorithm::{ClientReport, FlAlgorithm};
+use fedlps_sim::algorithm::{ClientOutcome, ClientReport, ClientUpdate, FlAlgorithm};
 use fedlps_sim::env::FlEnv;
 use fedlps_sim::train::account_round;
+use fedlps_sparse::cache::MaskCache;
+use fedlps_sparse::mask::UnitMask;
 use rand::rngs::StdRng;
 
-use crate::client::{client_update, ClientState, ClientUpdateOptions};
+use crate::client::{ClientState, ClientTask, ClientUpdateOptions};
 use crate::config::FedLpsConfig;
 use crate::server::{aggregate_residuals, StagedUpdate};
+
+/// How a client step interacted with the cross-round mask cache.
+enum MaskCacheEvent {
+    /// The pattern strategy is not cacheable across rounds; no lookup ran.
+    Bypassed,
+    /// The cached mask was served.
+    Hit,
+    /// A fresh mask was built and should be installed at this ratio.
+    Miss { ratio: f64, mask: UnitMask },
+}
+
+/// The payload a FedLPS client step hands back through the round loop's
+/// deterministic reduce: everything `run` used to write into `&mut self`.
+struct FedLpsUpdate {
+    client: usize,
+    state: ClientState,
+    staged: StagedUpdate,
+    feedback: RatioFeedback,
+    cache_event: MaskCacheEvent,
+}
 
 /// FedLPS: learnable personalized sparsification with P-UCBV ratio decisions.
 ///
@@ -23,6 +45,9 @@ pub struct FedLps {
     controller: Option<RatioController>,
     staged: Vec<StagedUpdate>,
     feedback: Vec<(usize, RatioFeedback)>,
+    /// Cross-round mask reuse: a client's pattern is rebuilt only when the
+    /// bandit moves its ratio to a different submodel shape.
+    mask_cache: Option<MaskCache>,
 }
 
 impl FedLps {
@@ -35,6 +60,7 @@ impl FedLps {
             controller: None,
             staged: Vec::new(),
             feedback: Vec::new(),
+            mask_cache: None,
         }
     }
 
@@ -69,6 +95,24 @@ impl FedLps {
             .as_ref()
             .map(|c| c.proposals())
             .unwrap_or_default()
+    }
+
+    /// The cross-round mask cache and its hit/miss counters (populated after
+    /// `setup`).
+    pub fn mask_cache(&self) -> Option<&MaskCache> {
+        self.mask_cache.as_ref()
+    }
+
+    /// The sparse ratio a client uses this round given its dynamically
+    /// `available` device profile: the server proposal capped by the static
+    /// tier, then by what the device can actually spare.
+    fn round_ratio(&self, available: &fedlps_device::DeviceProfile, client: usize) -> f64 {
+        let controller = self.controller.as_ref().expect("setup() not called");
+        let mut ratio = controller.ratio_for(client);
+        if self.config.respect_dynamic_capability {
+            ratio = ratio.min(available.max_sparse_ratio());
+        }
+        ratio.max(0.01)
     }
 
     fn update_options(&self, env: &FlEnv, ratio: f64, round: usize) -> ClientUpdateOptions {
@@ -110,34 +154,47 @@ impl FlAlgorithm for FedLps {
         ));
         self.staged.clear();
         self.feedback.clear();
+        self.mask_cache = Some(MaskCache::new(
+            env.num_clients(),
+            env.arch.unit_layout().units_per_layer(),
+        ));
     }
 
-    fn run_client(
-        &mut self,
+    fn client_step(
+        &self,
         env: &FlEnv,
         round: usize,
         client: usize,
         rng: &mut StdRng,
-    ) -> ClientReport {
-        let controller = self.controller.as_ref().expect("setup() not called");
-        // Server proposal capped by the static capability, then by what the
-        // device can actually spare this round (dynamic heterogeneity).
+    ) -> ClientOutcome {
         let available = env.fleet.available_profile(client, round);
-        let mut ratio = controller.ratio_for(client);
-        if self.config.respect_dynamic_capability {
-            ratio = ratio.min(available.max_sparse_ratio());
-        }
-        ratio = ratio.max(0.01);
+        let ratio = self.round_ratio(&available, client);
+
+        // Pure snapshot lookup against the cache; the hit/miss is accounted
+        // (and a fresh mask installed) in `absorb_update`, serially. Pattern
+        // strategies whose masks depend on more than the ratio (random
+        // resampling, rolling windows, live weight magnitudes) bypass the
+        // cache entirely — reusing their masks would change their semantics.
+        let caching = self.config.pattern.cacheable_across_rounds();
+        let cached_mask = if caching {
+            self.mask_cache
+                .as_ref()
+                .and_then(|cache| cache.lookup(client, ratio))
+        } else {
+            None
+        };
 
         let options = self.update_options(env, ratio, round);
-        let outcome = client_update(
-            &*env.arch,
-            &self.global,
-            &mut self.clients[client],
-            env.train_data(client),
-            &options,
-            rng,
-        );
+        let task = ClientTask {
+            arch: &*env.arch,
+            global: &self.global,
+            state: &self.clients[client],
+            data: env.train_data(client),
+            options,
+            cached_mask,
+        };
+        let output = task.run(rng);
+        let outcome = output.outcome;
 
         let accounting = account_round(
             &*env.arch,
@@ -150,20 +207,17 @@ impl FlAlgorithm for FedLps {
             env.arch.param_count(),
         );
 
-        self.staged.push(StagedUpdate {
-            weight: env.train_sizes()[client].max(1.0),
-            residual: outcome.residual,
-        });
-        self.feedback.push((
-            client,
-            RatioFeedback {
+        let cache_event = if !caching {
+            MaskCacheEvent::Bypassed
+        } else if output.mask_cache_hit {
+            MaskCacheEvent::Hit
+        } else {
+            MaskCacheEvent::Miss {
                 ratio,
-                local_cost: accounting.local_cost.total(),
-                accuracy: outcome.mean_accuracy,
-            },
-        ));
-
-        ClientReport {
+                mask: outcome.mask,
+            }
+        };
+        let report = ClientReport {
             client_id: client,
             flops: accounting.flops,
             upload_bytes: accounting.upload_bytes,
@@ -172,7 +226,45 @@ impl FlAlgorithm for FedLps {
             train_accuracy: outcome.mean_accuracy,
             train_loss: outcome.mean_loss,
             sparse_ratio: ratio,
+            mask_cache_hits: matches!(cache_event, MaskCacheEvent::Hit) as u32,
+            mask_cache_misses: matches!(cache_event, MaskCacheEvent::Miss { .. }) as u32,
+        };
+        ClientOutcome::new(
+            report,
+            FedLpsUpdate {
+                client,
+                state: output.state,
+                staged: StagedUpdate {
+                    weight: env.train_sizes()[client].max(1.0),
+                    residual: outcome.residual,
+                },
+                feedback: RatioFeedback {
+                    ratio,
+                    local_cost: accounting.local_cost.total(),
+                    accuracy: outcome.mean_accuracy,
+                },
+                cache_event,
+            },
+        )
+    }
+
+    fn absorb_update(&mut self, _env: &FlEnv, _round: usize, update: ClientUpdate) {
+        let update = *update
+            .downcast::<FedLpsUpdate>()
+            .expect("FedLPS update payload");
+        self.clients[update.client] = update.state;
+        if let Some(cache) = self.mask_cache.as_mut() {
+            match update.cache_event {
+                MaskCacheEvent::Bypassed => {}
+                MaskCacheEvent::Hit => cache.record(true),
+                MaskCacheEvent::Miss { ratio, mask } => {
+                    cache.record(false);
+                    cache.insert(update.client, ratio, mask);
+                }
+            }
         }
+        self.staged.push(update.staged);
+        self.feedback.push((update.client, update.feedback));
     }
 
     fn aggregate(&mut self, _env: &FlEnv, _round: usize, _reports: &[ClientReport]) {
@@ -260,6 +352,92 @@ mod tests {
                 assert_eq!(mask.len(), sim.env().arch.unit_layout().total_units());
             }
         }
+    }
+
+    #[test]
+    fn sharded_fedlps_matches_serial_bit_for_bit() {
+        let run = |parallelism: usize| {
+            let env = FlEnv::from_scenario(
+                &ScenarioConfig::tiny(DatasetKind::MnistLike),
+                HeterogeneityLevel::High,
+                FlConfig::tiny()
+                    .with_rounds(8)
+                    .with_parallelism(parallelism),
+            );
+            let sim = Simulator::new(env);
+            let mut algo = FedLps::for_env(sim.env());
+            sim.run(&mut algo)
+        };
+        let serial = run(1);
+        let sharded = run(4);
+        assert_eq!(serial, sharded);
+    }
+
+    #[test]
+    fn mask_cache_serves_repeat_participations() {
+        let env = tiny_env();
+        let sim = Simulator::new(env);
+        let mut algo = FedLps::for_env(sim.env());
+        let result = sim.run(&mut algo);
+        let cache = algo.mask_cache().expect("cache exists after setup");
+        let total = cache.hits() + cache.misses();
+        assert_eq!(
+            total,
+            result
+                .rounds
+                .iter()
+                .map(|r| r.mask_cache_hits + r.mask_cache_misses)
+                .sum::<u64>(),
+            "cache counters and metrics must agree"
+        );
+        assert!(cache.misses() > 0, "first participations are misses");
+        // The per-round counters flow into the metrics trace.
+        assert!(result.rounds.iter().all(|r| {
+            r.mask_cache_hits + r.mask_cache_misses
+                == sim
+                    .env()
+                    .config
+                    .clients_per_round
+                    .min(sim.env().num_clients()) as u64
+        }));
+    }
+
+    #[test]
+    fn non_cacheable_patterns_bypass_the_cache() {
+        use fedlps_sparse::pattern::PatternStrategy;
+        // Random dropout must be resampled every participation; the cache
+        // records no traffic at all for it (bypass, not a stream of misses).
+        let env = tiny_env();
+        let sim = Simulator::new(env);
+        let mut algo = FedLps::new(FedLpsConfig::with_pattern(PatternStrategy::Random, 0.5));
+        let result = sim.run(&mut algo);
+        let cache = algo.mask_cache().expect("cache exists after setup");
+        assert_eq!(cache.hits() + cache.misses(), 0);
+        assert_eq!(result.mask_cache_hit_rate(), 0.0);
+        // (That the random pattern actually resamples across participations
+        // is pinned at the client level in `client::tests`.)
+    }
+
+    #[test]
+    fn stable_ratio_policies_hit_the_mask_cache_after_warmup() {
+        // With the rigid RCR rule (ratio = capability, a Table II ablation)
+        // every participation after a client's first reuses its cached mask,
+        // so the warm hit rate must clear the ROADMAP's 80% bar. FedLPS
+        // proper trails this because P-UCBV keeps resampling ratios while it
+        // explores (see the round_throughput bench for both numbers).
+        let env = FlEnv::from_scenario(
+            &ScenarioConfig::tiny(DatasetKind::MnistLike),
+            HeterogeneityLevel::High,
+            FlConfig::tiny().with_rounds(12),
+        );
+        let sim = Simulator::new(env);
+        let mut algo = FedLps::new(FedLpsConfig::rcr());
+        let result = sim.run(&mut algo);
+        let warm = result.mask_cache_hit_rate_from(3);
+        assert!(
+            warm > 0.8,
+            "warm mask-cache hit rate should exceed 80% under a stable ratio policy, got {warm}"
+        );
     }
 
     #[test]

@@ -66,8 +66,153 @@ pub struct ClientUpdateOutcome {
     pub mean_accuracy: f64,
 }
 
+/// One client's local work for a round as a *pure task*: immutable global
+/// weights and persistent state in, [`ClientTaskOutput`] out. Because the
+/// task never mutates shared state, the round loop can map it over the
+/// selected clients on any number of threads; the freshly produced
+/// [`ClientState`] is written back in the serial absorb phase.
+pub struct ClientTask<'a> {
+    /// The model architecture.
+    pub arch: &'a dyn ModelArch,
+    /// The current dense global parameters `ω^r` (read-only snapshot).
+    pub global: &'a [f32],
+    /// The client's persistent state from its previous participation.
+    pub state: &'a ClientState,
+    /// The client's local training data.
+    pub data: &'a Dataset,
+    /// Hyper-parameters of the local pass (ratio already capability-capped).
+    pub options: ClientUpdateOptions,
+    /// A mask served from the cross-round [`MaskCache`](fedlps_sparse::MaskCache),
+    /// if the server found one for this client at this ratio. `None` makes
+    /// the task derive a fresh pattern from the indicator (Eq. 4).
+    pub cached_mask: Option<&'a UnitMask>,
+}
+
+/// The result of running a [`ClientTask`]: the upload outcome plus the new
+/// persistent state (returned, not written in place, to keep the task pure).
+pub struct ClientTaskOutput {
+    /// Residual, mask and training statistics (Algorithm 1 lines 23-27).
+    pub outcome: ClientUpdateOutcome,
+    /// The client's next persistent state (`Q^s_k`, personal model, mask).
+    pub state: ClientState,
+    /// Whether the round's mask came from the cache (`false` means the
+    /// caller should insert `outcome.mask` into the cache).
+    pub mask_cache_hit: bool,
+}
+
+impl ClientTask<'_> {
+    /// Runs Algorithm 1 lines 17-27 for this client.
+    pub fn run(&self, rng: &mut StdRng) -> ClientTaskOutput {
+        let arch = self.arch;
+        let options = &self.options;
+        let global_params = self.global;
+        let layout = arch.unit_layout();
+        assert_eq!(global_params.len(), arch.param_count());
+
+        // Line 17: ω_{k,0} ← ω^r and Q_{k,0} ← Q^s_k (initialised from the
+        // global parameters on the client's first participation).
+        let mut local = global_params.to_vec();
+        let mut indicator = match &self.state.indicator {
+            Some(scores) => ImportanceIndicator::from_scores(scores.clone()),
+            None => ImportanceIndicator::from_params(layout, global_params),
+        };
+        let objective = ImportanceLoss::new(options.mu, options.lambda);
+
+        let mut loss_sum = 0.0;
+        let mut acc_sum = 0.0;
+        let mut executed = 0usize;
+
+        // The paper re-derives the mask in every local iteration; with the
+        // reproduction's small local-iteration budgets that churn prevents any
+        // unit subset from accumulating training, so the round's mask is frozen
+        // from the indicator the client starts the round with, while Q itself
+        // keeps learning and shapes the mask of the *next* participation. The
+        // cross-round cache extends the same freeze across participations at
+        // an unchanged ratio. The personalized model and the uploaded residual
+        // use this trained mask.
+        let mask_cache_hit = self.cached_mask.is_some();
+        let mask = match self.cached_mask {
+            Some(cached) => cached.clone(),
+            None => build_mask(arch, &local, &indicator, options, rng),
+        };
+        let pmask = mask.param_mask(layout);
+
+        let data = self.data;
+        if !data.is_empty() {
+            let batch = options.batch_size.max(1).min(data.len());
+            let mut grad = vec![0.0f32; arch.param_count()];
+            for _ in 0..options.iterations {
+                let masked: Vec<f32> = local.iter().zip(pmask.iter()).map(|(p, m)| p * m).collect();
+                let indices: Vec<usize> =
+                    (0..batch).map(|_| rng.gen_range(0..data.len())).collect();
+                grad.fill(0.0);
+                let breakdown = objective.evaluate(
+                    arch,
+                    &masked,
+                    global_params,
+                    &indicator,
+                    data,
+                    &indices,
+                    &mut grad,
+                );
+
+                // Line 21: importance-indicator update (uses the same gradient buffer).
+                let q_grad = indicator.gradient(layout, &local, &grad, options.lambda);
+                // Line 20: masked SGD step on the retained parameters only.
+                options.sgd.step_masked(&mut local, &mut grad, &pmask);
+                indicator.step(&q_grad, options.importance_lr);
+
+                loss_sum += breakdown.total;
+                acc_sum += breakdown.accuracy;
+                executed += 1;
+            }
+        }
+
+        // Lines 23-25: persist Q, store the personalized sparse model and
+        // compute the masked residual to upload (masked with the pattern that
+        // was trained).
+        let personal: Vec<f32> = local.iter().zip(pmask.iter()).map(|(p, m)| p * m).collect();
+        let residual: Vec<f32> = global_params
+            .iter()
+            .zip(local.iter())
+            .zip(pmask.iter())
+            .map(|((g, l), m)| (g - l) * m)
+            .collect();
+        let uploaded_params = mask.retained_params(layout);
+
+        let state = ClientState {
+            indicator: Some(indicator.scores().to_vec()),
+            personal_model: Some(personal),
+            last_mask: Some(mask.clone()),
+            last_ratio: options.ratio,
+        };
+
+        ClientTaskOutput {
+            outcome: ClientUpdateOutcome {
+                residual,
+                mask,
+                uploaded_params,
+                mean_loss: if executed > 0 {
+                    loss_sum / executed as f64
+                } else {
+                    0.0
+                },
+                mean_accuracy: if executed > 0 {
+                    acc_sum / executed as f64
+                } else {
+                    0.0
+                },
+            },
+            state,
+            mask_cache_hit,
+        }
+    }
+}
+
 /// Runs Algorithm 1 lines 17-27 for one client and updates its persistent
-/// state in place.
+/// state in place — the serial convenience wrapper around [`ClientTask`]
+/// (always builds a fresh mask; the simulator's round loop uses the task
+/// directly so it can consult the cross-round mask cache).
 pub fn client_update(
     arch: &dyn ModelArch,
     global_params: &[f32],
@@ -76,91 +221,17 @@ pub fn client_update(
     options: &ClientUpdateOptions,
     rng: &mut StdRng,
 ) -> ClientUpdateOutcome {
-    let layout = arch.unit_layout();
-    assert_eq!(global_params.len(), arch.param_count());
-
-    // Line 17: ω_{k,0} ← ω^r and Q_{k,0} ← Q^s_k (initialised from the global
-    // parameters on the client's first participation).
-    let mut local = global_params.to_vec();
-    let mut indicator = match &state.indicator {
-        Some(scores) => ImportanceIndicator::from_scores(scores.clone()),
-        None => ImportanceIndicator::from_params(layout, global_params),
+    let task = ClientTask {
+        arch,
+        global: global_params,
+        state,
+        data,
+        options: *options,
+        cached_mask: None,
     };
-    let objective = ImportanceLoss::new(options.mu, options.lambda);
-
-    let mut loss_sum = 0.0;
-    let mut acc_sum = 0.0;
-    let mut executed = 0usize;
-
-    // The paper re-derives the mask in every local iteration; with the
-    // reproduction's small local-iteration budgets that churn prevents any
-    // unit subset from accumulating training, so the round's mask is frozen
-    // from the indicator the client starts the round with, while Q itself
-    // keeps learning and shapes the mask of the *next* participation. The
-    // personalized model and the uploaded residual use this trained mask.
-    let mask = build_mask(arch, &local, &indicator, options, rng);
-    let pmask = mask.param_mask(layout);
-
-    if !data.is_empty() {
-        let batch = options.batch_size.max(1).min(data.len());
-        let mut grad = vec![0.0f32; arch.param_count()];
-        for _ in 0..options.iterations {
-            let masked: Vec<f32> = local.iter().zip(pmask.iter()).map(|(p, m)| p * m).collect();
-            let indices: Vec<usize> = (0..batch).map(|_| rng.gen_range(0..data.len())).collect();
-            grad.fill(0.0);
-            let breakdown = objective.evaluate(
-                arch,
-                &masked,
-                global_params,
-                &indicator,
-                data,
-                &indices,
-                &mut grad,
-            );
-
-            // Line 21: importance-indicator update (uses the same gradient buffer).
-            let q_grad = indicator.gradient(layout, &local, &grad, options.lambda);
-            // Line 20: masked SGD step on the retained parameters only.
-            options.sgd.step_masked(&mut local, &mut grad, &pmask);
-            indicator.step(&q_grad, options.importance_lr);
-
-            loss_sum += breakdown.total;
-            acc_sum += breakdown.accuracy;
-            executed += 1;
-        }
-    }
-
-    // Lines 23-25: persist Q, store the personalized sparse model and compute
-    // the masked residual to upload (masked with the pattern that was trained).
-    let personal: Vec<f32> = local.iter().zip(pmask.iter()).map(|(p, m)| p * m).collect();
-    let residual: Vec<f32> = global_params
-        .iter()
-        .zip(local.iter())
-        .zip(pmask.iter())
-        .map(|((g, l), m)| (g - l) * m)
-        .collect();
-    let uploaded_params = mask.retained_params(layout);
-
-    state.indicator = Some(indicator.scores().to_vec());
-    state.personal_model = Some(personal);
-    state.last_mask = Some(mask.clone());
-    state.last_ratio = options.ratio;
-
-    ClientUpdateOutcome {
-        residual,
-        mask,
-        uploaded_params,
-        mean_loss: if executed > 0 {
-            loss_sum / executed as f64
-        } else {
-            0.0
-        },
-        mean_accuracy: if executed > 0 {
-            acc_sum / executed as f64
-        } else {
-            0.0
-        },
-    }
+    let output = task.run(rng);
+    *state = output.state;
+    output.outcome
 }
 
 fn build_mask(
@@ -295,6 +366,56 @@ mod tests {
         assert_eq!(outcome.mean_accuracy, 0.0);
         // The residual is all zeros because no training happened.
         assert!(outcome.residual.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn random_pattern_masks_are_resampled_every_participation() {
+        let (mlp, data, global) = setup();
+        let mut opts = options(0.5);
+        opts.pattern = PatternStrategy::Random;
+        let mut state = ClientState::default();
+        let mut rng = rng_from_seed(21);
+        let first = client_update(&mlp, &global, &mut state, &data, &opts, &mut rng);
+        let second = client_update(&mlp, &global, &mut state, &data, &opts, &mut rng);
+        assert_ne!(
+            first.mask, second.mask,
+            "random dropout must resample its units each round"
+        );
+    }
+
+    #[test]
+    fn client_task_is_pure_and_reuses_cached_masks() {
+        let (mlp, data, global) = setup();
+        let state = ClientState::default();
+        let task = ClientTask {
+            arch: &mlp,
+            global: &global,
+            state: &state,
+            data: &data,
+            options: options(0.5),
+            cached_mask: None,
+        };
+        let mut rng1 = rng_from_seed(11);
+        let fresh = task.run(&mut rng1);
+        assert!(!fresh.mask_cache_hit);
+        assert!(
+            state.indicator.is_none(),
+            "the task must not mutate its input state"
+        );
+        assert!(fresh.state.indicator.is_some());
+
+        // Serving the fresh mask back as "cached" reproduces the round
+        // bit-for-bit (importance masks consume no RNG, so streams align).
+        let cached_task = ClientTask {
+            cached_mask: Some(&fresh.outcome.mask),
+            ..task
+        };
+        let mut rng2 = rng_from_seed(11);
+        let cached = cached_task.run(&mut rng2);
+        assert!(cached.mask_cache_hit);
+        assert_eq!(cached.outcome.mask, fresh.outcome.mask);
+        assert_eq!(cached.outcome.residual, fresh.outcome.residual);
+        assert_eq!(cached.state.indicator, fresh.state.indicator);
     }
 
     #[test]

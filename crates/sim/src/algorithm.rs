@@ -1,5 +1,7 @@
 //! The interface every federated-learning framework implements.
 
+use std::any::Any;
+
 use fedlps_device::LocalCost;
 use fedlps_nn::model::EvalStats;
 use rand::rngs::StdRng;
@@ -29,6 +31,11 @@ pub struct ClientReport {
     pub train_loss: f64,
     /// The sparse ratio the client actually used (1.0 for dense baselines).
     pub sparse_ratio: f64,
+    /// Mask-cache lookups served from the cache during this client's step
+    /// (0 for algorithms without mask caching).
+    pub mask_cache_hits: u32,
+    /// Mask-cache lookups that required a rebuild during this client's step.
+    pub mask_cache_misses: u32,
 }
 
 impl ClientReport {
@@ -43,6 +50,36 @@ impl ClientReport {
             train_accuracy: 0.0,
             train_loss: 0.0,
             sparse_ratio: 1.0,
+            mask_cache_hits: 0,
+            mask_cache_misses: 0,
+        }
+    }
+}
+
+/// The opaque, algorithm-defined payload a pure client step hands back to the
+/// server: staged model updates, new per-client state, bandit feedback, … The
+/// round loop never inspects it — it only carries it from the (possibly
+/// parallel) [`client_step`](FlAlgorithm::client_step) to the serial
+/// [`absorb_update`](FlAlgorithm::absorb_update), in ascending client-id
+/// order, so every algorithm keeps full control of its own update format.
+pub type ClientUpdate = Box<dyn Any + Send>;
+
+/// Everything a pure client step produces: the resource/statistics report the
+/// simulator aggregates into [`RoundMetrics`](crate::metrics::RoundMetrics)
+/// plus the algorithm's own update payload.
+pub struct ClientOutcome {
+    /// The paper's per-round client report.
+    pub report: ClientReport,
+    /// The algorithm-defined update absorbed after the parallel phase.
+    pub update: ClientUpdate,
+}
+
+impl ClientOutcome {
+    /// Bundles a report with its update payload.
+    pub fn new(report: ClientReport, update: impl Any + Send) -> Self {
+        Self {
+            report,
+            update: Box::new(update),
         }
     }
 }
@@ -51,8 +88,17 @@ impl ClientReport {
 ///
 /// The [`Simulator`](crate::runner::Simulator) drives implementations through
 /// the synchronous round loop of Algorithm 1: `select_clients` →
-/// `run_client` for each selected client → `aggregate` → periodic
-/// `evaluate_client` over the whole federation.
+/// `begin_round` → `client_step` for each selected client (sharded across
+/// threads when [`FlConfig::parallelism`](crate::config::FlConfig) > 1) →
+/// `absorb_update` for each outcome in ascending client-id order →
+/// `aggregate` → periodic `evaluate_client` over the whole federation.
+///
+/// `client_step` takes `&self`: it must be a *pure* function of the immutable
+/// algorithm state, the environment and the per-client RNG stream, so the
+/// simulator may execute the selected clients in any order and on any number
+/// of threads while remaining bit-identical to the serial schedule. All
+/// mutation belongs in `begin_round` (round-level, e.g. refreshing a shared
+/// mask), `absorb_update` (per-client, deterministic order) and `aggregate`.
 pub trait FlAlgorithm: Send + Sync {
     /// Human-readable name used in tables (e.g. `"FedLPS"`, `"FedAvg"`).
     fn name(&self) -> String;
@@ -72,16 +118,30 @@ pub trait FlAlgorithm: Send + Sync {
         )
     }
 
-    /// Executes one selected client's local work for the round and returns its
-    /// report. Implementations store whatever update payload their
-    /// `aggregate` needs in their own state.
-    fn run_client(
-        &mut self,
+    /// Round-level mutable preparation executed *before* the client steps
+    /// fan out (e.g. PruneFL's periodic re-pruning of the shared mask). The
+    /// RNG stream is deterministic per round and independent of parallelism.
+    fn begin_round(&mut self, env: &FlEnv, round: usize, selected: &[usize], rng: &mut StdRng) {
+        let _ = (env, round, selected, rng);
+    }
+
+    /// Executes one selected client's local work for the round: immutable
+    /// global state + per-client RNG stream in, report + update payload out.
+    /// Must not mutate shared state (enforced by `&self`) so the simulator
+    /// can shard clients across threads.
+    fn client_step(
+        &self,
         env: &FlEnv,
         round: usize,
         client: usize,
         rng: &mut StdRng,
-    ) -> ClientReport;
+    ) -> ClientOutcome;
+
+    /// Applies one client's update payload to the algorithm state. The round
+    /// loop calls this serially in ascending client-id order regardless of
+    /// the parallelism level, which is what keeps sharded runs bit-identical
+    /// to serial ones.
+    fn absorb_update(&mut self, env: &FlEnv, round: usize, update: ClientUpdate);
 
     /// Server-side aggregation at the end of the round.
     fn aggregate(&mut self, env: &FlEnv, round: usize, reports: &[ClientReport]);
@@ -136,6 +196,8 @@ mod tests {
             train_accuracy: 0.8,
             train_loss: 0.4,
             sparse_ratio: 0.5,
+            mask_cache_hits: 1,
+            mask_cache_misses: 0,
         };
         let json = serde_json::to_string(&r).unwrap();
         let back: ClientReport = serde_json::from_str(&json).unwrap();

@@ -27,6 +27,12 @@ pub struct FlConfig {
     pub cost_alpha: f64,
     /// Base RNG seed for client selection / minibatch sampling.
     pub seed: u64,
+    /// Number of worker shards the round loop spreads the selected clients
+    /// over: 1 = serial (the default), `n > 1` = at most `n` threads, 0 = one
+    /// shard per available core. Results are bit-identical at every setting —
+    /// client steps are pure and updates are absorbed in client-id order —
+    /// so this is purely a wall-clock knob.
+    pub parallelism: usize,
 }
 
 impl Default for FlConfig {
@@ -40,6 +46,7 @@ impl Default for FlConfig {
             eval_every: 1,
             cost_alpha: 1.0,
             seed: 7,
+            parallelism: 1,
         }
     }
 }
@@ -89,6 +96,24 @@ impl FlConfig {
         self.clients_per_round = c.max(1);
         self
     }
+
+    /// Builder-style override of the round-loop parallelism (0 = all cores).
+    pub fn with_parallelism(mut self, shards: usize) -> Self {
+        self.parallelism = shards;
+        self
+    }
+
+    /// The number of worker shards the round loop should actually use:
+    /// resolves the `0 = auto` convention against the machine's core count.
+    pub fn effective_parallelism(&self) -> usize {
+        if self.parallelism == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            self.parallelism
+        }
+    }
 }
 
 #[cfg(test)]
@@ -115,10 +140,26 @@ mod tests {
         let cfg = FlConfig::tiny()
             .with_rounds(3)
             .with_seed(99)
-            .with_clients_per_round(0);
+            .with_clients_per_round(0)
+            .with_parallelism(4);
         assert_eq!(cfg.rounds, 3);
         assert_eq!(cfg.seed, 99);
         assert_eq!(cfg.clients_per_round, 1, "clamps to at least one client");
+        assert_eq!(cfg.parallelism, 4);
+    }
+
+    #[test]
+    fn parallelism_resolves_auto_and_explicit() {
+        assert_eq!(FlConfig::default().parallelism, 1, "serial by default");
+        assert_eq!(FlConfig::default().effective_parallelism(), 1);
+        let auto = FlConfig::default().with_parallelism(0);
+        assert!(auto.effective_parallelism() >= 1);
+        assert_eq!(
+            FlConfig::default()
+                .with_parallelism(3)
+                .effective_parallelism(),
+            3
+        );
     }
 
     #[test]

@@ -34,6 +34,11 @@ pub struct RoundMetrics {
     pub cumulative_upload_bytes: f64,
     /// Mean sparse ratio used by the selected clients.
     pub mean_sparse_ratio: f64,
+    /// Mask-cache lookups served from the cache this round (0 for algorithms
+    /// without mask caching).
+    pub mask_cache_hits: u64,
+    /// Mask-cache lookups that required a rebuild this round.
+    pub mask_cache_misses: u64,
 }
 
 /// The full trace of one federated run plus its summary statistics.
@@ -134,6 +139,30 @@ impl RunResult {
         }
         self.rounds.iter().map(|r| r.mean_sparse_ratio).sum::<f64>() / self.rounds.len() as f64
     }
+
+    /// Mask-cache hit rate over the whole run (0 when the algorithm never
+    /// consulted a cache).
+    pub fn mask_cache_hit_rate(&self) -> f64 {
+        self.mask_cache_hit_rate_from(0)
+    }
+
+    /// Mask-cache hit rate counting only rounds `>= from_round` — the warm
+    /// regime the ROADMAP's perf trajectory tracks (early rounds are all
+    /// compulsory misses while the cache fills).
+    pub fn mask_cache_hit_rate_from(&self, from_round: usize) -> f64 {
+        let (hits, misses) = self
+            .rounds
+            .iter()
+            .filter(|r| r.round >= from_round)
+            .fold((0u64, 0u64), |(h, m), r| {
+                (h + r.mask_cache_hits, m + r.mask_cache_misses)
+            });
+        if hits + misses == 0 {
+            0.0
+        } else {
+            hits as f64 / (hits + misses) as f64
+        }
+    }
 }
 
 #[cfg(test)]
@@ -153,6 +182,8 @@ mod tests {
             round_upload_bytes: 10.0,
             cumulative_upload_bytes: 10.0 * (i + 1) as f64,
             mean_sparse_ratio: 0.5,
+            mask_cache_hits: i as u64,
+            mask_cache_misses: 1,
         }
     }
 
@@ -208,6 +239,17 @@ mod tests {
         assert_eq!(r.time_to_accuracy(0.1), None);
         assert_eq!(r.mean_accuracy_last(3), 0.0);
         assert_eq!(r.mean_sparse_ratio(), 1.0);
+        assert_eq!(r.mask_cache_hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn mask_cache_hit_rates() {
+        // Rounds carry hits 0,1,2,3 and one miss each.
+        let r = result();
+        assert!((r.mask_cache_hit_rate() - 6.0 / 10.0).abs() < 1e-12);
+        // From round 2 on: hits 2+3 = 5, misses 2.
+        assert!((r.mask_cache_hit_rate_from(2) - 5.0 / 7.0).abs() < 1e-12);
+        assert_eq!(r.mask_cache_hit_rate_from(99), 0.0);
     }
 
     #[test]

@@ -1,10 +1,18 @@
 //! The synchronous federation round loop.
+//!
+//! Client-side training dominates a round's wall-clock cost, so the loop
+//! shards the selected clients across worker threads when
+//! [`FlConfig::parallelism`](crate::config::FlConfig) allows it. Sharding is
+//! observationally invisible: [`FlAlgorithm::client_step`] is pure (`&self` +
+//! a per-client RNG stream derived only from `(seed, round, client)`), and
+//! the resulting updates are absorbed serially in ascending client-id order,
+//! so serial and sharded runs produce bit-identical metric traces.
 
 use fedlps_device::CostModel;
 use fedlps_tensor::{rng_from_seed, split_seed};
 use rayon::prelude::*;
 
-use crate::algorithm::FlAlgorithm;
+use crate::algorithm::{ClientOutcome, FlAlgorithm};
 use crate::env::FlEnv;
 use crate::metrics::{RoundMetrics, RunResult};
 
@@ -36,6 +44,14 @@ impl Simulator {
         algorithm.setup(env);
         let mut selection_rng = rng_from_seed(split_seed(env.config.seed, 0x5E1E));
 
+        let shards = env.config.effective_parallelism();
+        let pool = (shards > 1).then(|| {
+            rayon::ThreadPoolBuilder::new()
+                .num_threads(shards)
+                .build()
+                .expect("rayon pool construction is infallible")
+        });
+
         let mut rounds = Vec::with_capacity(env.config.rounds);
         let mut cumulative_time = 0.0;
         let mut cumulative_flops = 0.0;
@@ -48,14 +64,38 @@ impl Simulator {
                 "a round must select at least one client"
             );
 
-            let mut reports = Vec::with_capacity(selected.len());
-            for &client in &selected {
+            // Round-level mutable preparation (shared-mask refreshes etc.);
+            // its RNG stream depends only on (seed, round).
+            let mut round_rng =
+                rng_from_seed(split_seed(env.config.seed, 0xB172 ^ (round as u64) << 1));
+            algorithm.begin_round(env, round, &selected, &mut round_rng);
+
+            // Pure client steps, sharded when a pool is installed. Each task
+            // owns an RNG stream keyed by (seed, round, client) so the
+            // schedule cannot leak into the results.
+            let frozen: &dyn FlAlgorithm = algorithm;
+            let step = |client: usize| {
                 let mut client_rng = rng_from_seed(split_seed(
                     env.config.seed,
                     0xC11E ^ ((client as u64) << 24) ^ round as u64,
                 ));
-                let report = algorithm.run_client(env, round, client, &mut client_rng);
-                reports.push(report);
+                (
+                    client,
+                    frozen.client_step(env, round, client, &mut client_rng),
+                )
+            };
+            let mut outcomes: Vec<(usize, ClientOutcome)> = match &pool {
+                Some(pool) => pool.install(|| selected.clone().into_par_iter().map(step).collect()),
+                None => selected.iter().copied().map(step).collect(),
+            };
+
+            // Deterministic reduce: absorb updates and order reports by
+            // client id, independent of selection order or thread schedule.
+            outcomes.sort_by_key(|(client, _)| *client);
+            let mut reports = Vec::with_capacity(outcomes.len());
+            for (_, outcome) in outcomes {
+                reports.push(outcome.report);
+                algorithm.absorb_update(env, round, outcome.update);
             }
             algorithm.aggregate(env, round, &reports);
 
@@ -95,6 +135,8 @@ impl Simulator {
                 round_upload_bytes: round_upload,
                 cumulative_upload_bytes: cumulative_upload,
                 mean_sparse_ratio,
+                mask_cache_hits: reports.iter().map(|r| r.mask_cache_hits as u64).sum(),
+                mask_cache_misses: reports.iter().map(|r| r.mask_cache_misses as u64).sum(),
             });
         }
 
@@ -123,7 +165,7 @@ impl Simulator {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::algorithm::ClientReport;
+    use crate::algorithm::{ClientReport, ClientUpdate};
     use crate::config::FlConfig;
     use crate::train::{account_round, local_sgd, LocalTrainOptions};
     use fedlps_data::scenario::{DatasetKind, ScenarioConfig};
@@ -157,13 +199,13 @@ mod tests {
             self.global = env.initial_params();
         }
 
-        fn run_client(
-            &mut self,
+        fn client_step(
+            &self,
             env: &FlEnv,
             _round: usize,
             client: usize,
             rng: &mut StdRng,
-        ) -> ClientReport {
+        ) -> ClientOutcome {
             let mut params = self.global.clone();
             let options = LocalTrainOptions {
                 iterations: env.config.local_iterations,
@@ -190,8 +232,7 @@ mod tests {
                 env.arch.param_count(),
                 env.arch.param_count(),
             );
-            self.staged.push((client, params));
-            ClientReport {
+            let report = ClientReport {
                 client_id: client,
                 flops: accounting.flops,
                 upload_bytes: accounting.upload_bytes,
@@ -200,7 +241,17 @@ mod tests {
                 train_accuracy: summary.mean_accuracy,
                 train_loss: summary.mean_loss,
                 sparse_ratio: 1.0,
-            }
+                mask_cache_hits: 0,
+                mask_cache_misses: 0,
+            };
+            ClientOutcome::new(report, (client, params))
+        }
+
+        fn absorb_update(&mut self, _env: &FlEnv, _round: usize, update: ClientUpdate) {
+            let (client, params) = *update
+                .downcast::<(usize, Vec<f32>)>()
+                .expect("MiniFedAvg update payload");
+            self.staged.push((client, params));
         }
 
         fn aggregate(&mut self, env: &FlEnv, _round: usize, _reports: &[ClientReport]) {
@@ -283,5 +334,25 @@ mod tests {
         let a = mk();
         let b = mk();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sharded_rounds_are_bit_identical_to_serial() {
+        let mk = |parallelism: usize| {
+            let env = FlEnv::from_scenario(
+                &ScenarioConfig::tiny(DatasetKind::MnistLike),
+                HeterogeneityLevel::High,
+                FlConfig::tiny().with_parallelism(parallelism),
+            );
+            Simulator::new(env).run(&mut MiniFedAvg::new())
+        };
+        let serial = mk(1);
+        for shards in [2, 4, 0] {
+            let sharded = mk(shards);
+            assert_eq!(
+                serial, sharded,
+                "parallelism={shards} must reproduce the serial trace exactly"
+            );
+        }
     }
 }

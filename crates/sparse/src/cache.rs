@@ -1,0 +1,266 @@
+//! Cross-round mask caching.
+//!
+//! The round loop historically re-derived every selected client's pattern
+//! from scratch each round even though the bandit usually proposes (nearly)
+//! the same sparse ratio. [`MaskCache`] keeps the most recent mask per
+//! client, keyed by the ratio the mask was built at, and hands it back as
+//! long as the ratio still extracts the *same submodel shape* — the caller
+//! decides whether that reuse is sound for its pattern strategy (see
+//! [`PatternStrategy::cacheable_across_rounds`](crate::pattern::PatternStrategy::cacheable_across_rounds)).
+//! For FedLPS's learnable pattern this deliberately extends the
+//! within-round mask freeze across participations at an unchanged ratio:
+//! the importance indicator keeps learning every round and reshapes the
+//! pattern at the client's next ratio change, rather than at every
+//! participation.
+//!
+//! Keys are quantized: a mask depends on the sparse ratio only through the
+//! per-layer retained-unit counts `⌈s · J_l⌉` (see
+//! [`retained_per_layer`](crate::ratio::retained_per_layer)), so two ratios
+//! that retain identical unit counts share a cache entry. This matters in
+//! practice because P-UCBV samples ratios continuously inside its best
+//! partition — exact floating-point keys would never hit.
+//!
+//! The cache is deliberately read-only-friendly: [`MaskCache::lookup`] takes
+//! `&self` so parallel client tasks can consult a shared snapshot, while
+//! inserts, invalidations and hit/miss accounting happen in the serial
+//! absorb phase of the round loop.
+
+use crate::mask::UnitMask;
+use crate::ratio::retained_per_layer;
+
+/// One client's cached pattern plus the quantized ratio key it was built at.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct CacheEntry {
+    /// Per-layer retained-unit counts implied by the ratio at build time.
+    counts: Vec<usize>,
+    mask: UnitMask,
+}
+
+/// Per-client cross-round mask cache with hit/miss accounting.
+///
+/// Each client owns at most one entry (its latest pattern); a lookup at a
+/// ratio that retains different per-layer unit counts misses, and the
+/// subsequent insert replaces — i.e. invalidates — that client's entry only.
+#[derive(Debug, Clone)]
+pub struct MaskCache {
+    /// Sparsifiable units per layer; fixes the ratio quantization.
+    units_per_layer: Vec<usize>,
+    entries: Vec<Option<CacheEntry>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl MaskCache {
+    /// Creates an empty cache for `num_clients` clients of a model with the
+    /// given per-layer sparsifiable unit counts.
+    pub fn new(num_clients: usize, units_per_layer: Vec<usize>) -> Self {
+        Self {
+            units_per_layer,
+            entries: vec![None; num_clients],
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// The quantized key a ratio maps to: per-layer retained-unit counts.
+    pub fn key_for(&self, ratio: f64) -> Vec<usize> {
+        retained_per_layer(&self.units_per_layer, ratio)
+    }
+
+    /// Returns the cached mask for `client` if one exists and was built at a
+    /// ratio retaining the same per-layer unit counts as `ratio`. Pure read:
+    /// safe to call from parallel client tasks; does not touch the counters
+    /// (call [`record`](Self::record) from the serial phase instead).
+    pub fn lookup(&self, client: usize, ratio: f64) -> Option<&UnitMask> {
+        let entry = self.entries.get(client)?.as_ref()?;
+        if entry.counts == self.key_for(ratio) {
+            Some(&entry.mask)
+        } else {
+            None
+        }
+    }
+
+    /// Whether `client` currently holds a (possibly stale-keyed) entry.
+    pub fn contains(&self, client: usize) -> bool {
+        self.entries.get(client).is_some_and(|e| e.is_some())
+    }
+
+    /// Stores `mask` as `client`'s pattern at `ratio`, replacing (and thereby
+    /// invalidating) whatever that client had before. Other clients' entries
+    /// are untouched.
+    pub fn insert(&mut self, client: usize, ratio: f64, mask: UnitMask) {
+        let counts = self.key_for(ratio);
+        if client >= self.entries.len() {
+            self.entries.resize(client + 1, None);
+        }
+        self.entries[client] = Some(CacheEntry { counts, mask });
+    }
+
+    /// Convenience used by serial callers: counted lookup-or-build. Returns
+    /// the mask and whether it was served from the cache.
+    pub fn get_or_insert_with(
+        &mut self,
+        client: usize,
+        ratio: f64,
+        build: impl FnOnce() -> UnitMask,
+    ) -> (UnitMask, bool) {
+        if let Some(mask) = self.lookup(client, ratio).cloned() {
+            self.record(true);
+            (mask, true)
+        } else {
+            self.record(false);
+            let mask = build();
+            self.insert(client, ratio, mask.clone());
+            (mask, false)
+        }
+    }
+
+    /// Drops `client`'s entry (e.g. when its persistent state is reset).
+    pub fn invalidate(&mut self, client: usize) {
+        if let Some(slot) = self.entries.get_mut(client) {
+            *slot = None;
+        }
+    }
+
+    /// Records the outcome of a lookup performed outside the cache (the
+    /// parallel round loop looks up against a snapshot and reports back in
+    /// the deterministic reduce).
+    pub fn record(&mut self, hit: bool) {
+        if hit {
+            self.hits += 1;
+        } else {
+            self.misses += 1;
+        }
+    }
+
+    /// Number of lookups served from the cache.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Number of lookups that required a rebuild.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// `hits / (hits + misses)`, or 0 before any lookup.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Number of clients currently holding an entry.
+    pub fn len(&self) -> usize {
+        self.entries.iter().filter(|e| e.is_some()).count()
+    }
+
+    /// Whether no client holds an entry.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every entry and resets the counters.
+    pub fn clear(&mut self) {
+        for e in &mut self.entries {
+            *e = None;
+        }
+        self.hits = 0;
+        self.misses = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mask_of(bits: &[bool]) -> UnitMask {
+        UnitMask::from_keep(bits.to_vec())
+    }
+
+    fn cache() -> MaskCache {
+        // Two layers of 8 and 4 sparsifiable units.
+        MaskCache::new(3, vec![8, 4])
+    }
+
+    #[test]
+    fn fresh_cache_is_empty_and_misses() {
+        let c = cache();
+        assert!(c.is_empty());
+        assert!(c.lookup(0, 0.5).is_none());
+        assert_eq!(c.hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn insert_then_lookup_hits_at_equivalent_ratios() {
+        let mut c = cache();
+        let m = mask_of(&[true; 12]);
+        c.insert(1, 0.5, m.clone());
+        assert_eq!(c.lookup(1, 0.5), Some(&m));
+        // 0.5 and 0.49 both retain ⌈8s⌉=4 and ⌈4s⌉=2 units.
+        assert_eq!(c.key_for(0.5), c.key_for(0.49));
+        assert_eq!(c.lookup(1, 0.49), Some(&m));
+        // A genuinely different shape misses.
+        assert!(c.lookup(1, 0.25).is_none());
+        // Other clients are unaffected.
+        assert!(c.lookup(0, 0.5).is_none());
+    }
+
+    #[test]
+    fn ratio_change_invalidates_exactly_that_clients_entry() {
+        let mut c = cache();
+        let m0 = mask_of(&[true; 12]);
+        let mut keep = vec![false; 12];
+        keep[0] = true;
+        keep[8] = true;
+        let m1 = mask_of(&keep);
+        c.insert(0, 0.5, m0.clone());
+        c.insert(2, 0.5, m0.clone());
+        // Client 0's ratio changes: the miss + re-insert replaces only its entry.
+        assert!(c.lookup(0, 0.125).is_none());
+        c.insert(0, 0.125, m1.clone());
+        assert_eq!(c.lookup(0, 0.125), Some(&m1));
+        assert!(c.lookup(0, 0.5).is_none(), "old key is gone");
+        assert_eq!(c.lookup(2, 0.5), Some(&m0), "client 2 is untouched");
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn get_or_insert_with_counts_hits_and_misses() {
+        let mut c = cache();
+        let build = || mask_of(&[true; 12]);
+        let (_, hit) = c.get_or_insert_with(0, 0.75, build);
+        assert!(!hit);
+        let (_, hit) = c.get_or_insert_with(0, 0.75, build);
+        assert!(hit);
+        let (_, hit) = c.get_or_insert_with(0, 0.25, build);
+        assert!(!hit, "shape change rebuilds");
+        assert_eq!(c.hits(), 1);
+        assert_eq!(c.misses(), 2);
+        assert!((c.hit_rate() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn invalidate_and_clear() {
+        let mut c = cache();
+        c.insert(0, 0.5, mask_of(&[true; 12]));
+        c.record(true);
+        c.invalidate(0);
+        assert!(c.lookup(0, 0.5).is_none());
+        c.insert(1, 0.5, mask_of(&[true; 12]));
+        c.clear();
+        assert!(c.is_empty());
+        assert_eq!(c.hits(), 0);
+    }
+
+    #[test]
+    fn insert_beyond_initial_capacity_grows() {
+        let mut c = MaskCache::new(1, vec![4]);
+        c.insert(5, 0.5, mask_of(&[true; 4]));
+        assert!(c.contains(5));
+        assert_eq!(c.len(), 1);
+    }
+}

@@ -11,11 +11,15 @@
 //!   (random, ordered, rolling-ordered, magnitude-based) and the
 //!   importance-driven *learnable* pattern of FedLPS (Eq. 4);
 //! * [`ratio`] — helpers for turning a sparse ratio into per-layer retained
-//!   unit counts under the paper's layer-wise uniform-ratio convention.
+//!   unit counts under the paper's layer-wise uniform-ratio convention;
+//! * [`cache::MaskCache`] — cross-round per-client mask reuse with hit/miss
+//!   accounting, keyed by the submodel shape a ratio extracts.
 
+pub mod cache;
 pub mod mask;
 pub mod pattern;
 pub mod ratio;
 
+pub use cache::MaskCache;
 pub use mask::UnitMask;
 pub use pattern::PatternStrategy;

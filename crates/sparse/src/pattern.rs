@@ -55,6 +55,21 @@ impl PatternStrategy {
         }
     }
 
+    /// Whether a mask built by this strategy may be reused across rounds at
+    /// an unchanged ratio (the [`MaskCache`](crate::cache::MaskCache)
+    /// contract). `Ordered` masks are a pure function of the ratio, and
+    /// `Importance` masks are a function of the ratio and the client's
+    /// *persistent* indicator (FedLPS deliberately freezes the round's
+    /// pattern while the indicator keeps learning, so serving the previous
+    /// pattern extends that freeze across participations). The other
+    /// strategies must be rebuilt every round: `Random` resamples its units,
+    /// `RollingOrdered` advances its window with the round index, and
+    /// `Magnitude` tracks the evolving weights — caching them would silently
+    /// change their semantics.
+    pub fn cacheable_across_rounds(&self) -> bool {
+        matches!(self, PatternStrategy::Ordered | PatternStrategy::Importance)
+    }
+
     /// Builds a unit mask at the given layer-wise ratio.
     ///
     /// * `params` — current model parameters (used by `Magnitude`);
@@ -278,6 +293,15 @@ mod tests {
         assert!(mask.is_kept(7));
         assert!(mask.is_kept(13));
         assert_eq!(mask.retained_units(), 2);
+    }
+
+    #[test]
+    fn only_ratio_deterministic_strategies_are_cacheable() {
+        assert!(PatternStrategy::Ordered.cacheable_across_rounds());
+        assert!(PatternStrategy::Importance.cacheable_across_rounds());
+        assert!(!PatternStrategy::Random.cacheable_across_rounds());
+        assert!(!PatternStrategy::RollingOrdered.cacheable_across_rounds());
+        assert!(!PatternStrategy::Magnitude.cacheable_across_rounds());
     }
 
     #[test]

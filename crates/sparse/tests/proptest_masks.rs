@@ -3,6 +3,7 @@
 
 use fedlps_nn::mlp::{Mlp, MlpConfig};
 use fedlps_nn::model::ModelArch;
+use fedlps_sparse::cache::MaskCache;
 use fedlps_sparse::pattern::{learnable_pattern, PatternStrategy};
 use fedlps_sparse::ratio::{realised_ratio, retained_per_layer, retained_units};
 use fedlps_tensor::rng_from_seed;
@@ -81,5 +82,42 @@ proptest! {
         let once = mask.apply(layout, &params);
         let twice = mask.apply(layout, &once);
         prop_assert_eq!(once, twice);
+    }
+
+    /// A mask served from the [`MaskCache`] is identical to a freshly built
+    /// mask for any (seed, ratio) pair, for any equivalent probe ratio: a
+    /// lookup hits exactly when the probe extracts the same per-layer
+    /// retained-unit counts, and then the cached mask equals the pattern the
+    /// builder would derive at the probe ratio.
+    #[test]
+    fn cached_and_fresh_masks_are_identical(h0 in 2usize..16, h1 in 2usize..12,
+                                             ratio in 0.01f64..1.0, probe in 0.01f64..1.0,
+                                             client in 0usize..8, seed in 0u64..500) {
+        let model = mlp(h0, h1);
+        let layout = model.unit_layout();
+        let scores: Vec<f32> = (0..layout.total_units())
+            .map(|i| ((i as f32) + seed as f32 * 0.13).sin())
+            .collect();
+        let mut cache = MaskCache::new(8, layout.units_per_layer());
+
+        // First participation: a compulsory miss, then the build is cached.
+        let (built, hit) = cache.get_or_insert_with(client, ratio, || {
+            learnable_pattern(layout, &scores, ratio)
+        });
+        prop_assert!(!hit);
+        prop_assert_eq!(&built, &learnable_pattern(layout, &scores, ratio));
+
+        // Probing at any ratio: equal submodel shape => hit with the exact
+        // mask a fresh build would produce; different shape => miss.
+        let same_shape = cache.key_for(probe) == cache.key_for(ratio);
+        match cache.lookup(client, probe) {
+            Some(cached) => {
+                prop_assert!(same_shape);
+                prop_assert_eq!(cached, &learnable_pattern(layout, &scores, probe));
+            }
+            None => prop_assert!(!same_shape),
+        }
+        // Other clients never alias this entry.
+        prop_assert!(cache.lookup((client + 1) % 8, ratio).is_none());
     }
 }

@@ -4,6 +4,13 @@
 //! ```text
 //! cargo run --release --example quickstart
 //! ```
+//!
+//! Two environment variables support CI's determinism gate (and general
+//! scripting): `FEDLPS_PARALLELISM` sets the round-loop shard count
+//! (default 1 = serial, 0 = all cores) and `FEDLPS_METRICS_JSON` names a
+//! file to which the full `RunResult` is written as JSON. Runs at any
+//! parallelism level are bit-identical for the same seed, which the CI
+//! matrix enforces by diffing the JSON of a serial and a sharded run.
 
 use fedlps::prelude::*;
 
@@ -11,6 +18,14 @@ fn main() {
     // 1. A synthetic MNIST-like federation: 16 clients, pathological non-IID
     //    (2 classes per client), with devices sampled from the paper's five
     //    capability tiers.
+    // Panic on a set-but-unparsable value: a silent fall-back to serial
+    // would make CI's determinism gate compare two identical serial runs.
+    let parallelism: usize = match std::env::var("FEDLPS_PARALLELISM") {
+        Ok(v) => v
+            .parse()
+            .unwrap_or_else(|_| panic!("FEDLPS_PARALLELISM must be a shard count, got {v:?}")),
+        Err(_) => 1,
+    };
     let scenario = ScenarioConfig::small(DatasetKind::MnistLike).with_clients(16);
     let fl_config = FlConfig {
         rounds: 20,
@@ -18,6 +33,7 @@ fn main() {
         local_iterations: 5,
         batch_size: 20,
         eval_every: 2,
+        parallelism,
         ..FlConfig::default()
     };
     let env = FlEnv::from_scenario(&scenario, HeterogeneityLevel::High, fl_config);
@@ -59,10 +75,30 @@ fn main() {
         "mean sparse ratio used:           {:.2}",
         result.mean_sparse_ratio()
     );
+    println!(
+        "round-loop parallelism:           {} shard(s)",
+        sim.env().config.effective_parallelism()
+    );
+    if let Some(cache) = fedlps.mask_cache() {
+        println!(
+            "mask cache:                       {} hits / {} misses ({:.0}% hit rate, {:.0}% after round 3)",
+            cache.hits(),
+            cache.misses(),
+            cache.hit_rate() * 100.0,
+            result.mask_cache_hit_rate_from(3) * 100.0
+        );
+    }
 
     println!("\nper-client sparse ratios proposed by P-UCBV after training:");
     for (k, ratio) in fedlps.proposed_ratios().iter().enumerate() {
         let cap = sim.env().capabilities()[k];
         println!("  client {k:>2}: capability {cap:>6.4} -> ratio {ratio:.3}");
+    }
+
+    // Machine-readable trace for CI's determinism gate.
+    if let Ok(path) = std::env::var("FEDLPS_METRICS_JSON") {
+        let json = serde_json::to_string(&result).expect("RunResult serializes");
+        std::fs::write(&path, json).expect("metrics JSON is writable");
+        println!("\nwrote metrics JSON to {path}");
     }
 }

@@ -10,7 +10,15 @@
 //!
 //! `cargo bench -- --test` (and `cargo test --benches`) runs each benchmark
 //! body exactly once, mirroring real criterion's smoke-test mode.
+//!
+//! When the `CRITERION_JSON` environment variable names a file, every
+//! benchmark appends one JSON line `{"group":…,"bench":…,"median_ns":…,
+//! "mode":"measure"|"smoke"}` to it — CI uploads that file as a workflow
+//! artifact so the perf trajectory is queryable across commits. In smoke
+//! mode the recorded time is the single executed iteration's wall clock:
+//! noisy, but enough to flag order-of-magnitude regressions.
 
+use std::io::Write;
 use std::time::{Duration, Instant};
 
 /// Measurement strategies; only wall-clock time exists in this shim.
@@ -101,6 +109,7 @@ impl<M> BenchmarkGroup<'_, M> {
                 format_ns(bencher.median_ns)
             );
         }
+        append_json_record(&self.name, id, bencher.median_ns, self.test_mode);
         self
     }
 
@@ -119,7 +128,9 @@ pub struct Bencher {
 impl Bencher {
     pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
         if self.test_mode {
+            let start = Instant::now();
             black_box(f());
+            self.median_ns = start.elapsed().as_secs_f64() * 1e9;
             return;
         }
 
@@ -153,6 +164,31 @@ impl Bencher {
 /// Opaque value sink, mirroring `criterion::black_box`.
 pub fn black_box<T>(x: T) -> T {
     std::hint::black_box(x)
+}
+
+/// Appends one benchmark record to the file named by `CRITERION_JSON`, if
+/// set. Failures are silently ignored — timings are telemetry, not results.
+fn append_json_record(group: &str, id: &str, median_ns: f64, smoke: bool) {
+    let Ok(path) = std::env::var("CRITERION_JSON") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    let record = format!(
+        "{{\"group\":\"{}\",\"bench\":\"{}\",\"median_ns\":{:.1},\"mode\":\"{}\"}}\n",
+        group.replace('"', "'"),
+        id.replace('"', "'"),
+        median_ns,
+        if smoke { "smoke" } else { "measure" }
+    );
+    if let Ok(mut file) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+    {
+        let _ = file.write_all(record.as_bytes());
+    }
 }
 
 fn format_ns(ns: f64) -> String {

@@ -5,10 +5,105 @@
 //! .map(f).collect()` — with genuine data parallelism: the input is chunked
 //! across `std::thread::available_parallelism()` scoped threads and results
 //! are reassembled in order, so the output is identical to the sequential
-//! equivalent.
+//! equivalent. [`ThreadPoolBuilder`] mirrors real rayon's API for bounding
+//! the worker count: `collect` calls issued inside `pool.install(..)` use the
+//! pool's thread budget instead of the machine default.
+
+use std::cell::Cell;
 
 pub mod prelude {
     pub use crate::{IntoParallelIterator, ParIter};
+}
+
+std::thread_local! {
+    /// Thread budget installed by the innermost enclosing `ThreadPool::install`.
+    static INSTALLED_THREADS: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Builder for a bounded worker pool, mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Creates a builder with the default (machine-sized) thread budget.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the number of worker threads; `0` means "use every core",
+    /// matching real rayon's convention.
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Builds the pool. The shim spawns scoped threads per `collect` rather
+    /// than keeping workers alive, so building can never fail.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: self.num_threads,
+        })
+    }
+}
+
+/// Error type kept for API parity with real rayon; the shim never produces it.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "rayon shim thread pools cannot fail to build")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// A bounded worker pool: parallel `collect`s executed inside
+/// [`ThreadPool::install`] are chunked over at most `num_threads` threads.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// The pool's thread budget (0 = machine default).
+    pub fn current_num_threads(&self) -> usize {
+        if self.num_threads == 0 {
+            default_threads()
+        } else {
+            self.num_threads
+        }
+    }
+
+    /// Runs `op` with this pool's thread budget installed: any parallel
+    /// iterator collected inside uses at most `num_threads` workers. Nested
+    /// installs restore the previous budget on exit (panic-safe).
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        struct Restore(Option<usize>);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                INSTALLED_THREADS.with(|t| t.set(self.0));
+            }
+        }
+        let previous = INSTALLED_THREADS.with(|t| t.replace(Some(self.current_num_threads())));
+        let _restore = Restore(previous);
+        op()
+    }
+}
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+fn effective_threads() -> usize {
+    INSTALLED_THREADS
+        .with(|t| t.get())
+        .unwrap_or_else(default_threads)
+        .max(1)
 }
 
 /// Conversion into a (shim) parallel iterator. Blanket-implemented for every
@@ -55,9 +150,7 @@ impl<T, F> ParMap<T, F> {
         F: Fn(T) -> R + Sync,
         C: FromIterator<R>,
     {
-        let threads = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1);
+        let threads = effective_threads();
         let n = self.items.len();
         if threads <= 1 || n <= 1 {
             let f = self.f;
@@ -107,5 +200,43 @@ mod tests {
         assert!(empty.is_empty());
         let one: Vec<i32> = vec![7].into_par_iter().map(|x| x).collect();
         assert_eq!(one, vec![7]);
+    }
+
+    #[test]
+    fn installed_pool_bounds_threads_and_preserves_order() {
+        let pool = crate::ThreadPoolBuilder::new()
+            .num_threads(2)
+            .build()
+            .unwrap();
+        assert_eq!(pool.current_num_threads(), 2);
+        let out: Vec<usize> =
+            pool.install(|| (0..100usize).into_par_iter().map(|x| x + 1).collect());
+        let expected: Vec<usize> = (1..=100).collect();
+        assert_eq!(out, expected);
+        // The budget is restored after install returns.
+        assert_eq!(crate::effective_threads(), crate::default_threads());
+    }
+
+    #[test]
+    fn nested_installs_restore_outer_budget() {
+        let outer = crate::ThreadPoolBuilder::new()
+            .num_threads(3)
+            .build()
+            .unwrap();
+        let inner = crate::ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            .unwrap();
+        outer.install(|| {
+            assert_eq!(crate::effective_threads(), 3);
+            inner.install(|| assert_eq!(crate::effective_threads(), 1));
+            assert_eq!(crate::effective_threads(), 3);
+        });
+    }
+
+    #[test]
+    fn zero_threads_means_machine_default() {
+        let pool = crate::ThreadPoolBuilder::new().build().unwrap();
+        assert_eq!(pool.current_num_threads(), crate::default_threads());
     }
 }
