@@ -75,6 +75,16 @@ pub struct PUcbv {
     prev_accuracy: f64,
     /// Number of updates performed so far.
     updates: usize,
+    /// Sparsifiable units per layer of the model the ratios drive. When set,
+    /// the agent's arm space is quantized at the model's shape resolution:
+    /// a layer-wise ratio only acts through the retained-unit counts
+    /// `clamp(⌈s·J_l⌉, 1, J_l)` (see `fedlps_sparse::ratio`), so every ratio
+    /// in one count-equivalence class is the *same* arm and the agent
+    /// proposes the class's canonical representative instead of a fresh
+    /// continuous sample. Environment semantics are unchanged — the masks,
+    /// FLOPs and costs of equivalent ratios are identical — but repeat
+    /// proposals from a stable partition now hit the cross-round mask cache.
+    shape_units: Option<Vec<usize>>,
 }
 
 impl PUcbv {
@@ -96,6 +106,72 @@ impl PUcbv {
             xi,
             prev_accuracy: initial_accuracy,
             updates: 0,
+            shape_units: None,
+        }
+    }
+
+    /// Builder-style arm-space quantization at the model's shape resolution
+    /// (`units_per_layer` = sparsifiable units of each layer).
+    pub fn with_shape_resolution(mut self, units_per_layer: Vec<usize>) -> Self {
+        self.set_shape_resolution(units_per_layer);
+        self
+    }
+
+    /// Enables arm-space quantization on an existing agent.
+    pub fn set_shape_resolution(&mut self, units_per_layer: Vec<usize>) {
+        self.shape_units = Some(units_per_layer);
+    }
+
+    /// Whether the arm space is quantized.
+    pub fn is_quantized(&self) -> bool {
+        self.shape_units.is_some()
+    }
+
+    /// The canonical representative of `ratio`'s shape-equivalence class: the
+    /// midpoint of the interval of ratios retaining identical per-layer unit
+    /// counts (`clamp(⌈s·J_l⌉, 1, J_l)` — the same rounding
+    /// `fedlps_sparse::ratio::retained_units` applies), clamped into the
+    /// agent's feasible range. Identity when quantization is disabled.
+    pub fn quantize(&self, ratio: f64) -> f64 {
+        let Some(units) = &self.shape_units else {
+            return ratio;
+        };
+        let (range_lo, range_hi) = self.partitions.range();
+        let r = ratio.clamp(range_lo, range_hi);
+        let mut lo = 0.0f64;
+        let mut hi = 1.0f64;
+        for &j in units {
+            if j == 0 {
+                continue;
+            }
+            let c = ((j as f64 * r).ceil()).clamp(1.0, j as f64);
+            lo = lo.max((c - 1.0) / j as f64);
+            hi = hi.min(c / j as f64);
+        }
+        (0.5 * (lo + hi)).clamp(range_lo, (range_hi - 1e-9).max(range_lo))
+    }
+
+    /// Proposes a ratio from partition `idx`: a uniform continuous sample in
+    /// the unquantized arm space, the canonical arm of the shape class
+    /// containing the partition's midpoint when quantized (deterministic, so
+    /// a stable best partition keeps proposing the *same* arm).
+    ///
+    /// Once partitions shrink below a class's width, the canonical arm can
+    /// lie in a partition *adjacent* to the scoring winner. That is fine:
+    /// `update` always credits (and splits at) the partition *containing*
+    /// the ratio that was actually used — the same containment rule the
+    /// continuous path already lives with, since capability capping also
+    /// moves a proposal out of its scoring partition. The winner designates
+    /// an arm; whoever contains the arm takes the pull. Crucially this
+    /// leaves the sub-class partition structure untouched while proposals
+    /// repeat, which is precisely what stops the shape churn that was
+    /// defeating the cross-round mask cache.
+    fn propose_from(&self, idx: usize, rng: &mut impl Rng) -> f64 {
+        let p = &self.partitions.partitions()[idx];
+        if self.shape_units.is_some() {
+            self.quantize(p.lo + 0.5 * p.width())
+        } else {
+            p.lo + rng.gen::<f64>() * p.width()
         }
     }
 
@@ -118,8 +194,7 @@ impl PUcbv {
     /// (Algorithm 2 initialisation).
     pub fn initial_ratio(&self, rng: &mut impl Rng) -> f64 {
         let idx = rng.gen_range(0..self.partitions.len());
-        let p = &self.partitions.partitions()[idx];
-        p.lo + rng.gen::<f64>() * p.width()
+        self.propose_from(idx, rng)
     }
 
     /// UCBV score of partition `i` (Eq. 17) for the upcoming round.
@@ -203,8 +278,7 @@ impl PUcbv {
                 best_idx = i;
             }
         }
-        let p = &self.partitions.partitions()[best_idx];
-        p.lo + rng.gen::<f64>() * p.width()
+        self.propose_from(best_idx, rng)
     }
 
     /// Number of feedback updates consumed so far.
@@ -305,6 +379,82 @@ mod tests {
             &mut rng,
         );
         assert_eq!(a.num_partitions(), before + 1);
+    }
+
+    #[test]
+    fn quantized_ratios_are_canonical_and_collapse_shape_classes() {
+        let units = vec![10, 8];
+        let a = agent().with_shape_resolution(units.clone());
+        assert!(a.is_quantized());
+        for r in [0.08, 0.13, 0.27, 0.44, 0.5, 0.61, 0.83, 0.95] {
+            let q = a.quantize(r);
+            // Canonical representatives are fixed points.
+            assert_eq!(a.quantize(q), q, "idempotent at {r}");
+            // Quantization never changes the submodel the ratio extracts.
+            assert_eq!(
+                fedlps_sparse::ratio::retained_per_layer(&units, q),
+                fedlps_sparse::ratio::retained_per_layer(&units, r),
+                "shape preserved at {r}"
+            );
+        }
+        // Ratios retaining identical per-layer counts are one arm.
+        assert_eq!(a.quantize(0.41), a.quantize(0.48));
+        assert_ne!(a.quantize(0.41), a.quantize(0.55));
+    }
+
+    #[test]
+    fn quantized_agent_proposes_few_distinct_arms() {
+        // The mask cache keys a client's pattern by the proposal's shape
+        // class, so what lifts the warm hit rate is *consecutive* proposals
+        // staying in one class. Compare that churn over a long trajectory
+        // with and without quantization: the quantized agent proposes the
+        // canonical arm of its (stabilising) best partition instead of a
+        // fresh continuous sample, so its shape must change strictly less
+        // often.
+        let units = vec![10usize, 8];
+        let run = |quantize: bool| {
+            let mut a = agent();
+            if quantize {
+                a.set_shape_resolution(units.clone());
+            }
+            let mut rng = rng_from_seed(7);
+            let mut ratio = a.initial_ratio(&mut rng);
+            let mut proposals = vec![ratio];
+            for round in 0..60 {
+                ratio = a.update(
+                    PUcbvFeedback {
+                        ratio,
+                        local_cost: 1.0 + ratio,
+                        accuracy: 0.1 + 0.01 * round as f64,
+                    },
+                    &mut rng,
+                );
+                proposals.push(ratio);
+            }
+            let classes: Vec<Vec<usize>> = proposals
+                .iter()
+                .map(|&r| fedlps_sparse::ratio::retained_per_layer(&units, r))
+                .collect();
+            classes.windows(2).filter(|w| w[0] != w[1]).count()
+        };
+        let continuous_churn = run(false);
+        let quantized_churn = run(true);
+        assert!(
+            quantized_churn < continuous_churn,
+            "quantization must reduce consecutive shape churn \
+             ({quantized_churn} vs {continuous_churn} changes over 60 rounds)"
+        );
+    }
+
+    #[test]
+    fn quantized_proposals_stay_feasible_under_a_capability_cap() {
+        let a = PUcbv::new(PUcbvConfig::default(), 0.25, 0.1).with_shape_resolution(vec![16, 4]);
+        let mut rng = rng_from_seed(9);
+        for _ in 0..50 {
+            let r = a.initial_ratio(&mut rng);
+            assert!(r <= 0.25 + 1e-9, "cap violated by {r}");
+            assert!(r >= 0.05 - 1e-9);
+        }
     }
 
     #[test]

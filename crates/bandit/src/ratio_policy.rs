@@ -128,6 +128,22 @@ impl RatioController {
         &self.policy
     }
 
+    /// Quantizes every P-UCBV agent's arm space at the model's shape
+    /// resolution (`units_per_layer` = sparsifiable units per layer): ratios
+    /// extracting equal per-layer retained-unit counts collapse to one arm,
+    /// and current proposals snap to their canonical representatives. A
+    /// no-op for the stateless and discrete policies, whose arm spaces are
+    /// already coarse.
+    pub fn with_shape_resolution(mut self, units_per_layer: &[usize]) -> Self {
+        for (k, agent) in self.agents.iter_mut().enumerate() {
+            if let AgentState::PUcbv(a) = agent {
+                a.set_shape_resolution(units_per_layer.to_vec());
+                self.proposals[k] = a.quantize(self.proposals[k]);
+            }
+        }
+        self
+    }
+
     /// The sparse ratio to use for `client` this round. Always capped at the
     /// client's capability (`s_k ≤ z_k`), which mirrors the client-side reset
     /// in the paper's "Client-side Update".
@@ -252,6 +268,39 @@ mod tests {
                     accuracy: 0.2,
                 },
             );
+        }
+    }
+
+    #[test]
+    fn shape_resolution_quantizes_pucbv_proposals_only() {
+        let units = vec![10, 8];
+        let mut ctrl = RatioController::new(
+            RatioPolicy::PUcbv(PUcbvConfig::default()),
+            &caps(),
+            &[0.1; 4],
+            7,
+        )
+        .with_shape_resolution(&units);
+        for k in 0..4 {
+            let r = ctrl.ratio_for(k);
+            assert!(r <= caps()[k] + 1e-9);
+            for _ in 0..5 {
+                ctrl.report(
+                    k,
+                    RatioFeedback {
+                        ratio: ctrl.ratio_for(k),
+                        local_cost: 1.0,
+                        accuracy: 0.3,
+                    },
+                );
+            }
+        }
+        // Stateless rules are untouched by the builder: RCR still proposes
+        // exactly the capability.
+        let rcr = RatioController::new(RatioPolicy::ResourceControlled, &caps(), &[0.0; 4], 1)
+            .with_shape_resolution(&units);
+        for (k, &z) in caps().iter().enumerate() {
+            assert_eq!(rcr.ratio_for(k), z);
         }
     }
 

@@ -191,6 +191,21 @@ impl FlAlgorithm for DenseFl {
         self.staged.push(update.contribution);
     }
 
+    fn absorb_update_stale(
+        &mut self,
+        env: &FlEnv,
+        round: usize,
+        update: ClientUpdate,
+        _staleness: u32,
+        weight: f64,
+    ) {
+        // Async absorption: the data-size aggregation weight is discounted by
+        // the server's staleness factor before staging.
+        let mut update = *update.downcast::<DenseUpdate>().expect("dense payload");
+        update.contribution.weight *= weight;
+        self.absorb_update(env, round, Box::new(update));
+    }
+
     fn aggregate(&mut self, _env: &FlEnv, _round: usize, _reports: &[ClientReport]) {
         coverage_aggregate(&mut self.global, &self.staged);
         self.staged.clear();
@@ -238,6 +253,24 @@ mod tests {
             // Dense baselines always report ratio 1.
             assert!(result.mean_sparse_ratio() > 0.999);
         }
+    }
+
+    #[test]
+    fn fedavg_runs_under_async_rounds_with_staleness_discounts() {
+        use fedlps_sim::config::RoundMode;
+        let s = Simulator::new(FlEnv::from_scenario(
+            &ScenarioConfig::tiny(DatasetKind::MnistLike),
+            HeterogeneityLevel::High,
+            FlConfig::tiny().with_round_mode(RoundMode::asynchronous(3, 0.5)),
+        ));
+        let mut algo = DenseFl::new(DenseVariant::FedAvg);
+        let result = s.run(&mut algo);
+        assert_eq!(result.rounds.len(), FlConfig::tiny().rounds);
+        assert!(
+            result.staleness_histogram().iter().sum::<u64>() > 0,
+            "the async pipeline must absorb discounted dense updates"
+        );
+        assert!((0.0..=1.0).contains(&result.final_accuracy));
     }
 
     #[test]

@@ -157,6 +157,23 @@ impl FlAlgorithm for GlobalSparse {
         self.staged.push(contribution);
     }
 
+    fn absorb_update_stale(
+        &mut self,
+        env: &FlEnv,
+        round: usize,
+        update: ClientUpdate,
+        _staleness: u32,
+        weight: f64,
+    ) {
+        // Async absorption: discount the coverage-aggregation weight by the
+        // server's staleness factor, then stage through the one absorb path.
+        let mut contribution = *update
+            .downcast::<Contribution>()
+            .expect("global-sparse payload");
+        contribution.weight *= weight;
+        self.absorb_update(env, round, Box::new(contribution));
+    }
+
     fn aggregate(&mut self, _env: &FlEnv, _round: usize, _reports: &[ClientReport]) {
         coverage_aggregate(&mut self.global, &self.staged);
         self.staged.clear();

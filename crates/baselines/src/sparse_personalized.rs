@@ -277,6 +277,23 @@ impl FlAlgorithm for SparsePersonalized {
         self.staged.push(update.contribution);
     }
 
+    fn absorb_update_stale(
+        &mut self,
+        env: &FlEnv,
+        round: usize,
+        update: ClientUpdate,
+        _staleness: u32,
+        weight: f64,
+    ) {
+        // Async absorption: discount the shared contribution's aggregation
+        // weight; the client's personal state is its own and stays undiluted.
+        let mut update = *update
+            .downcast::<SparsePersonalizedUpdate>()
+            .expect("sparse-personalized payload");
+        update.contribution.weight *= weight;
+        self.absorb_update(env, round, Box::new(update));
+    }
+
     fn aggregate(&mut self, _env: &FlEnv, _round: usize, _reports: &[ClientReport]) {
         coverage_aggregate(&mut self.global, &self.staged);
         self.staged.clear();

@@ -208,6 +208,21 @@ impl FlAlgorithm for WidthScaling {
         self.staged.push(update.contribution);
     }
 
+    fn absorb_update_stale(
+        &mut self,
+        env: &FlEnv,
+        round: usize,
+        update: ClientUpdate,
+        _staleness: u32,
+        weight: f64,
+    ) {
+        // Async absorption: discount the coverage-aggregation weight; the
+        // ratio feedback reports what actually happened and stays untouched.
+        let mut update = *update.downcast::<WidthUpdate>().expect("width payload");
+        update.contribution.weight *= weight;
+        self.absorb_update(env, round, Box::new(update));
+    }
+
     fn aggregate(&mut self, _env: &FlEnv, _round: usize, _reports: &[ClientReport]) {
         coverage_aggregate(&mut self.global, &self.staged);
         self.staged.clear();

@@ -85,16 +85,43 @@ fn bench_round_throughput(c: &mut Criterion) {
     ));
     let mut pucbv = FedLps::for_env(sim.env());
     let pucbv_rate = sim.run(&mut pucbv).mask_cache_hit_rate_from(3);
+    // Identical federation-sized bandit configuration with only the
+    // quantization switch flipped, so the asserted lift isolates the
+    // arm-space effect from the exploration schedule.
+    let mut continuous = FedLps::new(
+        FedLpsConfig::for_federation(
+            sim.env().config.rounds,
+            sim.env().num_clients(),
+            sim.env().config.clients_per_round,
+        )
+        .with_quantize_arm_space(false),
+    );
+    let continuous_rate = sim.run(&mut continuous).mask_cache_hit_rate_from(3);
     let mut rcr = FedLps::new(FedLpsConfig::rcr());
     let rcr_rate = sim.run(&mut rcr).mask_cache_hit_rate_from(3);
     println!(
-        "round_throughput/mask_cache_hit_rate_after_round_3: rcr {:.1}% | p-ucbv {:.1}%",
+        "round_throughput/mask_cache_hit_rate_after_round_3: rcr {:.1}% | p-ucbv quantized \
+         {:.1}% | p-ucbv continuous {:.1}%",
         rcr_rate * 100.0,
-        pucbv_rate * 100.0
+        pucbv_rate * 100.0,
+        continuous_rate * 100.0
     );
     assert!(
         rcr_rate > 0.8,
         "stable-ratio mask-cache hit rate regressed below 80%: {rcr_rate}"
+    );
+    // Arm-space quantization at the model's shape resolution: P-UCBV proper
+    // sat near ~30% while sampling ratios continuously; collapsing
+    // equal-shape ratios to one arm lifts its warm hit rate toward the
+    // stable-policy level (what remains is genuine cross-partition
+    // exploration, which fades with the horizon).
+    assert!(
+        pucbv_rate > continuous_rate,
+        "quantized arms must out-hit continuous sampling ({pucbv_rate} vs {continuous_rate})"
+    );
+    assert!(
+        pucbv_rate > 0.4,
+        "quantized P-UCBV warm hit rate regressed below 40%: {pucbv_rate}"
     );
 }
 

@@ -1,0 +1,115 @@
+//! Time-to-accuracy under the three round modes on a heterogeneous
+//! 64-client fleet.
+//!
+//! The event-driven runtime exists to answer one question the synchronous
+//! loop cannot: how much *virtual* wall-clock does straggler tolerance buy at
+//! a given accuracy? This bench times a short FedLPS run under each
+//! [`RoundMode`] (the criterion timings land in CI's `BENCH_smoke.json`
+//! artifact) and then, on a longer horizon, pins the headline property:
+//! `Deadline` and `Async` rounds reach the same accuracy target in less
+//! virtual time than the synchronous barrier, because the Eq. (18) straggler
+//! term no longer gates every round.
+//!
+//! ```text
+//! cargo bench --bench time_to_accuracy             # measure
+//! cargo bench --bench time_to_accuracy -- --test   # CI smoke mode
+//! ```
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fedlps_core::FedLps;
+use fedlps_data::scenario::{DatasetKind, ScenarioConfig};
+use fedlps_device::HeterogeneityLevel;
+use fedlps_sim::config::{FlConfig, RoundMode};
+use fedlps_sim::env::FlEnv;
+use fedlps_sim::metrics::RunResult;
+use fedlps_sim::runner::Simulator;
+use std::time::Duration;
+
+const FLEET: usize = 64;
+
+fn fleet_sim(mode: RoundMode, rounds: usize, eval_every: usize) -> Simulator {
+    let scenario = ScenarioConfig::small(DatasetKind::MnistLike).with_clients(FLEET);
+    let config = FlConfig {
+        rounds,
+        clients_per_round: 8,
+        local_iterations: 3,
+        batch_size: 16,
+        eval_every,
+        ..FlConfig::default()
+    }
+    .with_round_mode(mode);
+    Simulator::new(FlEnv::from_scenario(
+        &scenario,
+        HeterogeneityLevel::High,
+        config,
+    ))
+}
+
+fn run_mode(mode: RoundMode, rounds: usize, eval_every: usize) -> RunResult {
+    let sim = fleet_sim(mode, rounds, eval_every);
+    let mut algo = FedLps::for_env(sim.env());
+    sim.run(&mut algo)
+}
+
+fn bench_time_to_accuracy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("time_to_accuracy");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(5));
+
+    // Wall-clock cost of driving each mode (short horizon, evaluation held
+    // out of the measurement): the async pipeline's event loop must stay in
+    // the same cost class as the cohort barrier.
+    group.bench_function("fedlps_64c_sync_4r", |b| {
+        b.iter(|| run_mode(RoundMode::Synchronous, 4, 4).total_flops)
+    });
+    group.bench_function("fedlps_64c_deadline_4r", |b| {
+        b.iter(|| run_mode(RoundMode::deadline(5.0, 8), 4, 4).total_flops)
+    });
+    group.bench_function("fedlps_64c_async_4r", |b| {
+        b.iter(|| run_mode(RoundMode::asynchronous(4, 0.6), 4, 4).total_flops)
+    });
+    group.finish();
+
+    // The paper-facing comparison (Figure 4/5 axis): virtual time to a common
+    // accuracy target on a longer horizon.
+    let rounds = 12;
+    let sync = run_mode(RoundMode::Synchronous, rounds, 2);
+    let worst_round = sync.rounds.iter().map(|r| r.round_time).fold(0.0, f64::max);
+    let deadline = run_mode(RoundMode::deadline(worst_round * 0.5, 8), rounds, 2);
+    let async_run = run_mode(RoundMode::asynchronous(4, 0.6), rounds, 2);
+
+    let target = 0.95
+        * sync
+            .best_accuracy
+            .min(deadline.best_accuracy)
+            .min(async_run.best_accuracy);
+    let tta = |r: &RunResult| {
+        r.time_to_accuracy(target)
+            .expect("every mode reaches 95% of the weakest best accuracy")
+    };
+    let (t_sync, t_deadline, t_async) = (tta(&sync), tta(&deadline), tta(&async_run));
+    println!(
+        "time_to_accuracy/virtual_seconds_to_{target:.3}: sync {t_sync:.2}s | deadline \
+         {t_deadline:.2}s (drops {}) | async {t_async:.2}s (mean staleness {:.2})",
+        deadline.total_straggler_drops(),
+        async_run.mean_staleness(),
+    );
+    assert!(
+        t_deadline < t_sync,
+        "deadline rounds must reach {target:.3} accuracy in less virtual time \
+         ({t_deadline} vs {t_sync})"
+    );
+    assert!(
+        t_async < t_sync,
+        "async rounds must reach {target:.3} accuracy in less virtual time \
+         ({t_async} vs {t_sync})"
+    );
+    assert!(
+        deadline.total_straggler_drops() > 0,
+        "a half-worst-round budget must drop stragglers on a High fleet"
+    );
+}
+
+criterion_group!(benches, bench_time_to_accuracy);
+criterion_main!(benches);

@@ -29,6 +29,18 @@ pub struct FedLpsConfig {
     /// Whether the per-round *available* capability (dynamic heterogeneity) is
     /// used to cap ratios, in addition to the static tier.
     pub respect_dynamic_capability: bool,
+    /// Quantize P-UCBV's arm space at the model's shape resolution: ratios
+    /// extracting equal per-layer retained-unit counts are indistinguishable
+    /// to the environment, so they collapse to one arm and repeat proposals
+    /// from a stable partition hit the cross-round mask cache. Semantics-
+    /// preserving; off only for the continuous-sampling ablation.
+    pub quantize_arm_space: bool,
+    /// Rebuild each client's cached mask every `n` participations so the
+    /// pattern keeps tracking the still-training importance indicator
+    /// (`None` = freeze until the bandit moves the ratio to a different
+    /// shape — the default cache contract). Used by the stable-ratio
+    /// ablations (RCR / Fixed), whose ratios never change shape on their own.
+    pub mask_refresh_every: Option<u32>,
 }
 
 impl Default for FedLpsConfig {
@@ -40,6 +52,8 @@ impl Default for FedLpsConfig {
             ratio_policy: RatioPolicy::PUcbv(PUcbvConfig::default()),
             pattern: PatternStrategy::Importance,
             respect_dynamic_capability: true,
+            quantize_arm_space: true,
+            mask_refresh_every: None,
         }
     }
 }
@@ -100,6 +114,18 @@ impl FedLpsConfig {
         self.ratio_policy = policy;
         self
     }
+
+    /// Builder-style override of the arm-space quantization switch.
+    pub fn with_quantize_arm_space(mut self, quantize: bool) -> Self {
+        self.quantize_arm_space = quantize;
+        self
+    }
+
+    /// Builder-style override of the mask-cache refresh period.
+    pub fn with_mask_refresh_every(mut self, refresh_every: Option<u32>) -> Self {
+        self.mask_refresh_every = refresh_every;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -142,9 +168,16 @@ mod tests {
     fn builders() {
         let cfg = FedLpsConfig::default()
             .with_regularisation(0.5, 2.0)
-            .with_ratio_policy(RatioPolicy::Dense);
+            .with_ratio_policy(RatioPolicy::Dense)
+            .with_quantize_arm_space(false)
+            .with_mask_refresh_every(Some(4));
         assert_eq!(cfg.mu, 0.5);
         assert_eq!(cfg.lambda, 2.0);
         assert_eq!(cfg.ratio_policy, RatioPolicy::Dense);
+        assert!(!cfg.quantize_arm_space);
+        assert_eq!(cfg.mask_refresh_every, Some(4));
+        // Defaults: quantized arms, frozen-until-shape-change masks.
+        assert!(FedLpsConfig::default().quantize_arm_space);
+        assert_eq!(FedLpsConfig::default().mask_refresh_every, None);
     }
 }

@@ -69,6 +69,11 @@ pub struct DynamicsConfig {
     pub enabled: bool,
     /// Minimum availability factor (1.0 = full capability available).
     pub min_availability: f64,
+    /// Probability that a participating device churns offline mid-round and
+    /// its update is lost. Only the event-driven round modes observe this
+    /// (a synchronous server waits for the device to come back); 0 disables
+    /// churn entirely.
+    pub offline_prob: f64,
 }
 
 impl Default for DynamicsConfig {
@@ -76,7 +81,23 @@ impl Default for DynamicsConfig {
         Self {
             enabled: false,
             min_availability: 0.5,
+            offline_prob: 0.0,
         }
+    }
+}
+
+impl DynamicsConfig {
+    /// Builder-style override of the mid-round offline-churn probability.
+    /// Strictly below 1: certain churn would mean no update ever completes,
+    /// which starves the async pipeline (every slot refills forever and no
+    /// aggregation can happen).
+    pub fn with_offline_prob(mut self, prob: f64) -> Self {
+        assert!(
+            (0.0..1.0).contains(&prob),
+            "offline probability must be in [0, 1), got {prob}"
+        );
+        self.offline_prob = prob;
+        self
     }
 }
 
@@ -168,6 +189,27 @@ impl DeviceFleet {
         base.with_availability(factor)
     }
 
+    /// Whether device `k` churns offline during scheduling tick `tick` (a
+    /// round index for cohort modes, a dispatch sequence number for the async
+    /// pipeline), and if so, the fraction of its own latency it completes
+    /// before disconnecting.
+    ///
+    /// Deterministic in `(fleet seed, k, tick)` and independent of everything
+    /// else, so event-driven schedules replay bit-identically. Returns `None`
+    /// unless dynamics are enabled with a positive `offline_prob`.
+    pub fn offline_churn(&self, k: usize, tick: u64) -> Option<f64> {
+        if !self.dynamics.enabled || self.dynamics.offline_prob <= 0.0 {
+            return None;
+        }
+        let mut rng = rng_from_seed(split_seed(self.seed, 0x0FF11E ^ ((k as u64) << 24) ^ tick));
+        if rng.gen::<f64>() >= self.dynamics.offline_prob {
+            return None;
+        }
+        // Died somewhere strictly inside the round: never at 0 (that would be
+        // "never dispatched") and never at 1 (that would be an arrival).
+        Some((rng.gen::<f64>() * 0.98 + 0.01).clamp(0.01, 0.99))
+    }
+
     /// Mean capability fraction of the fleet (a summary used in logs).
     pub fn mean_capability(&self) -> f64 {
         if self.devices.is_empty() {
@@ -228,6 +270,7 @@ mod tests {
             DeviceFleet::sample(5, HeterogeneityLevel::High, 1).with_dynamics(DynamicsConfig {
                 enabled: true,
                 min_availability: 0.5,
+                ..DynamicsConfig::default()
             });
         let base = fleet.static_profile(0);
         let mut saw_change = false;
@@ -248,8 +291,65 @@ mod tests {
             DeviceFleet::sample(3, HeterogeneityLevel::High, 9).with_dynamics(DynamicsConfig {
                 enabled: true,
                 min_availability: 0.3,
+                ..DynamicsConfig::default()
             })
         };
         assert_eq!(mk().available_profile(1, 4), mk().available_profile(1, 4));
+    }
+
+    #[test]
+    fn offline_churn_is_off_by_default_and_deterministic_when_on() {
+        let quiet =
+            DeviceFleet::sample(4, HeterogeneityLevel::High, 2).with_dynamics(DynamicsConfig {
+                enabled: true,
+                min_availability: 0.5,
+                ..DynamicsConfig::default()
+            });
+        for k in 0..4 {
+            for tick in 0..10 {
+                assert_eq!(quiet.offline_churn(k, tick), None, "offline_prob 0");
+            }
+        }
+
+        let mk = || {
+            DeviceFleet::sample(4, HeterogeneityLevel::High, 2).with_dynamics(
+                DynamicsConfig {
+                    enabled: true,
+                    min_availability: 0.5,
+                    ..DynamicsConfig::default()
+                }
+                .with_offline_prob(0.5),
+            )
+        };
+        let churny = mk();
+        let mut saw_some = false;
+        let mut saw_none = false;
+        for k in 0..4 {
+            for tick in 0..20 {
+                let churn = churny.offline_churn(k, tick);
+                assert_eq!(churn, mk().offline_churn(k, tick), "deterministic");
+                match churn {
+                    Some(frac) => {
+                        assert!((0.01..=0.99).contains(&frac), "{frac}");
+                        saw_some = true;
+                    }
+                    None => saw_none = true,
+                }
+            }
+        }
+        assert!(saw_some && saw_none, "p=0.5 churn should mix outcomes");
+    }
+
+    #[test]
+    #[should_panic]
+    fn offline_prob_out_of_range_rejected() {
+        DynamicsConfig::default().with_offline_prob(1.5);
+    }
+
+    #[test]
+    #[should_panic]
+    fn certain_offline_churn_rejected() {
+        // prob = 1.0 would starve the async pipeline: no update ever lands.
+        DynamicsConfig::default().with_offline_prob(1.0);
     }
 }

@@ -1,0 +1,138 @@
+//! Timestamped scheduler events with a total, schedule-independent order.
+
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+
+/// What happened at an instant of virtual time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EventKind {
+    /// A client finished its local compute (the `F̂/F` term of Eq. 14).
+    ComputeFinish,
+    /// A client's upload landed at the server (the `α·B̂/B` term): in every
+    /// mode this is the instant the update becomes absorbable.
+    UploadFinish,
+    /// The device went offline mid-round (availability churn); its update is
+    /// lost.
+    Offline,
+    /// The round's deadline fired; outstanding clients are dropped.
+    RoundDeadline,
+    /// The server hands a client the current global model and it starts
+    /// computing. Ordered *after* the other kinds at an equal timestamp so a
+    /// dispatch triggered by an arrival at time `t` runs against the state
+    /// all time-`t` absorptions produced.
+    Dispatch,
+}
+
+impl EventKind {
+    /// Tie-break rank at equal timestamps (see [`Event`]'s ordering).
+    fn rank(&self) -> u8 {
+        match self {
+            EventKind::ComputeFinish => 0,
+            EventKind::UploadFinish => 1,
+            EventKind::Offline => 2,
+            EventKind::RoundDeadline => 3,
+            EventKind::Dispatch => 4,
+        }
+    }
+
+    /// Short name used in logs.
+    pub fn name(&self) -> &'static str {
+        match self {
+            EventKind::ComputeFinish => "compute-finish",
+            EventKind::UploadFinish => "upload-finish",
+            EventKind::Offline => "offline",
+            EventKind::RoundDeadline => "round-deadline",
+            EventKind::Dispatch => "dispatch",
+        }
+    }
+}
+
+/// One scheduled occurrence: `(virtual_time, client, kind)` plus the insertion
+/// sequence number the queue assigned.
+///
+/// Events are *totally* ordered by `(time, kind rank, client, seq)` using
+/// [`f64::total_cmp`], so a heap of events pops in the same order on every
+/// machine and at every thread count — the root determinism guarantee of the
+/// runtime. Times must be finite (the queue asserts it).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Event {
+    /// Virtual time of the occurrence, in simulated seconds.
+    pub time: f64,
+    /// The client the event concerns (`usize::MAX` for round-level events
+    /// such as the deadline).
+    pub client: usize,
+    /// What occurred.
+    pub kind: EventKind,
+    /// Queue insertion number, the final tie-breaker.
+    pub seq: u64,
+}
+
+impl Event {
+    /// A round-level event not tied to a client.
+    pub const ROUND_SCOPE: usize = usize::MAX;
+}
+
+impl Eq for Event {}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.time
+            .total_cmp(&other.time)
+            .then_with(|| self.kind.rank().cmp(&other.kind.rank()))
+            .then_with(|| self.client.cmp(&other.client))
+            .then_with(|| self.seq.cmp(&other.seq))
+    }
+}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(time: f64, client: usize, kind: EventKind, seq: u64) -> Event {
+        Event {
+            time,
+            client,
+            kind,
+            seq,
+        }
+    }
+
+    #[test]
+    fn orders_by_time_first() {
+        let a = ev(1.0, 9, EventKind::Dispatch, 5);
+        let b = ev(2.0, 0, EventKind::ComputeFinish, 0);
+        assert!(a < b);
+    }
+
+    #[test]
+    fn arrivals_precede_dispatches_at_equal_time() {
+        let arrive = ev(3.0, 7, EventKind::UploadFinish, 10);
+        let dispatch = ev(3.0, 0, EventKind::Dispatch, 1);
+        assert!(arrive < dispatch);
+        let deadline = ev(3.0, Event::ROUND_SCOPE, EventKind::RoundDeadline, 2);
+        assert!(arrive < deadline && deadline < dispatch);
+    }
+
+    #[test]
+    fn client_then_seq_break_remaining_ties() {
+        let a = ev(1.0, 2, EventKind::UploadFinish, 9);
+        let b = ev(1.0, 3, EventKind::UploadFinish, 1);
+        assert!(a < b);
+        let c = ev(1.0, 2, EventKind::UploadFinish, 10);
+        assert!(a < c);
+    }
+
+    #[test]
+    fn ordering_is_total_for_negative_zero() {
+        // total_cmp distinguishes -0.0 < 0.0; all we need is *a* total order.
+        let a = ev(-0.0, 0, EventKind::Dispatch, 0);
+        let b = ev(0.0, 0, EventKind::Dispatch, 0);
+        assert!(a < b);
+    }
+}

@@ -1,0 +1,36 @@
+//! Event-driven federation runtime.
+//!
+//! The synchronous round loop of Algorithm 1 hides the very thing FedLPS is
+//! about: system heterogeneity makes stragglers dominate wall-clock round
+//! time. This crate supplies the scheduling substrate that lets the simulator
+//! *execute* the paper's cost model instead of merely reporting it:
+//!
+//! * [`clock`] — a monotone virtual clock measured in simulated seconds;
+//! * [`event`] — timestamped events (`dispatch`, `compute-finish`,
+//!   `upload-finish`, `offline`, `round-deadline`) with a *total* and
+//!   schedule-independent ordering;
+//! * [`queue`] — a binary-heap event queue plus an [`EventLog`](queue::EventLog)
+//!   used to assert that schedules replay identically;
+//! * [`mode`] — the [`RoundMode`](mode::RoundMode) selector stored in the
+//!   simulator's `FlConfig`: synchronous rounds, deadline rounds with
+//!   over-selection, or staleness-aware asynchronous absorption;
+//! * [`schedule`] — the pure per-round planner mapping client latencies
+//!   (FLOPs ÷ tier compute + upload bytes ÷ tier bandwidth, i.e. the Eq. (14)
+//!   terms) onto arrival/drop times under a round deadline.
+//!
+//! Everything here is a pure function of its inputs: no wall-clock reads, no
+//! thread-schedule dependence, no hidden RNG. That is what lets the simulator
+//! promise bit-identical `RunResult`s at any `parallelism` setting in every
+//! round mode.
+
+pub mod clock;
+pub mod event;
+pub mod mode;
+pub mod queue;
+pub mod schedule;
+
+pub use clock::VirtualClock;
+pub use event::{Event, EventKind};
+pub use mode::RoundMode;
+pub use queue::{EventLog, EventQueue};
+pub use schedule::{Arrival, DispatchSpec, DropReason, DroppedClient, RoundPlan};

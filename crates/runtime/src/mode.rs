@@ -1,0 +1,131 @@
+//! Round execution semantics.
+
+use serde::{Deserialize, Serialize};
+
+/// How the server turns selected clients into absorbed updates — the
+/// execution semantics of one communication round.
+///
+/// All three modes run over the same virtual clock and the same latency
+/// model: a client's compute time is its round FLOPs divided by its tier's
+/// FLOPs/s and its upload time is its uploaded bytes over its tier's
+/// bandwidth (Eq. 14), so a sparser submodel directly shortens the client's
+/// critical path.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub enum RoundMode {
+    /// The paper's Algorithm 1: the server waits for every selected client;
+    /// the round costs as much as its slowest straggler (Eq. 18).
+    #[default]
+    Synchronous,
+    /// Deadline rounds: the server over-selects `over_select` extra clients,
+    /// absorbs whatever lands within `budget` virtual seconds of the round
+    /// start and drops the stragglers (their work is spent but never
+    /// aggregated).
+    Deadline {
+        /// Round budget in virtual seconds.
+        budget: f64,
+        /// Extra clients selected beyond `clients_per_round` to compensate
+        /// for the expected drops.
+        over_select: usize,
+    },
+    /// Staleness-aware asynchrony: the server keeps `clients_per_round`
+    /// clients in flight, absorbs updates the moment they arrive with weight
+    /// `alpha^staleness` (staleness = server aggregations since the update's
+    /// model was dispatched), discards updates staler than `max_staleness`,
+    /// and aggregates every `clients_per_round` absorbed updates.
+    Async {
+        /// Updates staler than this are discarded (bounded staleness).
+        max_staleness: u32,
+        /// Per-aggregation staleness discount base in `(0, 1]`.
+        alpha: f64,
+    },
+}
+
+impl RoundMode {
+    /// A deadline mode with the given budget (virtual seconds) and
+    /// over-selection.
+    pub fn deadline(budget: f64, over_select: usize) -> Self {
+        assert!(
+            budget.is_finite() && budget > 0.0,
+            "deadline budget must be a positive number of virtual seconds"
+        );
+        RoundMode::Deadline {
+            budget,
+            over_select,
+        }
+    }
+
+    /// An async mode with bounded staleness `max_staleness` and discount base
+    /// `alpha`.
+    pub fn asynchronous(max_staleness: u32, alpha: f64) -> Self {
+        assert!(
+            alpha > 0.0 && alpha <= 1.0,
+            "staleness discount base must be in (0, 1], got {alpha}"
+        );
+        RoundMode::Async {
+            max_staleness,
+            alpha,
+        }
+    }
+
+    /// Short name used in tables and logs.
+    pub fn name(&self) -> &'static str {
+        match self {
+            RoundMode::Synchronous => "sync",
+            RoundMode::Deadline { .. } => "deadline",
+            RoundMode::Async { .. } => "async",
+        }
+    }
+
+    /// Whether rounds are cohort-shaped (synchronous / deadline) as opposed
+    /// to the continuous async pipeline.
+    pub fn is_cohort(&self) -> bool {
+        !matches!(self, RoundMode::Async { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_synchronous() {
+        assert_eq!(RoundMode::default(), RoundMode::Synchronous);
+        assert!(RoundMode::default().is_cohort());
+        assert_eq!(RoundMode::default().name(), "sync");
+    }
+
+    #[test]
+    fn constructors_validate_and_name() {
+        let d = RoundMode::deadline(2.5, 3);
+        assert_eq!(d.name(), "deadline");
+        assert!(d.is_cohort());
+        let a = RoundMode::asynchronous(4, 0.5);
+        assert_eq!(a.name(), "async");
+        assert!(!a.is_cohort());
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_budget_rejected() {
+        RoundMode::deadline(0.0, 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn alpha_above_one_rejected() {
+        RoundMode::asynchronous(2, 1.5);
+    }
+
+    #[test]
+    fn serde_roundtrip_all_variants() {
+        for mode in [
+            RoundMode::Synchronous,
+            RoundMode::deadline(1.5, 2),
+            RoundMode::asynchronous(3, 0.7),
+        ] {
+            let json = serde_json::to_string(&mode).unwrap();
+            let back: RoundMode = serde_json::from_str(&json).unwrap();
+            assert_eq!(mode, back);
+        }
+    }
+}

@@ -1,0 +1,294 @@
+//! The pure per-round planner for cohort-shaped rounds.
+//!
+//! Given each dispatched client's latency breakdown (compute seconds + upload
+//! seconds, both derived from the Eq. (14) cost model) and an optional round
+//! deadline, [`RoundPlan::schedule`] computes — with no RNG, no clock reads
+//! and no thread-schedule dependence — when each update arrives, which
+//! clients drop (straggling past the deadline or churning offline mid-round)
+//! and how long the round takes. The async pipeline uses the same [`Event`]
+//! ordering but schedules incrementally through an
+//! [`EventQueue`](crate::queue::EventQueue) because its dispatch times depend
+//! on earlier arrivals.
+
+use serde::{Deserialize, Serialize};
+
+use crate::event::{Event, EventKind};
+use crate::queue::{EventLog, EventQueue};
+
+/// One dispatched client's latency facts, all in seconds relative to the
+/// round start.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DispatchSpec {
+    /// The client being dispatched.
+    pub client: usize,
+    /// Local compute time `F̂_k / F_k`.
+    pub compute_seconds: f64,
+    /// Upload time `α · B̂_k / B_k`.
+    pub upload_seconds: f64,
+    /// If the device churns offline this round, the fraction of its own
+    /// latency it completes before disconnecting (from
+    /// `fedlps_device::DeviceFleet::offline_churn`).
+    pub offline_frac: Option<f64>,
+}
+
+impl DispatchSpec {
+    /// Total latency from dispatch to the update landing at the server.
+    pub fn total_seconds(&self) -> f64 {
+        self.compute_seconds + self.upload_seconds
+    }
+}
+
+/// Why a dispatched client's update never got absorbed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DropReason {
+    /// Still computing or uploading when the round deadline fired.
+    Straggler,
+    /// The device went offline mid-round.
+    Offline,
+}
+
+/// An update landing at the server, `offset` seconds after the round start.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Arrival {
+    pub client: usize,
+    pub offset: f64,
+}
+
+/// A dispatched client whose update was lost.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DroppedClient {
+    pub client: usize,
+    pub offset: f64,
+    pub reason: DropReason,
+}
+
+/// The fully resolved schedule of one cohort round.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoundPlan {
+    /// Updates that reached the server before the deadline, in arrival order
+    /// (ties broken by client id). Note the cohort runner still *absorbs*
+    /// the survivors in ascending client-id order at the round barrier —
+    /// arrival order decides only who makes the cut.
+    pub arrivals: Vec<Arrival>,
+    /// Clients whose updates were lost, in drop order.
+    pub drops: Vec<DroppedClient>,
+    /// Round duration in virtual seconds: the last arrival for a full house,
+    /// the deadline as soon as anyone is outstanding (the server cannot
+    /// distinguish a straggler from a dead device and must wait it out).
+    pub duration: f64,
+    /// Every event the scheduler processed, in processing order.
+    pub log: EventLog,
+}
+
+impl RoundPlan {
+    /// Plans a cohort round. `deadline` is `None` for synchronous rounds
+    /// (the server waits for everyone) and `Some(budget)` for deadline
+    /// rounds.
+    ///
+    /// Synchronous rounds ignore offline churn by construction — a
+    /// synchronous server waits until the device comes back and re-uploads,
+    /// which is exactly the legacy Eq. (18) behaviour — so passing
+    /// `offline_frac` with no deadline is rejected rather than silently
+    /// hanging the round.
+    pub fn schedule(specs: &[DispatchSpec], deadline: Option<f64>) -> RoundPlan {
+        if let Some(budget) = deadline {
+            assert!(
+                budget.is_finite() && budget > 0.0,
+                "round budget must be positive, got {budget}"
+            );
+        }
+
+        let mut queue = EventQueue::new();
+        for spec in specs {
+            assert!(
+                spec.compute_seconds >= 0.0 && spec.upload_seconds >= 0.0,
+                "client {} has negative latency",
+                spec.client
+            );
+            queue.push(0.0, spec.client, EventKind::Dispatch);
+            let total = spec.total_seconds();
+            match spec.offline_frac {
+                Some(frac) => {
+                    assert!(
+                        deadline.is_some(),
+                        "offline churn requires a deadline round (synchronous servers wait)"
+                    );
+                    assert!(
+                        (0.0..1.0).contains(&frac),
+                        "offline fraction must be in [0, 1), got {frac}"
+                    );
+                    let off = frac * total;
+                    if off > spec.compute_seconds {
+                        // The device finished computing before dying.
+                        queue.push(spec.compute_seconds, spec.client, EventKind::ComputeFinish);
+                    }
+                    queue.push(off, spec.client, EventKind::Offline);
+                }
+                None => {
+                    queue.push(spec.compute_seconds, spec.client, EventKind::ComputeFinish);
+                    queue.push(total, spec.client, EventKind::UploadFinish);
+                }
+            }
+        }
+        if let Some(budget) = deadline {
+            queue.push(budget, Event::ROUND_SCOPE, EventKind::RoundDeadline);
+        }
+
+        let mut log = EventLog::new();
+        let mut arrivals = Vec::new();
+        let mut drops = Vec::new();
+        let mut duration = 0.0f64;
+        let mut deadline_fired = false;
+        while let Some(event) = queue.pop() {
+            if deadline_fired {
+                // Post-deadline events never fire: the server moved on.
+                match event.kind {
+                    EventKind::UploadFinish => drops.push(DroppedClient {
+                        client: event.client,
+                        offset: deadline.unwrap(),
+                        reason: DropReason::Straggler,
+                    }),
+                    EventKind::Offline => drops.push(DroppedClient {
+                        client: event.client,
+                        offset: deadline.unwrap(),
+                        reason: DropReason::Straggler,
+                    }),
+                    _ => {}
+                }
+                continue;
+            }
+            log.record(event);
+            match event.kind {
+                EventKind::Dispatch | EventKind::ComputeFinish => {}
+                EventKind::UploadFinish => {
+                    arrivals.push(Arrival {
+                        client: event.client,
+                        offset: event.time,
+                    });
+                    duration = duration.max(event.time);
+                }
+                EventKind::Offline => {
+                    drops.push(DroppedClient {
+                        client: event.client,
+                        offset: event.time,
+                        reason: DropReason::Offline,
+                    });
+                }
+                EventKind::RoundDeadline => {
+                    deadline_fired = true;
+                    // The server waits the full budget iff anyone is missing.
+                    if arrivals.len() + drops.len() < specs.len() || !drops.is_empty() {
+                        duration = event.time;
+                    }
+                }
+            }
+        }
+        // A deadline round with every update in early still ends at the last
+        // arrival (handled above); an empty cohort takes no time at all.
+        RoundPlan {
+            arrivals,
+            drops,
+            duration,
+            log,
+        }
+    }
+
+    /// The clients that arrived, in absorb order.
+    pub fn arrived_clients(&self) -> Vec<usize> {
+        self.arrivals.iter().map(|a| a.client).collect()
+    }
+
+    /// Number of dropped clients.
+    pub fn dropped(&self) -> usize {
+        self.drops.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(client: usize, compute: f64, upload: f64) -> DispatchSpec {
+        DispatchSpec {
+            client,
+            compute_seconds: compute,
+            upload_seconds: upload,
+            offline_frac: None,
+        }
+    }
+
+    #[test]
+    fn synchronous_round_waits_for_the_straggler() {
+        let plan = RoundPlan::schedule(
+            &[spec(0, 1.0, 0.5), spec(1, 4.0, 1.0), spec(2, 0.2, 0.1)],
+            None,
+        );
+        assert_eq!(plan.arrived_clients(), vec![2, 0, 1]);
+        assert_eq!(plan.dropped(), 0);
+        assert_eq!(plan.duration, 5.0); // Eq. 18: the slowest client
+        assert!(!plan.log.is_empty());
+    }
+
+    #[test]
+    fn deadline_drops_stragglers_and_ends_at_the_budget() {
+        let plan = RoundPlan::schedule(
+            &[spec(0, 1.0, 0.5), spec(1, 4.0, 1.0), spec(2, 0.2, 0.1)],
+            Some(2.0),
+        );
+        assert_eq!(plan.arrived_clients(), vec![2, 0]);
+        assert_eq!(plan.drops.len(), 1);
+        assert_eq!(plan.drops[0].client, 1);
+        assert_eq!(plan.drops[0].reason, DropReason::Straggler);
+        assert_eq!(plan.duration, 2.0);
+    }
+
+    #[test]
+    fn deadline_round_with_a_full_house_ends_early() {
+        let plan = RoundPlan::schedule(&[spec(0, 1.0, 0.5), spec(1, 0.5, 0.2)], Some(10.0));
+        assert_eq!(plan.dropped(), 0);
+        assert_eq!(plan.duration, 1.5);
+    }
+
+    #[test]
+    fn offline_clients_drop_at_their_churn_time() {
+        let mut s = spec(0, 2.0, 1.0);
+        s.offline_frac = Some(0.5);
+        let plan = RoundPlan::schedule(&[s, spec(1, 0.5, 0.1)], Some(4.0));
+        assert_eq!(plan.arrived_clients(), vec![1]);
+        assert_eq!(plan.drops.len(), 1);
+        assert_eq!(plan.drops[0].reason, DropReason::Offline);
+        assert!((plan.drops[0].offset - 1.5).abs() < 1e-12);
+        // The server cannot observe the disconnect: it waits the budget out.
+        assert_eq!(plan.duration, 4.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn offline_churn_requires_a_deadline() {
+        let mut s = spec(0, 1.0, 1.0);
+        s.offline_frac = Some(0.3);
+        RoundPlan::schedule(&[s], None);
+    }
+
+    #[test]
+    fn arrival_ties_break_by_client_id() {
+        let plan = RoundPlan::schedule(&[spec(3, 1.0, 0.0), spec(1, 1.0, 0.0)], None);
+        assert_eq!(plan.arrived_clients(), vec![1, 3]);
+    }
+
+    #[test]
+    fn empty_cohort_is_instant() {
+        let plan = RoundPlan::schedule(&[], Some(5.0));
+        assert!(plan.arrivals.is_empty());
+        assert_eq!(plan.duration, 0.0);
+    }
+
+    #[test]
+    fn replay_produces_identical_logs() {
+        let specs = [spec(0, 1.0, 0.25), spec(1, 3.0, 0.5), spec(2, 0.4, 0.2)];
+        let a = RoundPlan::schedule(&specs, Some(2.0));
+        let b = RoundPlan::schedule(&specs, Some(2.0));
+        assert_eq!(a, b);
+        assert_eq!(a.log.fingerprint(), b.log.fingerprint());
+    }
+}

@@ -1,0 +1,66 @@
+//! Cross-crate determinism contract: for any seed, the event-driven modes
+//! yield bit-identical `RunResult`s at every `parallelism` setting.
+//!
+//! This file dev-depends on `fedlps_sim` / `fedlps_core` (cargo permits the
+//! dev-cycle) so the property is pinned where the scheduling substrate lives:
+//! if an event ever ordered by thread schedule instead of virtual time, these
+//! replays would diverge.
+
+use fedlps_core::FedLps;
+use fedlps_data::scenario::{DatasetKind, ScenarioConfig};
+use fedlps_device::HeterogeneityLevel;
+use fedlps_sim::config::{FlConfig, RoundMode};
+use fedlps_sim::env::FlEnv;
+use fedlps_sim::metrics::RunResult;
+use fedlps_sim::runner::Simulator;
+use proptest::prelude::*;
+
+fn run(seed: u64, mode: RoundMode, parallelism: usize) -> RunResult {
+    let scenario = ScenarioConfig::tiny(DatasetKind::MnistLike);
+    let config = FlConfig {
+        rounds: 3,
+        clients_per_round: 3,
+        local_iterations: 2,
+        batch_size: 8,
+        eval_every: 3,
+        ..FlConfig::default()
+    }
+    .with_seed(seed)
+    .with_parallelism(parallelism)
+    .with_round_mode(mode);
+    let env = FlEnv::from_scenario(&scenario, HeterogeneityLevel::High, config);
+    let sim = Simulator::new(env);
+    let mut algo = FedLps::for_env(sim.env());
+    sim.run(&mut algo)
+}
+
+proptest! {
+    // Each case trains up to three full (tiny) federations, so the case
+    // count is pinned — deliberately NOT scaled by the nightly
+    // PROPTEST_CASES crank, which would turn this file into an hour of
+    // training. The cheap schedule-level properties in
+    // `proptest_schedule.rs` take the crank instead.
+    #![proptest_config(ProptestConfig { cases: 4 })]
+
+    /// Async absorption at parallelism 1 vs 4 is bit-identical: the event
+    /// queue, not the thread pool, orders every absorb.
+    #[test]
+    fn async_runs_are_bit_identical_across_parallelism(seed in 0u64..100_000) {
+        let mode = RoundMode::asynchronous(3, 0.6);
+        let serial = run(seed, mode, 1);
+        let sharded = run(seed, mode, 4);
+        prop_assert_eq!(serial, sharded);
+    }
+
+    /// Deadline rounds (budget sized from a synchronous probe so it bites on
+    /// some fleets and not others) are equally schedule-independent.
+    #[test]
+    fn deadline_runs_are_bit_identical_across_parallelism(seed in 0u64..100_000) {
+        let probe = run(seed, RoundMode::Synchronous, 1);
+        let worst = probe.rounds.iter().map(|r| r.round_time).fold(0.0, f64::max);
+        let mode = RoundMode::deadline(worst * 0.6, 2);
+        let serial = run(seed, mode, 1);
+        let sharded = run(seed, mode, 4);
+        prop_assert_eq!(serial, sharded);
+    }
+}

@@ -1,0 +1,122 @@
+//! Property tests for the round planner: the event schedule is a
+//! deterministic pure function of its inputs, and every dispatched client
+//! resolves exactly once.
+
+use fedlps_device::fleet::DynamicsConfig;
+use fedlps_device::{CostModel, DeviceFleet, HeterogeneityLevel};
+use fedlps_runtime::{DispatchSpec, RoundPlan};
+use proptest::prelude::*;
+
+/// Builds a realistic spec set from a sampled fleet: per-client FLOPs over
+/// tier compute plus upload bytes over tier bandwidth (the Eq. (14) terms the
+/// simulator feeds the planner), with deterministic offline churn.
+fn specs_from(seed: u64, clients: usize, offline: bool) -> Vec<DispatchSpec> {
+    let mut fleet = DeviceFleet::sample(clients, HeterogeneityLevel::High, seed);
+    if offline {
+        fleet = fleet.with_dynamics(
+            DynamicsConfig {
+                enabled: true,
+                min_availability: 0.5,
+                ..DynamicsConfig::default()
+            }
+            .with_offline_prob(0.3),
+        );
+    }
+    let cost = CostModel::new(1.0);
+    (0..clients)
+        .map(|k| {
+            let profile = fleet.static_profile(k);
+            let flops = 1.0e9 * ((seed % 13) + 1) as f64 * (k + 1) as f64;
+            let upload = 1.0e5 * ((seed % 5) + 1) as f64;
+            let lc = cost.local_cost(flops, upload, &profile);
+            DispatchSpec {
+                client: k,
+                compute_seconds: lc.compute_seconds,
+                upload_seconds: lc.comm_seconds,
+                offline_frac: if offline {
+                    fleet.offline_churn(k, seed)
+                } else {
+                    None
+                },
+            }
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Replaying a schedule produces an identical plan and event log — the
+    /// planner reads no clocks, no RNG and no thread state.
+    #[test]
+    fn schedules_replay_identically(
+        seed in 0u64..10_000,
+        clients in 1usize..14,
+        budget in 0.01f64..10.0,
+    ) {
+        let specs = specs_from(seed, clients, true);
+        let a = RoundPlan::schedule(&specs, Some(budget));
+        let b = RoundPlan::schedule(&specs, Some(budget));
+        prop_assert_eq!(a.log.fingerprint(), b.log.fingerprint());
+        prop_assert_eq!(a, b);
+    }
+
+    /// Conservation: each dispatched client either arrives or drops, never
+    /// both, never neither; arrivals are time-ordered and inside the budget.
+    #[test]
+    fn every_dispatch_resolves_exactly_once(
+        seed in 0u64..10_000,
+        clients in 1usize..14,
+        budget in 0.01f64..10.0,
+    ) {
+        let specs = specs_from(seed, clients, true);
+        let plan = RoundPlan::schedule(&specs, Some(budget));
+        prop_assert_eq!(plan.arrivals.len() + plan.drops.len(), specs.len());
+        let mut resolved: Vec<usize> = plan
+            .arrivals
+            .iter()
+            .map(|a| a.client)
+            .chain(plan.drops.iter().map(|d| d.client))
+            .collect();
+        resolved.sort_unstable();
+        let mut expected: Vec<usize> = specs.iter().map(|s| s.client).collect();
+        expected.sort_unstable();
+        prop_assert_eq!(resolved, expected);
+
+        let mut prev = 0.0f64;
+        for arrival in &plan.arrivals {
+            prop_assert!(arrival.offset >= prev);
+            prop_assert!(arrival.offset <= budget);
+            prev = arrival.offset;
+        }
+        prop_assert!(plan.duration <= budget + 1e-12);
+    }
+
+    /// Synchronous plans (no deadline) are exactly Eq. (18): everyone
+    /// arrives and the round costs the slowest client's total latency.
+    #[test]
+    fn synchronous_plans_wait_for_everyone(seed in 0u64..10_000, clients in 1usize..14) {
+        let specs = specs_from(seed, clients, false);
+        let plan = RoundPlan::schedule(&specs, None);
+        prop_assert_eq!(plan.drops.len(), 0);
+        prop_assert_eq!(plan.arrivals.len(), specs.len());
+        let worst = specs
+            .iter()
+            .map(|s| s.total_seconds())
+            .fold(0.0f64, f64::max);
+        prop_assert_eq!(plan.duration, worst);
+    }
+
+    /// A roomy budget with churn disabled behaves exactly like the
+    /// synchronous plan except that it is allowed to end early.
+    #[test]
+    fn roomy_deadlines_match_synchronous_outcomes(seed in 0u64..10_000, clients in 1usize..14) {
+        let specs = specs_from(seed, clients, false);
+        let sync = RoundPlan::schedule(&specs, None);
+        let worst = sync.duration;
+        let roomy = RoundPlan::schedule(&specs, Some(worst.max(1e-9) * 2.0));
+        prop_assert_eq!(roomy.drops.len(), 0);
+        prop_assert_eq!(&roomy.arrivals, &sync.arrivals);
+        prop_assert_eq!(roomy.duration, sync.duration);
+    }
+}

@@ -143,6 +143,25 @@ pub trait FlAlgorithm: Send + Sync {
     /// to serial ones.
     fn absorb_update(&mut self, env: &FlEnv, round: usize, update: ClientUpdate);
 
+    /// Applies an update that arrived `staleness` aggregations after the
+    /// model it was computed against was dispatched (the async round mode).
+    /// `weight` is the server's staleness discount `alpha^staleness` in
+    /// `(0, 1]`; algorithms that aggregate with per-client weights should
+    /// scale them by it. The default ignores the discount and performs the
+    /// ordinary serial absorb, which keeps every existing algorithm correct
+    /// (if staleness-blind) under asynchronous execution.
+    fn absorb_update_stale(
+        &mut self,
+        env: &FlEnv,
+        round: usize,
+        update: ClientUpdate,
+        staleness: u32,
+        weight: f64,
+    ) {
+        let _ = (staleness, weight);
+        self.absorb_update(env, round, update);
+    }
+
     /// Server-side aggregation at the end of the round.
     fn aggregate(&mut self, env: &FlEnv, round: usize, reports: &[ClientReport]);
 

@@ -3,6 +3,8 @@
 use fedlps_nn::sgd::SgdConfig;
 use serde::{Deserialize, Serialize};
 
+pub use fedlps_runtime::RoundMode;
+
 /// Configuration of a federated-learning run.
 ///
 /// Defaults follow the paper's setup scaled down for CPU execution: the paper
@@ -33,6 +35,12 @@ pub struct FlConfig {
     /// client steps are pure and updates are absorbed in client-id order —
     /// so this is purely a wall-clock knob.
     pub parallelism: usize,
+    /// How rounds execute on the virtual clock: the paper's synchronous
+    /// barrier (the default), deadline rounds with over-selection, or
+    /// staleness-aware asynchronous absorption. See
+    /// [`RoundMode`] for the exact semantics; results stay bit-identical
+    /// across `parallelism` settings in every mode.
+    pub round_mode: RoundMode,
 }
 
 impl Default for FlConfig {
@@ -47,6 +55,7 @@ impl Default for FlConfig {
             cost_alpha: 1.0,
             seed: 7,
             parallelism: 1,
+            round_mode: RoundMode::Synchronous,
         }
     }
 }
@@ -100,6 +109,12 @@ impl FlConfig {
     /// Builder-style override of the round-loop parallelism (0 = all cores).
     pub fn with_parallelism(mut self, shards: usize) -> Self {
         self.parallelism = shards;
+        self
+    }
+
+    /// Builder-style override of the round execution mode.
+    pub fn with_round_mode(mut self, mode: RoundMode) -> Self {
+        self.round_mode = mode;
         self
     }
 
@@ -164,9 +179,21 @@ mod tests {
 
     #[test]
     fn serde_roundtrip() {
-        let cfg = FlConfig::default();
-        let json = serde_json::to_string(&cfg).unwrap();
-        let back: FlConfig = serde_json::from_str(&json).unwrap();
-        assert_eq!(cfg, back);
+        for cfg in [
+            FlConfig::default(),
+            FlConfig::default().with_round_mode(RoundMode::deadline(2.0, 3)),
+            FlConfig::default().with_round_mode(RoundMode::asynchronous(4, 0.5)),
+        ] {
+            let json = serde_json::to_string(&cfg).unwrap();
+            let back: FlConfig = serde_json::from_str(&json).unwrap();
+            assert_eq!(cfg, back);
+        }
+    }
+
+    #[test]
+    fn round_mode_defaults_to_synchronous() {
+        assert_eq!(FlConfig::default().round_mode, RoundMode::Synchronous);
+        let cfg = FlConfig::tiny().with_round_mode(RoundMode::asynchronous(2, 0.8));
+        assert_eq!(cfg.round_mode.name(), "async");
     }
 }

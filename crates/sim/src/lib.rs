@@ -30,7 +30,7 @@ pub mod runner;
 pub mod train;
 
 pub use algorithm::{ClientReport, FlAlgorithm};
-pub use config::FlConfig;
+pub use config::{FlConfig, RoundMode};
 pub use env::FlEnv;
 pub use metrics::{RoundMetrics, RunResult};
 pub use runner::Simulator;

@@ -9,20 +9,25 @@
 use serde::{Deserialize, Serialize};
 
 /// Metrics recorded at the end of one communication round.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RoundMetrics {
-    /// Round index `r`.
+    /// Round index `r` (in async mode: the server aggregation/version index).
     pub round: usize,
     /// Mean deployed-model accuracy across all clients (None on rounds where
     /// evaluation was skipped).
     pub mean_accuracy: Option<f64>,
-    /// Mean training accuracy over the round's selected clients.
+    /// Mean training accuracy over the round's absorbed clients.
     pub train_accuracy: f64,
-    /// Mean training loss over the round's selected clients.
+    /// Mean training loss over the round's absorbed clients.
     pub train_loss: f64,
-    /// Wall-clock cost of this round (Eq. 18: the slowest selected client).
+    /// Virtual-clock duration of this round: the slowest selected client in
+    /// synchronous mode (Eq. 18), at most the budget in deadline mode, the
+    /// gap between aggregations in async mode.
     pub round_time: f64,
-    /// Cumulative simulated time up to and including this round.
+    /// Virtual time at which the round started.
+    pub round_start_time: f64,
+    /// Cumulative simulated time up to and including this round — i.e. the
+    /// virtual clock when the round's aggregation happened.
     pub cumulative_time: f64,
     /// FLOPs spent by the selected clients this round.
     pub round_flops: f64,
@@ -39,6 +44,16 @@ pub struct RoundMetrics {
     pub mask_cache_hits: u64,
     /// Mask-cache lookups that required a rebuild this round.
     pub mask_cache_misses: u64,
+    /// Dispatched clients whose updates were lost this round: deadline-mode
+    /// stragglers plus devices that churned offline mid-round. Always 0 in
+    /// synchronous mode.
+    pub straggler_drops: u64,
+    /// Async-mode updates discarded for exceeding the staleness bound.
+    pub stale_discards: u64,
+    /// Async-mode histogram of absorbed-update staleness: entry `s` counts
+    /// updates absorbed `s` aggregations after their model was dispatched.
+    /// Empty outside async mode.
+    pub staleness_hist: Vec<u64>,
 }
 
 /// The full trace of one federated run plus its summary statistics.
@@ -146,6 +161,49 @@ impl RunResult {
         self.mask_cache_hit_rate_from(0)
     }
 
+    /// Total dropped clients (deadline stragglers + offline churn) over the
+    /// whole run.
+    pub fn total_straggler_drops(&self) -> u64 {
+        self.rounds.iter().map(|r| r.straggler_drops).sum()
+    }
+
+    /// Total async updates discarded for exceeding the staleness bound.
+    pub fn total_stale_discards(&self) -> u64 {
+        self.rounds.iter().map(|r| r.stale_discards).sum()
+    }
+
+    /// Elementwise sum of the per-round staleness histograms (empty for runs
+    /// that never executed asynchronously).
+    pub fn staleness_histogram(&self) -> Vec<u64> {
+        let len = self
+            .rounds
+            .iter()
+            .map(|r| r.staleness_hist.len())
+            .max()
+            .unwrap_or(0);
+        let mut hist = vec![0u64; len];
+        for r in &self.rounds {
+            for (h, v) in hist.iter_mut().zip(r.staleness_hist.iter()) {
+                *h += v;
+            }
+        }
+        hist
+    }
+
+    /// Mean staleness of absorbed async updates (0 for non-async runs).
+    pub fn mean_staleness(&self) -> f64 {
+        let hist = self.staleness_histogram();
+        let total: u64 = hist.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        hist.iter()
+            .enumerate()
+            .map(|(s, &n)| s as f64 * n as f64)
+            .sum::<f64>()
+            / total as f64
+    }
+
     /// Mask-cache hit rate counting only rounds `>= from_round` — the warm
     /// regime the ROADMAP's perf trajectory tracks (early rounds are all
     /// compulsory misses while the cache fills).
@@ -176,6 +234,7 @@ mod tests {
             train_accuracy: 0.5,
             train_loss: 1.0,
             round_time: time,
+            round_start_time: time * i as f64,
             cumulative_time: time * (i + 1) as f64,
             round_flops: flops,
             cumulative_flops: flops * (i + 1) as f64,
@@ -184,6 +243,9 @@ mod tests {
             mean_sparse_ratio: 0.5,
             mask_cache_hits: i as u64,
             mask_cache_misses: 1,
+            straggler_drops: (i % 2) as u64,
+            stale_discards: 0,
+            staleness_hist: vec![1, i as u64],
         }
     }
 
@@ -258,5 +320,20 @@ mod tests {
         let json = serde_json::to_string(&r).unwrap();
         let back: RunResult = serde_json::from_str(&json).unwrap();
         assert_eq!(r, back);
+    }
+
+    #[test]
+    fn drop_and_staleness_summaries() {
+        let r = result();
+        // Rounds 0..4 carry drops 0,1,0,1 and histograms [1, i].
+        assert_eq!(r.total_straggler_drops(), 2);
+        assert_eq!(r.total_stale_discards(), 0);
+        assert_eq!(r.staleness_histogram(), vec![4, 6]);
+        // Mean staleness: 6 of 10 absorbed updates at staleness 1.
+        assert!((r.mean_staleness() - 0.6).abs() < 1e-12);
+
+        let empty = RunResult::from_rounds("a".into(), "d".into(), vec![]);
+        assert_eq!(empty.staleness_histogram(), Vec::<u64>::new());
+        assert_eq!(empty.mean_staleness(), 0.0);
     }
 }

@@ -1,25 +1,53 @@
-//! The synchronous federation round loop.
+//! The federation round loop, executed on the event-driven virtual clock.
 //!
 //! Client-side training dominates a round's wall-clock cost, so the loop
 //! shards the selected clients across worker threads when
 //! [`FlConfig::parallelism`](crate::config::FlConfig) allows it. Sharding is
 //! observationally invisible: [`FlAlgorithm::client_step`] is pure (`&self` +
-//! a per-client RNG stream derived only from `(seed, round, client)`), and
-//! the resulting updates are absorbed serially in ascending client-id order,
-//! so serial and sharded runs produce bit-identical metric traces.
+//! a per-client RNG stream derived only from the configuration), and updates
+//! are absorbed in an order fixed by the event schedule — never by the thread
+//! schedule — so serial and sharded runs produce bit-identical metric traces.
+//!
+//! Round timing comes from `fedlps_runtime`: every client's latency is its
+//! Eq. (14) cost breakdown (round FLOPs over tier compute plus uploaded bytes
+//! over tier bandwidth), so a sparser submodel directly shortens the client's
+//! critical path. [`RoundMode`](crate::config::RoundMode) selects the
+//! execution semantics:
+//!
+//! * `Synchronous` — Algorithm 1's barrier, replanned over the clock: the
+//!   round ends at the last arrival (Eq. 18 falls out as the plan duration);
+//! * `Deadline` — the server over-selects, absorbs what lands inside the
+//!   budget and drops the stragglers;
+//! * `Async` — a continuous pipeline: `clients_per_round` clients stay in
+//!   flight, arrivals are absorbed immediately with an `alpha^staleness`
+//!   discount (discarded beyond `max_staleness`), and every
+//!   `clients_per_round` absorbed updates close one "round".
 
-use fedlps_device::CostModel;
+use std::collections::{BTreeMap, BTreeSet};
+
+use fedlps_runtime::{DispatchSpec, EventKind, EventQueue, RoundMode, RoundPlan, VirtualClock};
 use fedlps_tensor::{rng_from_seed, split_seed};
+use rand::rngs::StdRng;
+use rand::Rng;
 use rayon::prelude::*;
 
-use crate::algorithm::{ClientOutcome, FlAlgorithm};
+use crate::algorithm::{ClientOutcome, ClientReport, ClientUpdate, FlAlgorithm};
 use crate::env::FlEnv;
 use crate::metrics::{RoundMetrics, RunResult};
 
-/// Drives an [`FlAlgorithm`] through the paper's synchronous round loop and
-/// collects the per-round metric trace.
+/// Drives an [`FlAlgorithm`] through the round loop of the configured
+/// [`RoundMode`](crate::config::RoundMode) and collects the per-round metric
+/// trace.
 pub struct Simulator {
     env: FlEnv,
+}
+
+/// A dispatched client whose update is still travelling: the model version it
+/// was computed against plus the outcome that will land at its arrival time.
+struct InFlight {
+    dispatched_version: usize,
+    report: ClientReport,
+    update: ClientUpdate,
 }
 
 impl Simulator {
@@ -38,19 +66,74 @@ impl Simulator {
         self.env
     }
 
-    /// Runs the full federation and returns the metric trace.
+    /// Runs the full federation under the configured round mode and returns
+    /// the metric trace.
     pub fn run(&self, algorithm: &mut dyn FlAlgorithm) -> RunResult {
-        let env = &self.env;
-        algorithm.setup(env);
-        let mut selection_rng = rng_from_seed(split_seed(env.config.seed, 0x5E1E));
+        match self.env.config.round_mode {
+            RoundMode::Async {
+                max_staleness,
+                alpha,
+            } => self.run_async(algorithm, max_staleness, alpha),
+            mode => self.run_cohort(algorithm, mode),
+        }
+    }
 
+    /// The worker pool implied by `FlConfig::parallelism` (None = serial).
+    fn build_pool(env: &FlEnv) -> Option<rayon::ThreadPool> {
         let shards = env.config.effective_parallelism();
-        let pool = (shards > 1).then(|| {
+        (shards > 1).then(|| {
             rayon::ThreadPoolBuilder::new()
                 .num_threads(shards)
                 .build()
                 .expect("rayon pool construction is infallible")
-        });
+        })
+    }
+
+    /// Runs the pure client steps for `(client, rng_stream)` tasks, sharded
+    /// over the pool when one is installed. Output order equals input order.
+    fn step_batch(
+        env: &FlEnv,
+        algorithm: &dyn FlAlgorithm,
+        pool: Option<&rayon::ThreadPool>,
+        tasks: &[(usize, u64)],
+        round: usize,
+    ) -> Vec<(usize, ClientOutcome)> {
+        let step = |(client, stream): (usize, u64)| {
+            let mut rng = rng_from_seed(split_seed(env.config.seed, stream));
+            (client, algorithm.client_step(env, round, client, &mut rng))
+        };
+        match pool {
+            Some(pool) => pool.install(|| tasks.to_vec().into_par_iter().map(step).collect()),
+            None => tasks.iter().copied().map(step).collect(),
+        }
+    }
+
+    /// Tops `selected` up with `extra` distinct clients drawn uniformly from
+    /// the rest of the federation (deadline-mode over-selection).
+    fn over_select(env: &FlEnv, selected: &mut Vec<usize>, extra: usize, rng: &mut StdRng) {
+        if extra == 0 {
+            return;
+        }
+        let chosen: BTreeSet<usize> = selected.iter().copied().collect();
+        let idle: Vec<usize> = (0..env.num_clients())
+            .filter(|k| !chosen.contains(k))
+            .collect();
+        let take = extra.min(idle.len());
+        let picks = fedlps_tensor::rng::sample_without_replacement(idle.len(), take, rng);
+        selected.extend(picks.into_iter().map(|i| idle[i]));
+    }
+
+    /// The synchronous / deadline cohort loop: one barrier per round, timed
+    /// by the pure per-round plan.
+    fn run_cohort(&self, algorithm: &mut dyn FlAlgorithm, mode: RoundMode) -> RunResult {
+        let env = &self.env;
+        algorithm.setup(env);
+        let mut selection_rng = rng_from_seed(split_seed(env.config.seed, 0x5E1E));
+        let pool = Self::build_pool(env);
+        let deadline = match mode {
+            RoundMode::Deadline { budget, .. } => Some(budget),
+            _ => None,
+        };
 
         let mut rounds = Vec::with_capacity(env.config.rounds);
         let mut cumulative_time = 0.0;
@@ -58,11 +141,14 @@ impl Simulator {
         let mut cumulative_upload = 0.0;
 
         for round in 0..env.config.rounds {
-            let selected = algorithm.select_clients(env, round, &mut selection_rng);
+            let mut selected = algorithm.select_clients(env, round, &mut selection_rng);
             assert!(
                 !selected.is_empty(),
                 "a round must select at least one client"
             );
+            if let RoundMode::Deadline { over_select, .. } = mode {
+                Self::over_select(env, &mut selected, over_select, &mut selection_rng);
+            }
 
             // Round-level mutable preparation (shared-mask refreshes etc.);
             // its RNG stream depends only on (seed, round).
@@ -74,46 +160,60 @@ impl Simulator {
             // owns an RNG stream keyed by (seed, round, client) so the
             // schedule cannot leak into the results.
             let frozen: &dyn FlAlgorithm = algorithm;
-            let step = |client: usize| {
-                let mut client_rng = rng_from_seed(split_seed(
-                    env.config.seed,
-                    0xC11E ^ ((client as u64) << 24) ^ round as u64,
-                ));
-                (
-                    client,
-                    frozen.client_step(env, round, client, &mut client_rng),
-                )
-            };
-            let mut outcomes: Vec<(usize, ClientOutcome)> = match &pool {
-                Some(pool) => pool.install(|| selected.clone().into_par_iter().map(step).collect()),
-                None => selected.iter().copied().map(step).collect(),
-            };
-
-            // Deterministic reduce: absorb updates and order reports by
-            // client id, independent of selection order or thread schedule.
+            let tasks: Vec<(usize, u64)> = selected
+                .iter()
+                .map(|&c| (c, 0xC11E ^ ((c as u64) << 24) ^ round as u64))
+                .collect();
+            let mut outcomes = Self::step_batch(env, frozen, pool.as_ref(), &tasks, round);
             outcomes.sort_by_key(|(client, _)| *client);
-            let mut reports = Vec::with_capacity(outcomes.len());
-            for (_, outcome) in outcomes {
-                reports.push(outcome.report);
-                algorithm.absorb_update(env, round, outcome.update);
+
+            // Plan the round on the virtual clock: each client's dispatch
+            // latency is its Eq. (14) breakdown; deadline rounds also consult
+            // the fleet's offline churn (synchronous servers wait churn out).
+            let specs: Vec<DispatchSpec> = outcomes
+                .iter()
+                .map(|(client, o)| DispatchSpec {
+                    client: *client,
+                    compute_seconds: o.report.local_cost.compute_seconds,
+                    upload_seconds: o.report.local_cost.comm_seconds,
+                    offline_frac: deadline
+                        .is_some()
+                        .then(|| env.fleet.offline_churn(*client, round as u64))
+                        .flatten(),
+                })
+                .collect();
+            let plan = RoundPlan::schedule(&specs, deadline);
+            let arrived: BTreeSet<usize> = plan.arrivals.iter().map(|a| a.client).collect();
+
+            // Deterministic reduce: absorb the surviving updates in ascending
+            // client-id order, independent of selection order or thread
+            // schedule. Dropped clients' work is spent (their FLOPs count)
+            // but their uploads never land.
+            let mut reports = Vec::with_capacity(arrived.len());
+            let mut round_flops = 0.0;
+            let mut round_upload = 0.0;
+            for (client, outcome) in outcomes {
+                round_flops += outcome.report.flops;
+                if arrived.contains(&client) {
+                    round_upload += outcome.report.upload_bytes;
+                    reports.push(outcome.report);
+                    algorithm.absorb_update(env, round, outcome.update);
+                }
             }
             algorithm.aggregate(env, round, &reports);
 
-            // Cost accounting (Eq. 14 / Eq. 18).
-            let local_costs: Vec<_> = reports.iter().map(|r| r.local_cost).collect();
-            let round_time = CostModel::global_round_cost(&local_costs);
-            let round_flops: f64 = reports.iter().map(|r| r.flops).sum();
-            let round_upload: f64 = reports.iter().map(|r| r.upload_bytes).sum();
+            // Cost accounting: the plan duration *is* Eq. (18) in synchronous
+            // mode and min(budget, last arrival) under a deadline.
+            let round_time = plan.duration;
+            let round_start_time = cumulative_time;
             cumulative_time += round_time;
             cumulative_flops += round_flops;
             cumulative_upload += round_upload;
 
-            let train_accuracy =
-                reports.iter().map(|r| r.train_accuracy).sum::<f64>() / reports.len() as f64;
-            let train_loss =
-                reports.iter().map(|r| r.train_loss).sum::<f64>() / reports.len() as f64;
-            let mean_sparse_ratio =
-                reports.iter().map(|r| r.sparse_ratio).sum::<f64>() / reports.len() as f64;
+            let absorbed = reports.len().max(1) as f64;
+            let train_accuracy = reports.iter().map(|r| r.train_accuracy).sum::<f64>() / absorbed;
+            let train_loss = reports.iter().map(|r| r.train_loss).sum::<f64>() / absorbed;
+            let mean_sparse_ratio = reports.iter().map(|r| r.sparse_ratio).sum::<f64>() / absorbed;
 
             // Periodic personalized evaluation across the *whole* federation.
             let evaluate_now = round % env.config.eval_every == 0 || round + 1 == env.config.rounds;
@@ -129,6 +229,7 @@ impl Simulator {
                 train_accuracy,
                 train_loss,
                 round_time,
+                round_start_time,
                 cumulative_time,
                 round_flops,
                 cumulative_flops,
@@ -137,7 +238,269 @@ impl Simulator {
                 mean_sparse_ratio,
                 mask_cache_hits: reports.iter().map(|r| r.mask_cache_hits as u64).sum(),
                 mask_cache_misses: reports.iter().map(|r| r.mask_cache_misses as u64).sum(),
+                straggler_drops: plan.dropped() as u64,
+                stale_discards: 0,
+                staleness_hist: Vec::new(),
             });
+        }
+
+        RunResult::from_rounds(algorithm.name(), env.data.name.clone(), rounds)
+    }
+
+    /// Draws one idle client uniformly for an async refill: neither in
+    /// flight nor already holding an unprocessed dispatch event.
+    fn pick_idle(
+        env: &FlEnv,
+        in_flight: &BTreeMap<usize, InFlight>,
+        pending: &BTreeSet<usize>,
+        rng: &mut StdRng,
+    ) -> Option<usize> {
+        let idle: Vec<usize> = (0..env.num_clients())
+            .filter(|k| !in_flight.contains_key(k) && !pending.contains(k))
+            .collect();
+        if idle.is_empty() {
+            None
+        } else {
+            Some(idle[rng.gen_range(0..idle.len())])
+        }
+    }
+
+    /// The staleness-aware asynchronous pipeline.
+    ///
+    /// The server keeps `clients_per_round` clients in flight. A dispatch
+    /// hands the client the *current* model (the pure step runs against the
+    /// state every earlier absorption produced); its arrival lands
+    /// `local_cost.total()` virtual seconds later and is absorbed immediately
+    /// with weight `alpha^staleness` via
+    /// [`FlAlgorithm::absorb_update_stale`], or discarded beyond
+    /// `max_staleness`. Every `clients_per_round` absorbed updates the server
+    /// aggregates, bumps its version and emits one [`RoundMetrics`] entry, so
+    /// a run still produces `config.rounds` rounds — they just cost less
+    /// virtual time than a synchronous barrier.
+    ///
+    /// `select_clients` picks the initial cohort; refills draw uniformly
+    /// from idle clients because there is no round barrier at which a
+    /// selection rule could be consulted. `begin_round` keeps its per-round
+    /// cadence — it runs for the initial cohort and again at every version
+    /// bump (with an empty selected slice) so round-level server state such
+    /// as a refreshed shared mask keeps evolving. Dispatches scheduled for
+    /// the same instant are stepped as one (shardable) batch; because event
+    /// order is a pure function of the configuration, results are
+    /// bit-identical at every `parallelism` setting.
+    fn run_async(
+        &self,
+        algorithm: &mut dyn FlAlgorithm,
+        max_staleness: u32,
+        alpha: f64,
+    ) -> RunResult {
+        assert!(
+            alpha > 0.0 && alpha <= 1.0,
+            "staleness discount base must be in (0, 1], got {alpha}"
+        );
+        let env = &self.env;
+        algorithm.setup(env);
+        let mut selection_rng = rng_from_seed(split_seed(env.config.seed, 0x5E1E));
+        let pool = Self::build_pool(env);
+        let total_rounds = env.config.rounds;
+        let buffer_target = env.config.clients_per_round.min(env.num_clients()).max(1);
+
+        let mut queue = EventQueue::new();
+        let mut clock = VirtualClock::new();
+        let mut in_flight: BTreeMap<usize, InFlight> = BTreeMap::new();
+        let mut version = 0usize;
+        let mut dispatch_seq = 0u64;
+
+        // The initial cohort enters the pipeline at t = 0.
+        let initial = algorithm.select_clients(env, 0, &mut selection_rng);
+        assert!(
+            !initial.is_empty(),
+            "the async pipeline needs at least one client in flight"
+        );
+        let mut round_rng = rng_from_seed(split_seed(env.config.seed, 0xB172));
+        algorithm.begin_round(env, 0, &initial, &mut round_rng);
+        let mut pending: BTreeSet<usize> = BTreeSet::new();
+        for client in initial {
+            if pending.insert(client) {
+                queue.push(0.0, client, EventKind::Dispatch);
+            }
+        }
+
+        let mut rounds = Vec::with_capacity(total_rounds);
+        let mut round_reports: Vec<ClientReport> = Vec::new();
+        let mut round_start = 0.0f64;
+        let mut round_flops = 0.0f64;
+        let mut round_upload = 0.0f64;
+        let mut straggler_drops = 0u64;
+        let mut stale_discards = 0u64;
+        let mut staleness_hist = vec![0u64; max_staleness as usize + 1];
+        let mut cumulative_flops = 0.0f64;
+        let mut cumulative_upload = 0.0f64;
+
+        while version < total_rounds {
+            let Some(event) = queue.pop() else {
+                // Starved pipeline (e.g. an empty federation): return what we
+                // have rather than spinning forever.
+                break;
+            };
+            clock.advance_to(event.time);
+            match event.kind {
+                EventKind::Dispatch => {
+                    // Coalesce every dispatch scheduled for this exact
+                    // instant into one shardable batch; they all see the same
+                    // server state, so batching is semantics-free.
+                    let mut batch = vec![(event.client, dispatch_seq)];
+                    dispatch_seq += 1;
+                    while queue
+                        .peek()
+                        .is_some_and(|e| e.kind == EventKind::Dispatch && e.time == event.time)
+                    {
+                        let next = queue.pop().expect("peeked event exists");
+                        batch.push((next.client, dispatch_seq));
+                        dispatch_seq += 1;
+                    }
+                    let tasks: Vec<(usize, u64)> = batch
+                        .iter()
+                        .map(|&(c, s)| (c, 0xA57C ^ (s << 20) ^ c as u64))
+                        .collect();
+                    let frozen: &dyn FlAlgorithm = algorithm;
+                    let outcomes = Self::step_batch(env, frozen, pool.as_ref(), &tasks, version);
+                    for ((client, seq), (stepped, outcome)) in batch.iter().zip(outcomes) {
+                        debug_assert_eq!(*client, stepped);
+                        pending.remove(client);
+                        let total = outcome.report.local_cost.total();
+                        match env.fleet.offline_churn(*client, *seq) {
+                            Some(frac) => {
+                                queue.push(event.time + frac * total, *client, EventKind::Offline)
+                            }
+                            None => {
+                                queue.push(event.time + total, *client, EventKind::UploadFinish)
+                            }
+                        };
+                        let evicted = in_flight.insert(
+                            *client,
+                            InFlight {
+                                dispatched_version: version,
+                                report: outcome.report,
+                                update: outcome.update,
+                            },
+                        );
+                        debug_assert!(evicted.is_none(), "client dispatched while in flight");
+                    }
+                }
+                EventKind::UploadFinish => {
+                    let fl = in_flight
+                        .remove(&event.client)
+                        .expect("arrival without a matching dispatch");
+                    round_flops += fl.report.flops;
+                    round_upload += fl.report.upload_bytes;
+                    let staleness = (version - fl.dispatched_version) as u32;
+                    if staleness > max_staleness {
+                        stale_discards += 1;
+                    } else {
+                        staleness_hist[staleness as usize] += 1;
+                        let weight = alpha.powi(staleness as i32);
+                        algorithm.absorb_update_stale(env, version, fl.update, staleness, weight);
+                        round_reports.push(fl.report);
+                    }
+                    // Refill the freed slot immediately.
+                    if let Some(next) =
+                        Self::pick_idle(env, &in_flight, &pending, &mut selection_rng)
+                    {
+                        pending.insert(next);
+                        queue.push(event.time, next, EventKind::Dispatch);
+                    }
+
+                    if round_reports.len() >= buffer_target {
+                        algorithm.aggregate(env, version, &round_reports);
+                        let absorbed = round_reports.len() as f64;
+                        cumulative_flops += round_flops;
+                        cumulative_upload += round_upload;
+                        let evaluate_now =
+                            version % env.config.eval_every == 0 || version + 1 == total_rounds;
+                        let mean_accuracy = if evaluate_now {
+                            Some(Self::mean_accuracy_parallel(env, algorithm))
+                        } else {
+                            None
+                        };
+                        rounds.push(RoundMetrics {
+                            round: version,
+                            mean_accuracy,
+                            train_accuracy: round_reports
+                                .iter()
+                                .map(|r| r.train_accuracy)
+                                .sum::<f64>()
+                                / absorbed,
+                            train_loss: round_reports.iter().map(|r| r.train_loss).sum::<f64>()
+                                / absorbed,
+                            round_time: event.time - round_start,
+                            round_start_time: round_start,
+                            cumulative_time: event.time,
+                            round_flops,
+                            cumulative_flops,
+                            round_upload_bytes: round_upload,
+                            cumulative_upload_bytes: cumulative_upload,
+                            mean_sparse_ratio: round_reports
+                                .iter()
+                                .map(|r| r.sparse_ratio)
+                                .sum::<f64>()
+                                / absorbed,
+                            mask_cache_hits: round_reports
+                                .iter()
+                                .map(|r| r.mask_cache_hits as u64)
+                                .sum(),
+                            mask_cache_misses: round_reports
+                                .iter()
+                                .map(|r| r.mask_cache_misses as u64)
+                                .sum(),
+                            straggler_drops,
+                            stale_discards,
+                            staleness_hist: staleness_hist.clone(),
+                        });
+                        version += 1;
+                        round_start = event.time;
+                        round_reports.clear();
+                        round_flops = 0.0;
+                        round_upload = 0.0;
+                        straggler_drops = 0;
+                        stale_discards = 0;
+                        staleness_hist.iter_mut().for_each(|v| *v = 0);
+
+                        // Round-level server-side preparation for the next
+                        // version (CS mask refreshes, PruneFL re-pruning, …):
+                        // the same hook cadence and RNG stream keying as the
+                        // cohort loop. No cohort exists at an async version
+                        // boundary, so the selected slice is empty; in-flight
+                        // clients keep the state they were dispatched
+                        // against, which is exactly what the staleness
+                        // discount accounts for.
+                        if version < total_rounds {
+                            let mut round_rng = rng_from_seed(split_seed(
+                                env.config.seed,
+                                0xB172 ^ (version as u64) << 1,
+                            ));
+                            algorithm.begin_round(env, version, &[], &mut round_rng);
+                        }
+                    }
+                }
+                EventKind::Offline => {
+                    // The device died mid-round: its work is spent, its
+                    // update is lost, its slot refills now.
+                    let fl = in_flight
+                        .remove(&event.client)
+                        .expect("offline event without a matching dispatch");
+                    round_flops += fl.report.flops;
+                    straggler_drops += 1;
+                    if let Some(next) =
+                        Self::pick_idle(env, &in_flight, &pending, &mut selection_rng)
+                    {
+                        pending.insert(next);
+                        queue.push(event.time, next, EventKind::Dispatch);
+                    }
+                }
+                EventKind::ComputeFinish | EventKind::RoundDeadline => {
+                    unreachable!("the async pipeline never schedules {:?}", event.kind)
+                }
+            }
         }
 
         RunResult::from_rounds(algorithm.name(), env.data.name.clone(), rounds)
@@ -169,6 +532,7 @@ mod tests {
     use crate::config::FlConfig;
     use crate::train::{account_round, local_sgd, LocalTrainOptions};
     use fedlps_data::scenario::{DatasetKind, ScenarioConfig};
+    use fedlps_device::fleet::DynamicsConfig;
     use fedlps_device::HeterogeneityLevel;
     use fedlps_nn::model::EvalStats;
     use fedlps_tensor::ops::weighted_mean_into;
@@ -178,7 +542,7 @@ mod tests {
     /// in `fedlps-baselines`.
     struct MiniFedAvg {
         global: Vec<f32>,
-        staged: Vec<(usize, Vec<f32>)>,
+        staged: Vec<(usize, f64, Vec<f32>)>,
     }
 
     impl MiniFedAvg {
@@ -247,23 +611,31 @@ mod tests {
             ClientOutcome::new(report, (client, params))
         }
 
-        fn absorb_update(&mut self, _env: &FlEnv, _round: usize, update: ClientUpdate) {
+        fn absorb_update(&mut self, env: &FlEnv, round: usize, update: ClientUpdate) {
+            self.absorb_update_stale(env, round, update, 0, 1.0);
+        }
+
+        fn absorb_update_stale(
+            &mut self,
+            env: &FlEnv,
+            _round: usize,
+            update: ClientUpdate,
+            _staleness: u32,
+            weight: f64,
+        ) {
             let (client, params) = *update
                 .downcast::<(usize, Vec<f32>)>()
                 .expect("MiniFedAvg update payload");
-            self.staged.push((client, params));
+            self.staged
+                .push((client, env.train_sizes()[client] * weight, params));
         }
 
-        fn aggregate(&mut self, env: &FlEnv, _round: usize, _reports: &[ClientReport]) {
+        fn aggregate(&mut self, _env: &FlEnv, _round: usize, _reports: &[ClientReport]) {
             if self.staged.is_empty() {
                 return;
             }
-            let weights: Vec<f64> = self
-                .staged
-                .iter()
-                .map(|(k, _)| env.train_sizes()[*k])
-                .collect();
-            let inputs: Vec<&[f32]> = self.staged.iter().map(|(_, p)| p.as_slice()).collect();
+            let weights: Vec<f64> = self.staged.iter().map(|(_, w, _)| *w).collect();
+            let inputs: Vec<&[f32]> = self.staged.iter().map(|(_, _, p)| p.as_slice()).collect();
             let mut new_global = vec![0.0f32; self.global.len()];
             weighted_mean_into(&mut new_global, &inputs, &weights);
             self.global = new_global;
@@ -275,13 +647,17 @@ mod tests {
         }
     }
 
-    #[test]
-    fn runner_produces_monotone_cumulative_metrics() {
-        let env = FlEnv::from_scenario(
+    fn env_with(config: FlConfig) -> FlEnv {
+        FlEnv::from_scenario(
             &ScenarioConfig::tiny(DatasetKind::MnistLike),
             HeterogeneityLevel::High,
-            FlConfig::tiny(),
-        );
+            config,
+        )
+    }
+
+    #[test]
+    fn runner_produces_monotone_cumulative_metrics() {
+        let env = env_with(FlConfig::tiny());
         let sim = Simulator::new(env);
         let mut algo = MiniFedAvg::new();
         let result = sim.run(&mut algo);
@@ -293,6 +669,8 @@ mod tests {
         for r in &result.rounds {
             assert!(r.cumulative_flops >= prev_flops);
             assert!(r.cumulative_time >= prev_time);
+            assert_eq!(r.round_start_time, prev_time);
+            assert_eq!(r.straggler_drops, 0, "synchronous rounds drop nobody");
             prev_flops = r.cumulative_flops;
             prev_time = r.cumulative_time;
             assert!(r.round_time > 0.0);
@@ -323,14 +701,7 @@ mod tests {
 
     #[test]
     fn runs_are_deterministic_for_a_seed() {
-        let mk = || {
-            let env = FlEnv::from_scenario(
-                &ScenarioConfig::tiny(DatasetKind::MnistLike),
-                HeterogeneityLevel::High,
-                FlConfig::tiny(),
-            );
-            Simulator::new(env).run(&mut MiniFedAvg::new())
-        };
+        let mk = || Simulator::new(env_with(FlConfig::tiny())).run(&mut MiniFedAvg::new());
         let a = mk();
         let b = mk();
         assert_eq!(a, b);
@@ -339,12 +710,8 @@ mod tests {
     #[test]
     fn sharded_rounds_are_bit_identical_to_serial() {
         let mk = |parallelism: usize| {
-            let env = FlEnv::from_scenario(
-                &ScenarioConfig::tiny(DatasetKind::MnistLike),
-                HeterogeneityLevel::High,
-                FlConfig::tiny().with_parallelism(parallelism),
-            );
-            Simulator::new(env).run(&mut MiniFedAvg::new())
+            Simulator::new(env_with(FlConfig::tiny().with_parallelism(parallelism)))
+                .run(&mut MiniFedAvg::new())
         };
         let serial = mk(1);
         for shards in [2, 4, 0] {
@@ -353,6 +720,178 @@ mod tests {
                 serial, sharded,
                 "parallelism={shards} must reproduce the serial trace exactly"
             );
+        }
+    }
+
+    #[test]
+    fn deadline_rounds_drop_stragglers_and_compress_virtual_time() {
+        let sync = Simulator::new(env_with(FlConfig::tiny())).run(&mut MiniFedAvg::new());
+        // Half the slowest sync round: on a High-heterogeneity fleet the
+        // 1/16-tier stragglers cannot land inside it.
+        let budget = sync.rounds.iter().map(|r| r.round_time).fold(0.0, f64::max) * 0.5;
+        let deadline = Simulator::new(env_with(
+            FlConfig::tiny().with_round_mode(RoundMode::deadline(budget, 2)),
+        ))
+        .run(&mut MiniFedAvg::new());
+
+        assert_eq!(deadline.rounds.len(), sync.rounds.len());
+        assert!(
+            deadline.total_straggler_drops() > 0,
+            "a halved budget must drop someone"
+        );
+        assert!(
+            deadline.total_time < sync.total_time,
+            "deadline rounds must cost less virtual time ({} vs {})",
+            deadline.total_time,
+            sync.total_time
+        );
+        for r in &deadline.rounds {
+            assert!(r.round_time <= budget + 1e-12, "budget is a hard cap");
+        }
+    }
+
+    #[test]
+    fn offline_churn_drops_clients_under_a_roomy_deadline() {
+        let mut env = env_with(FlConfig::tiny().with_round_mode(RoundMode::deadline(1e9, 0)));
+        env.fleet = env.fleet.clone().with_dynamics(
+            DynamicsConfig {
+                enabled: true,
+                min_availability: 0.9,
+                ..DynamicsConfig::default()
+            }
+            .with_offline_prob(0.5),
+        );
+        let result = Simulator::new(env).run(&mut MiniFedAvg::new());
+        assert!(
+            result.total_straggler_drops() > 0,
+            "p=0.5 churn over 6 rounds x 3 clients should drop someone"
+        );
+        assert_eq!(result.rounds.len(), FlConfig::tiny().rounds);
+    }
+
+    #[test]
+    fn async_pipeline_completes_with_staleness_accounting() {
+        let result = Simulator::new(env_with(
+            FlConfig::tiny().with_round_mode(RoundMode::asynchronous(3, 0.6)),
+        ))
+        .run(&mut MiniFedAvg::new());
+        assert_eq!(result.rounds.len(), FlConfig::tiny().rounds);
+        let hist = result.staleness_histogram();
+        assert_eq!(hist.len(), 4, "one bucket per staleness level");
+        assert!(hist.iter().sum::<u64>() > 0, "updates were absorbed");
+        let mut prev = 0.0;
+        for r in &result.rounds {
+            assert!(r.cumulative_time >= prev);
+            prev = r.cumulative_time;
+        }
+        assert!(result.rounds.last().unwrap().mean_accuracy.is_some());
+    }
+
+    #[test]
+    fn async_beats_synchronous_virtual_time_on_a_heterogeneous_fleet() {
+        let sync = Simulator::new(env_with(FlConfig::tiny())).run(&mut MiniFedAvg::new());
+        let async_run = Simulator::new(env_with(
+            FlConfig::tiny().with_round_mode(RoundMode::asynchronous(4, 0.5)),
+        ))
+        .run(&mut MiniFedAvg::new());
+        assert!(
+            async_run.total_time < sync.total_time,
+            "absorbing early arrivals must beat waiting for stragglers ({} vs {})",
+            async_run.total_time,
+            sync.total_time
+        );
+    }
+
+    #[test]
+    fn async_pipeline_keeps_the_begin_round_cadence() {
+        // Round-level server state (CS mask refreshes, PruneFL re-pruning)
+        // lives in begin_round; the async pipeline must keep invoking it at
+        // every version bump, not just for the initial cohort.
+        struct CountingFedAvg {
+            inner: MiniFedAvg,
+            begin_rounds: Vec<usize>,
+        }
+        impl FlAlgorithm for CountingFedAvg {
+            fn name(&self) -> String {
+                self.inner.name()
+            }
+            fn setup(&mut self, env: &FlEnv) {
+                self.inner.setup(env)
+            }
+            fn begin_round(
+                &mut self,
+                _env: &FlEnv,
+                round: usize,
+                _selected: &[usize],
+                _rng: &mut StdRng,
+            ) {
+                self.begin_rounds.push(round);
+            }
+            fn client_step(
+                &self,
+                env: &FlEnv,
+                round: usize,
+                client: usize,
+                rng: &mut StdRng,
+            ) -> ClientOutcome {
+                self.inner.client_step(env, round, client, rng)
+            }
+            fn absorb_update(&mut self, env: &FlEnv, round: usize, update: ClientUpdate) {
+                self.inner.absorb_update(env, round, update)
+            }
+            fn absorb_update_stale(
+                &mut self,
+                env: &FlEnv,
+                round: usize,
+                update: ClientUpdate,
+                staleness: u32,
+                weight: f64,
+            ) {
+                self.inner
+                    .absorb_update_stale(env, round, update, staleness, weight)
+            }
+            fn aggregate(&mut self, env: &FlEnv, round: usize, reports: &[ClientReport]) {
+                self.inner.aggregate(env, round, reports)
+            }
+            fn evaluate_client(&self, env: &FlEnv, client: usize) -> fedlps_nn::model::EvalStats {
+                self.inner.evaluate_client(env, client)
+            }
+        }
+
+        let mut algo = CountingFedAvg {
+            inner: MiniFedAvg::new(),
+            begin_rounds: Vec::new(),
+        };
+        let env = env_with(FlConfig::tiny().with_round_mode(RoundMode::asynchronous(3, 0.6)));
+        let result = Simulator::new(env).run(&mut algo);
+        assert_eq!(result.rounds.len(), FlConfig::tiny().rounds);
+        assert_eq!(
+            algo.begin_rounds,
+            (0..FlConfig::tiny().rounds).collect::<Vec<_>>(),
+            "begin_round must fire once per version, in order"
+        );
+    }
+
+    #[test]
+    fn event_modes_are_bit_identical_across_parallelism() {
+        let run = |mode: RoundMode, parallelism: usize| {
+            Simulator::new(env_with(
+                FlConfig::tiny()
+                    .with_round_mode(mode)
+                    .with_parallelism(parallelism),
+            ))
+            .run(&mut MiniFedAvg::new())
+        };
+        for mode in [RoundMode::deadline(0.5, 2), RoundMode::asynchronous(3, 0.5)] {
+            let serial = run(mode, 1);
+            for shards in [2, 4] {
+                assert_eq!(
+                    serial,
+                    run(mode, shards),
+                    "{} mode must be schedule-independent at parallelism {shards}",
+                    mode.name()
+                );
+            }
         }
     }
 }

@@ -5,12 +5,16 @@
 //! cargo run --release --example quickstart
 //! ```
 //!
-//! Two environment variables support CI's determinism gate (and general
+//! Three environment variables support CI's determinism gate (and general
 //! scripting): `FEDLPS_PARALLELISM` sets the round-loop shard count
-//! (default 1 = serial, 0 = all cores) and `FEDLPS_METRICS_JSON` names a
-//! file to which the full `RunResult` is written as JSON. Runs at any
-//! parallelism level are bit-identical for the same seed, which the CI
-//! matrix enforces by diffing the JSON of a serial and a sharded run.
+//! (default 1 = serial, 0 = all cores), `FEDLPS_ROUND_MODE` picks the
+//! execution semantics (`sync` = the default synchronous barrier, `async` =
+//! staleness-aware asynchronous rounds; see `examples/straggler_rounds.rs`
+//! for the deadline mode) and `FEDLPS_METRICS_JSON` names a file to which
+//! the full `RunResult` is written as JSON. Runs at any parallelism level
+//! are bit-identical for the same seed *in every mode*, which the CI matrix
+//! enforces by diffing the JSON of a serial and a sharded run for both the
+//! sync and async pipelines.
 
 use fedlps::prelude::*;
 
@@ -26,6 +30,16 @@ fn main() {
             .unwrap_or_else(|_| panic!("FEDLPS_PARALLELISM must be a shard count, got {v:?}")),
         Err(_) => 1,
     };
+    // Same contract for the round mode: an unknown value must not silently
+    // fall back to the synchronous default.
+    let round_mode = match std::env::var("FEDLPS_ROUND_MODE") {
+        Ok(v) => match v.as_str() {
+            "sync" | "synchronous" => RoundMode::Synchronous,
+            "async" | "asynchronous" => RoundMode::asynchronous(4, 0.6),
+            other => panic!("FEDLPS_ROUND_MODE must be sync|async, got {other:?}"),
+        },
+        Err(_) => RoundMode::Synchronous,
+    };
     let scenario = ScenarioConfig::small(DatasetKind::MnistLike).with_clients(16);
     let fl_config = FlConfig {
         rounds: 20,
@@ -34,6 +48,7 @@ fn main() {
         batch_size: 20,
         eval_every: 2,
         parallelism,
+        round_mode,
         ..FlConfig::default()
     };
     let env = FlEnv::from_scenario(&scenario, HeterogeneityLevel::High, fl_config);
@@ -78,6 +93,10 @@ fn main() {
     println!(
         "round-loop parallelism:           {} shard(s)",
         sim.env().config.effective_parallelism()
+    );
+    println!(
+        "round mode:                       {}",
+        sim.env().config.round_mode.name()
     );
     if let Some(cache) = fedlps.mask_cache() {
         println!(

@@ -24,6 +24,8 @@
 //! * [`sparse`](fedlps_sparse) — masks and sparse-pattern strategies.
 //! * [`device`](fedlps_device) — system-heterogeneity and cost model.
 //! * [`bandit`](fedlps_bandit) — P-UCBV and baseline ratio policies.
+//! * [`runtime`](fedlps_runtime) — the event-driven federation runtime:
+//!   virtual clock, deterministic scheduling, round modes.
 //! * [`sim`](fedlps_sim) — the federation simulator and metrics.
 //! * [`core`](fedlps_core) — the FedLPS algorithm itself.
 //! * [`baselines`](fedlps_baselines) — the 19 comparison FL frameworks.
@@ -34,6 +36,7 @@ pub use fedlps_core as core;
 pub use fedlps_data as data;
 pub use fedlps_device as device;
 pub use fedlps_nn as nn;
+pub use fedlps_runtime as runtime;
 pub use fedlps_sim as sim;
 pub use fedlps_sparse as sparse;
 pub use fedlps_tensor as tensor;
@@ -53,7 +56,11 @@ pub mod prelude {
     };
     pub use fedlps_nn::model::{ModelArch, ModelKind};
     pub use fedlps_sim::{
-        algorithm::FlAlgorithm, config::FlConfig, env::FlEnv, metrics::RunResult, runner::Simulator,
+        algorithm::FlAlgorithm,
+        config::{FlConfig, RoundMode},
+        env::FlEnv,
+        metrics::RunResult,
+        runner::Simulator,
     };
     pub use fedlps_sparse::{mask::UnitMask, pattern::PatternStrategy};
 }

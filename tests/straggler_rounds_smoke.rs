@@ -1,0 +1,70 @@
+//! Smoke test mirroring `examples/straggler_rounds.rs` at reduced scale, so
+//! the example's code path (three round modes over the same fleet →
+//! time-to-accuracy comparison) is exercised by `cargo test` and cannot
+//! silently rot.
+
+use fedlps::core::FedLps;
+use fedlps::prelude::*;
+
+fn run_once(mode: RoundMode) -> RunResult {
+    let scenario = ScenarioConfig::tiny(DatasetKind::MnistLike).with_clients(6);
+    let fl_config = FlConfig {
+        rounds: 4,
+        clients_per_round: 3,
+        local_iterations: 2,
+        batch_size: 8,
+        eval_every: 2,
+        ..FlConfig::default()
+    }
+    .with_round_mode(mode);
+    let env = FlEnv::from_scenario(&scenario, HeterogeneityLevel::High, fl_config);
+    let sim = Simulator::new(env);
+    let mut algo = FedLps::for_env(sim.env());
+    sim.run(&mut algo)
+}
+
+#[test]
+fn straggler_rounds_code_path_runs_end_to_end() {
+    let sync = run_once(RoundMode::Synchronous);
+    let worst_round = sync.rounds.iter().map(|r| r.round_time).fold(0.0, f64::max);
+    let deadline = run_once(RoundMode::deadline(worst_round * 0.5, 3));
+    let async_run = run_once(RoundMode::asynchronous(4, 0.6));
+
+    // Every mode runs the full horizon and reports sane headline metrics —
+    // the fields the example prints.
+    for (name, result) in [
+        ("sync", &sync),
+        ("deadline", &deadline),
+        ("async", &async_run),
+    ] {
+        assert_eq!(result.rounds.len(), 4, "{name}");
+        assert_eq!(result.algorithm, "FedLPS", "{name}");
+        assert!((0.0..=1.0).contains(&result.final_accuracy), "{name}");
+        assert!(result.total_time > 0.0, "{name}");
+        assert!(result.total_flops > 0.0, "{name}");
+        assert!(
+            result.rounds.last().unwrap().mean_accuracy.is_some(),
+            "{name}"
+        );
+    }
+
+    // The example's headline: straggler tolerance compresses virtual time.
+    assert!(sync.total_straggler_drops() == 0);
+    assert!(deadline.total_time < sync.total_time);
+    assert!(async_run.total_time < sync.total_time);
+    // The half-worst-round budget must actually cut someone on a High fleet.
+    assert!(deadline.total_straggler_drops() > 0);
+    // Async absorbed updates carry staleness accounting.
+    assert!(async_run.staleness_histogram().iter().sum::<u64>() > 0);
+
+    // The table's time-to-accuracy column: a target below every mode's best
+    // accuracy is reached by all three.
+    let target = 0.95
+        * sync
+            .best_accuracy
+            .min(deadline.best_accuracy)
+            .min(async_run.best_accuracy);
+    for result in [&sync, &deadline, &async_run] {
+        assert!(result.time_to_accuracy(target).is_some());
+    }
+}
