@@ -105,6 +105,8 @@ pub fn baseline_client_round(
         train_accuracy: summary.mean_accuracy,
         train_loss: summary.mean_loss,
         sparse_ratio,
+        selection_utility: 0.0,
+        participations: 0,
         mask_cache_hits: 0,
         mask_cache_misses: 0,
     };

@@ -83,12 +83,18 @@ impl FlAlgorithm for DenseFl {
         self.last_selected = vec![None; env.num_clients()];
     }
 
-    fn select_clients(&mut self, env: &FlEnv, round: usize, rng: &mut StdRng) -> Vec<usize> {
+    /// Oort and REFL carry their own selection rule (it *is* the method);
+    /// FedAvg and FedProx defer to the run-level `SelectionPolicy`, whose
+    /// uniform default reproduces their historical sampling bit for bit.
+    fn select_clients(
+        &mut self,
+        env: &FlEnv,
+        round: usize,
+        rng: &mut StdRng,
+    ) -> Option<Vec<usize>> {
         let c = env.config.clients_per_round.min(env.num_clients()).max(1);
         match self.variant {
-            DenseVariant::FedAvg | DenseVariant::FedProx { .. } => {
-                sample_without_replacement(env.num_clients(), c, rng)
-            }
+            DenseVariant::FedAvg | DenseVariant::FedProx { .. } => None,
             DenseVariant::Oort => {
                 // Sample proportionally to utility (loss-based utility divided
                 // by expected round time), which is Oort's exploit phase with
@@ -118,7 +124,7 @@ impl FlAlgorithm for DenseFl {
                         }
                     }
                 }
-                chosen
+                Some(chosen)
             }
             DenseVariant::Refl => {
                 // Resource-aware + staleness-aware: rank by capability and how
@@ -135,7 +141,7 @@ impl FlAlgorithm for DenseFl {
                     })
                     .collect();
                 scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
-                scored.into_iter().take(c).map(|(k, _)| k).collect()
+                Some(scored.into_iter().take(c).map(|(k, _)| k).collect())
             }
         }
     }
@@ -283,7 +289,9 @@ mod tests {
         let mut algo = DenseFl::new(DenseVariant::Refl);
         algo.setup(&env);
         let mut rng = fedlps_tensor::rng_from_seed(1);
-        let selected = algo.select_clients(&env, 0, &mut rng);
+        let selected = algo
+            .select_clients(&env, 0, &mut rng)
+            .expect("REFL carries its own selection rule");
         assert_eq!(selected.len(), env.config.clients_per_round);
         // All selected indices are valid and distinct.
         let mut sorted = selected.clone();
@@ -303,7 +311,9 @@ mod tests {
         algo.setup(&env);
         let mut rng = fedlps_tensor::rng_from_seed(2);
         for round in 0..3 {
-            let selected = algo.select_clients(&env, round, &mut rng);
+            let selected = algo
+                .select_clients(&env, round, &mut rng)
+                .expect("Oort carries its own selection rule");
             assert_eq!(selected.len(), env.config.clients_per_round);
         }
     }

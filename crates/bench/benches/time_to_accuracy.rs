@@ -19,7 +19,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use fedlps_core::FedLps;
 use fedlps_data::scenario::{DatasetKind, ScenarioConfig};
 use fedlps_device::HeterogeneityLevel;
-use fedlps_sim::config::{FlConfig, RoundMode};
+use fedlps_sim::config::{FlConfig, RoundMode, SelectionKind};
 use fedlps_sim::env::FlEnv;
 use fedlps_sim::metrics::RunResult;
 use fedlps_sim::runner::Simulator;
@@ -27,7 +27,12 @@ use std::time::Duration;
 
 const FLEET: usize = 64;
 
-fn fleet_sim(mode: RoundMode, rounds: usize, eval_every: usize) -> Simulator {
+fn fleet_sim(
+    mode: RoundMode,
+    selection: SelectionKind,
+    rounds: usize,
+    eval_every: usize,
+) -> Simulator {
     let scenario = ScenarioConfig::small(DatasetKind::MnistLike).with_clients(FLEET);
     let config = FlConfig {
         rounds,
@@ -37,7 +42,8 @@ fn fleet_sim(mode: RoundMode, rounds: usize, eval_every: usize) -> Simulator {
         eval_every,
         ..FlConfig::default()
     }
-    .with_round_mode(mode);
+    .with_round_mode(mode)
+    .with_selection(selection);
     Simulator::new(FlEnv::from_scenario(
         &scenario,
         HeterogeneityLevel::High,
@@ -45,10 +51,19 @@ fn fleet_sim(mode: RoundMode, rounds: usize, eval_every: usize) -> Simulator {
     ))
 }
 
-fn run_mode(mode: RoundMode, rounds: usize, eval_every: usize) -> RunResult {
-    let sim = fleet_sim(mode, rounds, eval_every);
+fn run_selected(
+    mode: RoundMode,
+    selection: SelectionKind,
+    rounds: usize,
+    eval_every: usize,
+) -> RunResult {
+    let sim = fleet_sim(mode, selection, rounds, eval_every);
     let mut algo = FedLps::for_env(sim.env());
     sim.run(&mut algo)
+}
+
+fn run_mode(mode: RoundMode, rounds: usize, eval_every: usize) -> RunResult {
+    run_selected(mode, SelectionKind::Uniform, rounds, eval_every)
 }
 
 fn bench_time_to_accuracy(c: &mut Criterion) {
@@ -68,6 +83,11 @@ fn bench_time_to_accuracy(c: &mut Criterion) {
     });
     group.bench_function("fedlps_64c_async_4r", |b| {
         b.iter(|| run_mode(RoundMode::asynchronous(4, 0.6), 4, 4).total_flops)
+    });
+    // The selection axis: same barrier, different cohort policy — how much
+    // driver wall-clock the utility ranking itself costs.
+    group.bench_function("fedlps_64c_sync_utility_4r", |b| {
+        b.iter(|| run_selected(RoundMode::Synchronous, SelectionKind::utility(), 4, 4).total_flops)
     });
     group.finish();
 
@@ -108,6 +128,43 @@ fn bench_time_to_accuracy(c: &mut Criterion) {
     assert!(
         deadline.total_straggler_drops() > 0,
         "a half-worst-round budget must drop stragglers on a High fleet"
+    );
+
+    // The selection axis of the same question: virtual time to the target
+    // under uniform vs Oort-style utility cohorts (`sync` doubles as the
+    // uniform baseline). Utility selection shortens the Eq. (18) straggler
+    // term by favouring fast tiers, which the participation census pins.
+    let utility = run_selected(RoundMode::Synchronous, SelectionKind::utility(), rounds, 2);
+    let sel_target = 0.95 * sync.best_accuracy.min(utility.best_accuracy);
+    let t_uniform = sync
+        .time_to_accuracy(sel_target)
+        .expect("uniform selection reaches the shared target");
+    let t_utility = utility
+        .time_to_accuracy(sel_target)
+        .expect("utility selection reaches the shared target");
+    let caps = fleet_sim(RoundMode::Synchronous, SelectionKind::Uniform, 1, 1)
+        .env()
+        .capabilities();
+    let fast_share = |r: &RunResult| {
+        r.participation_shares()
+            .iter()
+            .zip(&caps)
+            .filter(|(_, &z)| z >= 0.5)
+            .map(|(s, _)| s)
+            .sum::<f64>()
+    };
+    println!(
+        "time_to_accuracy/selection_virtual_seconds_to_{sel_target:.3}: uniform {t_uniform:.2}s \
+         | utility {t_utility:.2}s (fast-tier share {:.0}% -> {:.0}%)",
+        fast_share(&sync) * 100.0,
+        fast_share(&utility) * 100.0,
+    );
+    assert!(
+        fast_share(&utility) > fast_share(&sync),
+        "utility selection must shift participation toward fast tiers \
+         ({:.3} vs {:.3})",
+        fast_share(&utility),
+        fast_share(&sync)
     );
 }
 

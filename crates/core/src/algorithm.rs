@@ -264,6 +264,8 @@ impl FlAlgorithm for FedLps {
             train_accuracy: outcome.mean_accuracy,
             train_loss: outcome.mean_loss,
             sparse_ratio: ratio,
+            selection_utility: 0.0,
+            participations: 0,
             mask_cache_hits: matches!(cache_event, MaskCacheEvent::Hit) as u32,
             mask_cache_misses: matches!(cache_event, MaskCacheEvent::Miss { .. }) as u32,
         };

@@ -1,0 +1,436 @@
+//! The [`SelectionPolicy`] trait and the three shipped policies.
+
+use fedlps_tensor::rng::sample_without_replacement;
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::collections::BTreeSet;
+
+use crate::stats::SelectionTracker;
+
+/// How the server picks participating clients.
+///
+/// The driver consults the policy at three points, all on the single
+/// deterministic selection RNG stream:
+///
+/// * [`select_cohort`](Self::select_cohort) — the base cohort of a round (and
+///   the initial in-flight set of the async pipeline);
+/// * [`select_extra`](Self::select_extra) — deadline-mode over-selection on
+///   top of an already-formed cohort;
+/// * [`select_refill`](Self::select_refill) — one replacement client for a
+///   slot freed by an async arrival or an offline drop.
+///
+/// Implementations must be pure functions of `(tracker, arguments, rng)`: no
+/// interior clocks, no thread-dependent state. That contract is what lets
+/// every policy stay bit-identical across `parallelism` settings and
+/// execution backends.
+pub trait SelectionPolicy: Send {
+    /// Short name used in logs and tables.
+    fn name(&self) -> &'static str;
+
+    /// Chooses up to `count` distinct clients for round `round`.
+    fn select_cohort(
+        &mut self,
+        tracker: &SelectionTracker,
+        round: usize,
+        count: usize,
+        rng: &mut StdRng,
+    ) -> Vec<usize>;
+
+    /// Chooses up to `extra` distinct clients not already in `chosen`
+    /// (deadline-mode over-selection). Must not touch `rng` when `extra == 0`.
+    fn select_extra(
+        &mut self,
+        tracker: &SelectionTracker,
+        round: usize,
+        chosen: &[usize],
+        extra: usize,
+        rng: &mut StdRng,
+    ) -> Vec<usize>;
+
+    /// Chooses one idle client to refill a freed async slot (`idle` is in
+    /// ascending client order), or `None` when nobody is idle.
+    fn select_refill(
+        &mut self,
+        tracker: &SelectionTracker,
+        round: usize,
+        idle: &[usize],
+        rng: &mut StdRng,
+    ) -> Option<usize>;
+}
+
+/// Serializable selection-policy configuration (the `FlConfig::selection`
+/// knob in `fedlps_sim`).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub enum SelectionKind {
+    /// The paper's uniform random selection (bit-identical to the
+    /// simulator's historical inline sampling).
+    #[default]
+    Uniform,
+    /// Oort-style utility selection: exploit high recent-loss clients scaled
+    /// by the Eq. (14) speed term, explore with the given fraction.
+    UtilityBased {
+        /// Fraction of each cohort reserved for exploring unexplored clients.
+        exploration: f64,
+        /// Exponent on the speed term (0 = pure statistical utility).
+        speed_exponent: f64,
+    },
+    /// Power-of-`d`-choices: draw a random candidate set, keep the
+    /// highest-loss members.
+    PowerOfChoice {
+        /// Candidate-set size `d` (0 = auto: twice the requested count).
+        candidates: usize,
+    },
+}
+
+impl SelectionKind {
+    /// The Oort-style utility policy with default knobs.
+    pub fn utility() -> Self {
+        SelectionKind::UtilityBased {
+            exploration: 0.2,
+            speed_exponent: 1.0,
+        }
+    }
+
+    /// The power-of-choice policy with an auto-sized candidate set.
+    pub fn power_of_choice() -> Self {
+        SelectionKind::PowerOfChoice { candidates: 0 }
+    }
+
+    /// Short name used in logs and tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SelectionKind::Uniform => "uniform",
+            SelectionKind::UtilityBased { .. } => "utility",
+            SelectionKind::PowerOfChoice { .. } => "power-of-choice",
+        }
+    }
+
+    /// Parses a policy name as used by `FEDLPS_SELECTION` (default knobs).
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "uniform" => Some(SelectionKind::Uniform),
+            "utility" | "oort" => Some(Self::utility()),
+            "power" | "power-of-choice" => Some(Self::power_of_choice()),
+            _ => None,
+        }
+    }
+
+    /// Instantiates the configured policy.
+    pub fn build(&self) -> Box<dyn SelectionPolicy> {
+        match *self {
+            SelectionKind::Uniform => Box::new(Uniform),
+            SelectionKind::UtilityBased {
+                exploration,
+                speed_exponent,
+            } => Box::new(UtilityBased {
+                exploration,
+                speed_exponent,
+            }),
+            SelectionKind::PowerOfChoice { candidates } => Box::new(PowerOfChoice { candidates }),
+        }
+    }
+}
+
+/// Orders clients by descending statistical utility with infinite optimism:
+/// never-reported clients rank first (by ascending id), then reported clients
+/// by descending `score`, ties by ascending id.
+fn rank_desc(mut pool: Vec<usize>, score: impl Fn(usize) -> Option<f64>) -> Vec<usize> {
+    pool.sort_by(|&a, &b| match (score(a), score(b)) {
+        (None, None) => a.cmp(&b),
+        (None, Some(_)) => Ordering::Less,
+        (Some(_), None) => Ordering::Greater,
+        (Some(x), Some(y)) => y.total_cmp(&x).then_with(|| a.cmp(&b)),
+    });
+    pool
+}
+
+/// Uniform random selection — today's (and the paper's) behaviour.
+///
+/// The RNG draw sequence of each method is kept bit-identical to the
+/// simulator's pre-policy inline sampling (partial Fisher–Yates for cohorts
+/// and over-selection, one `gen_range` per refill), which is what lets the
+/// default configuration reproduce historical traces exactly.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Uniform;
+
+impl SelectionPolicy for Uniform {
+    fn name(&self) -> &'static str {
+        "uniform"
+    }
+
+    fn select_cohort(
+        &mut self,
+        tracker: &SelectionTracker,
+        _round: usize,
+        count: usize,
+        rng: &mut StdRng,
+    ) -> Vec<usize> {
+        sample_without_replacement(tracker.num_clients(), count, rng)
+    }
+
+    fn select_extra(
+        &mut self,
+        tracker: &SelectionTracker,
+        _round: usize,
+        chosen: &[usize],
+        extra: usize,
+        rng: &mut StdRng,
+    ) -> Vec<usize> {
+        if extra == 0 {
+            return Vec::new();
+        }
+        let taken: BTreeSet<usize> = chosen.iter().copied().collect();
+        let idle: Vec<usize> = (0..tracker.num_clients())
+            .filter(|k| !taken.contains(k))
+            .collect();
+        let take = extra.min(idle.len());
+        sample_without_replacement(idle.len(), take, rng)
+            .into_iter()
+            .map(|i| idle[i])
+            .collect()
+    }
+
+    fn select_refill(
+        &mut self,
+        _tracker: &SelectionTracker,
+        _round: usize,
+        idle: &[usize],
+        rng: &mut StdRng,
+    ) -> Option<usize> {
+        if idle.is_empty() {
+            None
+        } else {
+            Some(idle[rng.gen_range(0..idle.len())])
+        }
+    }
+}
+
+/// Oort-style utility selection.
+///
+/// Exploit: rank the candidate pool by `loss × speed^speed_exponent` (the
+/// statistical utility of the client's most recent absorbed report times the
+/// Eq. (14) system-speed term) and keep the top. Explore: reserve
+/// `ceil(exploration × count)` slots for clients that never participated,
+/// drawn uniformly. Never-reported-but-dispatched clients rank with infinite
+/// optimism inside the exploit pool, so nobody is starved forever.
+#[derive(Debug, Clone, Copy)]
+pub struct UtilityBased {
+    /// Fraction of each cohort reserved for exploration.
+    pub exploration: f64,
+    /// Exponent on the speed term.
+    pub speed_exponent: f64,
+}
+
+impl UtilityBased {
+    fn score(&self, tracker: &SelectionTracker, client: usize) -> Option<f64> {
+        tracker
+            .stats(client)
+            .last_loss
+            .map(|loss| loss.max(0.0) * tracker.speed(client).powf(self.speed_exponent))
+    }
+
+    /// Shared exploit/explore picker over an arbitrary candidate pool.
+    fn pick(
+        &self,
+        tracker: &SelectionTracker,
+        pool: Vec<usize>,
+        count: usize,
+        rng: &mut StdRng,
+    ) -> Vec<usize> {
+        let count = count.min(pool.len());
+        if count == 0 {
+            return Vec::new();
+        }
+        let (unexplored, explored): (Vec<usize>, Vec<usize>) =
+            pool.into_iter().partition(|&k| !tracker.explored(k));
+        let want_explore = ((self.exploration * count as f64).ceil() as usize).min(count);
+        // Exploration cannot exceed the unexplored pool; exploitation cannot
+        // exceed the explored pool — shift slots to whichever side has room.
+        let explore_n = want_explore
+            .max(count.saturating_sub(explored.len()))
+            .min(unexplored.len())
+            .min(count);
+        let exploit_n = count - explore_n;
+
+        let mut picked: Vec<usize> = rank_desc(explored, |k| self.score(tracker, k))
+            .into_iter()
+            .take(exploit_n)
+            .collect();
+        picked.extend(
+            sample_without_replacement(unexplored.len(), explore_n, rng)
+                .into_iter()
+                .map(|i| unexplored[i]),
+        );
+        picked
+    }
+}
+
+impl SelectionPolicy for UtilityBased {
+    fn name(&self) -> &'static str {
+        "utility"
+    }
+
+    fn select_cohort(
+        &mut self,
+        tracker: &SelectionTracker,
+        _round: usize,
+        count: usize,
+        rng: &mut StdRng,
+    ) -> Vec<usize> {
+        let pool: Vec<usize> = (0..tracker.num_clients()).collect();
+        self.pick(tracker, pool, count, rng)
+    }
+
+    fn select_extra(
+        &mut self,
+        tracker: &SelectionTracker,
+        _round: usize,
+        chosen: &[usize],
+        extra: usize,
+        rng: &mut StdRng,
+    ) -> Vec<usize> {
+        if extra == 0 {
+            return Vec::new();
+        }
+        let taken: BTreeSet<usize> = chosen.iter().copied().collect();
+        let pool: Vec<usize> = (0..tracker.num_clients())
+            .filter(|k| !taken.contains(k))
+            .collect();
+        self.pick(tracker, pool, extra, rng)
+    }
+
+    fn select_refill(
+        &mut self,
+        tracker: &SelectionTracker,
+        _round: usize,
+        idle: &[usize],
+        rng: &mut StdRng,
+    ) -> Option<usize> {
+        if idle.is_empty() {
+            return None;
+        }
+        if rng.gen_bool(self.exploration.clamp(0.0, 1.0)) {
+            return Some(idle[rng.gen_range(0..idle.len())]);
+        }
+        let unexplored: Vec<usize> = idle
+            .iter()
+            .copied()
+            .filter(|&k| !tracker.explored(k))
+            .collect();
+        if !unexplored.is_empty() {
+            return Some(unexplored[rng.gen_range(0..unexplored.len())]);
+        }
+        rank_desc(idle.to_vec(), |k| self.score(tracker, k))
+            .first()
+            .copied()
+    }
+}
+
+/// Power-of-`d`-choices selection, biased toward high-loss clients.
+#[derive(Debug, Clone, Copy)]
+pub struct PowerOfChoice {
+    /// Candidate-set size `d` (0 = auto: twice the requested count).
+    pub candidates: usize,
+}
+
+impl PowerOfChoice {
+    fn candidate_count(&self, want: usize, pool: usize) -> usize {
+        let d = if self.candidates == 0 {
+            want.saturating_mul(2)
+        } else {
+            self.candidates
+        };
+        d.max(want).min(pool)
+    }
+
+    fn loss(tracker: &SelectionTracker, client: usize) -> Option<f64> {
+        tracker.stats(client).last_loss
+    }
+
+    fn pick(
+        &self,
+        tracker: &SelectionTracker,
+        pool: Vec<usize>,
+        count: usize,
+        rng: &mut StdRng,
+    ) -> Vec<usize> {
+        let count = count.min(pool.len());
+        if count == 0 {
+            return Vec::new();
+        }
+        let d = self.candidate_count(count, pool.len());
+        let cands: Vec<usize> = sample_without_replacement(pool.len(), d, rng)
+            .into_iter()
+            .map(|i| pool[i])
+            .collect();
+        rank_desc(cands, |k| Self::loss(tracker, k))
+            .into_iter()
+            .take(count)
+            .collect()
+    }
+}
+
+impl SelectionPolicy for PowerOfChoice {
+    fn name(&self) -> &'static str {
+        "power-of-choice"
+    }
+
+    fn select_cohort(
+        &mut self,
+        tracker: &SelectionTracker,
+        _round: usize,
+        count: usize,
+        rng: &mut StdRng,
+    ) -> Vec<usize> {
+        let pool: Vec<usize> = (0..tracker.num_clients()).collect();
+        self.pick(tracker, pool, count, rng)
+    }
+
+    fn select_extra(
+        &mut self,
+        tracker: &SelectionTracker,
+        _round: usize,
+        chosen: &[usize],
+        extra: usize,
+        rng: &mut StdRng,
+    ) -> Vec<usize> {
+        if extra == 0 {
+            return Vec::new();
+        }
+        let taken: BTreeSet<usize> = chosen.iter().copied().collect();
+        let pool: Vec<usize> = (0..tracker.num_clients())
+            .filter(|k| !taken.contains(k))
+            .collect();
+        self.pick(tracker, pool, extra, rng)
+    }
+
+    fn select_refill(
+        &mut self,
+        tracker: &SelectionTracker,
+        _round: usize,
+        idle: &[usize],
+        rng: &mut StdRng,
+    ) -> Option<usize> {
+        if idle.is_empty() {
+            return None;
+        }
+        // Power of two choices: two independent uniform probes, keep the one
+        // with the higher loss (optimistically infinite when unexplored).
+        let a = idle[rng.gen_range(0..idle.len())];
+        let b = idle[rng.gen_range(0..idle.len())];
+        let winner = match (Self::loss(tracker, a), Self::loss(tracker, b)) {
+            (None, _) => a,
+            (_, None) => b,
+            (Some(x), Some(y)) => {
+                if y > x {
+                    b
+                } else {
+                    a
+                }
+            }
+        };
+        Some(winner)
+    }
+}

@@ -1,0 +1,159 @@
+//! Per-client participation and utility statistics backing the selection
+//! policies.
+
+/// What the selection layer knows about one client.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ClientSelectionStats {
+    /// Times the client was dispatched (selected into a cohort, over-selected
+    /// or refilled), whether or not its update survived.
+    pub participations: u64,
+    /// Mean training loss from the client's most recent *absorbed* report.
+    pub last_loss: Option<f64>,
+    /// Observed Eq. (14) latency (seconds) of the most recent absorbed round.
+    pub last_latency: Option<f64>,
+    /// Round/version at which the client was last dispatched.
+    pub last_round: Option<usize>,
+}
+
+/// The statistics store the driver feeds and the policies read.
+///
+/// `expected_latency` is a per-client *prior*: the Eq. (14) cost of training
+/// and uploading the full dense model on the client's static device tier. It
+/// is a pure function of the environment, so utilities are well-defined
+/// before a client has ever participated. Observed statistics are recorded
+/// only at event-ordered absorption points, which keeps every policy
+/// bit-identical across thread counts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectionTracker {
+    stats: Vec<ClientSelectionStats>,
+    expected_latency: Vec<f64>,
+    /// The fastest expected latency: reference for the speed term.
+    latency_ref: f64,
+}
+
+impl SelectionTracker {
+    /// Creates a tracker for `expected_latency.len()` clients.
+    pub fn new(expected_latency: Vec<f64>) -> Self {
+        assert!(
+            expected_latency.iter().all(|l| l.is_finite() && *l > 0.0),
+            "expected latencies must be positive and finite"
+        );
+        let latency_ref = expected_latency
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min);
+        Self {
+            stats: vec![ClientSelectionStats::default(); expected_latency.len()],
+            expected_latency,
+            latency_ref: if latency_ref.is_finite() {
+                latency_ref
+            } else {
+                1.0
+            },
+        }
+    }
+
+    /// Number of clients tracked.
+    pub fn num_clients(&self) -> usize {
+        self.stats.len()
+    }
+
+    /// The statistics of one client.
+    pub fn stats(&self, client: usize) -> &ClientSelectionStats {
+        &self.stats[client]
+    }
+
+    /// All per-client participation counts (dispatch counts).
+    pub fn participations(&self) -> Vec<u64> {
+        self.stats.iter().map(|s| s.participations).collect()
+    }
+
+    /// Records that `client` was handed the model at `round`.
+    pub fn on_dispatch(&mut self, client: usize, round: usize) {
+        let s = &mut self.stats[client];
+        s.participations += 1;
+        s.last_round = Some(round);
+    }
+
+    /// Records the statistics of an absorbed report.
+    pub fn on_report(&mut self, client: usize, train_loss: f64, latency: f64) {
+        let s = &mut self.stats[client];
+        s.last_loss = Some(train_loss);
+        s.last_latency = Some(latency);
+    }
+
+    /// The Eq. (14) full-model latency prior of a client.
+    pub fn expected_latency(&self, client: usize) -> f64 {
+        self.expected_latency[client]
+    }
+
+    /// The system-speed term in `(0, 1]`: the fastest client scores 1, a
+    /// client expected to take `x` times longer scores `1/x`.
+    pub fn speed(&self, client: usize) -> f64 {
+        (self.latency_ref / self.expected_latency[client]).min(1.0)
+    }
+
+    /// The finite, reportable utility of a client: its last observed training
+    /// loss (statistical utility — high-loss clients have the most to teach
+    /// the global model) times the system-speed term. Clients that never
+    /// reported score 0 here; policies rank them with explicit optimism
+    /// instead of a sentinel value, so this number stays JSON-safe.
+    pub fn utility(&self, client: usize) -> f64 {
+        self.stats[client].last_loss.unwrap_or(0.0).max(0.0) * self.speed(client)
+    }
+
+    /// Whether a client has ever been dispatched.
+    pub fn explored(&self, client: usize) -> bool {
+        self.stats[client].participations > 0
+    }
+
+    /// Number of distinct clients dispatched at least once.
+    pub fn distinct_participants(&self) -> u64 {
+        self.stats.iter().filter(|s| s.participations > 0).count() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tracker_records_dispatches_and_reports() {
+        let mut t = SelectionTracker::new(vec![1.0, 2.0, 4.0]);
+        assert_eq!(t.num_clients(), 3);
+        assert_eq!(t.distinct_participants(), 0);
+        t.on_dispatch(1, 0);
+        t.on_dispatch(1, 3);
+        t.on_report(1, 0.5, 2.2);
+        assert_eq!(t.stats(1).participations, 2);
+        assert_eq!(t.stats(1).last_round, Some(3));
+        assert_eq!(t.stats(1).last_loss, Some(0.5));
+        assert_eq!(t.stats(1).last_latency, Some(2.2));
+        assert_eq!(t.distinct_participants(), 1);
+        assert!(t.explored(1) && !t.explored(0));
+    }
+
+    #[test]
+    fn speed_is_one_for_the_fastest_and_decays_with_latency() {
+        let t = SelectionTracker::new(vec![1.0, 2.0, 4.0]);
+        assert_eq!(t.speed(0), 1.0);
+        assert_eq!(t.speed(1), 0.5);
+        assert_eq!(t.speed(2), 0.25);
+        assert_eq!(t.expected_latency(2), 4.0);
+    }
+
+    #[test]
+    fn utility_is_loss_times_speed_and_json_safe() {
+        let mut t = SelectionTracker::new(vec![1.0, 2.0]);
+        assert_eq!(t.utility(0), 0.0, "unexplored clients report 0, not inf");
+        t.on_report(1, 0.8, 2.0);
+        assert!((t.utility(1) - 0.4).abs() < 1e-12);
+        assert!(t.utility(1).is_finite());
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_nonpositive_latency_priors() {
+        SelectionTracker::new(vec![1.0, 0.0]);
+    }
+}

@@ -1,0 +1,189 @@
+//! Behavioural tests of the shipped selection policies, including the
+//! regression pinning the uniform policy's draw sequences to the simulator's
+//! historical inline sampling (the async-refill `select_refill` item of the
+//! ROADMAP).
+
+use fedlps_select::{
+    PowerOfChoice, SelectionKind, SelectionPolicy, SelectionTracker, Uniform, UtilityBased,
+};
+use fedlps_tensor::rng::sample_without_replacement;
+use fedlps_tensor::rng_from_seed;
+use rand::Rng;
+use std::collections::BTreeSet;
+
+fn tracker(n: usize) -> SelectionTracker {
+    SelectionTracker::new((0..n).map(|k| 1.0 + k as f64).collect())
+}
+
+/// The uniform policy's draws are bit-identical to the simulator's
+/// historical inline sampling (the async-refill regression of the
+/// ROADMAP's `select_refill` item).
+#[test]
+fn uniform_reproduces_the_historical_draw_sequences() {
+    let t = tracker(10);
+    let mut policy = Uniform;
+
+    // Cohort: partial Fisher–Yates, exactly as the old default
+    // `FlAlgorithm::select_clients`.
+    let mut a = rng_from_seed(42);
+    let mut b = rng_from_seed(42);
+    assert_eq!(
+        policy.select_cohort(&t, 0, 4, &mut a),
+        sample_without_replacement(10, 4, &mut b)
+    );
+
+    // Over-selection: sample indices into the ascending idle list,
+    // exactly as the old `Simulator::over_select`.
+    let chosen = vec![2, 5];
+    let mut a = rng_from_seed(7);
+    let mut b = rng_from_seed(7);
+    let picks = policy.select_extra(&t, 0, &chosen, 3, &mut a);
+    let idle: Vec<usize> = (0..10).filter(|k| !chosen.contains(k)).collect();
+    let expect: Vec<usize> = sample_without_replacement(idle.len(), 3, &mut b)
+        .into_iter()
+        .map(|i| idle[i])
+        .collect();
+    assert_eq!(picks, expect);
+
+    // Refill: one `gen_range` over the idle list, exactly as the old
+    // `Simulator::pick_idle`.
+    let idle = vec![1, 3, 4, 8];
+    let mut a = rng_from_seed(11);
+    let mut b = rng_from_seed(11);
+    assert_eq!(
+        policy.select_refill(&t, 0, &idle, &mut a),
+        Some(idle[b.gen_range(0..idle.len())])
+    );
+    assert_eq!(policy.select_refill(&t, 0, &[], &mut a), None);
+}
+
+#[test]
+fn uniform_extra_consumes_no_rng_when_zero() {
+    let t = tracker(6);
+    let mut rng = rng_from_seed(3);
+    let before = rng.gen::<u64>();
+    let mut rng = rng_from_seed(3);
+    assert!(Uniform.select_extra(&t, 0, &[1], 0, &mut rng).is_empty());
+    assert_eq!(rng.gen::<u64>(), before, "extra=0 must not touch the rng");
+}
+
+#[test]
+fn utility_exploits_high_loss_fast_clients() {
+    // Client latencies 1..=6; give everyone a report so nothing explores.
+    let mut t = tracker(6);
+    for k in 0..6 {
+        t.on_dispatch(k, 0);
+    }
+    // Client 1: high loss, fast. Client 5: higher loss but 6x slower.
+    for (k, loss) in [(0, 0.1), (1, 2.0), (2, 0.2), (3, 0.3), (4, 0.2), (5, 2.5)] {
+        t.on_report(k, loss, 1.0);
+    }
+    let mut policy = UtilityBased {
+        exploration: 0.0,
+        speed_exponent: 1.0,
+    };
+    let mut rng = rng_from_seed(1);
+    let cohort = policy.select_cohort(&t, 1, 2, &mut rng);
+    assert!(
+        cohort.contains(&1),
+        "high-loss fast client must be exploited, got {cohort:?}"
+    );
+    assert_eq!(cohort.len(), 2);
+}
+
+#[test]
+fn utility_reserves_exploration_slots_for_unexplored_clients() {
+    let mut t = tracker(8);
+    // Explore 4 of 8; the rest have never participated.
+    for k in 0..4 {
+        t.on_dispatch(k, 0);
+        t.on_report(k, 1.0, 1.0);
+    }
+    let mut policy = UtilityBased {
+        exploration: 0.5,
+        speed_exponent: 1.0,
+    };
+    let mut rng = rng_from_seed(5);
+    let cohort = policy.select_cohort(&t, 1, 4, &mut rng);
+    let fresh = cohort.iter().filter(|&&k| k >= 4).count();
+    assert!(fresh >= 2, "half the cohort explores, got {cohort:?}");
+    let unique: BTreeSet<usize> = cohort.iter().copied().collect();
+    assert_eq!(unique.len(), 4, "no duplicates");
+}
+
+#[test]
+fn power_of_choice_prefers_lossy_candidates_and_stays_distinct() {
+    let mut t = tracker(10);
+    for k in 0..10 {
+        t.on_dispatch(k, 0);
+        t.on_report(k, if k == 9 { 5.0 } else { 0.1 }, 1.0);
+    }
+    let mut policy = PowerOfChoice { candidates: 10 };
+    let mut rng = rng_from_seed(2);
+    let cohort = policy.select_cohort(&t, 0, 3, &mut rng);
+    assert!(
+        cohort.contains(&9),
+        "with a full candidate set the lossiest client must win: {cohort:?}"
+    );
+    let unique: BTreeSet<usize> = cohort.iter().copied().collect();
+    assert_eq!(unique.len(), 3);
+}
+
+#[test]
+fn policies_are_deterministic_given_the_seed() {
+    let mut t = tracker(12);
+    for k in 0..6 {
+        t.on_dispatch(k, 0);
+        t.on_report(k, 0.1 * k as f64, 1.0 + k as f64);
+    }
+    for kind in [
+        SelectionKind::Uniform,
+        SelectionKind::utility(),
+        SelectionKind::power_of_choice(),
+    ] {
+        let run = |seed: u64| {
+            let mut policy = kind.build();
+            let mut rng = rng_from_seed(seed);
+            let cohort = policy.select_cohort(&t, 0, 4, &mut rng);
+            let extra = policy.select_extra(&t, 0, &cohort, 2, &mut rng);
+            let refill = policy.select_refill(&t, 0, &[6, 7, 8], &mut rng);
+            (cohort, extra, refill)
+        };
+        assert_eq!(run(9), run(9), "{} must be deterministic", kind.name());
+        let (cohort, extra, _) = run(9);
+        let all: BTreeSet<usize> = cohort.iter().chain(extra.iter()).copied().collect();
+        assert_eq!(
+            all.len(),
+            cohort.len() + extra.len(),
+            "{}: extra must be disjoint from the cohort",
+            kind.name()
+        );
+    }
+}
+
+#[test]
+fn kind_parses_names_and_roundtrips_serde() {
+    assert_eq!(
+        SelectionKind::from_name("uniform"),
+        Some(SelectionKind::Uniform)
+    );
+    assert_eq!(
+        SelectionKind::from_name("utility"),
+        Some(SelectionKind::utility())
+    );
+    assert_eq!(
+        SelectionKind::from_name("power"),
+        Some(SelectionKind::power_of_choice())
+    );
+    assert_eq!(SelectionKind::from_name("bogus"), None);
+    for kind in [
+        SelectionKind::Uniform,
+        SelectionKind::utility(),
+        SelectionKind::power_of_choice(),
+    ] {
+        let json = serde_json::to_string(&kind).unwrap();
+        let back: SelectionKind = serde_json::from_str(&json).unwrap();
+        assert_eq!(kind, back);
+        assert_eq!(kind.build().name(), kind.name());
+    }
+}

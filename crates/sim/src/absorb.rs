@@ -1,0 +1,497 @@
+//! The absorption layer: how absorbed client work turns into algorithm state
+//! and per-round metrics.
+//!
+//! Whatever the round mode, a round's life is the same: outcomes accumulate
+//! (their FLOPs always count, their uploads only when they land), surviving
+//! reports are absorbed, and a [`RoundMetrics`] entry summarizes the round
+//! when it closes. This module owns that accounting — the
+//! [`RoundAccumulator`] totals plus the [`ModeState`] machine deciding *when*
+//! a round closes and *who* drops — so the driver's event handlers stay pure
+//! orchestration. Deadline straggler drops, post-deadline arrivals and async
+//! staleness discards are just different calls on the same state machine,
+//! not separate per-mode loops.
+
+use std::collections::BTreeMap;
+
+use fedlps_runtime::RoundMode;
+
+use crate::algorithm::{ClientReport, ClientUpdate};
+use crate::metrics::RoundMetrics;
+
+/// A dispatched client whose update is still travelling (or, in the cohort
+/// modes, buffered until the barrier): the model version it was computed
+/// against plus the outcome that lands at its arrival time.
+pub(crate) struct InFlight {
+    pub dispatched_version: usize,
+    pub report: ClientReport,
+    pub update: ClientUpdate,
+}
+
+/// The absorption layer's mode-specific round state.
+pub(crate) enum ModeState {
+    /// Synchronous / deadline rounds: one barrier per round on a
+    /// round-relative timeline.
+    Cohort {
+        /// Round budget (None = synchronous: wait for everyone).
+        deadline: Option<f64>,
+        /// Extra clients selected beyond `clients_per_round`.
+        over_select: usize,
+        /// Clients dispatched this round.
+        dispatched: usize,
+        /// Arrived updates buffered until the barrier, keyed by client id
+        /// (the absorb order).
+        arrived: BTreeMap<usize, InFlight>,
+        /// Round duration so far (last arrival, or the budget once it binds).
+        duration: f64,
+        /// Whether the deadline fired (later events are straggler drops).
+        deadline_fired: bool,
+    },
+    /// The staleness-aware continuous pipeline.
+    Async {
+        max_staleness: u32,
+        alpha: f64,
+        /// Absorbed updates per aggregation (= metrics round).
+        buffer_target: usize,
+        /// Virtual time at which the current metrics round opened.
+        round_start: f64,
+    },
+}
+
+impl ModeState {
+    /// Builds the state machine for a round mode.
+    pub fn for_round_mode(mode: RoundMode, num_clients: usize, clients_per_round: usize) -> Self {
+        match mode {
+            RoundMode::Synchronous => ModeState::Cohort {
+                deadline: None,
+                over_select: 0,
+                dispatched: 0,
+                arrived: BTreeMap::new(),
+                duration: 0.0,
+                deadline_fired: false,
+            },
+            RoundMode::Deadline {
+                budget,
+                over_select,
+            } => ModeState::Cohort {
+                deadline: Some(budget),
+                over_select,
+                dispatched: 0,
+                arrived: BTreeMap::new(),
+                duration: 0.0,
+                deadline_fired: false,
+            },
+            RoundMode::Async {
+                max_staleness,
+                alpha,
+            } => {
+                assert!(
+                    alpha > 0.0 && alpha <= 1.0,
+                    "staleness discount base must be in (0, 1], got {alpha}"
+                );
+                ModeState::Async {
+                    max_staleness,
+                    alpha,
+                    buffer_target: clients_per_round.min(num_clients).max(1),
+                    round_start: 0.0,
+                }
+            }
+        }
+    }
+
+    /// Staleness-histogram buckets this mode needs (0 outside async).
+    pub fn hist_len(&self) -> usize {
+        match self {
+            ModeState::Async { max_staleness, .. } => *max_staleness as usize + 1,
+            ModeState::Cohort { .. } => 0,
+        }
+    }
+
+    /// Whether this is the continuous async pipeline.
+    pub fn is_async(&self) -> bool {
+        matches!(self, ModeState::Async { .. })
+    }
+
+    /// Cohort view for the dispatch handler: `None` = async, `Some(budget)` =
+    /// cohort (inner `None` = synchronous).
+    pub fn cohort_deadline(&self) -> Option<Option<f64>> {
+        match self {
+            ModeState::Cohort { deadline, .. } => Some(*deadline),
+            ModeState::Async { .. } => None,
+        }
+    }
+
+    /// Async parameters `(max_staleness, alpha, buffer_target)`, if async.
+    pub fn async_params(&self) -> Option<(u32, f64, usize)> {
+        match self {
+            ModeState::Async {
+                max_staleness,
+                alpha,
+                buffer_target,
+                ..
+            } => Some((*max_staleness, *alpha, *buffer_target)),
+            ModeState::Cohort { .. } => None,
+        }
+    }
+
+    /// Deadline over-selection width (0 for sync and async).
+    pub fn over_select(&self) -> usize {
+        match self {
+            ModeState::Cohort { over_select, .. } => *over_select,
+            ModeState::Async { .. } => 0,
+        }
+    }
+
+    /// Records how many clients the opened cohort round dispatched.
+    pub fn set_dispatched(&mut self, count: usize) {
+        if let ModeState::Cohort { dispatched, .. } = self {
+            *dispatched = count;
+        }
+    }
+
+    /// Cohort arrival: buffer the update for the barrier, or count a
+    /// post-deadline straggler (the server moved on).
+    pub fn buffer_arrival(
+        &mut self,
+        acc: &mut RoundAccumulator,
+        client: usize,
+        fl: InFlight,
+        time: f64,
+    ) {
+        let ModeState::Cohort {
+            arrived,
+            duration,
+            deadline_fired,
+            ..
+        } = self
+        else {
+            unreachable!("cohort arrival outside a cohort round");
+        };
+        if *deadline_fired {
+            acc.straggler_drops += 1;
+        } else {
+            *duration = duration.max(time);
+            arrived.insert(client, fl);
+        }
+    }
+
+    /// The round budget fired: later events are straggler drops, and the
+    /// round lasts the full budget iff anyone is outstanding or was lost
+    /// (the server cannot distinguish a straggler from a dead device).
+    pub fn deadline_fired(&mut self, acc: &RoundAccumulator, time: f64) {
+        let drops = acc.straggler_drops;
+        let ModeState::Cohort {
+            dispatched,
+            arrived,
+            duration,
+            deadline_fired,
+            ..
+        } = self
+        else {
+            unreachable!("the async pipeline never schedules a round deadline");
+        };
+        *deadline_fired = true;
+        if (arrived.len() as u64) + drops < *dispatched as u64 || drops > 0 {
+            *duration = time;
+        }
+    }
+
+    /// Barrier close: hands back the buffered arrivals (in ascending
+    /// client-id order) and the round duration, resetting the per-round
+    /// state for the next round.
+    pub fn close_barrier(&mut self) -> (BTreeMap<usize, InFlight>, f64) {
+        let ModeState::Cohort {
+            arrived,
+            duration,
+            deadline_fired,
+            dispatched,
+            ..
+        } = self
+        else {
+            unreachable!("only cohort rounds have a barrier");
+        };
+        let taken = std::mem::take(arrived);
+        let d = *duration;
+        *duration = 0.0;
+        *deadline_fired = false;
+        *dispatched = 0;
+        (taken, d)
+    }
+
+    /// Async round boundary: returns the closing round's start time and
+    /// opens the next round at `now`.
+    pub fn bump_round_start(&mut self, now: f64) -> f64 {
+        let ModeState::Async { round_start, .. } = self else {
+            unreachable!("cohort rounds close at the barrier");
+        };
+        let start = *round_start;
+        *round_start = now;
+        start
+    }
+}
+
+/// Running totals of the currently open round.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct RoundAccumulator {
+    /// Reports of the updates absorbed this round, in absorption order.
+    pub reports: Vec<ClientReport>,
+    /// FLOPs spent by every dispatched client (dropped work still costs).
+    pub round_flops: f64,
+    /// Bytes uploaded by the updates that actually landed.
+    pub round_upload: f64,
+    /// Dispatched clients whose updates were lost (deadline stragglers plus
+    /// offline churn).
+    pub straggler_drops: u64,
+    /// Async updates discarded for exceeding the staleness bound.
+    pub stale_discards: u64,
+    /// Per-staleness absorption counts (empty outside async mode).
+    pub staleness_hist: Vec<u64>,
+}
+
+impl RoundAccumulator {
+    /// An accumulator whose staleness histogram has `hist_len` buckets
+    /// (0 for the cohort modes, `max_staleness + 1` for async).
+    pub fn new(hist_len: usize) -> Self {
+        Self {
+            staleness_hist: vec![0; hist_len],
+            ..Self::default()
+        }
+    }
+
+    /// Clears the round-scoped totals for the next round, keeping the
+    /// histogram shape.
+    pub fn reset(&mut self) {
+        self.reports.clear();
+        self.round_flops = 0.0;
+        self.round_upload = 0.0;
+        self.straggler_drops = 0;
+        self.stale_discards = 0;
+        self.staleness_hist.iter_mut().for_each(|v| *v = 0);
+    }
+
+    /// Closes the round: folds the accumulated totals into one
+    /// [`RoundMetrics`] entry. The caller supplies the clock facts (round
+    /// boundaries and cumulative totals) because those are mode-specific;
+    /// every mean here is computed over `reports` in absorption order, which
+    /// the event schedule fixes independently of the thread schedule.
+    #[allow(clippy::too_many_arguments)]
+    pub fn finish(
+        &self,
+        round: usize,
+        mean_accuracy: Option<f64>,
+        round_time: f64,
+        round_start_time: f64,
+        cumulative_time: f64,
+        cumulative_flops: f64,
+        cumulative_upload: f64,
+    ) -> RoundMetrics {
+        let absorbed = self.reports.len().max(1) as f64;
+        RoundMetrics {
+            round,
+            mean_accuracy,
+            train_accuracy: self.reports.iter().map(|r| r.train_accuracy).sum::<f64>() / absorbed,
+            train_loss: self.reports.iter().map(|r| r.train_loss).sum::<f64>() / absorbed,
+            round_time,
+            round_start_time,
+            cumulative_time,
+            round_flops: self.round_flops,
+            cumulative_flops,
+            round_upload_bytes: self.round_upload,
+            cumulative_upload_bytes: cumulative_upload,
+            mean_sparse_ratio: self.reports.iter().map(|r| r.sparse_ratio).sum::<f64>() / absorbed,
+            mask_cache_hits: self.reports.iter().map(|r| r.mask_cache_hits as u64).sum(),
+            mask_cache_misses: self
+                .reports
+                .iter()
+                .map(|r| r.mask_cache_misses as u64)
+                .sum(),
+            straggler_drops: self.straggler_drops,
+            stale_discards: self.stale_discards,
+            staleness_hist: self.staleness_hist.clone(),
+            mean_selection_utility: self
+                .reports
+                .iter()
+                .map(|r| r.selection_utility)
+                .sum::<f64>()
+                / absorbed,
+            first_time_participants: self
+                .reports
+                .iter()
+                .filter(|r| r.participations == 1)
+                .count() as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(client: usize, loss: f64, participations: u64) -> ClientReport {
+        ClientReport {
+            train_loss: loss,
+            train_accuracy: 0.5,
+            flops: 10.0,
+            upload_bytes: 4.0,
+            selection_utility: loss,
+            participations,
+            ..ClientReport::idle(client)
+        }
+    }
+
+    #[test]
+    fn finish_averages_over_absorbed_reports() {
+        let mut acc = RoundAccumulator::new(0);
+        acc.reports.push(report(0, 1.0, 1));
+        acc.reports.push(report(1, 3.0, 2));
+        acc.round_flops = 20.0;
+        acc.round_upload = 8.0;
+        let m = acc.finish(4, Some(0.7), 1.5, 3.0, 4.5, 100.0, 40.0);
+        assert_eq!(m.round, 4);
+        assert_eq!(m.train_loss, 2.0);
+        assert_eq!(m.mean_selection_utility, 2.0);
+        assert_eq!(m.first_time_participants, 1);
+        assert_eq!(m.round_flops, 20.0);
+        assert_eq!(m.cumulative_time, 4.5);
+        assert!(m.staleness_hist.is_empty());
+    }
+
+    #[test]
+    fn empty_round_divides_by_one_not_zero() {
+        let acc = RoundAccumulator::new(0);
+        let m = acc.finish(0, None, 1.0, 0.0, 1.0, 0.0, 0.0);
+        assert_eq!(m.train_loss, 0.0);
+        assert_eq!(m.mean_selection_utility, 0.0);
+        assert_eq!(m.first_time_participants, 0);
+    }
+
+    #[test]
+    fn reset_keeps_the_histogram_shape() {
+        let mut acc = RoundAccumulator::new(3);
+        acc.staleness_hist[1] = 5;
+        acc.stale_discards = 2;
+        acc.reports.push(report(0, 1.0, 1));
+        acc.reset();
+        assert_eq!(acc.staleness_hist, vec![0, 0, 0]);
+        assert_eq!(acc.stale_discards, 0);
+        assert!(acc.reports.is_empty());
+    }
+
+    #[test]
+    fn cohort_state_machine_buffers_then_drops_after_the_deadline() {
+        let mut mode = ModeState::for_round_mode(RoundMode::deadline(2.0, 1), 8, 3);
+        assert_eq!(mode.hist_len(), 0);
+        assert!(!mode.is_async());
+        assert_eq!(mode.over_select(), 1);
+        assert_eq!(mode.cohort_deadline(), Some(Some(2.0)));
+        assert!(mode.async_params().is_none());
+        mode.set_dispatched(2);
+
+        let mut acc = RoundAccumulator::new(mode.hist_len());
+        let fl = |c: usize| InFlight {
+            dispatched_version: 0,
+            report: ClientReport::idle(c),
+            update: Box::new(()),
+        };
+        mode.buffer_arrival(&mut acc, 1, fl(1), 1.5);
+        // One client outstanding at the budget: the round lasts the budget
+        // and the late arrival is a straggler drop.
+        mode.deadline_fired(&acc, 2.0);
+        mode.buffer_arrival(&mut acc, 0, fl(0), 2.5);
+        assert_eq!(acc.straggler_drops, 1);
+        let (arrived, duration) = mode.close_barrier();
+        assert_eq!(arrived.keys().copied().collect::<Vec<_>>(), vec![1]);
+        assert_eq!(duration, 2.0);
+        // The barrier reset the per-round state.
+        let (arrived, duration) = mode.close_barrier();
+        assert!(arrived.is_empty());
+        assert_eq!(duration, 0.0);
+    }
+
+    /// `ModeState` re-expresses the deadline semantics that
+    /// `fedlps_runtime::RoundPlan::schedule` defines (the pure planner the
+    /// pre-driver cohort loop called). This test replays randomized latency
+    /// scenarios through both and compares survivors, drop counts and round
+    /// duration, so the two formulations cannot silently drift apart.
+    #[test]
+    fn cohort_state_machine_matches_round_plan_semantics() {
+        use fedlps_runtime::{DispatchSpec, EventKind, EventQueue, RoundPlan};
+
+        let mut rng = fedlps_tensor::rng_from_seed(0xD3AD);
+        for case in 0..200 {
+            use rand::Rng;
+            let n = rng.gen_range(1..6usize);
+            let budget = rng.gen_range(1..40) as f64 * 0.1;
+            let specs: Vec<DispatchSpec> = (0..n)
+                .map(|client| DispatchSpec {
+                    client,
+                    compute_seconds: rng.gen_range(0..30) as f64 * 0.1,
+                    upload_seconds: rng.gen_range(0..10) as f64 * 0.1,
+                    offline_frac: rng
+                        .gen_bool(0.3)
+                        .then(|| rng.gen_range(0..10) as f64 * 0.099),
+                })
+                .collect();
+            let plan = RoundPlan::schedule(&specs, Some(budget));
+
+            // Drive ModeState with the same events the driver would pop.
+            let mut mode = ModeState::for_round_mode(RoundMode::deadline(budget, 0), n, n);
+            mode.set_dispatched(n);
+            let mut acc = RoundAccumulator::new(0);
+            let mut queue = EventQueue::new();
+            for spec in &specs {
+                match spec.offline_frac {
+                    Some(frac) => {
+                        queue.push(frac * spec.total_seconds(), spec.client, EventKind::Offline)
+                    }
+                    None => queue.push(spec.total_seconds(), spec.client, EventKind::UploadFinish),
+                };
+            }
+            queue.push(budget, usize::MAX, EventKind::RoundDeadline);
+            while let Some(event) = queue.pop() {
+                match event.kind {
+                    EventKind::UploadFinish => {
+                        let fl = InFlight {
+                            dispatched_version: 0,
+                            report: ClientReport::idle(event.client),
+                            update: Box::new(()),
+                        };
+                        mode.buffer_arrival(&mut acc, event.client, fl, event.time);
+                    }
+                    EventKind::Offline => acc.straggler_drops += 1,
+                    EventKind::RoundDeadline => mode.deadline_fired(&acc, event.time),
+                    _ => unreachable!(),
+                }
+            }
+            let (arrived, duration) = mode.close_barrier();
+            assert_eq!(
+                arrived.keys().copied().collect::<Vec<_>>(),
+                {
+                    let mut survivors = plan.arrived_clients();
+                    survivors.sort_unstable();
+                    survivors
+                },
+                "case {case}: survivors diverge from RoundPlan ({specs:?}, budget {budget})"
+            );
+            assert_eq!(
+                acc.straggler_drops as usize,
+                plan.dropped(),
+                "case {case}: drop counts diverge from RoundPlan"
+            );
+            assert_eq!(
+                duration, plan.duration,
+                "case {case}: round duration diverges from RoundPlan"
+            );
+        }
+    }
+
+    #[test]
+    fn async_state_machine_tracks_round_starts() {
+        let mut mode = ModeState::for_round_mode(RoundMode::asynchronous(2, 0.5), 8, 3);
+        assert!(mode.is_async());
+        assert_eq!(mode.hist_len(), 3);
+        assert_eq!(mode.async_params(), Some((2, 0.5, 3)));
+        assert!(mode.cohort_deadline().is_none());
+        assert_eq!(mode.bump_round_start(1.25), 0.0);
+        assert_eq!(mode.bump_round_start(2.5), 1.25);
+    }
+}

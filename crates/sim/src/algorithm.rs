@@ -31,6 +31,13 @@ pub struct ClientReport {
     pub train_loss: f64,
     /// The sparse ratio the client actually used (1.0 for dense baselines).
     pub sparse_ratio: f64,
+    /// The selection layer's utility estimate for this client at dispatch
+    /// time (last observed training loss × the Eq. (14) speed term; 0 until
+    /// the client's first absorbed report). Stamped by the driver.
+    pub selection_utility: f64,
+    /// How many times this client has been dispatched, including this round
+    /// (1 = first participation). Stamped by the driver.
+    pub participations: u64,
     /// Mask-cache lookups served from the cache during this client's step
     /// (0 for algorithms without mask caching).
     pub mask_cache_hits: u32,
@@ -50,6 +57,8 @@ impl ClientReport {
             train_accuracy: 0.0,
             train_loss: 0.0,
             sparse_ratio: 1.0,
+            selection_utility: 0.0,
+            participations: 0,
             mask_cache_hits: 0,
             mask_cache_misses: 0,
         }
@@ -107,15 +116,22 @@ pub trait FlAlgorithm: Send + Sync {
     /// global parameters, create per-client state, …).
     fn setup(&mut self, env: &FlEnv);
 
-    /// Chooses the clients participating in `round`. The default implements
-    /// the paper's uniform random selection of `C` clients.
-    fn select_clients(&mut self, env: &FlEnv, round: usize, rng: &mut StdRng) -> Vec<usize> {
-        let _ = round;
-        fedlps_tensor::rng::sample_without_replacement(
-            env.num_clients(),
-            env.config.clients_per_round,
-            rng,
-        )
+    /// Chooses the clients participating in `round`, or `None` to defer to
+    /// the configured [`SelectionPolicy`](fedlps_select::SelectionPolicy)
+    /// (`FlConfig::selection`), which is the default. Algorithms whose
+    /// selection rule is part of the method itself (Oort's utility-guided
+    /// sampling, REFL's freshness ranking) override this and return `Some`;
+    /// everything else inherits the run-level policy, so uniform,
+    /// utility-based and power-of-choice selection compose with any
+    /// algorithm.
+    fn select_clients(
+        &mut self,
+        env: &FlEnv,
+        round: usize,
+        rng: &mut StdRng,
+    ) -> Option<Vec<usize>> {
+        let _ = (env, round, rng);
+        None
     }
 
     /// Round-level mutable preparation executed *before* the client steps
@@ -215,6 +231,8 @@ mod tests {
             train_accuracy: 0.8,
             train_loss: 0.4,
             sparse_ratio: 0.5,
+            selection_utility: 0.3,
+            participations: 2,
             mask_cache_hits: 1,
             mask_cache_misses: 0,
         };

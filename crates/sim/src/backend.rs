@@ -1,0 +1,238 @@
+//! The execution-backend layer: *where* the pure client steps run.
+//!
+//! The driver hands a batch of [`StepTask`]s — clients scheduled to dispatch
+//! at the same virtual instant, in event order — to an [`ExecutionBackend`]
+//! and gets their [`ClientOutcome`]s back in input order. Because
+//! [`FlAlgorithm::client_step`] is pure (`&self` plus a per-client RNG stream
+//! derived only from the configuration), the backend choice is purely a
+//! wall-clock knob: every backend produces bit-identical outcomes, and the
+//! deterministic event schedule (never the thread schedule) fixes the order
+//! in which they are absorbed.
+//!
+//! Two backends ship today: [`SerialBackend`] (plain in-thread loop) and
+//! [`ThreadPoolBackend`] (a dedicated worker pool sized by
+//! [`FlConfig::parallelism`](crate::config::FlConfig)). The trait is the seam
+//! the ROADMAP's multi-backend item asked for: a process pool, a GPU queue or
+//! a remote executor only has to map tasks to outcomes in order.
+
+use fedlps_tensor::{rng_from_seed, split_seed};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+use crate::algorithm::{ClientOutcome, FlAlgorithm};
+use crate::config::FlConfig;
+use crate::env::FlEnv;
+
+/// One client step scheduled by the driver: the client plus the RNG stream
+/// index its step draws from (a pure function of the event schedule).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StepTask {
+    /// The client to step.
+    pub client: usize,
+    /// Stream index mixed with the run seed to derive the step's RNG.
+    pub stream: u64,
+}
+
+/// Which execution backend runs the client steps (the `FlConfig::backend`
+/// knob). Results are bit-identical across all settings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum BackendKind {
+    /// Serial when `parallelism <= 1`, a thread pool otherwise (the
+    /// historical behaviour).
+    #[default]
+    Auto,
+    /// Always step clients serially, whatever `parallelism` says.
+    Serial,
+    /// Always build a worker pool of `effective_parallelism()` threads.
+    ThreadPool,
+}
+
+impl BackendKind {
+    /// Short name used in logs and tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            BackendKind::Auto => "auto",
+            BackendKind::Serial => "serial",
+            BackendKind::ThreadPool => "thread-pool",
+        }
+    }
+
+    /// Parses a backend name as used by `FEDLPS_BACKEND`.
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "auto" => Some(BackendKind::Auto),
+            "serial" => Some(BackendKind::Serial),
+            "threadpool" | "thread-pool" => Some(BackendKind::ThreadPool),
+            _ => None,
+        }
+    }
+
+    /// Instantiates the backend this configuration asks for.
+    pub fn build(&self, config: &FlConfig) -> Box<dyn ExecutionBackend> {
+        let threads = config.effective_parallelism().max(1);
+        match self {
+            BackendKind::Auto if threads > 1 => Box::new(ThreadPoolBackend::new(threads)),
+            BackendKind::Auto | BackendKind::Serial => Box::new(SerialBackend),
+            BackendKind::ThreadPool => Box::new(ThreadPoolBackend::new(threads)),
+        }
+    }
+}
+
+/// Runs batches of pure client steps. Implementations must return outcomes in
+/// input order and must not reorder, drop or duplicate tasks; all scheduling
+/// freedom lives *inside* a batch, which is exactly the freedom purity grants.
+pub trait ExecutionBackend: Send + Sync {
+    /// Short name used in logs.
+    fn name(&self) -> &'static str;
+
+    /// Executes every task's `client_step` and returns the outcomes in task
+    /// order.
+    fn run_steps(
+        &self,
+        env: &FlEnv,
+        algorithm: &dyn FlAlgorithm,
+        round: usize,
+        tasks: &[StepTask],
+    ) -> Vec<ClientOutcome>;
+}
+
+/// Sample-weighted mean deployed-model accuracy across every client,
+/// evaluated on the global worker pool (evaluation dominates the simulator's
+/// wall-clock cost, and unlike training it only needs `&` access to the
+/// algorithm; the collected order is index order, so the reduction is
+/// schedule-independent).
+pub(crate) fn parallel_mean_accuracy(env: &FlEnv, algorithm: &dyn FlAlgorithm) -> f64 {
+    let per_client: Vec<(f64, usize)> = (0..env.num_clients())
+        .into_par_iter()
+        .map(|k| {
+            let stats = algorithm.evaluate_client(env, k);
+            (stats.accuracy * stats.samples as f64, stats.samples)
+        })
+        .collect();
+    let total_samples: usize = per_client.iter().map(|(_, n)| n).sum();
+    if total_samples == 0 {
+        return 0.0;
+    }
+    per_client.iter().map(|(a, _)| a).sum::<f64>() / total_samples as f64
+}
+
+/// Runs one task on the calling thread (shared by both backends).
+fn run_one(
+    env: &FlEnv,
+    algorithm: &dyn FlAlgorithm,
+    round: usize,
+    task: StepTask,
+) -> ClientOutcome {
+    let mut rng = rng_from_seed(split_seed(env.config.seed, task.stream));
+    algorithm.client_step(env, round, task.client, &mut rng)
+}
+
+/// The trivial backend: steps run serially on the driver thread.
+#[derive(Debug, Default)]
+pub struct SerialBackend;
+
+impl ExecutionBackend for SerialBackend {
+    fn name(&self) -> &'static str {
+        "serial"
+    }
+
+    fn run_steps(
+        &self,
+        env: &FlEnv,
+        algorithm: &dyn FlAlgorithm,
+        round: usize,
+        tasks: &[StepTask],
+    ) -> Vec<ClientOutcome> {
+        tasks
+            .iter()
+            .map(|&t| run_one(env, algorithm, round, t))
+            .collect()
+    }
+}
+
+/// Shards each batch across a dedicated worker pool.
+pub struct ThreadPoolBackend {
+    pool: rayon::ThreadPool,
+    threads: usize,
+}
+
+impl ThreadPoolBackend {
+    /// Builds a pool of exactly `threads` workers.
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        Self {
+            pool: rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .expect("rayon pool construction is infallible"),
+            threads,
+        }
+    }
+
+    /// Number of worker threads in the pool.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+}
+
+impl ExecutionBackend for ThreadPoolBackend {
+    fn name(&self) -> &'static str {
+        "thread-pool"
+    }
+
+    fn run_steps(
+        &self,
+        env: &FlEnv,
+        algorithm: &dyn FlAlgorithm,
+        round: usize,
+        tasks: &[StepTask],
+    ) -> Vec<ClientOutcome> {
+        self.pool.install(|| {
+            tasks
+                .to_vec()
+                .into_par_iter()
+                .map(|t| run_one(env, algorithm, round, t))
+                .collect()
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_names_parse_and_roundtrip() {
+        for kind in [
+            BackendKind::Auto,
+            BackendKind::Serial,
+            BackendKind::ThreadPool,
+        ] {
+            assert_eq!(BackendKind::from_name(kind.name()), Some(kind));
+            let json = serde_json::to_string(&kind).unwrap();
+            let back: BackendKind = serde_json::from_str(&json).unwrap();
+            assert_eq!(kind, back);
+        }
+        assert_eq!(
+            BackendKind::from_name("threadpool"),
+            Some(BackendKind::ThreadPool)
+        );
+        assert_eq!(BackendKind::from_name("gpu"), None);
+    }
+
+    #[test]
+    fn auto_resolves_by_parallelism() {
+        let serial = FlConfig::default().with_parallelism(1);
+        assert_eq!(BackendKind::Auto.build(&serial).name(), "serial");
+        let sharded = FlConfig::default().with_parallelism(4);
+        assert_eq!(BackendKind::Auto.build(&sharded).name(), "thread-pool");
+        assert_eq!(BackendKind::Serial.build(&sharded).name(), "serial");
+        assert_eq!(BackendKind::ThreadPool.build(&serial).name(), "thread-pool");
+    }
+
+    #[test]
+    fn thread_pool_reports_its_size() {
+        assert_eq!(ThreadPoolBackend::new(3).threads(), 3);
+        assert_eq!(ThreadPoolBackend::new(0).threads(), 1, "clamps to one");
+    }
+}

@@ -3,7 +3,9 @@
 use fedlps_nn::sgd::SgdConfig;
 use serde::{Deserialize, Serialize};
 
+pub use crate::backend::BackendKind;
 pub use fedlps_runtime::RoundMode;
+pub use fedlps_select::SelectionKind;
 
 /// Configuration of a federated-learning run.
 ///
@@ -41,6 +43,16 @@ pub struct FlConfig {
     /// [`RoundMode`] for the exact semantics; results stay bit-identical
     /// across `parallelism` settings in every mode.
     pub round_mode: RoundMode,
+    /// Which selection policy forms cohorts, over-selects under a deadline
+    /// and refills freed async slots (consulted whenever the algorithm does
+    /// not override [`FlAlgorithm::select_clients`](crate::algorithm::
+    /// FlAlgorithm::select_clients)). The default uniform policy reproduces
+    /// the paper's sampling bit for bit.
+    pub selection: SelectionKind,
+    /// Which execution backend runs the client steps. The default `Auto`
+    /// resolves from `parallelism` (serial at 1, thread pool above); results
+    /// are bit-identical under every backend.
+    pub backend: BackendKind,
 }
 
 impl Default for FlConfig {
@@ -56,6 +68,8 @@ impl Default for FlConfig {
             seed: 7,
             parallelism: 1,
             round_mode: RoundMode::Synchronous,
+            selection: SelectionKind::Uniform,
+            backend: BackendKind::Auto,
         }
     }
 }
@@ -115,6 +129,18 @@ impl FlConfig {
     /// Builder-style override of the round execution mode.
     pub fn with_round_mode(mut self, mode: RoundMode) -> Self {
         self.round_mode = mode;
+        self
+    }
+
+    /// Builder-style override of the client-selection policy.
+    pub fn with_selection(mut self, selection: SelectionKind) -> Self {
+        self.selection = selection;
+        self
+    }
+
+    /// Builder-style override of the execution backend.
+    pub fn with_backend(mut self, backend: BackendKind) -> Self {
+        self.backend = backend;
         self
     }
 
@@ -183,6 +209,10 @@ mod tests {
             FlConfig::default(),
             FlConfig::default().with_round_mode(RoundMode::deadline(2.0, 3)),
             FlConfig::default().with_round_mode(RoundMode::asynchronous(4, 0.5)),
+            FlConfig::default()
+                .with_selection(SelectionKind::utility())
+                .with_backend(BackendKind::ThreadPool),
+            FlConfig::default().with_selection(SelectionKind::power_of_choice()),
         ] {
             let json = serde_json::to_string(&cfg).unwrap();
             let back: FlConfig = serde_json::from_str(&json).unwrap();
@@ -195,5 +225,17 @@ mod tests {
         assert_eq!(FlConfig::default().round_mode, RoundMode::Synchronous);
         let cfg = FlConfig::tiny().with_round_mode(RoundMode::asynchronous(2, 0.8));
         assert_eq!(cfg.round_mode.name(), "async");
+    }
+
+    #[test]
+    fn selection_and_backend_default_to_the_legacy_behaviour() {
+        let cfg = FlConfig::default();
+        assert_eq!(cfg.selection, SelectionKind::Uniform);
+        assert_eq!(cfg.backend, BackendKind::Auto);
+        let cfg = cfg
+            .with_selection(SelectionKind::utility())
+            .with_backend(BackendKind::Serial);
+        assert_eq!(cfg.selection.name(), "utility");
+        assert_eq!(cfg.backend.name(), "serial");
     }
 }

@@ -1,0 +1,428 @@
+//! The mode-agnostic, event-driven round driver.
+//!
+//! One loop drives all three [`RoundMode`]s. Each iteration pops the next
+//! scheduler event and hands it to the layer that owns it:
+//!
+//! * **selection** ([`fedlps_select`]) decides who enters the pipeline — the
+//!   base cohort at a round boundary, extra clients under deadline
+//!   over-selection, one replacement per freed async slot;
+//! * **execution** ([`crate::backend`]) runs the pure client steps of every
+//!   dispatch batch, serially or on a worker pool, in event order;
+//! * **absorption** ([`crate::absorb`]) books the outcomes: cohort modes
+//!   buffer arrivals and absorb them at the barrier in ascending client-id
+//!   order, async mode absorbs immediately with an `alpha^staleness`
+//!   discount; deadline drops and staleness discards are event-handler
+//!   cases of the shared [`ModeState`] machine, not separate loops.
+//!
+//! Cohort rounds run on a round-relative timeline — the queue drains
+//! completely before the next round opens, reproducing the pure
+//! [`RoundPlan`](fedlps_runtime::RoundPlan) semantics event for event — while
+//! the async pipeline runs on the continuous virtual clock. Because every
+//! event time is derived from the same arithmetic in the same order, and
+//! every RNG stream is keyed by configuration rather than thread schedule,
+//! all {mode × policy × backend × parallelism} combinations yield
+//! bit-identical traces.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use fedlps_runtime::{Event, EventKind, EventQueue, VirtualClock};
+use fedlps_select::{SelectionPolicy, SelectionTracker};
+use fedlps_tensor::{rng_from_seed, split_seed};
+use rand::rngs::StdRng;
+
+use crate::absorb::{InFlight, ModeState, RoundAccumulator};
+use crate::algorithm::FlAlgorithm;
+use crate::backend::{parallel_mean_accuracy, ExecutionBackend, StepTask};
+use crate::env::FlEnv;
+use crate::metrics::{RoundMetrics, RunResult};
+
+/// RNG stream of the selection layer (cohorts, over-selection, refills).
+const STREAM_SELECTION: u64 = 0x5E1E;
+/// RNG stream family of `begin_round` (xor'd with the shifted round index).
+const STREAM_ROUND: u64 = 0xB172;
+/// Stream family of cohort client steps (keyed by round and client).
+const STREAM_COHORT_STEP: u64 = 0xC11E;
+/// Stream family of async client steps (keyed by dispatch sequence).
+const STREAM_ASYNC_STEP: u64 = 0xA57C;
+
+/// Drives one full federated run; built fresh per
+/// [`Simulator::run`](crate::runner::Simulator::run) call.
+pub(crate) struct Driver<'a> {
+    env: &'a FlEnv,
+    backend: Box<dyn ExecutionBackend>,
+    policy: Box<dyn SelectionPolicy>,
+    tracker: SelectionTracker,
+    selection_rng: StdRng,
+    queue: EventQueue,
+    clock: VirtualClock,
+    in_flight: BTreeMap<usize, InFlight>,
+    pending: BTreeSet<usize>,
+    acc: RoundAccumulator,
+    rounds: Vec<RoundMetrics>,
+    /// Current round (cohort) / server version (async).
+    version: usize,
+    cumulative_time: f64,
+    cumulative_flops: f64,
+    cumulative_upload: f64,
+    dispatch_seq: u64,
+    mode: ModeState,
+}
+
+impl<'a> Driver<'a> {
+    pub fn new(env: &'a FlEnv) -> Self {
+        let mode = ModeState::for_round_mode(
+            env.config.round_mode,
+            env.num_clients(),
+            env.config.clients_per_round,
+        );
+        Self {
+            backend: env.config.backend.build(&env.config),
+            policy: env.config.selection.build(),
+            tracker: SelectionTracker::new(env.expected_latencies()),
+            selection_rng: rng_from_seed(split_seed(env.config.seed, STREAM_SELECTION)),
+            queue: EventQueue::new(),
+            clock: VirtualClock::new(),
+            in_flight: BTreeMap::new(),
+            pending: BTreeSet::new(),
+            acc: RoundAccumulator::new(mode.hist_len()),
+            rounds: Vec::with_capacity(env.config.rounds),
+            version: 0,
+            cumulative_time: 0.0,
+            cumulative_flops: 0.0,
+            cumulative_upload: 0.0,
+            dispatch_seq: 0,
+            mode,
+            env,
+        }
+    }
+
+    /// Runs the federation to completion.
+    pub fn run(mut self, algorithm: &mut dyn FlAlgorithm) -> RunResult {
+        algorithm.setup(self.env);
+        let total = self.env.config.rounds;
+        self.open_round(algorithm);
+
+        // The one driver loop: every mode advances exclusively through here.
+        while self.version < total {
+            match self.queue.pop() {
+                Some(event) => self.handle_event(algorithm, event),
+                // The scheduler ran dry: a cohort round is fully resolved
+                // (close the barrier, open the next round), or the async
+                // pipeline starved (an empty federation) — return what we
+                // have rather than spinning forever.
+                None if !self.mode.is_async() => {
+                    self.close_cohort_round(algorithm);
+                    if self.version < total {
+                        self.open_round(algorithm);
+                    }
+                }
+                None => break,
+            }
+        }
+
+        let participations = self.tracker.participations();
+        RunResult::from_rounds(algorithm.name(), self.env.data.name.clone(), self.rounds)
+            .with_client_participations(participations)
+    }
+
+    fn handle_event(&mut self, algorithm: &mut dyn FlAlgorithm, event: Event) {
+        if self.mode.is_async() {
+            self.clock.advance_to(event.time);
+        }
+        match event.kind {
+            EventKind::Dispatch => self.on_dispatch(algorithm, event),
+            EventKind::UploadFinish => self.on_upload(algorithm, event),
+            EventKind::Offline => self.on_offline(event),
+            EventKind::RoundDeadline => self.mode.deadline_fired(&self.acc, event.time),
+            EventKind::ComputeFinish => {
+                unreachable!("the driver never schedules {:?}", event.kind)
+            }
+        }
+    }
+
+    /// Selection layer: forms the round's cohort (plus deadline
+    /// over-selection) and schedules its dispatches. Round 0 of the async
+    /// pipeline uses the same path — its initial in-flight set *is* a cohort.
+    fn open_round(&mut self, algorithm: &mut dyn FlAlgorithm) {
+        let env = self.env;
+        let round = self.version;
+        let mut selected = match algorithm.select_clients(env, round, &mut self.selection_rng) {
+            Some(cohort) => cohort,
+            None => self.policy.select_cohort(
+                &self.tracker,
+                round,
+                env.config.clients_per_round,
+                &mut self.selection_rng,
+            ),
+        };
+        assert!(
+            !selected.is_empty(),
+            "a round must select at least one client"
+        );
+        let extra = self.policy.select_extra(
+            &self.tracker,
+            round,
+            &selected,
+            self.mode.over_select(),
+            &mut self.selection_rng,
+        );
+        selected.extend(extra);
+
+        // Round-level mutable preparation (shared-mask refreshes etc.); its
+        // RNG stream depends only on (seed, round).
+        let mut round_rng = rng_from_seed(split_seed(
+            env.config.seed,
+            STREAM_ROUND ^ (round as u64) << 1,
+        ));
+        algorithm.begin_round(env, round, &selected, &mut round_rng);
+
+        // Count the cohort *after* dedup, so a custom `select_clients`
+        // returning a repeated id cannot convince the deadline rule that a
+        // phantom client is still outstanding.
+        let mut dispatched = 0;
+        for client in selected {
+            if self.pending.insert(client) {
+                self.queue.push(0.0, client, EventKind::Dispatch);
+                dispatched += 1;
+            }
+        }
+        self.mode.set_dispatched(dispatched);
+        if let Some(Some(budget)) = self.mode.cohort_deadline() {
+            self.queue
+                .push(budget, Event::ROUND_SCOPE, EventKind::RoundDeadline);
+        }
+    }
+
+    /// Execution layer: coalesces every dispatch scheduled for this exact
+    /// instant into one batch (they all see the same server state, so
+    /// batching is semantics-free), steps it on the backend and schedules
+    /// each outcome's arrival — or its mid-round disconnect.
+    fn on_dispatch(&mut self, algorithm: &mut dyn FlAlgorithm, event: Event) {
+        let env = self.env;
+        let round = self.version;
+        let cohort_deadline = self.mode.cohort_deadline();
+
+        let mut batch = vec![(event.client, self.dispatch_seq)];
+        self.dispatch_seq += 1;
+        while self
+            .queue
+            .peek()
+            .is_some_and(|e| e.kind == EventKind::Dispatch && e.time == event.time)
+        {
+            let next = self.queue.pop().expect("peeked event exists");
+            batch.push((next.client, self.dispatch_seq));
+            self.dispatch_seq += 1;
+        }
+        // Each task owns an RNG stream keyed by the configuration (cohort:
+        // round and client; async: dispatch sequence and client), so neither
+        // the thread schedule nor the backend can leak into the results.
+        let tasks: Vec<StepTask> = batch
+            .iter()
+            .map(|&(c, s)| StepTask {
+                client: c,
+                stream: match cohort_deadline {
+                    Some(_) => STREAM_COHORT_STEP ^ ((c as u64) << 24) ^ round as u64,
+                    None => STREAM_ASYNC_STEP ^ (s << 20) ^ c as u64,
+                },
+            })
+            .collect();
+        let outcomes = self.backend.run_steps(env, &*algorithm, round, &tasks);
+
+        for ((client, seq), mut outcome) in batch.into_iter().zip(outcomes) {
+            debug_assert_eq!(client, outcome.report.client_id);
+            self.pending.remove(&client);
+            self.tracker.on_dispatch(client, round);
+            outcome.report.selection_utility = self.tracker.utility(client);
+            outcome.report.participations = self.tracker.stats(client).participations;
+
+            let total = outcome.report.local_cost.total();
+            let churn = match cohort_deadline {
+                // Dropped work still costs: cohort FLOPs are booked at
+                // dispatch, in ascending client order (the batch order).
+                // Synchronous servers wait churn out (legacy Eq. 18), so only
+                // deadline rounds consult the fleet's churn model, keyed by
+                // the round; the async pipeline keys churn by the dispatch
+                // sequence.
+                Some(deadline) => {
+                    self.acc.round_flops += outcome.report.flops;
+                    deadline
+                        .is_some()
+                        .then(|| env.fleet.offline_churn(client, round as u64))
+                        .flatten()
+                }
+                None => env.fleet.offline_churn(client, seq),
+            };
+            match churn {
+                Some(frac) => {
+                    self.queue
+                        .push(event.time + frac * total, client, EventKind::Offline)
+                }
+                None => self
+                    .queue
+                    .push(event.time + total, client, EventKind::UploadFinish),
+            };
+            let evicted = self.in_flight.insert(
+                client,
+                InFlight {
+                    dispatched_version: round,
+                    report: outcome.report,
+                    update: outcome.update,
+                },
+            );
+            debug_assert!(evicted.is_none(), "client dispatched while in flight");
+        }
+    }
+
+    /// Absorption layer, arrival case. Cohort modes buffer the update for the
+    /// barrier (or count a straggler once the deadline fired); async mode
+    /// absorbs immediately with the staleness discount and refills the slot.
+    fn on_upload(&mut self, algorithm: &mut dyn FlAlgorithm, event: Event) {
+        let fl = self
+            .in_flight
+            .remove(&event.client)
+            .expect("arrival without a matching dispatch");
+        let Some((max_staleness, alpha, buffer_target)) = self.mode.async_params() else {
+            self.mode
+                .buffer_arrival(&mut self.acc, event.client, fl, event.time);
+            return;
+        };
+
+        self.acc.round_flops += fl.report.flops;
+        self.acc.round_upload += fl.report.upload_bytes;
+        let staleness = (self.version - fl.dispatched_version) as u32;
+        if staleness > max_staleness {
+            self.acc.stale_discards += 1;
+        } else {
+            // Selection stats track *absorbed* reports only — an update the
+            // server discards must not steer future cohorts.
+            self.tracker.on_report(
+                event.client,
+                fl.report.train_loss,
+                fl.report.local_cost.total(),
+            );
+            self.acc.staleness_hist[staleness as usize] += 1;
+            let weight = alpha.powi(staleness as i32);
+            algorithm.absorb_update_stale(self.env, self.version, fl.update, staleness, weight);
+            self.acc.reports.push(fl.report);
+        }
+        // Refill the freed slot immediately.
+        self.refill(event.time);
+
+        if self.acc.reports.len() >= buffer_target {
+            self.close_async_round(algorithm, event.time);
+        }
+    }
+
+    /// Absorption layer, disconnect case: the device died mid-round. Its work
+    /// is spent, its update is lost; async slots refill now.
+    fn on_offline(&mut self, event: Event) {
+        let fl = self
+            .in_flight
+            .remove(&event.client)
+            .expect("offline event without a matching dispatch");
+        // Pre-deadline churn and post-deadline stragglers both count as
+        // drops (the server cannot tell them apart).
+        self.acc.straggler_drops += 1;
+        if self.mode.is_async() {
+            self.acc.round_flops += fl.report.flops;
+            self.refill(event.time);
+        }
+    }
+
+    /// Selection layer, async refill: one idle client (neither in flight nor
+    /// holding an unprocessed dispatch) chosen by the policy.
+    fn refill(&mut self, now: f64) {
+        let idle: Vec<usize> = (0..self.env.num_clients())
+            .filter(|k| !self.in_flight.contains_key(k) && !self.pending.contains(k))
+            .collect();
+        if let Some(next) =
+            self.policy
+                .select_refill(&self.tracker, self.version, &idle, &mut self.selection_rng)
+        {
+            self.pending.insert(next);
+            self.queue.push(now, next, EventKind::Dispatch);
+        }
+    }
+
+    /// Cohort barrier: absorb the survivors in ascending client-id order
+    /// (fixed by the event schedule, never the thread schedule), aggregate,
+    /// close the metrics round.
+    fn close_cohort_round(&mut self, algorithm: &mut dyn FlAlgorithm) {
+        let env = self.env;
+        let round = self.version;
+        let (arrived, duration) = self.mode.close_barrier();
+        for (client, fl) in arrived {
+            self.acc.round_upload += fl.report.upload_bytes;
+            self.tracker
+                .on_report(client, fl.report.train_loss, fl.report.local_cost.total());
+            self.acc.reports.push(fl.report);
+            algorithm.absorb_update(env, round, fl.update);
+        }
+        algorithm.aggregate(env, round, &self.acc.reports);
+
+        // Cost accounting: the round duration *is* Eq. (18) in synchronous
+        // mode and min(budget, last arrival) under a deadline.
+        let round_start_time = self.cumulative_time;
+        self.cumulative_time += duration;
+        self.close_round(
+            algorithm,
+            round,
+            duration,
+            round_start_time,
+            self.cumulative_time,
+        );
+    }
+
+    /// Async aggregation boundary: every `buffer_target` absorbed updates the
+    /// server aggregates, bumps its version, emits one metrics round and
+    /// re-fires `begin_round` so round-level server state keeps evolving.
+    fn close_async_round(&mut self, algorithm: &mut dyn FlAlgorithm, now: f64) {
+        let env = self.env;
+        let version = self.version;
+        algorithm.aggregate(env, version, &self.acc.reports);
+        let round_start = self.mode.bump_round_start(now);
+        self.close_round(algorithm, version, now - round_start, round_start, now);
+
+        // Round-level server-side preparation for the next version (CS mask
+        // refreshes, PruneFL re-pruning, …): same hook cadence and RNG
+        // stream keying as the cohort path. No cohort exists at an async
+        // version boundary, so the selected slice is empty; in-flight
+        // clients keep the state they were dispatched against, which is
+        // exactly what the staleness discount accounts for.
+        if self.version < env.config.rounds {
+            let mut round_rng = rng_from_seed(split_seed(
+                env.config.seed,
+                STREAM_ROUND ^ (self.version as u64) << 1,
+            ));
+            algorithm.begin_round(env, self.version, &[], &mut round_rng);
+        }
+    }
+
+    /// Shared round close: cumulative accounting, periodic whole-federation
+    /// evaluation, one [`RoundMetrics`] entry, version bump.
+    fn close_round(
+        &mut self,
+        algorithm: &mut dyn FlAlgorithm,
+        round: usize,
+        round_time: f64,
+        round_start_time: f64,
+        cumulative_time: f64,
+    ) {
+        self.cumulative_flops += self.acc.round_flops;
+        self.cumulative_upload += self.acc.round_upload;
+        let evaluate_now =
+            round % self.env.config.eval_every == 0 || round + 1 == self.env.config.rounds;
+        let mean_accuracy = evaluate_now.then(|| parallel_mean_accuracy(self.env, algorithm));
+        self.rounds.push(self.acc.finish(
+            round,
+            mean_accuracy,
+            round_time,
+            round_start_time,
+            cumulative_time,
+            self.cumulative_flops,
+            self.cumulative_upload,
+        ));
+        self.acc.reset();
+        self.version += 1;
+    }
+}

@@ -96,6 +96,30 @@ impl FlEnv {
         self.data.train_sizes().iter().map(|&n| n as f64).collect()
     }
 
+    /// The Eq. (14) full-dense-model latency prior of every client: compute
+    /// time of a round of local SGD on the client's static device tier plus
+    /// the upload time of the dense parameter vector. A pure function of the
+    /// environment — well-defined before anyone has trained — used by the
+    /// selection layer to score system speed.
+    pub fn expected_latencies(&self) -> Vec<f64> {
+        (0..self.num_clients())
+            .map(|k| {
+                crate::train::account_round(
+                    &*self.arch,
+                    &self.cost,
+                    &self.fleet.static_profile(k),
+                    None,
+                    self.config.local_iterations,
+                    self.config.batch_size,
+                    self.arch.param_count(),
+                    self.arch.param_count(),
+                )
+                .local_cost
+                .total()
+            })
+            .collect()
+    }
+
     /// Draws initial global parameters deterministically from the run seed.
     pub fn initial_params(&self) -> Vec<f32> {
         let mut rng = rng_from_seed(fedlps_tensor::split_seed(self.config.seed, 0x1217));
@@ -164,6 +188,23 @@ mod tests {
             FlConfig::tiny(),
         );
         assert!(env.config.sgd.clip_norm.is_some());
+    }
+
+    #[test]
+    fn expected_latencies_are_positive_and_scale_with_capability() {
+        let env = tiny_env();
+        let latencies = env.expected_latencies();
+        assert_eq!(latencies.len(), env.num_clients());
+        assert!(latencies.iter().all(|l| l.is_finite() && *l > 0.0));
+        // The weakest tier pays the longest full-model round.
+        let caps = env.capabilities();
+        let slowest = (0..caps.len())
+            .max_by(|&a, &b| latencies[a].total_cmp(&latencies[b]))
+            .unwrap();
+        let weakest = (0..caps.len())
+            .min_by(|&a, &b| caps[a].total_cmp(&caps[b]))
+            .unwrap();
+        assert_eq!(caps[slowest], caps[weakest]);
     }
 
     #[test]

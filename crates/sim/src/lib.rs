@@ -11,26 +11,39 @@
 //!
 //! Module map:
 //!
-//! * [`config`] — federation hyper-parameters (rounds, selection fraction,
-//!   local iterations, batch size, …);
+//! * [`config`] — federation hyper-parameters (rounds, selection policy,
+//!   execution backend, local iterations, batch size, …);
 //! * [`env`] — the immutable environment handed to algorithms: dataset,
 //!   device fleet, model architecture, cost model;
 //! * [`algorithm`] — the [`FlAlgorithm`](algorithm::FlAlgorithm) trait and the
 //!   per-round [`ClientReport`](algorithm::ClientReport);
+//! * [`backend`] — the [`ExecutionBackend`](backend::ExecutionBackend) seam:
+//!   where the pure client steps run (serial / thread pool);
+//! * [`driver`] (private) — the single event-driven loop all three round
+//!   modes share, wiring selection → execution → absorption;
+//! * [`absorb`] (private) — mode-agnostic absorption/metrics accounting;
 //! * [`train`] — shared local-training helpers (masked/proximal SGD, FLOP and
 //!   byte accounting) reused by every algorithm;
 //! * [`metrics`] — per-round metrics, run results, time-to-accuracy;
-//! * [`runner`] — the simulator itself.
+//! * [`runner`] — the simulator facade.
+//!
+//! Client selection lives in its own crate, `fedlps_select`, re-exported
+//! here through [`config::SelectionKind`].
 
 pub mod algorithm;
+pub mod backend;
 pub mod config;
 pub mod env;
 pub mod metrics;
 pub mod runner;
 pub mod train;
 
+mod absorb;
+mod driver;
+
 pub use algorithm::{ClientReport, FlAlgorithm};
-pub use config::{FlConfig, RoundMode};
+pub use backend::{BackendKind, ExecutionBackend, SerialBackend, StepTask, ThreadPoolBackend};
+pub use config::{FlConfig, RoundMode, SelectionKind};
 pub use env::FlEnv;
 pub use metrics::{RoundMetrics, RunResult};
 pub use runner::Simulator;

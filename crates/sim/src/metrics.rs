@@ -54,6 +54,13 @@ pub struct RoundMetrics {
     /// updates absorbed `s` aggregations after their model was dispatched.
     /// Empty outside async mode.
     pub staleness_hist: Vec<u64>,
+    /// Mean selection utility (last loss × Eq. (14) speed term) of the
+    /// round's absorbed clients — the quantity utility-based selection ranks
+    /// by. 0.0 while the selection layer has no observations yet.
+    pub mean_selection_utility: f64,
+    /// Absorbed clients participating for the very first time this round —
+    /// how fast the selection policy is still exploring the federation.
+    pub first_time_participants: u64,
 }
 
 /// The full trace of one federated run plus its summary statistics.
@@ -75,6 +82,9 @@ pub struct RunResult {
     pub total_time: f64,
     /// Total uploaded bytes across the whole run.
     pub total_upload_bytes: f64,
+    /// Per-client dispatch counts over the whole run (selection-layer
+    /// participation census; empty for results built without one).
+    pub client_participations: Vec<u64>,
 }
 
 impl RunResult {
@@ -99,7 +109,45 @@ impl RunResult {
             total_time: last.map_or(0.0, |r| r.cumulative_time),
             total_upload_bytes: last.map_or(0.0, |r| r.cumulative_upload_bytes),
             rounds,
+            client_participations: Vec::new(),
         }
+    }
+
+    /// Attaches the selection layer's per-client participation census.
+    pub fn with_client_participations(mut self, participations: Vec<u64>) -> Self {
+        self.client_participations = participations;
+        self
+    }
+
+    /// Share of dispatches that went to each client (empty when no census
+    /// was recorded). Sums to 1 whenever anyone participated.
+    pub fn participation_shares(&self) -> Vec<f64> {
+        let total: u64 = self.client_participations.iter().sum();
+        if total == 0 {
+            return vec![0.0; self.client_participations.len()];
+        }
+        self.client_participations
+            .iter()
+            .map(|&n| n as f64 / total as f64)
+            .collect()
+    }
+
+    /// Mean selection utility across all rounds (0 when never observed).
+    pub fn mean_selection_utility(&self) -> f64 {
+        if self.rounds.is_empty() {
+            return 0.0;
+        }
+        self.rounds
+            .iter()
+            .map(|r| r.mean_selection_utility)
+            .sum::<f64>()
+            / self.rounds.len() as f64
+    }
+
+    /// Total first-time participants across the run: how many distinct
+    /// clients the selection policy ever absorbed an update from.
+    pub fn total_first_time_participants(&self) -> u64 {
+        self.rounds.iter().map(|r| r.first_time_participants).sum()
     }
 
     /// Mean accuracy over the last `n` evaluation points — the paper reports
@@ -246,6 +294,8 @@ mod tests {
             straggler_drops: (i % 2) as u64,
             stale_discards: 0,
             staleness_hist: vec![1, i as u64],
+            mean_selection_utility: 0.5,
+            first_time_participants: (i == 0) as u64,
         }
     }
 
@@ -316,10 +366,32 @@ mod tests {
 
     #[test]
     fn serde_roundtrip() {
-        let r = result();
+        let r = result().with_client_participations(vec![3, 1]);
         let json = serde_json::to_string(&r).unwrap();
         let back: RunResult = serde_json::from_str(&json).unwrap();
         assert_eq!(r, back);
+    }
+
+    #[test]
+    fn participation_and_utility_summaries() {
+        let r = result().with_client_participations(vec![3, 1, 0]);
+        let shares = r.participation_shares();
+        assert_eq!(shares.len(), 3);
+        assert!((shares[0] - 0.75).abs() < 1e-12);
+        assert!((shares.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert_eq!(r.total_first_time_participants(), 1);
+        assert!((r.mean_selection_utility() - 0.5).abs() < 1e-12);
+
+        let empty = RunResult::from_rounds("a".into(), "d".into(), vec![]);
+        assert!(empty.participation_shares().is_empty());
+        assert_eq!(empty.mean_selection_utility(), 0.0);
+        assert_eq!(
+            empty
+                .clone()
+                .with_client_participations(vec![0, 0])
+                .participation_shares(),
+            vec![0.0, 0.0]
+        );
     }
 
     #[test]

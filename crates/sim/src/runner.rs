@@ -1,53 +1,35 @@
-//! The federation round loop, executed on the event-driven virtual clock.
+//! The federation simulator's public entry point.
 //!
-//! Client-side training dominates a round's wall-clock cost, so the loop
-//! shards the selected clients across worker threads when
-//! [`FlConfig::parallelism`](crate::config::FlConfig) allows it. Sharding is
-//! observationally invisible: [`FlAlgorithm::client_step`] is pure (`&self` +
-//! a per-client RNG stream derived only from the configuration), and updates
-//! are absorbed in an order fixed by the event schedule — never by the thread
-//! schedule — so serial and sharded runs produce bit-identical metric traces.
+//! [`Simulator::run`] drives an [`FlAlgorithm`] through the event-driven
+//! round loop of the configured [`RoundMode`](crate::config::RoundMode) and
+//! collects the per-round metric trace. The loop itself lives in three
+//! layered modules behind this facade:
 //!
-//! Round timing comes from `fedlps_runtime`: every client's latency is its
-//! Eq. (14) cost breakdown (round FLOPs over tier compute plus uploaded bytes
-//! over tier bandwidth), so a sparser submodel directly shortens the client's
-//! critical path. [`RoundMode`](crate::config::RoundMode) selects the
-//! execution semantics:
+//! * [`crate::driver`] — the single scheduler-driven loop all three round
+//!   modes share;
+//! * `fedlps_select` (via [`FlConfig::selection`](crate::config::FlConfig)) —
+//!   pluggable client-selection policies consulted for cohorts, deadline
+//!   over-selection and async refills;
+//! * [`crate::backend`] — pluggable execution backends running the pure
+//!   client steps, serial or thread-pool;
+//! * [`crate::absorb`] — the mode-agnostic absorption/metrics accounting.
 //!
-//! * `Synchronous` — Algorithm 1's barrier, replanned over the clock: the
-//!   round ends at the last arrival (Eq. 18 falls out as the plan duration);
-//! * `Deadline` — the server over-selects, absorbs what lands inside the
-//!   budget and drops the stragglers;
-//! * `Async` — a continuous pipeline: `clients_per_round` clients stay in
-//!   flight, arrivals are absorbed immediately with an `alpha^staleness`
-//!   discount (discarded beyond `max_staleness`), and every
-//!   `clients_per_round` absorbed updates close one "round".
+//! Every combination of {round mode × selection policy × backend ×
+//! parallelism} produces bit-identical metric traces for a given seed:
+//! client steps are pure, RNG streams are keyed by configuration, and
+//! absorption order is fixed by the event schedule — never by the thread
+//! schedule. The tests at the bottom of this file pin that contract.
 
-use std::collections::{BTreeMap, BTreeSet};
-
-use fedlps_runtime::{DispatchSpec, EventKind, EventQueue, RoundMode, RoundPlan, VirtualClock};
-use fedlps_tensor::{rng_from_seed, split_seed};
-use rand::rngs::StdRng;
-use rand::Rng;
-use rayon::prelude::*;
-
-use crate::algorithm::{ClientOutcome, ClientReport, ClientUpdate, FlAlgorithm};
+use crate::algorithm::FlAlgorithm;
+use crate::driver::Driver;
 use crate::env::FlEnv;
-use crate::metrics::{RoundMetrics, RunResult};
+use crate::metrics::RunResult;
 
 /// Drives an [`FlAlgorithm`] through the round loop of the configured
 /// [`RoundMode`](crate::config::RoundMode) and collects the per-round metric
 /// trace.
 pub struct Simulator {
     env: FlEnv,
-}
-
-/// A dispatched client whose update is still travelling: the model version it
-/// was computed against plus the outcome that will land at its arrival time.
-struct InFlight {
-    dispatched_version: usize,
-    report: ClientReport,
-    update: ClientUpdate,
 }
 
 impl Simulator {
@@ -69,467 +51,16 @@ impl Simulator {
     /// Runs the full federation under the configured round mode and returns
     /// the metric trace.
     pub fn run(&self, algorithm: &mut dyn FlAlgorithm) -> RunResult {
-        match self.env.config.round_mode {
-            RoundMode::Async {
-                max_staleness,
-                alpha,
-            } => self.run_async(algorithm, max_staleness, alpha),
-            mode => self.run_cohort(algorithm, mode),
-        }
-    }
-
-    /// The worker pool implied by `FlConfig::parallelism` (None = serial).
-    fn build_pool(env: &FlEnv) -> Option<rayon::ThreadPool> {
-        let shards = env.config.effective_parallelism();
-        (shards > 1).then(|| {
-            rayon::ThreadPoolBuilder::new()
-                .num_threads(shards)
-                .build()
-                .expect("rayon pool construction is infallible")
-        })
-    }
-
-    /// Runs the pure client steps for `(client, rng_stream)` tasks, sharded
-    /// over the pool when one is installed. Output order equals input order.
-    fn step_batch(
-        env: &FlEnv,
-        algorithm: &dyn FlAlgorithm,
-        pool: Option<&rayon::ThreadPool>,
-        tasks: &[(usize, u64)],
-        round: usize,
-    ) -> Vec<(usize, ClientOutcome)> {
-        let step = |(client, stream): (usize, u64)| {
-            let mut rng = rng_from_seed(split_seed(env.config.seed, stream));
-            (client, algorithm.client_step(env, round, client, &mut rng))
-        };
-        match pool {
-            Some(pool) => pool.install(|| tasks.to_vec().into_par_iter().map(step).collect()),
-            None => tasks.iter().copied().map(step).collect(),
-        }
-    }
-
-    /// Tops `selected` up with `extra` distinct clients drawn uniformly from
-    /// the rest of the federation (deadline-mode over-selection).
-    fn over_select(env: &FlEnv, selected: &mut Vec<usize>, extra: usize, rng: &mut StdRng) {
-        if extra == 0 {
-            return;
-        }
-        let chosen: BTreeSet<usize> = selected.iter().copied().collect();
-        let idle: Vec<usize> = (0..env.num_clients())
-            .filter(|k| !chosen.contains(k))
-            .collect();
-        let take = extra.min(idle.len());
-        let picks = fedlps_tensor::rng::sample_without_replacement(idle.len(), take, rng);
-        selected.extend(picks.into_iter().map(|i| idle[i]));
-    }
-
-    /// The synchronous / deadline cohort loop: one barrier per round, timed
-    /// by the pure per-round plan.
-    fn run_cohort(&self, algorithm: &mut dyn FlAlgorithm, mode: RoundMode) -> RunResult {
-        let env = &self.env;
-        algorithm.setup(env);
-        let mut selection_rng = rng_from_seed(split_seed(env.config.seed, 0x5E1E));
-        let pool = Self::build_pool(env);
-        let deadline = match mode {
-            RoundMode::Deadline { budget, .. } => Some(budget),
-            _ => None,
-        };
-
-        let mut rounds = Vec::with_capacity(env.config.rounds);
-        let mut cumulative_time = 0.0;
-        let mut cumulative_flops = 0.0;
-        let mut cumulative_upload = 0.0;
-
-        for round in 0..env.config.rounds {
-            let mut selected = algorithm.select_clients(env, round, &mut selection_rng);
-            assert!(
-                !selected.is_empty(),
-                "a round must select at least one client"
-            );
-            if let RoundMode::Deadline { over_select, .. } = mode {
-                Self::over_select(env, &mut selected, over_select, &mut selection_rng);
-            }
-
-            // Round-level mutable preparation (shared-mask refreshes etc.);
-            // its RNG stream depends only on (seed, round).
-            let mut round_rng =
-                rng_from_seed(split_seed(env.config.seed, 0xB172 ^ (round as u64) << 1));
-            algorithm.begin_round(env, round, &selected, &mut round_rng);
-
-            // Pure client steps, sharded when a pool is installed. Each task
-            // owns an RNG stream keyed by (seed, round, client) so the
-            // schedule cannot leak into the results.
-            let frozen: &dyn FlAlgorithm = algorithm;
-            let tasks: Vec<(usize, u64)> = selected
-                .iter()
-                .map(|&c| (c, 0xC11E ^ ((c as u64) << 24) ^ round as u64))
-                .collect();
-            let mut outcomes = Self::step_batch(env, frozen, pool.as_ref(), &tasks, round);
-            outcomes.sort_by_key(|(client, _)| *client);
-
-            // Plan the round on the virtual clock: each client's dispatch
-            // latency is its Eq. (14) breakdown; deadline rounds also consult
-            // the fleet's offline churn (synchronous servers wait churn out).
-            let specs: Vec<DispatchSpec> = outcomes
-                .iter()
-                .map(|(client, o)| DispatchSpec {
-                    client: *client,
-                    compute_seconds: o.report.local_cost.compute_seconds,
-                    upload_seconds: o.report.local_cost.comm_seconds,
-                    offline_frac: deadline
-                        .is_some()
-                        .then(|| env.fleet.offline_churn(*client, round as u64))
-                        .flatten(),
-                })
-                .collect();
-            let plan = RoundPlan::schedule(&specs, deadline);
-            let arrived: BTreeSet<usize> = plan.arrivals.iter().map(|a| a.client).collect();
-
-            // Deterministic reduce: absorb the surviving updates in ascending
-            // client-id order, independent of selection order or thread
-            // schedule. Dropped clients' work is spent (their FLOPs count)
-            // but their uploads never land.
-            let mut reports = Vec::with_capacity(arrived.len());
-            let mut round_flops = 0.0;
-            let mut round_upload = 0.0;
-            for (client, outcome) in outcomes {
-                round_flops += outcome.report.flops;
-                if arrived.contains(&client) {
-                    round_upload += outcome.report.upload_bytes;
-                    reports.push(outcome.report);
-                    algorithm.absorb_update(env, round, outcome.update);
-                }
-            }
-            algorithm.aggregate(env, round, &reports);
-
-            // Cost accounting: the plan duration *is* Eq. (18) in synchronous
-            // mode and min(budget, last arrival) under a deadline.
-            let round_time = plan.duration;
-            let round_start_time = cumulative_time;
-            cumulative_time += round_time;
-            cumulative_flops += round_flops;
-            cumulative_upload += round_upload;
-
-            let absorbed = reports.len().max(1) as f64;
-            let train_accuracy = reports.iter().map(|r| r.train_accuracy).sum::<f64>() / absorbed;
-            let train_loss = reports.iter().map(|r| r.train_loss).sum::<f64>() / absorbed;
-            let mean_sparse_ratio = reports.iter().map(|r| r.sparse_ratio).sum::<f64>() / absorbed;
-
-            // Periodic personalized evaluation across the *whole* federation.
-            let evaluate_now = round % env.config.eval_every == 0 || round + 1 == env.config.rounds;
-            let mean_accuracy = if evaluate_now {
-                Some(Self::mean_accuracy_parallel(env, algorithm))
-            } else {
-                None
-            };
-
-            rounds.push(RoundMetrics {
-                round,
-                mean_accuracy,
-                train_accuracy,
-                train_loss,
-                round_time,
-                round_start_time,
-                cumulative_time,
-                round_flops,
-                cumulative_flops,
-                round_upload_bytes: round_upload,
-                cumulative_upload_bytes: cumulative_upload,
-                mean_sparse_ratio,
-                mask_cache_hits: reports.iter().map(|r| r.mask_cache_hits as u64).sum(),
-                mask_cache_misses: reports.iter().map(|r| r.mask_cache_misses as u64).sum(),
-                straggler_drops: plan.dropped() as u64,
-                stale_discards: 0,
-                staleness_hist: Vec::new(),
-            });
-        }
-
-        RunResult::from_rounds(algorithm.name(), env.data.name.clone(), rounds)
-    }
-
-    /// Draws one idle client uniformly for an async refill: neither in
-    /// flight nor already holding an unprocessed dispatch event.
-    fn pick_idle(
-        env: &FlEnv,
-        in_flight: &BTreeMap<usize, InFlight>,
-        pending: &BTreeSet<usize>,
-        rng: &mut StdRng,
-    ) -> Option<usize> {
-        let idle: Vec<usize> = (0..env.num_clients())
-            .filter(|k| !in_flight.contains_key(k) && !pending.contains(k))
-            .collect();
-        if idle.is_empty() {
-            None
-        } else {
-            Some(idle[rng.gen_range(0..idle.len())])
-        }
-    }
-
-    /// The staleness-aware asynchronous pipeline.
-    ///
-    /// The server keeps `clients_per_round` clients in flight. A dispatch
-    /// hands the client the *current* model (the pure step runs against the
-    /// state every earlier absorption produced); its arrival lands
-    /// `local_cost.total()` virtual seconds later and is absorbed immediately
-    /// with weight `alpha^staleness` via
-    /// [`FlAlgorithm::absorb_update_stale`], or discarded beyond
-    /// `max_staleness`. Every `clients_per_round` absorbed updates the server
-    /// aggregates, bumps its version and emits one [`RoundMetrics`] entry, so
-    /// a run still produces `config.rounds` rounds — they just cost less
-    /// virtual time than a synchronous barrier.
-    ///
-    /// `select_clients` picks the initial cohort; refills draw uniformly
-    /// from idle clients because there is no round barrier at which a
-    /// selection rule could be consulted. `begin_round` keeps its per-round
-    /// cadence — it runs for the initial cohort and again at every version
-    /// bump (with an empty selected slice) so round-level server state such
-    /// as a refreshed shared mask keeps evolving. Dispatches scheduled for
-    /// the same instant are stepped as one (shardable) batch; because event
-    /// order is a pure function of the configuration, results are
-    /// bit-identical at every `parallelism` setting.
-    fn run_async(
-        &self,
-        algorithm: &mut dyn FlAlgorithm,
-        max_staleness: u32,
-        alpha: f64,
-    ) -> RunResult {
-        assert!(
-            alpha > 0.0 && alpha <= 1.0,
-            "staleness discount base must be in (0, 1], got {alpha}"
-        );
-        let env = &self.env;
-        algorithm.setup(env);
-        let mut selection_rng = rng_from_seed(split_seed(env.config.seed, 0x5E1E));
-        let pool = Self::build_pool(env);
-        let total_rounds = env.config.rounds;
-        let buffer_target = env.config.clients_per_round.min(env.num_clients()).max(1);
-
-        let mut queue = EventQueue::new();
-        let mut clock = VirtualClock::new();
-        let mut in_flight: BTreeMap<usize, InFlight> = BTreeMap::new();
-        let mut version = 0usize;
-        let mut dispatch_seq = 0u64;
-
-        // The initial cohort enters the pipeline at t = 0.
-        let initial = algorithm.select_clients(env, 0, &mut selection_rng);
-        assert!(
-            !initial.is_empty(),
-            "the async pipeline needs at least one client in flight"
-        );
-        let mut round_rng = rng_from_seed(split_seed(env.config.seed, 0xB172));
-        algorithm.begin_round(env, 0, &initial, &mut round_rng);
-        let mut pending: BTreeSet<usize> = BTreeSet::new();
-        for client in initial {
-            if pending.insert(client) {
-                queue.push(0.0, client, EventKind::Dispatch);
-            }
-        }
-
-        let mut rounds = Vec::with_capacity(total_rounds);
-        let mut round_reports: Vec<ClientReport> = Vec::new();
-        let mut round_start = 0.0f64;
-        let mut round_flops = 0.0f64;
-        let mut round_upload = 0.0f64;
-        let mut straggler_drops = 0u64;
-        let mut stale_discards = 0u64;
-        let mut staleness_hist = vec![0u64; max_staleness as usize + 1];
-        let mut cumulative_flops = 0.0f64;
-        let mut cumulative_upload = 0.0f64;
-
-        while version < total_rounds {
-            let Some(event) = queue.pop() else {
-                // Starved pipeline (e.g. an empty federation): return what we
-                // have rather than spinning forever.
-                break;
-            };
-            clock.advance_to(event.time);
-            match event.kind {
-                EventKind::Dispatch => {
-                    // Coalesce every dispatch scheduled for this exact
-                    // instant into one shardable batch; they all see the same
-                    // server state, so batching is semantics-free.
-                    let mut batch = vec![(event.client, dispatch_seq)];
-                    dispatch_seq += 1;
-                    while queue
-                        .peek()
-                        .is_some_and(|e| e.kind == EventKind::Dispatch && e.time == event.time)
-                    {
-                        let next = queue.pop().expect("peeked event exists");
-                        batch.push((next.client, dispatch_seq));
-                        dispatch_seq += 1;
-                    }
-                    let tasks: Vec<(usize, u64)> = batch
-                        .iter()
-                        .map(|&(c, s)| (c, 0xA57C ^ (s << 20) ^ c as u64))
-                        .collect();
-                    let frozen: &dyn FlAlgorithm = algorithm;
-                    let outcomes = Self::step_batch(env, frozen, pool.as_ref(), &tasks, version);
-                    for ((client, seq), (stepped, outcome)) in batch.iter().zip(outcomes) {
-                        debug_assert_eq!(*client, stepped);
-                        pending.remove(client);
-                        let total = outcome.report.local_cost.total();
-                        match env.fleet.offline_churn(*client, *seq) {
-                            Some(frac) => {
-                                queue.push(event.time + frac * total, *client, EventKind::Offline)
-                            }
-                            None => {
-                                queue.push(event.time + total, *client, EventKind::UploadFinish)
-                            }
-                        };
-                        let evicted = in_flight.insert(
-                            *client,
-                            InFlight {
-                                dispatched_version: version,
-                                report: outcome.report,
-                                update: outcome.update,
-                            },
-                        );
-                        debug_assert!(evicted.is_none(), "client dispatched while in flight");
-                    }
-                }
-                EventKind::UploadFinish => {
-                    let fl = in_flight
-                        .remove(&event.client)
-                        .expect("arrival without a matching dispatch");
-                    round_flops += fl.report.flops;
-                    round_upload += fl.report.upload_bytes;
-                    let staleness = (version - fl.dispatched_version) as u32;
-                    if staleness > max_staleness {
-                        stale_discards += 1;
-                    } else {
-                        staleness_hist[staleness as usize] += 1;
-                        let weight = alpha.powi(staleness as i32);
-                        algorithm.absorb_update_stale(env, version, fl.update, staleness, weight);
-                        round_reports.push(fl.report);
-                    }
-                    // Refill the freed slot immediately.
-                    if let Some(next) =
-                        Self::pick_idle(env, &in_flight, &pending, &mut selection_rng)
-                    {
-                        pending.insert(next);
-                        queue.push(event.time, next, EventKind::Dispatch);
-                    }
-
-                    if round_reports.len() >= buffer_target {
-                        algorithm.aggregate(env, version, &round_reports);
-                        let absorbed = round_reports.len() as f64;
-                        cumulative_flops += round_flops;
-                        cumulative_upload += round_upload;
-                        let evaluate_now =
-                            version % env.config.eval_every == 0 || version + 1 == total_rounds;
-                        let mean_accuracy = if evaluate_now {
-                            Some(Self::mean_accuracy_parallel(env, algorithm))
-                        } else {
-                            None
-                        };
-                        rounds.push(RoundMetrics {
-                            round: version,
-                            mean_accuracy,
-                            train_accuracy: round_reports
-                                .iter()
-                                .map(|r| r.train_accuracy)
-                                .sum::<f64>()
-                                / absorbed,
-                            train_loss: round_reports.iter().map(|r| r.train_loss).sum::<f64>()
-                                / absorbed,
-                            round_time: event.time - round_start,
-                            round_start_time: round_start,
-                            cumulative_time: event.time,
-                            round_flops,
-                            cumulative_flops,
-                            round_upload_bytes: round_upload,
-                            cumulative_upload_bytes: cumulative_upload,
-                            mean_sparse_ratio: round_reports
-                                .iter()
-                                .map(|r| r.sparse_ratio)
-                                .sum::<f64>()
-                                / absorbed,
-                            mask_cache_hits: round_reports
-                                .iter()
-                                .map(|r| r.mask_cache_hits as u64)
-                                .sum(),
-                            mask_cache_misses: round_reports
-                                .iter()
-                                .map(|r| r.mask_cache_misses as u64)
-                                .sum(),
-                            straggler_drops,
-                            stale_discards,
-                            staleness_hist: staleness_hist.clone(),
-                        });
-                        version += 1;
-                        round_start = event.time;
-                        round_reports.clear();
-                        round_flops = 0.0;
-                        round_upload = 0.0;
-                        straggler_drops = 0;
-                        stale_discards = 0;
-                        staleness_hist.iter_mut().for_each(|v| *v = 0);
-
-                        // Round-level server-side preparation for the next
-                        // version (CS mask refreshes, PruneFL re-pruning, …):
-                        // the same hook cadence and RNG stream keying as the
-                        // cohort loop. No cohort exists at an async version
-                        // boundary, so the selected slice is empty; in-flight
-                        // clients keep the state they were dispatched
-                        // against, which is exactly what the staleness
-                        // discount accounts for.
-                        if version < total_rounds {
-                            let mut round_rng = rng_from_seed(split_seed(
-                                env.config.seed,
-                                0xB172 ^ (version as u64) << 1,
-                            ));
-                            algorithm.begin_round(env, version, &[], &mut round_rng);
-                        }
-                    }
-                }
-                EventKind::Offline => {
-                    // The device died mid-round: its work is spent, its
-                    // update is lost, its slot refills now.
-                    let fl = in_flight
-                        .remove(&event.client)
-                        .expect("offline event without a matching dispatch");
-                    round_flops += fl.report.flops;
-                    straggler_drops += 1;
-                    if let Some(next) =
-                        Self::pick_idle(env, &in_flight, &pending, &mut selection_rng)
-                    {
-                        pending.insert(next);
-                        queue.push(event.time, next, EventKind::Dispatch);
-                    }
-                }
-                EventKind::ComputeFinish | EventKind::RoundDeadline => {
-                    unreachable!("the async pipeline never schedules {:?}", event.kind)
-                }
-            }
-        }
-
-        RunResult::from_rounds(algorithm.name(), env.data.name.clone(), rounds)
-    }
-
-    /// Sample-weighted mean deployed-model accuracy across every client,
-    /// evaluated in parallel (evaluation dominates the simulator's wall-clock
-    /// cost, and unlike training it only needs `&` access to the algorithm).
-    fn mean_accuracy_parallel(env: &FlEnv, algorithm: &dyn FlAlgorithm) -> f64 {
-        let per_client: Vec<(f64, usize)> = (0..env.num_clients())
-            .into_par_iter()
-            .map(|k| {
-                let stats = algorithm.evaluate_client(env, k);
-                (stats.accuracy * stats.samples as f64, stats.samples)
-            })
-            .collect();
-        let total_samples: usize = per_client.iter().map(|(_, n)| n).sum();
-        if total_samples == 0 {
-            return 0.0;
-        }
-        per_client.iter().map(|(a, _)| a).sum::<f64>() / total_samples as f64
+        Driver::new(&self.env).run(algorithm)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::algorithm::{ClientReport, ClientUpdate};
-    use crate::config::FlConfig;
+    use crate::algorithm::{ClientOutcome, ClientReport, ClientUpdate};
+    use crate::backend::BackendKind;
+    use crate::config::{FlConfig, RoundMode, SelectionKind};
     use crate::train::{account_round, local_sgd, LocalTrainOptions};
     use fedlps_data::scenario::{DatasetKind, ScenarioConfig};
     use fedlps_device::fleet::DynamicsConfig;
@@ -605,6 +136,8 @@ mod tests {
                 train_accuracy: summary.mean_accuracy,
                 train_loss: summary.mean_loss,
                 sparse_ratio: 1.0,
+                selection_utility: 0.0,
+                participations: 0,
                 mask_cache_hits: 0,
                 mask_cache_misses: 0,
             };
@@ -893,5 +426,81 @@ mod tests {
                 );
             }
         }
+    }
+
+    /// The tentpole contract: every {mode × policy × backend} combination
+    /// runs, and each combination is bit-identical across parallelism
+    /// settings and backend choices.
+    #[test]
+    fn mode_policy_backend_matrix_is_bit_identical_across_execution() {
+        let run = |mode: RoundMode,
+                   selection: SelectionKind,
+                   backend: BackendKind,
+                   parallelism: usize| {
+            Simulator::new(env_with(
+                FlConfig::tiny()
+                    .with_round_mode(mode)
+                    .with_selection(selection)
+                    .with_backend(backend)
+                    .with_parallelism(parallelism),
+            ))
+            .run(&mut MiniFedAvg::new())
+        };
+        for mode in [
+            RoundMode::Synchronous,
+            RoundMode::deadline(0.5, 2),
+            RoundMode::asynchronous(3, 0.5),
+        ] {
+            for selection in [
+                SelectionKind::Uniform,
+                SelectionKind::utility(),
+                SelectionKind::power_of_choice(),
+            ] {
+                let reference = run(mode, selection, BackendKind::Serial, 1);
+                assert_eq!(
+                    reference.rounds.len(),
+                    FlConfig::tiny().rounds,
+                    "{}/{} must run the full horizon",
+                    mode.name(),
+                    selection.name()
+                );
+                for (backend, parallelism) in [
+                    (BackendKind::Auto, 4),
+                    (BackendKind::ThreadPool, 1),
+                    (BackendKind::ThreadPool, 4),
+                    (BackendKind::Serial, 4),
+                ] {
+                    assert_eq!(
+                        reference,
+                        run(mode, selection, backend, parallelism),
+                        "{}/{}/{:?} at parallelism {} must match the serial run",
+                        mode.name(),
+                        selection.name(),
+                        backend,
+                        parallelism
+                    );
+                }
+            }
+        }
+    }
+
+    /// The driver stamps the selection layer's stats into the reports and
+    /// the run result.
+    #[test]
+    fn participation_census_reaches_the_run_result() {
+        let result = Simulator::new(env_with(FlConfig::tiny())).run(&mut MiniFedAvg::new());
+        let census = &result.client_participations;
+        assert_eq!(census.len(), 8, "one entry per client");
+        let dispatched: u64 = census.iter().sum();
+        assert_eq!(
+            dispatched as usize,
+            FlConfig::tiny().rounds * FlConfig::tiny().clients_per_round,
+            "synchronous rounds dispatch exactly the cohort"
+        );
+        assert_eq!(
+            result.total_first_time_participants(),
+            census.iter().filter(|&&n| n > 0).count() as u64,
+            "every participating client is counted first-time exactly once"
+        );
     }
 }

@@ -5,16 +5,21 @@
 //! cargo run --release --example quickstart
 //! ```
 //!
-//! Three environment variables support CI's determinism gate (and general
+//! Five environment variables support CI's determinism gate (and general
 //! scripting): `FEDLPS_PARALLELISM` sets the round-loop shard count
 //! (default 1 = serial, 0 = all cores), `FEDLPS_ROUND_MODE` picks the
-//! execution semantics (`sync` = the default synchronous barrier, `async` =
-//! staleness-aware asynchronous rounds; see `examples/straggler_rounds.rs`
-//! for the deadline mode) and `FEDLPS_METRICS_JSON` names a file to which
-//! the full `RunResult` is written as JSON. Runs at any parallelism level
-//! are bit-identical for the same seed *in every mode*, which the CI matrix
-//! enforces by diffing the JSON of a serial and a sharded run for both the
-//! sync and async pipelines.
+//! execution semantics (`sync` = the default synchronous barrier,
+//! `deadline` = budgeted rounds with over-selection, `async` =
+//! staleness-aware asynchronous rounds; `examples/straggler_rounds.rs`
+//! compares all three), `FEDLPS_SELECTION` picks the client-selection policy
+//! (`uniform` = the default, `utility` = Oort-style utility selection,
+//! `power` = power-of-choice; see `examples/utility_selection.rs`),
+//! `FEDLPS_BACKEND` picks the execution backend (`auto` | `serial` |
+//! `threadpool`) and `FEDLPS_METRICS_JSON` names a file to which the full
+//! `RunResult` is written as JSON. Runs at any parallelism level and on any
+//! backend are bit-identical for the same seed *in every mode and under
+//! every policy*, which the CI matrix enforces by diffing the JSON of serial
+//! and sharded runs across modes and policies.
 
 use fedlps::prelude::*;
 
@@ -35,10 +40,22 @@ fn main() {
     let round_mode = match std::env::var("FEDLPS_ROUND_MODE") {
         Ok(v) => match v.as_str() {
             "sync" | "synchronous" => RoundMode::Synchronous,
+            "deadline" => RoundMode::deadline(0.004, 2),
             "async" | "asynchronous" => RoundMode::asynchronous(4, 0.6),
-            other => panic!("FEDLPS_ROUND_MODE must be sync|async, got {other:?}"),
+            other => panic!("FEDLPS_ROUND_MODE must be sync|deadline|async, got {other:?}"),
         },
         Err(_) => RoundMode::Synchronous,
+    };
+    // ... and for the selection policy and execution backend.
+    let selection = match std::env::var("FEDLPS_SELECTION") {
+        Ok(v) => SelectionKind::from_name(&v)
+            .unwrap_or_else(|| panic!("FEDLPS_SELECTION must be uniform|utility|power, got {v:?}")),
+        Err(_) => SelectionKind::Uniform,
+    };
+    let backend = match std::env::var("FEDLPS_BACKEND") {
+        Ok(v) => BackendKind::from_name(&v)
+            .unwrap_or_else(|| panic!("FEDLPS_BACKEND must be auto|serial|threadpool, got {v:?}")),
+        Err(_) => BackendKind::Auto,
     };
     let scenario = ScenarioConfig::small(DatasetKind::MnistLike).with_clients(16);
     let fl_config = FlConfig {
@@ -49,6 +66,8 @@ fn main() {
         eval_every: 2,
         parallelism,
         round_mode,
+        selection,
+        backend,
         ..FlConfig::default()
     };
     let env = FlEnv::from_scenario(&scenario, HeterogeneityLevel::High, fl_config);
@@ -97,6 +116,14 @@ fn main() {
     println!(
         "round mode:                       {}",
         sim.env().config.round_mode.name()
+    );
+    println!(
+        "selection policy:                 {}",
+        sim.env().config.selection.name()
+    );
+    println!(
+        "execution backend:                {}",
+        sim.env().config.backend.name()
     );
     if let Some(cache) = fedlps.mask_cache() {
         println!(

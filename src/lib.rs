@@ -26,6 +26,9 @@
 //! * [`bandit`](fedlps_bandit) — P-UCBV and baseline ratio policies.
 //! * [`runtime`](fedlps_runtime) — the event-driven federation runtime:
 //!   virtual clock, deterministic scheduling, round modes.
+//! * [`select`](fedlps_select) — pluggable client-selection policies
+//!   (uniform / Oort-style utility / power-of-choice) and participation
+//!   statistics.
 //! * [`sim`](fedlps_sim) — the federation simulator and metrics.
 //! * [`core`](fedlps_core) — the FedLPS algorithm itself.
 //! * [`baselines`](fedlps_baselines) — the 19 comparison FL frameworks.
@@ -37,6 +40,7 @@ pub use fedlps_data as data;
 pub use fedlps_device as device;
 pub use fedlps_nn as nn;
 pub use fedlps_runtime as runtime;
+pub use fedlps_select as select;
 pub use fedlps_sim as sim;
 pub use fedlps_sparse as sparse;
 pub use fedlps_tensor as tensor;
@@ -55,8 +59,10 @@ pub mod prelude {
         fleet::{DeviceFleet, HeterogeneityLevel},
     };
     pub use fedlps_nn::model::{ModelArch, ModelKind};
+    pub use fedlps_select::{SelectionKind, SelectionPolicy, SelectionTracker};
     pub use fedlps_sim::{
         algorithm::FlAlgorithm,
+        backend::{BackendKind, ExecutionBackend},
         config::{FlConfig, RoundMode},
         env::FlEnv,
         metrics::RunResult,
