@@ -1,20 +1,46 @@
 //! Helpers shared across the baseline families.
 
+use std::sync::Arc;
+
 use fedlps_device::DeviceProfile;
+use fedlps_nn::unit::UnitLayout;
 use fedlps_sim::algorithm::ClientReport;
 use fedlps_sim::env::FlEnv;
-use fedlps_sim::train::{account_round, local_sgd, LocalTrainOptions, LocalTrainSummary};
+use fedlps_sim::train::{
+    account_round, compile_packed, local_sgd, local_sgd_packed, local_sgd_packed_values,
+    LocalTrainOptions, LocalTrainSummary,
+};
 use fedlps_sparse::mask::UnitMask;
 use rand::rngs::StdRng;
 
-/// A staged contribution from one client: its aggregation weight, its full
-/// local parameter vector and (for sparse methods) the parameter mask telling
-/// the server which coordinates the client actually trained.
+/// The trained parameters a client hands back for aggregation.
+///
+/// `Dense` carries the full local vector (plus, for sparse methods, the
+/// parameter mask naming the coordinates the client actually trained).
+/// `Packed` is what a physically packed client uploads: the trained values of
+/// its kept coordinates, the `Arc`-shared immutable global snapshot it
+/// started from — no per-task full-model clone — and its unit mask. The two
+/// forms aggregate bit-identically: every mask-covered coordinate outside the
+/// packed set is frozen at the base value during packed training.
+pub enum ContribParams {
+    Dense {
+        params: Vec<f32>,
+        param_mask: Option<Vec<f32>>,
+    },
+    Packed {
+        base: Arc<Vec<f32>>,
+        mask: UnitMask,
+        coords: Arc<Vec<u32>>,
+        values: Vec<f32>,
+    },
+}
+
+/// A staged contribution from one client: its aggregation weight and its
+/// trained parameters (dense or packed).
 pub struct Contribution {
     pub client_id: usize,
     pub weight: f64,
-    pub params: Vec<f32>,
-    pub param_mask: Option<Vec<f32>>,
+    pub update: ContribParams,
 }
 
 /// Coverage-aware weighted aggregation: every parameter is averaged over the
@@ -22,8 +48,13 @@ pub struct Contribution {
 /// global value. With dense contributions this reduces to FedAvg.
 ///
 /// This is the aggregation rule of HeteroFL / Fjord / FedRolex / Hermes: each
-/// submodel only updates the slice of the global model it trained.
-pub fn coverage_aggregate(global: &mut [f32], contributions: &[Contribution]) {
+/// submodel only updates the slice of the global model it trained. Packed
+/// contributions are walked in the same coordinate order with the same
+/// `weight × value` arithmetic — the value comes from the packed delta where
+/// the submodel trained and from the shared base snapshot on the frozen
+/// remainder of the mask — so dense and packed uploads aggregate
+/// bit-identically.
+pub fn coverage_aggregate(global: &mut [f32], contributions: &[Contribution], layout: &UnitLayout) {
     if contributions.is_empty() {
         return;
     }
@@ -31,19 +62,52 @@ pub fn coverage_aggregate(global: &mut [f32], contributions: &[Contribution]) {
     let mut num = vec![0.0f64; dim];
     let mut den = vec![0.0f64; dim];
     for c in contributions {
-        assert_eq!(c.params.len(), dim);
-        match &c.param_mask {
-            None => {
+        match &c.update {
+            ContribParams::Dense {
+                params,
+                param_mask: None,
+            } => {
+                assert_eq!(params.len(), dim);
                 for i in 0..dim {
-                    num[i] += c.weight * c.params[i] as f64;
+                    num[i] += c.weight * params[i] as f64;
                     den[i] += c.weight;
                 }
             }
-            Some(mask) => {
+            ContribParams::Dense {
+                params,
+                param_mask: Some(mask),
+            } => {
+                assert_eq!(params.len(), dim);
                 assert_eq!(mask.len(), dim);
                 for i in 0..dim {
                     if mask[i] != 0.0 {
-                        num[i] += c.weight * c.params[i] as f64;
+                        num[i] += c.weight * params[i] as f64;
+                        den[i] += c.weight;
+                    }
+                }
+            }
+            ContribParams::Packed {
+                base,
+                mask,
+                coords,
+                values,
+            } => {
+                assert_eq!(base.len(), dim);
+                // Expanding the unit mask is O(dim) *serial server work* per
+                // contribution — the same cost the dense path paid inside the
+                // parallel client task.
+                let pmask = mask.param_mask(layout);
+                let mut sparse = coords.iter().zip(values.iter()).peekable();
+                for i in 0..dim {
+                    let v = match sparse.peek() {
+                        Some(&(&ci, &pv)) if ci as usize == i => {
+                            sparse.next();
+                            pv
+                        }
+                        _ => base[i],
+                    };
+                    if pmask[i] != 0.0 {
+                        num[i] += c.weight * v as f64;
                         den[i] += c.weight;
                     }
                 }
@@ -60,6 +124,11 @@ pub fn coverage_aggregate(global: &mut [f32], contributions: &[Contribution]) {
 /// Runs a plain (optionally masked / proximal) local training pass for a
 /// baseline client and assembles its [`ClientReport`], so each baseline only
 /// has to describe *what* it trains, not how the accounting works.
+///
+/// When the federation runs packed execution and the mask/options qualify,
+/// the pass trains the physically packed submodel and scatters the result
+/// back into `params` — bit-identical to the masked-dense pass, minus the
+/// dense wall-clock.
 #[allow(clippy::too_many_arguments)]
 pub fn baseline_client_round(
     env: &FlEnv,
@@ -81,7 +150,86 @@ pub fn baseline_client_round(
         prox,
         frozen,
     };
-    let summary = local_sgd(&*env.arch, params, env.train_data(client), &options, rng);
+    let packed =
+        mask.and_then(|m| compile_packed(&*env.arch, m, &options, env.config.packed_execution));
+    let summary = match packed {
+        Some(p) => local_sgd_packed(&p, params, env.train_data(client), &options, rng),
+        None => local_sgd(&*env.arch, params, env.train_data(client), &options, rng),
+    };
+    let report = masked_report(env, client, device, mask, sparse_ratio, &summary);
+    (report, summary)
+}
+
+/// A width-scaling client round that shares the immutable global snapshot
+/// across backend tasks through an `Arc` instead of cloning the full model
+/// per task: the packed path gathers the kept values straight out of the
+/// shared snapshot, trains the compact submodel and returns them as a
+/// [`ContribParams::Packed`] upload. Falls back to the dense path (one full
+/// clone, masked training) when the mask is not packable or packing is off —
+/// either way the result aggregates bit-identically.
+pub fn baseline_client_round_shared(
+    env: &FlEnv,
+    client: usize,
+    device: &DeviceProfile,
+    global: &Arc<Vec<f32>>,
+    mask: UnitMask,
+    sparse_ratio: f64,
+    rng: &mut StdRng,
+) -> (ClientReport, LocalTrainSummary, ContribParams) {
+    let options = LocalTrainOptions {
+        iterations: env.config.local_iterations,
+        batch_size: env.config.batch_size,
+        sgd: env.config.sgd,
+        param_mask: None,
+        prox: None,
+        frozen: None,
+    };
+    if let Some(packed) = compile_packed(&*env.arch, &mask, &options, env.config.packed_execution) {
+        let mut values = Vec::with_capacity(packed.packed_len());
+        packed.gather_params(global, &mut values);
+        let summary =
+            local_sgd_packed_values(&packed, &mut values, env.train_data(client), &options, rng);
+        let report = masked_report(env, client, device, Some(&mask), sparse_ratio, &summary);
+        let update = ContribParams::Packed {
+            base: Arc::clone(global),
+            coords: packed.gather_arc(),
+            values,
+            mask,
+        };
+        return (report, summary, update);
+    }
+    let mut params = (**global).clone();
+    let (report, summary) = baseline_client_round(
+        env,
+        client,
+        device,
+        &mut params,
+        Some(&mask),
+        None,
+        None,
+        sparse_ratio,
+        rng,
+    );
+    let param_mask = mask.param_mask(env.arch.unit_layout());
+    (
+        report,
+        summary,
+        ContribParams::Dense {
+            params,
+            param_mask: Some(param_mask),
+        },
+    )
+}
+
+/// Assembles the [`ClientReport`] of one (optionally masked) baseline round.
+fn masked_report(
+    env: &FlEnv,
+    client: usize,
+    device: &DeviceProfile,
+    mask: Option<&UnitMask>,
+    sparse_ratio: f64,
+    summary: &LocalTrainSummary,
+) -> ClientReport {
     let uploaded = match mask {
         Some(m) => m.retained_params(env.arch.unit_layout()),
         None => env.arch.param_count(),
@@ -96,7 +244,7 @@ pub fn baseline_client_round(
         uploaded,
         env.arch.param_count(),
     );
-    let report = ClientReport {
+    ClientReport {
         client_id: client,
         flops: accounting.flops,
         upload_bytes: accounting.upload_bytes,
@@ -109,8 +257,7 @@ pub fn baseline_client_round(
         participations: 0,
         mask_cache_hits: 0,
         mask_cache_misses: 0,
-    };
-    (report, summary)
+    }
 }
 
 /// A 0/1 vector marking the classifier ("head") parameters of the
@@ -150,24 +297,36 @@ mod tests {
         )
     }
 
+    /// A layout with no sparsifiable layers — enough for dense-contribution
+    /// aggregation tests, which never consult it.
+    fn trivial_layout(total: usize) -> UnitLayout {
+        UnitLayout::new(Vec::new(), total)
+    }
+
+    fn dense(
+        client_id: usize,
+        weight: f64,
+        params: Vec<f32>,
+        mask: Option<Vec<f32>>,
+    ) -> Contribution {
+        Contribution {
+            client_id,
+            weight,
+            update: ContribParams::Dense {
+                params,
+                param_mask: mask,
+            },
+        }
+    }
+
     #[test]
     fn coverage_aggregate_reduces_to_fedavg_for_dense_inputs() {
         let mut global = vec![0.0f32; 3];
         let contributions = vec![
-            Contribution {
-                client_id: 0,
-                weight: 1.0,
-                params: vec![1.0, 1.0, 1.0],
-                param_mask: None,
-            },
-            Contribution {
-                client_id: 1,
-                weight: 3.0,
-                params: vec![5.0, 5.0, 5.0],
-                param_mask: None,
-            },
+            dense(0, 1.0, vec![1.0, 1.0, 1.0], None),
+            dense(1, 3.0, vec![5.0, 5.0, 5.0], None),
         ];
-        coverage_aggregate(&mut global, &contributions);
+        coverage_aggregate(&mut global, &contributions, &trivial_layout(3));
         for v in global {
             assert!((v - 4.0).abs() < 1e-6);
         }
@@ -177,20 +336,10 @@ mod tests {
     fn coverage_aggregate_respects_masks() {
         let mut global = vec![10.0f32, 10.0, 10.0];
         let contributions = vec![
-            Contribution {
-                client_id: 0,
-                weight: 1.0,
-                params: vec![2.0, 2.0, 2.0],
-                param_mask: Some(vec![1.0, 0.0, 0.0]),
-            },
-            Contribution {
-                client_id: 1,
-                weight: 1.0,
-                params: vec![4.0, 4.0, 4.0],
-                param_mask: Some(vec![1.0, 1.0, 0.0]),
-            },
+            dense(0, 1.0, vec![2.0, 2.0, 2.0], Some(vec![1.0, 0.0, 0.0])),
+            dense(1, 1.0, vec![4.0, 4.0, 4.0], Some(vec![1.0, 1.0, 0.0])),
         ];
-        coverage_aggregate(&mut global, &contributions);
+        coverage_aggregate(&mut global, &contributions, &trivial_layout(3));
         assert!((global[0] - 3.0).abs() < 1e-6, "covered by both");
         assert!((global[1] - 4.0).abs() < 1e-6, "covered by client 1 only");
         assert_eq!(global[2], 10.0, "uncovered keeps the old global value");
@@ -199,8 +348,57 @@ mod tests {
     #[test]
     fn empty_contributions_are_a_noop() {
         let mut global = vec![1.0f32, 2.0];
-        coverage_aggregate(&mut global, &[]);
+        coverage_aggregate(&mut global, &[], &trivial_layout(2));
         assert_eq!(global, vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn packed_contributions_aggregate_bit_identically_to_dense_scatter() {
+        // Build a real packed submodel so the coords/mask pair is authentic,
+        // then check the packed upload aggregates exactly like its dense
+        // scatter-back expansion would.
+        use fedlps_sparse::plan::SubmodelPlan;
+        let env = env();
+        let layout = env.arch.unit_layout();
+        let global0 = Arc::new(env.initial_params());
+        let mut keep = vec![false; layout.total_units()];
+        for (i, k) in keep.iter_mut().enumerate() {
+            *k = i % 3 != 1;
+        }
+        let mask = UnitMask::from_keep(keep);
+        let packed = SubmodelPlan::from_mask(layout, &mask)
+            .compile(&*env.arch)
+            .expect("packable");
+        let mut values = Vec::new();
+        packed.gather_params(&global0, &mut values);
+        for (i, v) in values.iter_mut().enumerate() {
+            *v += (i as f32 * 0.37).sin() * 0.1; // pretend training moved them
+        }
+        // Dense expansion: scatter trained values over the base snapshot,
+        // then mask-restrict — exactly what the dense path stages.
+        let mut dense_params = (*global0).clone();
+        packed.scatter_params(&values, &mut dense_params);
+        let dense_contrib = dense(0, 2.0, dense_params, Some(mask.param_mask(layout)));
+        let packed_contrib = Contribution {
+            client_id: 0,
+            weight: 2.0,
+            update: ContribParams::Packed {
+                base: Arc::clone(&global0),
+                mask: mask.clone(),
+                coords: packed.gather_arc(),
+                values,
+            },
+        };
+        let other = || dense(1, 1.0, vec![0.25; layout.total_params()], None);
+
+        let mut via_dense = (*global0).clone();
+        coverage_aggregate(&mut via_dense, &[dense_contrib, other()], layout);
+        let mut via_packed = (*global0).clone();
+        coverage_aggregate(&mut via_packed, &[packed_contrib, other()], layout);
+        for (i, (a, b)) in via_dense.iter().zip(via_packed.iter()).enumerate() {
+            assert_eq!(a.to_bits(), b.to_bits(), "aggregate diverges at {i}");
+        }
+        assert_ne!(via_packed, *global0, "the update moved the model");
     }
 
     #[test]

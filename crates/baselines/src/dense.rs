@@ -12,7 +12,7 @@ use fedlps_sim::env::FlEnv;
 use fedlps_tensor::rng::{sample_weighted, sample_without_replacement};
 use rand::rngs::StdRng;
 
-use crate::common::{baseline_client_round, coverage_aggregate, Contribution};
+use crate::common::{baseline_client_round, coverage_aggregate, ContribParams, Contribution};
 
 /// Payload of one dense client step: the staged contribution plus the Oort
 /// utility observed during training.
@@ -180,8 +180,10 @@ impl FlAlgorithm for DenseFl {
                 contribution: Contribution {
                     client_id: client,
                     weight: env.train_sizes()[client].max(1.0),
-                    params,
-                    param_mask: None,
+                    update: ContribParams::Dense {
+                        params,
+                        param_mask: None,
+                    },
                 },
                 // Oort statistical utility: |D_k| * sqrt(mean loss).
                 utility: env.train_sizes()[client] * summary.mean_loss.max(1e-6).sqrt(),
@@ -212,8 +214,8 @@ impl FlAlgorithm for DenseFl {
         self.absorb_update(env, round, Box::new(update));
     }
 
-    fn aggregate(&mut self, _env: &FlEnv, _round: usize, _reports: &[ClientReport]) {
-        coverage_aggregate(&mut self.global, &self.staged);
+    fn aggregate(&mut self, env: &FlEnv, _round: usize, _reports: &[ClientReport]) {
+        coverage_aggregate(&mut self.global, &self.staged, env.arch.unit_layout());
         self.staged.clear();
     }
 

@@ -19,7 +19,7 @@ use fedlps_sparse::mask::UnitMask;
 use fedlps_sparse::pattern::PatternStrategy;
 use rand::rngs::StdRng;
 
-use crate::common::{baseline_client_round, coverage_aggregate, Contribution};
+use crate::common::{baseline_client_round, coverage_aggregate, ContribParams, Contribution};
 
 /// Which globally sparse baseline to run.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -144,8 +144,10 @@ impl FlAlgorithm for GlobalSparse {
         let contribution = Contribution {
             client_id: client,
             weight: env.train_sizes()[client].max(1.0),
-            params,
-            param_mask: Some(mask.param_mask(env.arch.unit_layout())),
+            update: ContribParams::Dense {
+                params,
+                param_mask: Some(mask.param_mask(env.arch.unit_layout())),
+            },
         };
         ClientOutcome::new(report, contribution)
     }
@@ -174,8 +176,8 @@ impl FlAlgorithm for GlobalSparse {
         self.absorb_update(env, round, Box::new(contribution));
     }
 
-    fn aggregate(&mut self, _env: &FlEnv, _round: usize, _reports: &[ClientReport]) {
-        coverage_aggregate(&mut self.global, &self.staged);
+    fn aggregate(&mut self, env: &FlEnv, _round: usize, _reports: &[ClientReport]) {
+        coverage_aggregate(&mut self.global, &self.staged, env.arch.unit_layout());
         self.staged.clear();
     }
 

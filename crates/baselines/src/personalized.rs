@@ -20,7 +20,7 @@ use rand::rngs::StdRng;
 
 use crate::common::{
     baseline_client_round, body_indicator, copy_head, coverage_aggregate, head_indicator,
-    Contribution,
+    ContribParams, Contribution,
 };
 
 /// Payload of one personalized client step: the shared contribution plus the
@@ -158,8 +158,10 @@ impl FlAlgorithm for PersonalizedFl {
                         contribution: Contribution {
                             client_id: client,
                             weight,
-                            params: shared,
-                            param_mask: None,
+                            update: ContribParams::Dense {
+                                params: shared,
+                                param_mask: None,
+                            },
                         },
                         personal: Some(personal),
                     },
@@ -216,8 +218,10 @@ impl FlAlgorithm for PersonalizedFl {
                         contribution: Contribution {
                             client_id: client,
                             weight,
-                            params: params.clone(),
-                            param_mask: Some(body),
+                            update: ContribParams::Dense {
+                                params: params.clone(),
+                                param_mask: Some(body),
+                            },
                         },
                         personal: Some(params),
                     },
@@ -242,8 +246,10 @@ impl FlAlgorithm for PersonalizedFl {
                         contribution: Contribution {
                             client_id: client,
                             weight,
-                            params,
-                            param_mask: None,
+                            update: ContribParams::Dense {
+                                params,
+                                param_mask: None,
+                            },
                         },
                         personal: None,
                     },
@@ -279,8 +285,8 @@ impl FlAlgorithm for PersonalizedFl {
         self.absorb_update(env, round, Box::new(update));
     }
 
-    fn aggregate(&mut self, _env: &FlEnv, _round: usize, _reports: &[ClientReport]) {
-        coverage_aggregate(&mut self.global, &self.staged);
+    fn aggregate(&mut self, env: &FlEnv, _round: usize, _reports: &[ClientReport]) {
+        coverage_aggregate(&mut self.global, &self.staged, env.arch.unit_layout());
         self.staged.clear();
     }
 

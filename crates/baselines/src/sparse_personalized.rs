@@ -23,7 +23,8 @@ use rand::rngs::StdRng;
 use rand::Rng;
 
 use crate::common::{
-    baseline_client_round, body_indicator, copy_head, coverage_aggregate, Contribution,
+    baseline_client_round, body_indicator, copy_head, coverage_aggregate, ContribParams,
+    Contribution,
 };
 
 /// Payload of one personalized-sparse client step: the shared contribution
@@ -257,8 +258,10 @@ impl FlAlgorithm for SparsePersonalized {
                 contribution: Contribution {
                     client_id: client,
                     weight: env.train_sizes()[client].max(1.0),
-                    params: params.clone(),
-                    param_mask: Some(shared_mask),
+                    update: ContribParams::Dense {
+                        params: params.clone(),
+                        param_mask: Some(shared_mask),
+                    },
                 },
                 state: PersonalState {
                     params,
@@ -294,8 +297,8 @@ impl FlAlgorithm for SparsePersonalized {
         self.absorb_update(env, round, Box::new(update));
     }
 
-    fn aggregate(&mut self, _env: &FlEnv, _round: usize, _reports: &[ClientReport]) {
-        coverage_aggregate(&mut self.global, &self.staged);
+    fn aggregate(&mut self, env: &FlEnv, _round: usize, _reports: &[ClientReport]) {
+        coverage_aggregate(&mut self.global, &self.staged, env.arch.unit_layout());
         self.staged.clear();
     }
 

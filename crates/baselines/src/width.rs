@@ -18,7 +18,9 @@ use fedlps_sparse::pattern::PatternStrategy;
 use fedlps_sparse::ratio::retained_units;
 use rand::rngs::StdRng;
 
-use crate::common::{baseline_client_round, coverage_aggregate, Contribution};
+use std::sync::Arc;
+
+use crate::common::{baseline_client_round_shared, coverage_aggregate, Contribution};
 
 /// Payload of one width-scaling client step: the staged contribution plus the
 /// ratio feedback forwarded to the controller at aggregation time.
@@ -76,7 +78,9 @@ impl WidthVariant {
 /// Driver for the width/depth-scaling family.
 pub struct WidthScaling {
     variant: WidthVariant,
-    global: Vec<f32>,
+    /// The immutable global snapshot, `Arc`-shared with every in-flight
+    /// client task and packed contribution instead of being cloned per task.
+    global: Arc<Vec<f32>>,
     controller: Option<RatioController>,
     staged: Vec<Contribution>,
     feedback: Vec<(usize, RatioFeedback)>,
@@ -87,7 +91,7 @@ impl WidthScaling {
     pub fn new(variant: WidthVariant) -> Self {
         Self {
             variant,
-            global: Vec::new(),
+            global: Arc::new(Vec::new()),
             controller: None,
             staged: Vec::new(),
             feedback: Vec::new(),
@@ -128,7 +132,7 @@ impl FlAlgorithm for WidthScaling {
     }
 
     fn setup(&mut self, env: &FlEnv) {
-        self.global = env.initial_params();
+        self.global = Arc::new(env.initial_params());
         let capabilities = env.capabilities();
         let initial_accuracy = vec![0.0; env.num_clients()];
         self.controller = Some(RatioController::new(
@@ -170,18 +174,11 @@ impl FlAlgorithm for WidthScaling {
             )
         };
 
-        let mut params = self.global.clone();
-        let (report, summary) = baseline_client_round(
-            env,
-            client,
-            &device,
-            &mut params,
-            Some(&mask),
-            None,
-            None,
-            ratio,
-            rng,
-        );
+        // The packed path trains the physically small submodel on values
+        // gathered straight from the shared snapshot — no full-model clone,
+        // no full-size mask expansion inside the parallel task.
+        let (report, summary, update) =
+            baseline_client_round_shared(env, client, &device, &self.global, mask, ratio, rng);
 
         ClientOutcome::new(
             report,
@@ -189,8 +186,7 @@ impl FlAlgorithm for WidthScaling {
                 contribution: Contribution {
                     client_id: client,
                     weight: env.train_sizes()[client].max(1.0),
-                    params,
-                    param_mask: Some(mask.param_mask(env.arch.unit_layout())),
+                    update,
                 },
                 feedback: RatioFeedback {
                     ratio,
@@ -223,8 +219,12 @@ impl FlAlgorithm for WidthScaling {
         self.absorb_update(env, round, Box::new(update));
     }
 
-    fn aggregate(&mut self, _env: &FlEnv, _round: usize, _reports: &[ClientReport]) {
-        coverage_aggregate(&mut self.global, &self.staged);
+    fn aggregate(&mut self, env: &FlEnv, _round: usize, _reports: &[ClientReport]) {
+        // Staged packed contributions hold clones of the `Arc`, so mutate a
+        // detached copy and republish it as the next shared snapshot.
+        let mut next = (*self.global).clone();
+        coverage_aggregate(&mut next, &self.staged, env.arch.unit_layout());
+        self.global = Arc::new(next);
         self.staged.clear();
         if let Some(controller) = self.controller.as_mut() {
             for (client, feedback) in self.feedback.drain(..) {
@@ -277,6 +277,30 @@ mod tests {
                 "{} should train submodels on a heterogeneous fleet",
                 algo.name()
             );
+        }
+    }
+
+    #[test]
+    fn packed_execution_is_bit_identical_for_every_width_variant() {
+        // The whole family rides the packed submodel path; flipping the knob
+        // must not move a single bit of the metric trace — the HeteroFL-style
+        // physically-small execution is pure wall-clock.
+        for variant in [
+            WidthVariant::Fjord,
+            WidthVariant::HeteroFl,
+            WidthVariant::FedRolex,
+            WidthVariant::FedMp,
+            WidthVariant::DepthFl,
+        ] {
+            let run = |packed: bool| {
+                let s = Simulator::new(FlEnv::from_scenario(
+                    &ScenarioConfig::tiny(DatasetKind::MnistLike),
+                    HeterogeneityLevel::High,
+                    FlConfig::tiny().with_packed_execution(packed),
+                ));
+                s.run(&mut WidthScaling::new(variant))
+            };
+            assert_eq!(run(true), run(false), "{variant:?} diverged");
         }
     }
 

@@ -83,7 +83,7 @@ fn bench_components(c: &mut Criterion) {
         let staged: Vec<StagedUpdate> = (0..8)
             .map(|i| StagedUpdate {
                 weight: 1.0 + i as f64,
-                residual: vec![0.01; global.len()],
+                residual: fedlps_core::server::Residual::Dense(vec![0.01; global.len()]),
             })
             .collect();
         b.iter(|| {

@@ -1,5 +1,6 @@
 //! Round-loop throughput: serial vs sharded client training on a 64-client
-//! heterogeneous fleet.
+//! heterogeneous fleet, and packed-submodel vs masked-dense execution on a
+//! sparse one.
 //!
 //! The round loop's client steps are pure, so
 //! [`FlConfig::parallelism`](fedlps_sim::config::FlConfig) shards them across
@@ -8,6 +9,13 @@
 //! a 4-core runner) plus the cross-round mask-cache hit rate after round 3
 //! (target: > 80% once ratios stabilise — the RCR line below; FedLPS proper
 //! trails it while P-UCBV explores).
+//!
+//! The packed axis is the tentpole of the physical-sparsity work: with
+//! `FlConfig::packed_execution` on, a ratio-`s` client trains a physically
+//! small submodel instead of a masked full model, so wall-clock finally
+//! scales with the sparsity the bandit buys (results stay bit-identical —
+//! CI's determinism gate diffs the two). Floor asserted here: packed ≥ 1.3×
+//! masked-dense on a ratio-0.25 fleet (the 0.5 fleet is reported alongside).
 //!
 //! ```text
 //! cargo bench --bench round_throughput             # measure
@@ -72,7 +80,76 @@ fn bench_round_throughput(c: &mut Criterion) {
         })
     });
 
+    // Packed vs masked execution on a sparse fleet: a fixed learnable-pattern
+    // ratio (the FLST ablation) keeps every client at the same sparsity, so
+    // the pair isolates the execution path. Training dominates this config
+    // (one evaluation pass, six local iterations).
+    let sparse_config = |packed: bool| {
+        FlConfig {
+            rounds: 4,
+            clients_per_round: 16,
+            local_iterations: 6,
+            batch_size: 16,
+            eval_every: 4,
+            ..FlConfig::default()
+        }
+        .with_packed_execution(packed)
+    };
+    let sparse_sim = |packed: bool| {
+        let scenario = ScenarioConfig::small(DatasetKind::MnistLike).with_clients(FLEET);
+        Simulator::new(FlEnv::from_scenario(
+            &scenario,
+            HeterogeneityLevel::High,
+            sparse_config(packed),
+        ))
+    };
+    let packed_sim = sparse_sim(true);
+    group.bench_function("fedlps_64c_packed_r025", |b| {
+        b.iter(|| {
+            let mut algo = FedLps::new(FedLpsConfig::flst(0.25));
+            packed_sim.run(&mut algo).total_flops
+        })
+    });
+    let masked_sim = sparse_sim(false);
+    group.bench_function("fedlps_64c_masked_r025", |b| {
+        b.iter(|| {
+            let mut algo = FedLps::new(FedLpsConfig::flst(0.25));
+            masked_sim.run(&mut algo).total_flops
+        })
+    });
+
     group.finish();
+
+    // The packed ≥ 1.3× floor, measured outside criterion so the assertion
+    // also runs in `--test` smoke mode: best of three runs per side, which
+    // keeps CI-runner noise out of the ratio.
+    let time_ratio = |ratio: f64| {
+        let measure = |packed: bool| {
+            let sim = sparse_sim(packed);
+            (0..3)
+                .map(|_| {
+                    let start = std::time::Instant::now();
+                    let mut algo = FedLps::new(FedLpsConfig::flst(ratio));
+                    let _ = sim.run(&mut algo);
+                    start.elapsed()
+                })
+                .min()
+                .expect("three runs")
+        };
+        let masked = measure(false);
+        let packed = measure(true);
+        masked.as_secs_f64() / packed.as_secs_f64()
+    };
+    let speedup_025 = time_ratio(0.25);
+    let speedup_05 = time_ratio(0.5);
+    println!(
+        "round_throughput/packed_vs_masked_speedup: ratio 0.25 -> {speedup_025:.2}x | \
+         ratio 0.5 -> {speedup_05:.2}x"
+    );
+    assert!(
+        speedup_025 >= 1.3,
+        "packed execution regressed below the 1.3x floor at ratio 0.25: {speedup_025:.2}x"
+    );
 
     // Mask-cache warm hit rates (rounds ≥ 3), printed alongside the timings
     // so the perf trajectory records both dimensions of the optimisation.

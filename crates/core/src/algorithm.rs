@@ -1,7 +1,10 @@
 //! The FedLPS server/driver implementing [`FlAlgorithm`].
 
+use std::sync::Arc;
+
 use fedlps_bandit::ratio_policy::{RatioController, RatioFeedback};
 use fedlps_nn::model::EvalStats;
+use fedlps_nn::pack::PackedModel;
 use fedlps_sim::algorithm::{ClientOutcome, ClientReport, ClientUpdate, FlAlgorithm};
 use fedlps_sim::env::FlEnv;
 use fedlps_sim::train::account_round;
@@ -17,10 +20,19 @@ use crate::server::{aggregate_residuals, StagedUpdate};
 enum MaskCacheEvent {
     /// The pattern strategy is not cacheable across rounds; no lookup ran.
     Bypassed,
-    /// The cached mask was served.
-    Hit,
-    /// A fresh mask was built and should be installed at this ratio.
-    Miss { ratio: f64, mask: UnitMask },
+    /// The cached mask was served. When the entry predates packed execution
+    /// (or was inserted before its plan compiled), the task's freshly
+    /// compiled plan rides along to be attached.
+    Hit {
+        attach_plan: Option<Arc<PackedModel>>,
+    },
+    /// A fresh mask was built and should be installed at this ratio, along
+    /// with the packed submodel compiled for it (if packing ran).
+    Miss {
+        ratio: f64,
+        mask: UnitMask,
+        plan: Option<Arc<PackedModel>>,
+    },
 }
 
 /// The payload a FedLPS client step hands back through the round loop's
@@ -131,13 +143,19 @@ impl FedLps {
         if let Some(cache) = self.mask_cache.as_mut() {
             match cache_event {
                 MaskCacheEvent::Bypassed => {}
-                MaskCacheEvent::Hit => {
+                MaskCacheEvent::Hit { attach_plan } => {
                     cache.record(true);
                     cache.mark_served(client);
+                    if let Some(plan) = attach_plan {
+                        cache.attach_plan(client, plan);
+                    }
                 }
-                MaskCacheEvent::Miss { ratio, mask } => {
+                MaskCacheEvent::Miss { ratio, mask, plan } => {
                     cache.record(false);
                     cache.insert(client, ratio, mask);
+                    if let Some(plan) = plan {
+                        cache.attach_plan(client, plan);
+                    }
                 }
             }
         }
@@ -214,13 +232,18 @@ impl FlAlgorithm for FedLps {
         // resampling, rolling windows, live weight magnitudes) bypass the
         // cache entirely — reusing their masks would change their semantics.
         let caching = self.config.pattern.cacheable_across_rounds();
-        let cached_mask = if caching {
-            self.mask_cache
-                .as_ref()
-                .and_then(|cache| cache.lookup(client, ratio))
+        let (cached_mask, cached_plan) = if caching {
+            match self.mask_cache.as_ref() {
+                Some(cache) => (
+                    cache.lookup(client, ratio),
+                    cache.lookup_plan(client, ratio),
+                ),
+                None => (None, None),
+            }
         } else {
-            None
+            (None, None)
         };
+        let had_cached_plan = cached_plan.is_some();
 
         let options = self.update_options(env, ratio, round);
         let task = ClientTask {
@@ -230,6 +253,8 @@ impl FlAlgorithm for FedLps {
             data: env.train_data(client),
             options,
             cached_mask,
+            packed_execution: env.config.packed_execution,
+            cached_plan,
         };
         let output = task.run(rng);
         let outcome = output.outcome;
@@ -248,11 +273,18 @@ impl FlAlgorithm for FedLps {
         let cache_event = if !caching {
             MaskCacheEvent::Bypassed
         } else if output.mask_cache_hit {
-            MaskCacheEvent::Hit
+            MaskCacheEvent::Hit {
+                attach_plan: if had_cached_plan {
+                    None
+                } else {
+                    output.plan.clone()
+                },
+            }
         } else {
             MaskCacheEvent::Miss {
                 ratio,
                 mask: outcome.mask,
+                plan: output.plan.clone(),
             }
         };
         let report = ClientReport {
@@ -266,7 +298,7 @@ impl FlAlgorithm for FedLps {
             sparse_ratio: ratio,
             selection_utility: 0.0,
             participations: 0,
-            mask_cache_hits: matches!(cache_event, MaskCacheEvent::Hit) as u32,
+            mask_cache_hits: matches!(cache_event, MaskCacheEvent::Hit { .. }) as u32,
             mask_cache_misses: matches!(cache_event, MaskCacheEvent::Miss { .. }) as u32,
         };
         ClientOutcome::new(
@@ -413,6 +445,40 @@ mod tests {
         let serial = run(1);
         let sharded = run(4);
         assert_eq!(serial, sharded);
+    }
+
+    #[test]
+    fn packed_execution_is_bit_identical_in_every_round_mode() {
+        // The acceptance gate of the packed-submodel tentpole: flipping
+        // `FlConfig::packed_execution` must not move a single bit of the
+        // metric trace under any round mode (CI diffs the quickstart JSON
+        // the same way).
+        use fedlps_sim::config::RoundMode;
+        for mode in [
+            RoundMode::Synchronous,
+            RoundMode::deadline(0.5, 2),
+            RoundMode::asynchronous(3, 0.5),
+        ] {
+            let run = |packed: bool| {
+                let env = FlEnv::from_scenario(
+                    &ScenarioConfig::tiny(DatasetKind::MnistLike),
+                    HeterogeneityLevel::High,
+                    FlConfig::tiny()
+                        .with_rounds(8)
+                        .with_round_mode(mode)
+                        .with_packed_execution(packed),
+                );
+                let sim = Simulator::new(env);
+                let mut algo = FedLps::for_env(sim.env());
+                sim.run(&mut algo)
+            };
+            assert_eq!(
+                run(true),
+                run(false),
+                "{} mode diverged between packed and masked-dense execution",
+                mode.name()
+            );
+        }
     }
 
     #[test]

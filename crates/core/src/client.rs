@@ -1,16 +1,21 @@
 //! Algorithm 1's `ClientUpdate`: learnable sparse training on local data.
 
+use std::sync::Arc;
+
 use fedlps_data::dataset::Dataset;
 use fedlps_nn::model::ModelArch;
+use fedlps_nn::pack::PackedModel;
 use fedlps_nn::sgd::SgdConfig;
 use fedlps_sparse::mask::UnitMask;
 use fedlps_sparse::pattern::PatternStrategy;
+use fedlps_sparse::plan::SubmodelPlan;
 use rand::rngs::StdRng;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 use crate::importance::ImportanceIndicator;
-use crate::loss::ImportanceLoss;
+use crate::loss::{ImportanceLoss, PackedScratch};
+use crate::server::Residual;
 
 /// State a FedLPS client keeps across rounds: its importance indicator
 /// (`Record Q^s_k ← Q^r_{k,E}`, Algorithm 1 line 23) and its personalized
@@ -53,8 +58,9 @@ pub struct ClientUpdateOptions {
 /// What the client sends back to the server after `E` local iterations.
 #[derive(Debug, Clone)]
 pub struct ClientUpdateOutcome {
-    /// The masked residual `(ω^r − ω_{k,E}) ⊙ m_{k,E}` (Eq. 12).
-    pub residual: Vec<f32>,
+    /// The masked residual `(ω^r − ω_{k,E}) ⊙ m_{k,E}` (Eq. 12) — packed to
+    /// its nonzero coordinates when the round executed a packed submodel.
+    pub residual: Residual,
     /// The final sparse pattern `m_{k,E}`.
     pub mask: UnitMask,
     /// Number of parameters actually uploaded (non-zeros of the residual's
@@ -86,6 +92,14 @@ pub struct ClientTask<'a> {
     /// if the server found one for this client at this ratio. `None` makes
     /// the task derive a fresh pattern from the indicator (Eq. 4).
     pub cached_mask: Option<&'a UnitMask>,
+    /// Run the task forward/backward on the physically packed submodel
+    /// instead of the masked full model (bit-identical; see
+    /// [`fedlps_nn::pack`]). Wired from `FlConfig::packed_execution`.
+    pub packed_execution: bool,
+    /// A compiled plan served from the cache next to `cached_mask`, sparing
+    /// the task the per-round compilation. Ignored when `packed_execution`
+    /// is off.
+    pub cached_plan: Option<Arc<PackedModel>>,
 }
 
 /// The result of running a [`ClientTask`]: the upload outcome plus the new
@@ -98,6 +112,10 @@ pub struct ClientTaskOutput {
     /// Whether the round's mask came from the cache (`false` means the
     /// caller should insert `outcome.mask` into the cache).
     pub mask_cache_hit: bool,
+    /// The packed submodel this round executed, if any — the caller attaches
+    /// it to the mask cache so the next participation at this shape skips
+    /// compilation.
+    pub plan: Option<Arc<PackedModel>>,
 }
 
 impl ClientTask<'_> {
@@ -137,6 +155,25 @@ impl ClientTask<'_> {
         };
         let pmask = mask.param_mask(layout);
 
+        // Compile (or reuse) the physically packed submodel of this round's
+        // mask. The packed task pass is bit-identical to the masked-dense one,
+        // so falling back (plan not executable, packing off) changes nothing
+        // but wall-clock. Weight decay disqualifies packing: it moves
+        // mask-kept cross-connections into dropped units (their task gradient
+        // is zero but `wd * p` is not), and those coordinates live outside
+        // the packed residual.
+        let packable = self.packed_execution && options.sgd.weight_decay == 0.0;
+        let plan: Option<Arc<PackedModel>> = if packable {
+            self.cached_plan.clone().or_else(|| {
+                SubmodelPlan::from_mask(layout, &mask)
+                    .compile(arch)
+                    .map(Arc::new)
+            })
+        } else {
+            None
+        };
+        let mut scratch = PackedScratch::default();
+
         let data = self.data;
         if !data.is_empty() {
             let batch = options.batch_size.max(1).min(data.len());
@@ -146,15 +183,28 @@ impl ClientTask<'_> {
                 let indices: Vec<usize> =
                     (0..batch).map(|_| rng.gen_range(0..data.len())).collect();
                 grad.fill(0.0);
-                let breakdown = objective.evaluate(
-                    arch,
-                    &masked,
-                    global_params,
-                    &indicator,
-                    data,
-                    &indices,
-                    &mut grad,
-                );
+                let breakdown = match plan.as_deref() {
+                    Some(packed) => objective.evaluate_packed(
+                        arch,
+                        packed,
+                        &mut scratch,
+                        &masked,
+                        global_params,
+                        &indicator,
+                        data,
+                        &indices,
+                        &mut grad,
+                    ),
+                    None => objective.evaluate(
+                        arch,
+                        &masked,
+                        global_params,
+                        &indicator,
+                        data,
+                        &indices,
+                        &mut grad,
+                    ),
+                };
 
                 // Line 21: importance-indicator update (uses the same gradient buffer).
                 let q_grad = indicator.gradient(layout, &local, &grad, options.lambda);
@@ -170,14 +220,29 @@ impl ClientTask<'_> {
 
         // Lines 23-25: persist Q, store the personalized sparse model and
         // compute the masked residual to upload (masked with the pattern that
-        // was trained).
+        // was trained). A packed round uploads only the delta on the packed
+        // coordinates — every other masked-in coordinate is frozen at the
+        // global value, so its residual entry is an exact zero.
         let personal: Vec<f32> = local.iter().zip(pmask.iter()).map(|(p, m)| p * m).collect();
-        let residual: Vec<f32> = global_params
-            .iter()
-            .zip(local.iter())
-            .zip(pmask.iter())
-            .map(|((g, l), m)| (g - l) * m)
-            .collect();
+        let residual = match plan.as_deref() {
+            Some(packed) => Residual::Packed {
+                values: packed
+                    .gather_map()
+                    .iter()
+                    .map(|&i| global_params[i as usize] - local[i as usize])
+                    .collect(),
+                coords: packed.gather_arc(),
+                len: arch.param_count(),
+            },
+            None => Residual::Dense(
+                global_params
+                    .iter()
+                    .zip(local.iter())
+                    .zip(pmask.iter())
+                    .map(|((g, l), m)| (g - l) * m)
+                    .collect(),
+            ),
+        };
         let uploaded_params = mask.retained_params(layout);
 
         let state = ClientState {
@@ -205,14 +270,16 @@ impl ClientTask<'_> {
             },
             state,
             mask_cache_hit,
+            plan,
         }
     }
 }
 
 /// Runs Algorithm 1 lines 17-27 for one client and updates its persistent
 /// state in place — the serial convenience wrapper around [`ClientTask`]
-/// (always builds a fresh mask; the simulator's round loop uses the task
-/// directly so it can consult the cross-round mask cache).
+/// (always builds a fresh mask and trains masked-dense; the simulator's round
+/// loop uses the task directly so it can consult the cross-round mask cache
+/// and the packed execution path).
 pub fn client_update(
     arch: &dyn ModelArch,
     global_params: &[f32],
@@ -228,6 +295,8 @@ pub fn client_update(
         data,
         options: *options,
         cached_mask: None,
+        packed_execution: false,
+        cached_plan: None,
     };
     let output = task.run(rng);
     *state = output.state;
@@ -298,7 +367,7 @@ mod tests {
         assert_eq!(outcome.mask.retained_per_layer(layout), vec![5, 4]);
         // Residual entries of dropped units must be exactly zero.
         let pmask = outcome.mask.param_mask(layout);
-        for (r, m) in outcome.residual.iter().zip(pmask.iter()) {
+        for (r, m) in outcome.residual.to_dense().iter().zip(pmask.iter()) {
             if *m == 0.0 {
                 assert_eq!(*r, 0.0);
             }
@@ -365,7 +434,7 @@ mod tests {
         let outcome = client_update(&mlp, &global, &mut state, &empty, &options(0.5), &mut rng);
         assert_eq!(outcome.mean_accuracy, 0.0);
         // The residual is all zeros because no training happened.
-        assert!(outcome.residual.iter().all(|&v| v == 0.0));
+        assert!(outcome.residual.to_dense().iter().all(|&v| v == 0.0));
     }
 
     #[test]
@@ -394,6 +463,8 @@ mod tests {
             data: &data,
             options: options(0.5),
             cached_mask: None,
+            packed_execution: false,
+            cached_plan: None,
         };
         let mut rng1 = rng_from_seed(11);
         let fresh = task.run(&mut rng1);
@@ -414,6 +485,119 @@ mod tests {
         let cached = cached_task.run(&mut rng2);
         assert!(cached.mask_cache_hit);
         assert_eq!(cached.outcome.mask, fresh.outcome.mask);
+        assert_eq!(cached.outcome.residual, fresh.outcome.residual);
+        assert_eq!(cached.state.indicator, fresh.state.indicator);
+    }
+
+    #[test]
+    fn packed_client_task_matches_masked_dense_bitwise() {
+        // The tentpole contract at the client level: with identical RNG
+        // streams, packed-submodel execution reproduces masked-dense
+        // execution bit for bit — residual, personal model, indicator, mask
+        // and training statistics.
+        let (mlp, data, global) = setup();
+        let state = ClientState::default();
+        for ratio in [0.25, 0.5, 0.8] {
+            let dense_task = ClientTask {
+                arch: &mlp,
+                global: &global,
+                state: &state,
+                data: &data,
+                options: options(ratio),
+                cached_mask: None,
+                packed_execution: false,
+                cached_plan: None,
+            };
+            let mut rng_d = rng_from_seed(45);
+            let dense = dense_task.run(&mut rng_d);
+            let packed_task = ClientTask {
+                packed_execution: true,
+                ..dense_task
+            };
+            let mut rng_p = rng_from_seed(45);
+            let packed = packed_task.run(&mut rng_p);
+
+            assert!(packed.plan.is_some(), "ratio {ratio} should compile");
+            assert!(dense.plan.is_none());
+            assert_eq!(dense.outcome.mask, packed.outcome.mask);
+            let dr = dense.outcome.residual.to_dense();
+            let pr = packed.outcome.residual.to_dense();
+            for (i, (d, p)) in dr.iter().zip(pr.iter()).enumerate() {
+                assert_eq!(d.to_bits(), p.to_bits(), "residual diverges at {i}");
+            }
+            assert!(
+                packed.outcome.residual.stored_values() < mlp.param_count(),
+                "the packed upload is physically smaller"
+            );
+            assert_eq!(
+                dense.outcome.mean_loss.to_bits(),
+                packed.outcome.mean_loss.to_bits()
+            );
+            assert_eq!(dense.outcome.mean_accuracy, packed.outcome.mean_accuracy);
+            assert_eq!(dense.state.indicator, packed.state.indicator);
+            assert_eq!(dense.state.personal_model, packed.state.personal_model);
+        }
+    }
+
+    #[test]
+    fn weight_decay_falls_back_to_masked_dense() {
+        // Decay moves mask-kept cross-connections into dropped units (task
+        // gradient zero, `wd * p` not), which the packed residual cannot
+        // carry — so a decayed configuration must not pack, and the results
+        // must still agree with the masked-dense reference bit for bit.
+        let (mlp, data, global) = setup();
+        let state = ClientState::default();
+        let mut opts = options(0.5);
+        opts.sgd.weight_decay = 0.1;
+        let dense_task = ClientTask {
+            arch: &mlp,
+            global: &global,
+            state: &state,
+            data: &data,
+            options: opts,
+            cached_mask: None,
+            packed_execution: false,
+            cached_plan: None,
+        };
+        let mut rng_d = rng_from_seed(61);
+        let dense = dense_task.run(&mut rng_d);
+        let packed_task = ClientTask {
+            packed_execution: true,
+            ..dense_task
+        };
+        let mut rng_p = rng_from_seed(61);
+        let packed = packed_task.run(&mut rng_p);
+        assert!(packed.plan.is_none(), "decayed rounds must not pack");
+        assert_eq!(dense.outcome.residual, packed.outcome.residual);
+        assert_eq!(dense.state.personal_model, packed.state.personal_model);
+    }
+
+    #[test]
+    fn cached_plans_reproduce_fresh_compilation() {
+        let (mlp, data, global) = setup();
+        let state = ClientState::default();
+        let task = ClientTask {
+            arch: &mlp,
+            global: &global,
+            state: &state,
+            data: &data,
+            options: options(0.5),
+            cached_mask: None,
+            packed_execution: true,
+            cached_plan: None,
+        };
+        let mut rng1 = rng_from_seed(52);
+        let fresh = task.run(&mut rng1);
+        let plan = fresh.plan.clone().expect("compiled");
+        // Re-run with the mask and plan served from the "cache".
+        let cached_task = ClientTask {
+            cached_mask: Some(&fresh.outcome.mask),
+            cached_plan: Some(plan),
+            ..task
+        };
+        let mut rng2 = rng_from_seed(52);
+        let cached = cached_task.run(&mut rng2);
+        assert!(cached.mask_cache_hit);
         assert_eq!(cached.outcome.residual, fresh.outcome.residual);
         assert_eq!(cached.state.indicator, fresh.state.indicator);
     }

@@ -9,9 +9,19 @@
 //!   indicator from drifting or over-sharpening (Eq. 8).
 
 use fedlps_data::dataset::Dataset;
-use fedlps_nn::model::ModelArch;
+use fedlps_nn::model::{ModelArch, TrainStats};
+use fedlps_nn::pack::PackedModel;
 
 use crate::importance::ImportanceIndicator;
+
+/// Reusable packed-parameter and packed-gradient buffers, so the per-batch
+/// gather/backward/scatter cycle of [`ImportanceLoss::evaluate_packed`] stops
+/// allocating once warm.
+#[derive(Debug, Default)]
+pub struct PackedScratch {
+    params: Vec<f32>,
+    grad: Vec<f32>,
+}
 
 /// Decomposition of one evaluation of the FedLPS objective.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -60,7 +70,53 @@ impl ImportanceLoss {
         grad: &mut [f32],
     ) -> LossBreakdown {
         let stats = arch.loss_and_grad(masked_params, data, indices, grad);
+        self.regularize(arch, stats, masked_params, global_params, indicator, grad)
+    }
 
+    /// [`evaluate`](Self::evaluate) with the task forward/backward running on
+    /// the physically packed submodel: the kept parameters are gathered from
+    /// `masked_params`, the compact model computes the minibatch loss and
+    /// gradient, and the packed gradient is scattered back into `grad` (which
+    /// must arrive zeroed, exactly as `loss_and_grad` expects).
+    ///
+    /// Bit-identical to the masked-dense evaluation: the packed task pass
+    /// accumulates the same nonzero terms in the same order, the masked-dense
+    /// task gradient is exactly zero outside the packed set, and the
+    /// regularisation tail below runs the identical full-coordinate loops.
+    #[allow(clippy::too_many_arguments)]
+    pub fn evaluate_packed(
+        &self,
+        arch: &dyn ModelArch,
+        packed: &PackedModel,
+        scratch: &mut PackedScratch,
+        masked_params: &[f32],
+        global_params: &[f32],
+        indicator: &ImportanceIndicator,
+        data: &Dataset,
+        indices: &[usize],
+        grad: &mut [f32],
+    ) -> LossBreakdown {
+        packed.gather_params(masked_params, &mut scratch.params);
+        scratch.grad.clear();
+        scratch.grad.resize(packed.packed_len(), 0.0);
+        let stats = packed
+            .arch()
+            .loss_and_grad(&scratch.params, data, indices, &mut scratch.grad);
+        packed.scatter_add(&scratch.grad, grad);
+        self.regularize(arch, stats, masked_params, global_params, indicator, grad)
+    }
+
+    /// The shared full-coordinate tail of both evaluation paths: proximal
+    /// term + gradient, importance-regulariser value, total assembly.
+    fn regularize(
+        &self,
+        arch: &dyn ModelArch,
+        stats: TrainStats,
+        masked_params: &[f32],
+        global_params: &[f32],
+        indicator: &ImportanceIndicator,
+        grad: &mut [f32],
+    ) -> LossBreakdown {
         // Proximal term and its gradient (evaluated at the masked/effective
         // parameters, which coincide with the dense ones on retained entries).
         let mut proximal = 0.0f64;

@@ -1,0 +1,152 @@
+//! Property test of the packed-execution contract at the FedLPS client
+//! level: Algorithm 1's full objective — masked task loss, proximal term,
+//! importance-indicator co-training — produces **bit-identical** residuals,
+//! personal models and indicator states whether the task forward/backward
+//! runs masked-dense or on the physically packed submodel.
+//!
+//! The `local_sgd`-level property lives in `fedlps-sim`; this file pins the
+//! harder case where the gradient buffer is shared between the model step
+//! and the indicator's straight-through estimate, so a single stray nonzero
+//! outside the packed set would diverge the indicator trajectory.
+
+use fedlps_core::client::{ClientState, ClientTask, ClientUpdateOptions};
+use fedlps_data::dataset::{Dataset, InputKind};
+use fedlps_nn::convnet::{ConvNet, ConvNetConfig};
+use fedlps_nn::lstm::{LstmLm, LstmLmConfig};
+use fedlps_nn::mlp::{Mlp, MlpConfig};
+use fedlps_nn::model::ModelArch;
+use fedlps_nn::sgd::SgdConfig;
+use fedlps_sparse::pattern::PatternStrategy;
+use fedlps_tensor::{rng_from_seed, Matrix};
+use proptest::prelude::*;
+use rand::Rng;
+
+fn model_and_data(kind: usize, seed: u64) -> (Box<dyn ModelArch>, Dataset, SgdConfig) {
+    let mut rng = rng_from_seed(seed ^ 0xC11E57);
+    match kind % 3 {
+        0 => {
+            let arch = Box::new(Mlp::new(MlpConfig {
+                input_dim: 6,
+                hidden: vec![8, 5],
+                num_classes: 3,
+            }));
+            let features = Matrix::random_normal(16, 6, 1.0, &mut rng);
+            let labels = (0..16).map(|i| i % 3).collect();
+            let data = Dataset::new(features, labels, 3, InputKind::Vector { dim: 6 });
+            (arch, data, SgdConfig::vision())
+        }
+        1 => {
+            let arch = Box::new(ConvNet::new(ConvNetConfig {
+                in_channels: 1,
+                height: 5,
+                width: 5,
+                channels: vec![4],
+                hidden: 5,
+                num_classes: 3,
+            }));
+            let features = Matrix::random_normal(10, 25, 1.0, &mut rng);
+            let labels = (0..10).map(|i| i % 3).collect();
+            let data = Dataset::new(
+                features,
+                labels,
+                3,
+                InputKind::Image {
+                    channels: 1,
+                    height: 5,
+                    width: 5,
+                },
+            );
+            (arch, data, SgdConfig::vision())
+        }
+        _ => {
+            let arch = Box::new(LstmLm::new(LstmLmConfig {
+                vocab: 5,
+                seq_len: 4,
+                embed: 3,
+                hidden: 4,
+                num_classes: 5,
+            }));
+            let mut features = Matrix::zeros(10, 4);
+            for r in 0..10 {
+                for v in features.row_mut(r) {
+                    *v = rng.gen_range(0..5) as f32;
+                }
+            }
+            let labels = (0..10).map(|i| i % 5).collect();
+            let data = Dataset::new(
+                features,
+                labels,
+                5,
+                InputKind::Sequence { len: 4, vocab: 5 },
+            );
+            (arch, data, SgdConfig::text())
+        }
+    }
+}
+
+proptest! {
+    // Two full client updates per case; pinned, not nightly-cranked.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn packed_client_update_is_bit_identical(
+        kind in 0usize..3,
+        ratio in 0.2f64..1.0,
+        seed in 0u64..5_000,
+    ) {
+        let (arch, data, sgd) = model_and_data(kind, seed);
+        let mut init_rng = rng_from_seed(seed ^ 0x9E);
+        let global = arch.init_params(&mut init_rng);
+        let options = ClientUpdateOptions {
+            iterations: 3,
+            batch_size: 5,
+            sgd,
+            importance_lr: 0.1,
+            mu: 1.0,
+            lambda: 1.0,
+            pattern: PatternStrategy::Importance,
+            ratio,
+            round: 0,
+        };
+        let state = ClientState::default();
+        let dense_task = ClientTask {
+            arch: &*arch,
+            global: &global,
+            state: &state,
+            data: &data,
+            options,
+            cached_mask: None,
+            packed_execution: false,
+            cached_plan: None,
+        };
+        let mut rng_dense = rng_from_seed(seed ^ 0xF00D);
+        let dense = dense_task.run(&mut rng_dense);
+        let packed_task = ClientTask {
+            packed_execution: true,
+            ..dense_task
+        };
+        let mut rng_packed = rng_from_seed(seed ^ 0xF00D);
+        let packed = packed_task.run(&mut rng_packed);
+
+        prop_assert_eq!(&dense.outcome.mask, &packed.outcome.mask);
+        prop_assert_eq!(
+            dense.outcome.mean_loss.to_bits(),
+            packed.outcome.mean_loss.to_bits()
+        );
+        let dr = dense.outcome.residual.to_dense();
+        let pr = packed.outcome.residual.to_dense();
+        for (i, (d, p)) in dr.iter().zip(pr.iter()).enumerate() {
+            prop_assert_eq!(d.to_bits(), p.to_bits(), "residual {} diverges", i);
+        }
+        let di = dense.state.indicator.as_ref().expect("trained");
+        let pi = packed.state.indicator.as_ref().expect("trained");
+        for (i, (d, p)) in di.iter().zip(pi.iter()).enumerate() {
+            prop_assert_eq!(d.to_bits(), p.to_bits(), "indicator {} diverges", i);
+        }
+        let dm = dense.state.personal_model.as_ref().expect("trained");
+        let pm = packed.state.personal_model.as_ref().expect("trained");
+        for (i, (d, p)) in dm.iter().zip(pm.iter()).enumerate() {
+            prop_assert_eq!(d.to_bits(), p.to_bits(), "personal model {} diverges", i);
+        }
+    }
+}

@@ -16,6 +16,7 @@ use serde::{Deserialize, Serialize};
 use crate::activation::{relu, relu_grad, softmax_cross_entropy};
 use crate::flops::{conv_layer_flops, dense_layer_flops, TRAIN_FLOPS_MULTIPLIER};
 use crate::model::{EvalStats, ModelArch, TrainStats};
+use crate::pack::{GatherMap, PackedModel};
 use crate::unit::{LayerUnits, ParamRange, UnitLayout, UnitParams};
 
 const KERNEL: usize = 3;
@@ -552,6 +553,77 @@ impl ModelArch for ConvNet {
         forward += dense_layer_flops(hidden_retained, self.config.num_classes);
         forward * TRAIN_FLOPS_MULTIPLIER
     }
+
+    fn pack(&self, kept_per_layer: &[Vec<usize>]) -> Option<PackedModel> {
+        assert_eq!(
+            kept_per_layer.len(),
+            self.convs.len() + 1,
+            "one kept list per conv block plus the hidden dense layer"
+        );
+        if kept_per_layer.iter().any(|k| k.is_empty()) {
+            return None; // an empty block would disconnect the network
+        }
+        let packed = ConvNet::new(ConvNetConfig {
+            in_channels: self.config.in_channels,
+            height: self.config.height,
+            width: self.config.width,
+            channels: kept_per_layer[..self.convs.len()]
+                .iter()
+                .map(|k| k.len())
+                .collect(),
+            hidden: kept_per_layer[self.convs.len()].len(),
+            num_classes: self.config.num_classes,
+        });
+        // Pooling decisions depend only on the spatial sizes, so the packed
+        // network visits the same pixels with fewer channels.
+        let mut map = GatherMap::with_capacity(packed.param_count());
+        for (li, conv) in self.convs.iter().enumerate() {
+            let per_channel = conv.in_channels * KERNEL * KERNEL;
+            let in_kept = li.checked_sub(1).map(|p| &kept_per_layer[p]);
+            for &oc in &kept_per_layer[li] {
+                assert!(oc < conv.out_channels, "kept channel {oc} out of range");
+                let oc_start = conv.w_start + oc * per_channel;
+                match in_kept {
+                    None => map.push_range(oc_start, per_channel),
+                    Some(cols) => {
+                        for &ic in cols {
+                            map.push_range(oc_start + ic * KERNEL * KERNEL, KERNEL * KERNEL);
+                        }
+                    }
+                }
+            }
+            for &oc in &kept_per_layer[li] {
+                map.push(conv.b_start + oc);
+            }
+        }
+        let hidden_kept = &kept_per_layer[self.convs.len()];
+        let feat_kept = &kept_per_layer[self.convs.len() - 1];
+        for &j in hidden_kept {
+            assert!(
+                j < self.dense_hidden.out_dim,
+                "kept neuron {j} out of range"
+            );
+            let row = self.dense_hidden.w_start + j * self.dense_hidden.in_dim;
+            for &c in feat_kept {
+                map.push(row + c);
+            }
+        }
+        for &j in hidden_kept {
+            map.push(self.dense_hidden.b_start + j);
+        }
+        for cls in 0..self.dense_out.out_dim {
+            let row = self.dense_out.w_start + cls * self.dense_out.in_dim;
+            for &j in hidden_kept {
+                map.push(row + j);
+            }
+        }
+        map.push_range(self.dense_out.b_start, self.dense_out.out_dim);
+        Some(PackedModel::new(
+            Box::new(packed),
+            map.into_vec(),
+            self.param_count,
+        ))
+    }
 }
 
 #[cfg(test)]
@@ -656,6 +728,52 @@ mod tests {
         // fully determines the output — evaluate twice to confirm determinism.
         let again = net.evaluate(&masked, &data);
         assert_eq!(base.loss, again.loss);
+    }
+
+    #[test]
+    fn packed_submodel_matches_masked_dense_bitwise() {
+        let net = toy_convnet(); // channels [4, 6], hidden 8
+        let data = toy_image_dataset(8);
+        let mut rng = rng_from_seed(11);
+        let params = net.init_params(&mut rng);
+        let kept = vec![
+            vec![0usize, 2, 3],
+            vec![1usize, 2, 5],
+            vec![0usize, 3, 4, 6],
+        ];
+        let mut keep = vec![false; net.unit_layout().total_units()];
+        let mut offset = 0;
+        for (layer, k) in net.unit_layout().units_per_layer().iter().zip(&kept) {
+            for &j in k {
+                keep[offset + j] = true;
+            }
+            offset += layer;
+        }
+        let mask = net.unit_layout().expand_mask(&keep);
+        let masked: Vec<f32> = params.iter().zip(mask.iter()).map(|(p, m)| p * m).collect();
+        let packed = net.pack(&kept).expect("packable");
+
+        let indices: Vec<usize> = (0..6).collect();
+        let mut dense_grad = vec![0.0f32; net.param_count()];
+        let dense_stats = net.loss_and_grad(&masked, &data, &indices, &mut dense_grad);
+
+        let mut pp = Vec::new();
+        packed.gather_params(&masked, &mut pp);
+        let mut pgrad = vec![0.0f32; packed.packed_len()];
+        let packed_stats = packed
+            .arch()
+            .loss_and_grad(&pp, &data, &indices, &mut pgrad);
+        let mut scattered = vec![0.0f32; net.param_count()];
+        packed.scatter_add(&pgrad, &mut scattered);
+
+        assert_eq!(dense_stats.loss.to_bits(), packed_stats.loss.to_bits());
+        assert_eq!(dense_stats.accuracy, packed_stats.accuracy);
+        for (i, (d, p)) in dense_grad.iter().zip(scattered.iter()).enumerate() {
+            assert_eq!(d.to_bits(), p.to_bits(), "grad diverges at parameter {i}");
+        }
+        let dense_eval = net.evaluate(&masked, &data);
+        let packed_eval = packed.arch().evaluate(&pp, &data);
+        assert_eq!(dense_eval.loss.to_bits(), packed_eval.loss.to_bits());
     }
 
     #[test]

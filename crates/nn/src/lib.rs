@@ -29,9 +29,11 @@ pub mod gradcheck;
 pub mod lstm;
 pub mod mlp;
 pub mod model;
+pub mod pack;
 pub mod sgd;
 pub mod unit;
 
 pub use model::{EvalStats, ModelArch, ModelKind, TrainStats};
+pub use pack::PackedModel;
 pub use sgd::SgdConfig;
 pub use unit::{LayerUnits, UnitLayout};

@@ -5,6 +5,15 @@
 //! the next token. The sparsifiable units are the LSTM hidden cells; masking a
 //! cell zeroes all four of its gate rows (input-to-hidden and hidden-to-hidden)
 //! and biases, which makes the cell's output exactly zero for every time step.
+//!
+//! A masked cell also owns its *outgoing* connections — its column in every
+//! other cell's recurrent rows and in the classifier. Unlike ReLU networks
+//! (where `relu'(0) = 0` already severs a dropped neuron), an LSTM cell with
+//! zeroed incoming rows still has half-open gates (`σ(0) = ½`), so gradients
+//! would keep flowing into its candidate-gate weights through the unmasked
+//! fan-out. Masking the fan-out makes the masked network a true width-scaled
+//! submodel — the HeteroFL/FjORD convention — which is exactly what lets the
+//! packed execution path reproduce masked-dense training bit for bit.
 
 use fedlps_data::dataset::Dataset;
 use fedlps_tensor::Initializer;
@@ -14,6 +23,7 @@ use serde::{Deserialize, Serialize};
 use crate::activation::{sigmoid, softmax_cross_entropy, tanh};
 use crate::flops::{dense_layer_flops, lstm_step_flops, TRAIN_FLOPS_MULTIPLIER};
 use crate::model::{EvalStats, ModelArch, TrainStats};
+use crate::pack::{GatherMap, PackedModel};
 use crate::unit::{LayerUnits, ParamRange, UnitLayout, UnitParams};
 
 /// Configuration of the LSTM language model.
@@ -65,11 +75,25 @@ impl LstmLm {
 
         let units = (0..h)
             .map(|j| {
-                let mut ranges = Vec::with_capacity(12);
+                let mut ranges = Vec::with_capacity(12 + 4 * h.saturating_sub(1) + c);
                 for gate in 0..4 {
                     ranges.push(ParamRange::new(w_ih_start + (gate * h + j) * e, e));
                     ranges.push(ParamRange::new(w_hh_start + (gate * h + j) * h, h));
                     ranges.push(ParamRange::new(b_start + gate * h + j, 1));
+                }
+                // Outgoing recurrent connections: column j of every *other*
+                // cell's gate rows (own rows already cover their full width).
+                for gate in 0..4 {
+                    for jj in 0..h {
+                        if jj == j {
+                            continue;
+                        }
+                        ranges.push(ParamRange::new(w_hh_start + (gate * h + jj) * h + j, 1));
+                    }
+                }
+                // Outgoing classifier connections: column j of every output row.
+                for cls in 0..c {
+                    ranges.push(ParamRange::new(w_out_start + cls * h + j, 1));
                 }
                 UnitParams { ranges }
             })
@@ -389,6 +413,64 @@ impl ModelArch for LstmLm {
         let output = dense_layer_flops(retained_h, self.config.num_classes);
         (per_step * self.config.seq_len as f64 + output) * TRAIN_FLOPS_MULTIPLIER
     }
+
+    fn pack(&self, kept_per_layer: &[Vec<usize>]) -> Option<PackedModel> {
+        assert_eq!(
+            kept_per_layer.len(),
+            1,
+            "the LSTM has one sparsifiable layer"
+        );
+        let kept = &kept_per_layer[0];
+        if kept.is_empty() {
+            return None;
+        }
+        let (v, e, h, c) = (
+            self.config.vocab,
+            self.config.embed,
+            self.config.hidden,
+            self.config.num_classes,
+        );
+        let packed = LstmLm::new(LstmLmConfig {
+            vocab: v,
+            seq_len: self.config.seq_len,
+            embed: e,
+            hidden: kept.len(),
+            num_classes: c,
+        });
+        let mut map = GatherMap::with_capacity(packed.param_count());
+        map.push_range(self.embed_start, v * e); // embeddings are never sparsified
+        for gate in 0..4 {
+            for &j in kept {
+                assert!(j < h, "kept cell {j} out of range");
+                map.push_range(self.w_ih_start + (gate * h + j) * e, e);
+            }
+        }
+        for gate in 0..4 {
+            for &j in kept {
+                let row = self.w_hh_start + (gate * h + j) * h;
+                for &jj in kept {
+                    map.push(row + jj);
+                }
+            }
+        }
+        for gate in 0..4 {
+            for &j in kept {
+                map.push(self.b_start + gate * h + j);
+            }
+        }
+        for cls in 0..c {
+            let row = self.w_out_start + cls * h;
+            for &j in kept {
+                map.push(row + j);
+            }
+        }
+        map.push_range(self.b_out_start, c);
+        Some(PackedModel::new(
+            Box::new(packed),
+            map.into_vec(),
+            self.param_count,
+        ))
+    }
 }
 
 #[cfg(test)]
@@ -503,6 +585,73 @@ mod tests {
                 hs[2]
             );
         }
+    }
+
+    #[test]
+    fn masked_cell_owns_its_fan_out() {
+        // Dropping a cell must zero its outgoing recurrent and classifier
+        // columns too; otherwise the half-open gates (σ(0) = ½) leak task
+        // gradient into the dropped candidate-gate rows, and the packed
+        // submodel could not reproduce masked training exactly.
+        let m = toy_lstm();
+        let data = toy_text_dataset(4);
+        let mut rng = rng_from_seed(13);
+        let params = m.init_params(&mut rng);
+        let mut keep = vec![true; 6];
+        keep[2] = false;
+        keep[5] = false;
+        let mask = m.unit_layout().expand_mask(&keep);
+        // Outgoing classifier column of cell 2 is masked.
+        assert_eq!(mask[m.w_out_start + 2], 0.0);
+        // Recurrent column 2 of (kept) cell 0's input-gate row is masked.
+        assert_eq!(mask[m.w_hh_start + 2], 0.0);
+        let masked: Vec<f32> = params.iter().zip(mask.iter()).map(|(p, q)| p * q).collect();
+        let indices: Vec<usize> = (0..3).collect();
+        let mut grad = vec![0.0f32; m.param_count()];
+        m.loss_and_grad(&masked, &data, &indices, &mut grad);
+        for (i, (&g, &mv)) in grad.iter().zip(mask.iter()).enumerate() {
+            if mv == 0.0 {
+                assert_eq!(g, 0.0, "masked parameter {i} received task gradient {g}");
+            }
+        }
+    }
+
+    #[test]
+    fn packed_submodel_matches_masked_dense_bitwise() {
+        let m = toy_lstm(); // 6 hidden cells
+        let data = toy_text_dataset(8);
+        let mut rng = rng_from_seed(29);
+        let params = m.init_params(&mut rng);
+        let kept = vec![vec![0usize, 1, 3, 4]];
+        let mut keep = vec![false; 6];
+        for &j in &kept[0] {
+            keep[j] = true;
+        }
+        let mask = m.unit_layout().expand_mask(&keep);
+        let masked: Vec<f32> = params.iter().zip(mask.iter()).map(|(p, q)| p * q).collect();
+        let packed = m.pack(&kept).expect("packable");
+
+        let indices: Vec<usize> = (0..5).collect();
+        let mut dense_grad = vec![0.0f32; m.param_count()];
+        let dense_stats = m.loss_and_grad(&masked, &data, &indices, &mut dense_grad);
+
+        let mut pp = Vec::new();
+        packed.gather_params(&masked, &mut pp);
+        let mut pgrad = vec![0.0f32; packed.packed_len()];
+        let packed_stats = packed
+            .arch()
+            .loss_and_grad(&pp, &data, &indices, &mut pgrad);
+        let mut scattered = vec![0.0f32; m.param_count()];
+        packed.scatter_add(&pgrad, &mut scattered);
+
+        assert_eq!(dense_stats.loss.to_bits(), packed_stats.loss.to_bits());
+        assert_eq!(dense_stats.accuracy, packed_stats.accuracy);
+        for (i, (d, p)) in dense_grad.iter().zip(scattered.iter()).enumerate() {
+            assert_eq!(d.to_bits(), p.to_bits(), "grad diverges at parameter {i}");
+        }
+        let dense_eval = m.evaluate(&masked, &data);
+        let packed_eval = packed.arch().evaluate(&pp, &data);
+        assert_eq!(dense_eval.loss.to_bits(), packed_eval.loss.to_bits());
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! zeroes its pre-activation, which silences it for the rest of the network.
 
 use fedlps_data::dataset::Dataset;
+use fedlps_tensor::scratch::{with_pool, ScratchPool};
 use fedlps_tensor::{Initializer, Matrix};
 use rand::rngs::StdRng;
 use serde::{Deserialize, Serialize};
@@ -14,6 +15,7 @@ use serde::{Deserialize, Serialize};
 use crate::activation::{relu, relu_grad};
 use crate::flops::dense_layer_flops;
 use crate::model::{EvalStats, ModelArch, TrainStats};
+use crate::pack::{GatherMap, PackedModel};
 use crate::unit::{LayerUnits, ParamRange, UnitLayout, UnitParams};
 
 /// MLP configuration.
@@ -99,13 +101,14 @@ impl Mlp {
         &self.config
     }
 
-    fn weight_matrix(&self, params: &[f32], layer: usize) -> Matrix {
+    /// Copies one layer's weight block into a pooled scratch matrix (recycle
+    /// it when done; the per-batch hot loop must not allocate fresh buffers).
+    fn weight_matrix(&self, params: &[f32], layer: usize, pool: &mut ScratchPool) -> Matrix {
         let l = self.layers[layer];
-        Matrix::from_vec(
-            l.out_dim,
-            l.in_dim,
-            params[l.w_start..l.w_start + l.in_dim * l.out_dim].to_vec(),
-        )
+        let mut m = pool.take(l.out_dim, l.in_dim);
+        m.as_mut_slice()
+            .copy_from_slice(&params[l.w_start..l.w_start + l.in_dim * l.out_dim]);
+        m
     }
 
     fn bias<'p>(&self, params: &'p [f32], layer: usize) -> &'p [f32] {
@@ -115,12 +118,14 @@ impl Mlp {
 
     /// Runs the forward pass and returns pre-activations of every layer plus
     /// the input batch, which the backward pass re-uses.
-    fn forward(&self, params: &[f32], batch: &Matrix) -> Vec<Matrix> {
+    fn forward(&self, params: &[f32], batch: &Matrix, pool: &mut ScratchPool) -> Vec<Matrix> {
         let mut pre_activations = Vec::with_capacity(self.layers.len());
         let mut activ = batch.clone();
-        for (li, _layer) in self.layers.iter().enumerate() {
-            let w = self.weight_matrix(params, li);
-            let mut z = activ.matmul_nt(&w);
+        for (li, layer) in self.layers.iter().enumerate() {
+            let w = self.weight_matrix(params, li, pool);
+            let mut z = pool.take(activ.rows(), layer.out_dim);
+            activ.matmul_nt_into(&w, &mut z);
+            pool.recycle(w);
             let b = self.bias(params, li);
             for r in 0..z.rows() {
                 let row = z.row_mut(r);
@@ -128,12 +133,17 @@ impl Mlp {
                     *v += bias;
                 }
             }
-            pre_activations.push(z.clone());
             if li + 1 < self.layers.len() {
+                let mut pre = pool.take(z.rows(), z.cols());
+                pre.as_mut_slice().copy_from_slice(z.as_slice());
+                pre_activations.push(pre);
                 z.map_inplace(relu);
-                activ = z;
+                pool.recycle(std::mem::replace(&mut activ, z));
+            } else {
+                pre_activations.push(z);
             }
         }
+        pool.recycle(activ);
         pre_activations
     }
 
@@ -182,69 +192,85 @@ impl ModelArch for Mlp {
     ) -> TrainStats {
         assert_eq!(grad.len(), self.param_count);
         assert!(!indices.is_empty(), "empty minibatch");
-        let batch = self.batch_matrix(data, indices);
-        let n = indices.len();
-        let pre = self.forward(params, &batch);
+        with_pool(|pool| {
+            let batch = self.batch_matrix(data, indices);
+            let n = indices.len();
+            let pre = self.forward(params, &batch, pool);
 
-        // Loss + gradient at the logits.
-        let logits = &pre[pre.len() - 1];
-        let mut d_logits = Matrix::zeros(n, self.config.num_classes);
-        let mut loss = 0.0f64;
-        let mut correct = 0usize;
-        for (row, &idx) in indices.iter().enumerate() {
-            let label = data.labels[idx];
-            let (sample_loss, probs) =
-                crate::activation::softmax_cross_entropy(logits.row(row), label);
-            loss += sample_loss as f64;
-            if fedlps_tensor::ops::argmax(logits.row(row)) == label {
-                correct += 1;
-            }
-            let out = d_logits.row_mut(row);
-            for (c, &p) in probs.iter().enumerate() {
-                out[c] = (p - if c == label { 1.0 } else { 0.0 }) / n as f32;
-            }
-        }
-
-        // Backward pass through the layers.
-        let mut delta = d_logits; // d loss / d pre-activation of current layer
-        for li in (0..self.layers.len()).rev() {
-            let layer = self.layers[li];
-            // Activation feeding this layer.
-            let input_act = if li == 0 {
-                batch.clone()
-            } else {
-                pre[li - 1].map(relu)
-            };
-            let dw = delta.matmul_tn(&input_act); // out x in
-            for (i, v) in dw.as_slice().iter().enumerate() {
-                grad[layer.w_start + i] += v;
-            }
-            for r in 0..delta.rows() {
-                let row = delta.row(r);
-                for (j, &v) in row.iter().enumerate() {
-                    grad[layer.b_start + j] += v;
+            // Loss + gradient at the logits.
+            let logits = &pre[pre.len() - 1];
+            let mut d_logits = pool.take(n, self.config.num_classes);
+            let mut loss = 0.0f64;
+            let mut correct = 0usize;
+            for (row, &idx) in indices.iter().enumerate() {
+                let label = data.labels[idx];
+                let (sample_loss, probs) =
+                    crate::activation::softmax_cross_entropy(logits.row(row), label);
+                loss += sample_loss as f64;
+                if fedlps_tensor::ops::argmax(logits.row(row)) == label {
+                    correct += 1;
+                }
+                let out = d_logits.row_mut(row);
+                for (c, &p) in probs.iter().enumerate() {
+                    out[c] = (p - if c == label { 1.0 } else { 0.0 }) / n as f32;
                 }
             }
-            if li > 0 {
-                let w = self.weight_matrix(params, li);
-                let mut d_input = delta.matmul(&w); // n x in
-                                                    // Chain through the ReLU of the previous layer.
-                let prev_pre = &pre[li - 1];
-                for r in 0..d_input.rows() {
-                    let drow = d_input.row_mut(r);
-                    let prow = prev_pre.row(r);
-                    for (dv, &pv) in drow.iter_mut().zip(prow.iter()) {
-                        *dv *= relu_grad(pv);
+
+            // Backward pass through the layers.
+            let mut delta = d_logits; // d loss / d pre-activation of current layer
+            for li in (0..self.layers.len()).rev() {
+                let layer = self.layers[li];
+                // Activation feeding this layer.
+                let input_act = if li == 0 {
+                    batch.clone()
+                } else {
+                    let prev = &pre[li - 1];
+                    let mut act = pool.take(prev.rows(), prev.cols());
+                    for (a, &p) in act.as_mut_slice().iter_mut().zip(prev.as_slice()) {
+                        *a = relu(p);
+                    }
+                    act
+                };
+                let mut dw = pool.take(layer.out_dim, layer.in_dim); // out x in
+                delta.matmul_tn_into(&input_act, &mut dw);
+                for (i, v) in dw.as_slice().iter().enumerate() {
+                    grad[layer.w_start + i] += v;
+                }
+                pool.recycle(dw);
+                pool.recycle(input_act);
+                for r in 0..delta.rows() {
+                    let row = delta.row(r);
+                    for (j, &v) in row.iter().enumerate() {
+                        grad[layer.b_start + j] += v;
                     }
                 }
-                delta = d_input;
+                if li > 0 {
+                    let w = self.weight_matrix(params, li, pool);
+                    let mut d_input = pool.take(delta.rows(), layer.in_dim); // n x in
+                    delta.matmul_into(&w, &mut d_input);
+                    pool.recycle(w);
+                    // Chain through the ReLU of the previous layer.
+                    let prev_pre = &pre[li - 1];
+                    for r in 0..d_input.rows() {
+                        let drow = d_input.row_mut(r);
+                        let prow = prev_pre.row(r);
+                        for (dv, &pv) in drow.iter_mut().zip(prow.iter()) {
+                            *dv *= relu_grad(pv);
+                        }
+                    }
+                    pool.recycle(std::mem::replace(&mut delta, d_input));
+                }
             }
-        }
+            pool.recycle(delta);
+            for m in pre {
+                pool.recycle(m);
+            }
 
-        TrainStats {
-            loss: loss / n as f64,
-            accuracy: correct as f64 / n as f64,
-        }
+            TrainStats {
+                loss: loss / n as f64,
+                accuracy: correct as f64 / n as f64,
+            }
+        })
     }
 
     fn evaluate(&self, params: &[f32], data: &Dataset) -> EvalStats {
@@ -253,22 +279,28 @@ impl ModelArch for Mlp {
         }
         let indices: Vec<usize> = (0..data.len()).collect();
         let batch = self.batch_matrix(data, &indices);
-        let pre = self.forward(params, &batch);
-        let logits = &pre[pre.len() - 1];
-        let mut loss = 0.0f64;
-        let mut correct = 0usize;
-        for (row, &label) in data.labels.iter().enumerate() {
-            let (sample_loss, _) = crate::activation::softmax_cross_entropy(logits.row(row), label);
-            loss += sample_loss as f64;
-            if fedlps_tensor::ops::argmax(logits.row(row)) == label {
-                correct += 1;
+        with_pool(|pool| {
+            let pre = self.forward(params, &batch, pool);
+            let logits = &pre[pre.len() - 1];
+            let mut loss = 0.0f64;
+            let mut correct = 0usize;
+            for (row, &label) in data.labels.iter().enumerate() {
+                let (sample_loss, _) =
+                    crate::activation::softmax_cross_entropy(logits.row(row), label);
+                loss += sample_loss as f64;
+                if fedlps_tensor::ops::argmax(logits.row(row)) == label {
+                    correct += 1;
+                }
             }
-        }
-        EvalStats {
-            loss: loss / data.len() as f64,
-            accuracy: correct as f64 / data.len() as f64,
-            samples: data.len(),
-        }
+            for m in pre {
+                pool.recycle(m);
+            }
+            EvalStats {
+                loss: loss / data.len() as f64,
+                accuracy: correct as f64 / data.len() as f64,
+                samples: data.len(),
+            }
+        })
     }
 
     fn classifier_params(&self) -> std::ops::Range<usize> {
@@ -286,6 +318,58 @@ impl ModelArch for Mlp {
             .map(|w| dense_layer_flops(w[0], w[1]))
             .sum();
         forward * 3.0
+    }
+
+    fn pack(&self, kept_per_layer: &[Vec<usize>]) -> Option<PackedModel> {
+        assert_eq!(
+            kept_per_layer.len(),
+            self.layers.len() - 1,
+            "one kept-unit list per hidden layer"
+        );
+        if kept_per_layer.iter().any(|k| k.is_empty()) {
+            return None; // an empty hidden layer would disconnect the network
+        }
+        let packed = Mlp::new(MlpConfig {
+            input_dim: self.config.input_dim,
+            hidden: kept_per_layer.iter().map(|k| k.len()).collect(),
+            num_classes: self.config.num_classes,
+        });
+        // Gather map in the packed layout's order: per layer, the kept rows
+        // restricted to the previous layer's kept columns, then the kept
+        // biases. The output layer keeps every row; the input keeps every
+        // column. Section starts ascend with the layer offsets and rows/cols
+        // ascend within, so the whole map is strictly ascending (checked by
+        // `PackedModel::new`).
+        let mut map = GatherMap::with_capacity(packed.param_count());
+        for (li, layer) in self.layers.iter().enumerate() {
+            let out_all: Vec<usize>;
+            let rows: &[usize] = if li < kept_per_layer.len() {
+                &kept_per_layer[li]
+            } else {
+                out_all = (0..layer.out_dim).collect();
+                &out_all
+            };
+            for &r in rows {
+                assert!(r < layer.out_dim, "kept unit {r} out of range");
+                let row_start = layer.w_start + r * layer.in_dim;
+                match li.checked_sub(1).map(|p| &kept_per_layer[p]) {
+                    None => map.push_range(row_start, layer.in_dim),
+                    Some(cols) => {
+                        for &c in cols {
+                            map.push(row_start + c);
+                        }
+                    }
+                }
+            }
+            for &r in rows {
+                map.push(layer.b_start + r);
+            }
+        }
+        Some(PackedModel::new(
+            Box::new(packed),
+            map.into_vec(),
+            self.param_count,
+        ))
     }
 }
 
@@ -379,6 +463,52 @@ mod tests {
         let b = mlp.evaluate(&perturbed, &data);
         assert!((a.loss - b.loss).abs() < 1e-9);
         assert_eq!(a.accuracy, b.accuracy);
+    }
+
+    #[test]
+    fn packed_submodel_matches_masked_dense_bitwise() {
+        let mlp = toy_mlp();
+        let data = toy_dataset(14, 6, 3);
+        let mut rng = rng_from_seed(8);
+        let params = mlp.init_params(&mut rng);
+        // Drop units 1,4,6 of hidden0 and 0,3 of hidden1.
+        let keep: Vec<bool> = (0..13).map(|j| ![1, 4, 6, 8, 11].contains(&j)).collect();
+        let mask = mlp.unit_layout().expand_mask(&keep);
+        let masked: Vec<f32> = params.iter().zip(mask.iter()).map(|(p, m)| p * m).collect();
+        let kept = vec![vec![0usize, 2, 3, 5, 7], vec![1usize, 2, 4]];
+        let packed = mlp.pack(&kept).expect("packable");
+        assert_eq!(packed.arch().param_count(), packed.packed_len());
+
+        let indices: Vec<usize> = (0..10).collect();
+        let mut dense_grad = vec![0.0f32; mlp.param_count()];
+        let dense_stats = mlp.loss_and_grad(&masked, &data, &indices, &mut dense_grad);
+
+        let mut pp = Vec::new();
+        packed.gather_params(&masked, &mut pp);
+        let mut pgrad = vec![0.0f32; packed.packed_len()];
+        let packed_stats = packed
+            .arch()
+            .loss_and_grad(&pp, &data, &indices, &mut pgrad);
+        let mut scattered = vec![0.0f32; mlp.param_count()];
+        packed.scatter_add(&pgrad, &mut scattered);
+
+        assert_eq!(dense_stats.loss.to_bits(), packed_stats.loss.to_bits());
+        assert_eq!(dense_stats.accuracy, packed_stats.accuracy);
+        for (i, (d, p)) in dense_grad.iter().zip(scattered.iter()).enumerate() {
+            assert_eq!(d.to_bits(), p.to_bits(), "grad diverges at parameter {i}");
+        }
+        // Packed evaluation agrees with the masked-dense model too.
+        let dense_eval = mlp.evaluate(&masked, &data);
+        let packed_eval = packed.arch().evaluate(&pp, &data);
+        assert_eq!(dense_eval.loss.to_bits(), packed_eval.loss.to_bits());
+        assert_eq!(dense_eval.accuracy, packed_eval.accuracy);
+    }
+
+    #[test]
+    fn pack_rejects_empty_layers() {
+        let mlp = toy_mlp();
+        assert!(mlp.pack(&[vec![], vec![0, 1]]).is_none());
+        assert!(mlp.pack(&[(0..8).collect(), (0..5).collect()]).is_some());
     }
 
     #[test]

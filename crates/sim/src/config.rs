@@ -53,6 +53,14 @@ pub struct FlConfig {
     /// resolves from `parallelism` (serial at 1, thread pool above); results
     /// are bit-identical under every backend.
     pub backend: BackendKind,
+    /// Execute sparse clients as *physically packed* submodels (gather the
+    /// kept units into a compact model, train it, scatter the delta back)
+    /// instead of masked full models. Purely a wall-clock knob: the packed
+    /// path accumulates exactly the nonzero terms of the masked-dense path in
+    /// the same order, so results are bit-identical either way (CI's
+    /// determinism gate diffs the two). On by default; off reproduces the
+    /// historical masked-dense execution for debugging and benchmarking.
+    pub packed_execution: bool,
 }
 
 impl Default for FlConfig {
@@ -70,6 +78,7 @@ impl Default for FlConfig {
             round_mode: RoundMode::Synchronous,
             selection: SelectionKind::Uniform,
             backend: BackendKind::Auto,
+            packed_execution: true,
         }
     }
 }
@@ -144,6 +153,12 @@ impl FlConfig {
         self
     }
 
+    /// Builder-style override of the packed-submodel execution switch.
+    pub fn with_packed_execution(mut self, packed: bool) -> Self {
+        self.packed_execution = packed;
+        self
+    }
+
     /// The number of worker shards the round loop should actually use:
     /// resolves the `0 = auto` convention against the machine's core count.
     pub fn effective_parallelism(&self) -> usize {
@@ -213,6 +228,7 @@ mod tests {
                 .with_selection(SelectionKind::utility())
                 .with_backend(BackendKind::ThreadPool),
             FlConfig::default().with_selection(SelectionKind::power_of_choice()),
+            FlConfig::default().with_packed_execution(false),
         ] {
             let json = serde_json::to_string(&cfg).unwrap();
             let back: FlConfig = serde_json::from_str(&json).unwrap();
@@ -225,6 +241,16 @@ mod tests {
         assert_eq!(FlConfig::default().round_mode, RoundMode::Synchronous);
         let cfg = FlConfig::tiny().with_round_mode(RoundMode::asynchronous(2, 0.8));
         assert_eq!(cfg.round_mode.name(), "async");
+    }
+
+    #[test]
+    fn packed_execution_defaults_on() {
+        assert!(FlConfig::default().packed_execution);
+        assert!(
+            !FlConfig::default()
+                .with_packed_execution(false)
+                .packed_execution
+        );
     }
 
     #[test]

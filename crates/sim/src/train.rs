@@ -11,8 +11,10 @@ use fedlps_data::dataset::Dataset;
 use fedlps_device::{CostModel, DeviceProfile, LocalCost};
 use fedlps_nn::flops::params_to_bytes;
 use fedlps_nn::model::ModelArch;
+use fedlps_nn::pack::PackedModel;
 use fedlps_nn::sgd::SgdConfig;
 use fedlps_sparse::mask::UnitMask;
+use fedlps_sparse::plan::SubmodelPlan;
 use rand::rngs::StdRng;
 use rand::Rng;
 
@@ -95,6 +97,116 @@ pub fn local_sgd(
             Some(mask) => options.sgd.step_masked(params, &mut grad, mask),
             None => options.sgd.step(params, &mut grad),
         }
+        loss_sum += stats.loss;
+        acc_sum += stats.accuracy;
+    }
+    LocalTrainSummary {
+        mean_loss: loss_sum / options.iterations as f64,
+        mean_accuracy: acc_sum / options.iterations as f64,
+        iterations: options.iterations,
+        samples: options.iterations * batch,
+    }
+}
+
+/// Whether a masked [`local_sgd`] call can run on the physically packed
+/// submodel instead and still be **bit-identical**.
+///
+/// The packed model carries only unit-owned parameters, so every full-vector
+/// term the optimiser could read must vanish outside the packed set: the
+/// proximal gradient `μ(ω − ω^r)` and weight decay are nonzero on frozen
+/// coordinates, and a frozen-head mask cuts across unit boundaries — any of
+/// those forces the masked-dense path.
+pub fn packed_eligible(options: &LocalTrainOptions<'_>) -> bool {
+    options.prox.is_none() && options.frozen.is_none() && options.sgd.weight_decay == 0.0
+}
+
+/// Compiles a client's unit mask into a packed submodel, when packed
+/// execution is on, the options qualify ([`packed_eligible`]) and the mask
+/// extracts a connected submodel. `None` falls back to masked-dense training.
+pub fn compile_packed(
+    arch: &dyn ModelArch,
+    mask: &UnitMask,
+    options: &LocalTrainOptions<'_>,
+    packed_execution: bool,
+) -> Option<PackedModel> {
+    if !packed_execution || !packed_eligible(options) {
+        return None;
+    }
+    SubmodelPlan::from_mask(arch.unit_layout(), mask).compile(arch)
+}
+
+/// Runs [`local_sgd`] on the physically packed submodel: gather the kept
+/// parameters out of `params`, train the compact model, scatter the trained
+/// values back. `params` ends bit-identical to what masked-dense [`local_sgd`]
+/// would produce (dropped coordinates zeroed, frozen cross-connections
+/// untouched, kept coordinates trained), because the packed forward/backward
+/// accumulates exactly the same nonzero terms in the same order and the
+/// gradient outside the packed set is exactly zero — see the per-architecture
+/// equivalence tests in `fedlps-nn` and the property tests in this crate.
+pub fn local_sgd_packed(
+    packed: &PackedModel,
+    params: &mut [f32],
+    data: &Dataset,
+    options: &LocalTrainOptions<'_>,
+    rng: &mut StdRng,
+) -> LocalTrainSummary {
+    debug_assert!(packed_eligible(options), "options disqualify packing");
+    if data.is_empty() || options.iterations == 0 {
+        return LocalTrainSummary {
+            mean_loss: 0.0,
+            mean_accuracy: 0.0,
+            iterations: 0,
+            samples: 0,
+        };
+    }
+    if let Some(mask) = options.param_mask {
+        // Mirror the masked-dense prologue exactly: the dropped coordinates
+        // of the caller's buffer are zeroed (they stay out of the packed
+        // model, but downstream consumers read the full vector).
+        for (p, m) in params.iter_mut().zip(mask.iter()) {
+            *p *= m;
+        }
+    }
+    let mut pp = Vec::with_capacity(packed.packed_len());
+    packed.gather_params(params, &mut pp);
+    let summary = local_sgd_packed_values(packed, &mut pp, data, options, rng);
+    packed.scatter_params(&pp, params);
+    summary
+}
+
+/// The core packed training loop on already-gathered packed values — used by
+/// callers that never materialise a full-length buffer at all (the
+/// width-scaling baselines gather straight from the `Arc`-shared global
+/// snapshot and upload the trained values as a sparse contribution).
+pub fn local_sgd_packed_values(
+    packed: &PackedModel,
+    values: &mut [f32],
+    data: &Dataset,
+    options: &LocalTrainOptions<'_>,
+    rng: &mut StdRng,
+) -> LocalTrainSummary {
+    debug_assert!(packed_eligible(options), "options disqualify packing");
+    if data.is_empty() || options.iterations == 0 {
+        return LocalTrainSummary {
+            mean_loss: 0.0,
+            mean_accuracy: 0.0,
+            iterations: 0,
+            samples: 0,
+        };
+    }
+    let batch = options.batch_size.max(1).min(data.len());
+    let arch = packed.arch();
+    let mut grad = vec![0.0f32; packed.packed_len()];
+    let mut loss_sum = 0.0;
+    let mut acc_sum = 0.0;
+    for _ in 0..options.iterations {
+        let indices: Vec<usize> = (0..batch).map(|_| rng.gen_range(0..data.len())).collect();
+        grad.fill(0.0);
+        let stats = arch.loss_and_grad(values, data, &indices, &mut grad);
+        // The gradient outside the packed set is exactly zero, so clipping
+        // the packed gradient computes the same norm the dense path clips,
+        // and a plain step equals the masked step on the kept coordinates.
+        options.sgd.step(values, &mut grad);
         loss_sum += stats.loss;
         acc_sum += stats.accuracy;
     }
@@ -290,6 +402,102 @@ mod tests {
         let summary = local_sgd(&mlp, &mut params, &empty, &options, &mut rng);
         assert_eq!(summary.iterations, 0);
         assert_eq!(params, copy);
+    }
+
+    #[test]
+    fn packed_local_sgd_is_bit_identical_to_masked_dense() {
+        use fedlps_data::scenario::{DatasetKind, ScenarioConfig};
+        use fedlps_nn::model::ModelKind;
+        use fedlps_sparse::pattern::PatternStrategy;
+
+        for (kind, sgd) in [
+            (DatasetKind::MnistLike, SgdConfig::vision()),
+            (DatasetKind::Cifar10Like, SgdConfig::vision()),
+            (DatasetKind::RedditLike, SgdConfig::text()),
+        ] {
+            let data = ScenarioConfig::tiny(kind).build();
+            let arch = ModelKind::for_dataset(kind).build(data.input, data.num_classes);
+            let client_data = &data.clients[0].train;
+            let mut rng = rng_from_seed(31);
+            let init = arch.init_params(&mut rng);
+            let mask = PatternStrategy::Ordered.build_mask(
+                arch.unit_layout(),
+                &init,
+                None,
+                0.5,
+                0,
+                &mut rng,
+            );
+            let pmask = mask.param_mask(arch.unit_layout());
+            let options = LocalTrainOptions {
+                iterations: 4,
+                batch_size: 6,
+                sgd,
+                param_mask: Some(&pmask),
+                prox: None,
+                frozen: None,
+            };
+            assert!(packed_eligible(&options));
+            let packed =
+                compile_packed(&*arch, &mask, &options, true).expect("tiny masks are packable");
+            assert!(compile_packed(&*arch, &mask, &options, false).is_none());
+
+            let mut dense_params = init.clone();
+            let mut rng_dense = rng_from_seed(77);
+            let dense = local_sgd(
+                &*arch,
+                &mut dense_params,
+                client_data,
+                &options,
+                &mut rng_dense,
+            );
+
+            let mut packed_params = init.clone();
+            let mut rng_packed = rng_from_seed(77);
+            let summary = local_sgd_packed(
+                &packed,
+                &mut packed_params,
+                client_data,
+                &options,
+                &mut rng_packed,
+            );
+
+            assert_eq!(dense.mean_loss.to_bits(), summary.mean_loss.to_bits());
+            assert_eq!(dense.mean_accuracy, summary.mean_accuracy);
+            for (i, (d, p)) in dense_params.iter().zip(packed_params.iter()).enumerate() {
+                assert_eq!(
+                    d.to_bits(),
+                    p.to_bits(),
+                    "{kind:?}: trained parameter {i} diverges"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn prox_and_decay_disqualify_packing() {
+        let (mlp, _) = toy();
+        let global = vec![0.0f32; mlp.param_count()];
+        let base = LocalTrainOptions {
+            iterations: 1,
+            batch_size: 4,
+            sgd: SgdConfig::vision(),
+            param_mask: None,
+            prox: None,
+            frozen: None,
+        };
+        assert!(packed_eligible(&base));
+        assert!(!packed_eligible(&LocalTrainOptions {
+            prox: Some((0.5, &global)),
+            ..base
+        }));
+        assert!(!packed_eligible(&LocalTrainOptions {
+            frozen: Some(&global),
+            ..base
+        }));
+        let mut decayed = base;
+        decayed.sgd.weight_decay = 0.1;
+        assert!(!packed_eligible(&decayed));
     }
 
     #[test]

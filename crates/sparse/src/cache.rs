@@ -25,15 +25,23 @@
 //! inserts, invalidations and hit/miss accounting happen in the serial
 //! absorb phase of the round loop.
 
+use std::sync::Arc;
+
+use fedlps_nn::pack::PackedModel;
+
 use crate::mask::UnitMask;
 use crate::ratio::retained_per_layer;
 
 /// One client's cached pattern plus the quantized ratio key it was built at.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 struct CacheEntry {
     /// Per-layer retained-unit counts implied by the ratio at build time.
     counts: Vec<usize>,
     mask: UnitMask,
+    /// The compiled packed submodel of `mask`, attached lazily once a packed
+    /// execution path has compiled it, and shared with parallel client tasks
+    /// through the `Arc`.
+    plan: Option<Arc<PackedModel>>,
     /// How many participations this entry has already been served to (drives
     /// the optional [`refresh_every`](MaskCache::with_refresh_every) rebuild).
     served: u32,
@@ -126,6 +134,23 @@ impl MaskCache {
         }
     }
 
+    /// The compiled packed submodel cached next to `client`'s mask, under the
+    /// same validity conditions as [`lookup`](Self::lookup). Pure read; the
+    /// `Arc` lets parallel client tasks execute the plan without copying it.
+    pub fn lookup_plan(&self, client: usize, ratio: f64) -> Option<Arc<PackedModel>> {
+        self.lookup(client, ratio)?;
+        self.entries[client].as_ref()?.plan.clone()
+    }
+
+    /// Attaches a compiled plan to `client`'s current entry (no-op when the
+    /// client holds no entry). Called from the serial absorb phase after a
+    /// task compiled the plan the cache was missing.
+    pub fn attach_plan(&mut self, client: usize, plan: Arc<PackedModel>) {
+        if let Some(Some(entry)) = self.entries.get_mut(client) {
+            entry.plan = Some(plan);
+        }
+    }
+
     /// Whether `client` currently holds a (possibly stale-keyed) entry.
     pub fn contains(&self, client: usize) -> bool {
         self.entries.get(client).is_some_and(|e| e.is_some())
@@ -142,6 +167,7 @@ impl MaskCache {
         self.entries[client] = Some(CacheEntry {
             counts,
             mask,
+            plan: None,
             served: 0,
         });
     }
@@ -370,5 +396,44 @@ mod tests {
     #[should_panic]
     fn zero_refresh_period_rejected() {
         cache().with_refresh_every(Some(0));
+    }
+
+    #[test]
+    fn compiled_plans_ride_their_mask_entries() {
+        use crate::plan::SubmodelPlan;
+        use fedlps_nn::mlp::{Mlp, MlpConfig};
+        use fedlps_nn::model::ModelArch;
+        use std::sync::Arc;
+
+        let mlp = Mlp::new(MlpConfig {
+            input_dim: 3,
+            hidden: vec![4],
+            num_classes: 2,
+        });
+        let mut c = MaskCache::new(2, vec![4]);
+        let mask = mask_of(&[true, true, false, false]);
+        c.insert(0, 0.5, mask.clone());
+        assert!(c.lookup_plan(0, 0.5).is_none(), "no plan compiled yet");
+
+        let packed = SubmodelPlan::from_mask(mlp.unit_layout(), &mask)
+            .compile(&mlp)
+            .expect("packable");
+        c.attach_plan(0, Arc::new(packed));
+        assert!(c.lookup_plan(0, 0.5).is_some(), "plan serves with the mask");
+        // The plan obeys the same validity rules as the mask itself.
+        assert!(
+            c.lookup_plan(0, 0.125).is_none(),
+            "shape change invalidates"
+        );
+        assert!(c.lookup_plan(1, 0.5).is_none(), "other clients unaffected");
+        // Replacing the entry drops the stale plan.
+        c.insert(0, 0.5, mask_of(&[false, false, true, true]));
+        assert!(c.lookup_plan(0, 0.5).is_none());
+        // Attaching to a client without an entry is a no-op, not a panic.
+        let other = SubmodelPlan::from_mask(mlp.unit_layout(), &mask)
+            .compile(&mlp)
+            .expect("packable");
+        c.attach_plan(1, Arc::new(other));
+        assert!(c.lookup_plan(1, 0.5).is_none());
     }
 }

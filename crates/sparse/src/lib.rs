@@ -18,8 +18,10 @@
 pub mod cache;
 pub mod mask;
 pub mod pattern;
+pub mod plan;
 pub mod ratio;
 
 pub use cache::MaskCache;
 pub use mask::UnitMask;
 pub use pattern::PatternStrategy;
+pub use plan::SubmodelPlan;

@@ -15,11 +15,13 @@ pub mod init;
 pub mod matrix;
 pub mod ops;
 pub mod rng;
+pub mod scratch;
 pub mod stats;
 
 pub use init::{he_std, xavier_std, Initializer};
 pub use matrix::Matrix;
 pub use rng::{rng_from_seed, split_seed};
+pub use scratch::ScratchPool;
 
 /// Numerical tolerance used by tests and the finite-difference gradient checker.
 pub const EPS: f32 = 1e-5;

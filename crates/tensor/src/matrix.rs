@@ -144,12 +144,20 @@ impl Matrix {
     /// # Panics
     /// Panics if the inner dimensions disagree.
     pub fn matmul(&self, other: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        self.matmul_into(other, &mut out);
+        out
+    }
+
+    /// [`matmul`](Self::matmul) writing into a caller-provided zeroed output
+    /// (accumulates on top of whatever `out` holds).
+    pub fn matmul_into(&self, other: &Matrix, out: &mut Matrix) {
         assert_eq!(
             self.cols, other.rows,
             "matmul dimension mismatch: {}x{} * {}x{}",
             self.rows, self.cols, other.rows, other.cols
         );
-        let mut out = Matrix::zeros(self.rows, other.cols);
+        assert_eq!((out.rows, out.cols), (self.rows, other.cols));
         for i in 0..self.rows {
             let a_row = self.row(i);
             let out_row = out.row_mut(i);
@@ -163,13 +171,20 @@ impl Matrix {
                 }
             }
         }
-        out
     }
 
     /// `self^T * other`.
     pub fn matmul_tn(&self, other: &Matrix) -> Matrix {
-        assert_eq!(self.rows, other.rows, "matmul_tn dimension mismatch");
         let mut out = Matrix::zeros(self.cols, other.cols);
+        self.matmul_tn_into(other, &mut out);
+        out
+    }
+
+    /// [`matmul_tn`](Self::matmul_tn) writing into a caller-provided zeroed
+    /// output (accumulates on top of whatever `out` holds).
+    pub fn matmul_tn_into(&self, other: &Matrix, out: &mut Matrix) {
+        assert_eq!(self.rows, other.rows, "matmul_tn dimension mismatch");
+        assert_eq!((out.rows, out.cols), (self.cols, other.cols));
         for k in 0..self.rows {
             let a_row = self.row(k);
             let b_row = other.row(k);
@@ -183,25 +198,88 @@ impl Matrix {
                 }
             }
         }
-        out
     }
 
     /// `self * other^T`.
+    ///
+    /// Skips `a == 0.0` operands like [`matmul`](Self::matmul) and
+    /// [`matmul_tn`](Self::matmul_tn) do: masked-out activations contribute
+    /// nothing, so sparse inputs get cheaper instead of burning multiply-adds
+    /// on exact zeros. The packed-submodel execution path relies on all three
+    /// variants accumulating only the nonzero terms, in ascending-index
+    /// order, to stay bit-identical with the masked-dense path.
     pub fn matmul_nt(&self, other: &Matrix) -> Matrix {
         assert_eq!(self.cols, other.cols, "matmul_nt dimension mismatch");
         let mut out = Matrix::zeros(self.rows, other.rows);
+        self.matmul_nt_into(other, &mut out);
+        out
+    }
+
+    /// [`matmul_nt`](Self::matmul_nt) writing into a caller-provided output
+    /// (overwritten), so hot loops can reuse a [`ScratchPool`](crate::scratch::ScratchPool)
+    /// buffer instead of allocating per call.
+    pub fn matmul_nt_into(&self, other: &Matrix, out: &mut Matrix) {
+        assert_eq!(self.cols, other.cols, "matmul_nt dimension mismatch");
+        assert_eq!((out.rows, out.cols), (self.rows, other.rows));
         for i in 0..self.rows {
             let a_row = self.row(i);
             for j in 0..other.rows {
                 let b_row = other.row(j);
                 let mut acc = 0.0;
                 for (&a, &b) in a_row.iter().zip(b_row.iter()) {
+                    if a == 0.0 {
+                        continue;
+                    }
                     acc += a * b;
                 }
                 out.set(i, j, acc);
             }
         }
-        out
+    }
+
+    /// Rows of `self` selected by `rows`, in the given order, as a new matrix.
+    ///
+    /// # Panics
+    /// Panics if any index is out of range.
+    pub fn gather_rows(&self, rows: &[usize]) -> Matrix {
+        let mut data = Vec::with_capacity(rows.len() * self.cols);
+        for &r in rows {
+            data.extend_from_slice(self.row(r));
+        }
+        Matrix::from_vec(rows.len(), self.cols, data)
+    }
+
+    /// Columns of `self` selected by `cols`, in the given order, as a new
+    /// matrix.
+    ///
+    /// # Panics
+    /// Panics if any index is out of range.
+    pub fn gather_cols(&self, cols: &[usize]) -> Matrix {
+        let mut data = Vec::with_capacity(self.rows * cols.len());
+        for r in 0..self.rows {
+            let row = self.row(r);
+            for &c in cols {
+                assert!(c < self.cols, "gather_cols index {c} out of range");
+                data.push(row[c]);
+            }
+        }
+        Matrix::from_vec(self.rows, cols.len(), data)
+    }
+
+    /// Adds each row of `src` into the row of `self` named by `rows`
+    /// (the inverse of [`gather_rows`](Self::gather_rows), accumulating): the
+    /// scatter half of the packed-submodel gather/scatter pair.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch or out-of-range indices.
+    pub fn scatter_add_rows(&mut self, rows: &[usize], src: &Matrix) {
+        assert_eq!(rows.len(), src.rows, "scatter_add_rows row-count mismatch");
+        assert_eq!(self.cols, src.cols, "scatter_add_rows column mismatch");
+        for (i, &r) in rows.iter().enumerate() {
+            for (dst, &v) in self.row_mut(r).iter_mut().zip(src.row(i).iter()) {
+                *dst += v;
+            }
+        }
     }
 
     /// Transposed copy of the matrix.
@@ -355,6 +433,71 @@ mod tests {
         let a = Matrix::zeros(2, 3);
         let b = Matrix::zeros(2, 3);
         let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn matmul_nt_skips_zero_operands_without_changing_results() {
+        // Sparse activations (exact zeros from masking / ReLU) must produce
+        // the same output whether or not the zero terms are visited.
+        let mut a = Matrix::from_fn(3, 5, |r, c| ((r * 5 + c) as f32 * 0.3).sin());
+        for r in 0..3 {
+            a.row_mut(r)[1] = 0.0;
+            a.row_mut(r)[3] = 0.0;
+        }
+        let b = Matrix::from_fn(4, 5, |r, c| ((r + c) as f32 * 0.7).cos());
+        let via_nt = a.matmul_nt(&b);
+        let explicit = a.matmul(&b.transpose());
+        assert_eq!(via_nt.as_slice(), explicit.as_slice());
+    }
+
+    #[test]
+    fn into_variants_match_allocating_variants() {
+        let a = Matrix::from_fn(3, 4, |r, c| (r as f32) - 0.3 * c as f32);
+        let b = Matrix::from_fn(4, 2, |r, c| (r * 2 + c) as f32 * 0.1);
+        let bt = b.transpose();
+        let mut out = Matrix::zeros(3, 2);
+        a.matmul_into(&b, &mut out);
+        assert_eq!(out, a.matmul(&b));
+        let mut out_tn = Matrix::zeros(4, 4);
+        a.matmul_tn_into(&a, &mut out_tn);
+        assert_eq!(out_tn, a.matmul_tn(&a));
+        let mut out_nt = Matrix::zeros(3, 2);
+        a.matmul_nt_into(&bt, &mut out_nt);
+        assert_eq!(out_nt, a.matmul_nt(&bt));
+    }
+
+    #[test]
+    fn gather_rows_and_cols_select_in_order() {
+        let m = Matrix::from_fn(4, 3, |r, c| (r * 10 + c) as f32);
+        let rows = m.gather_rows(&[2, 0]);
+        assert_eq!(rows.as_slice(), &[20.0, 21.0, 22.0, 0.0, 1.0, 2.0]);
+        let cols = m.gather_cols(&[2, 1]);
+        assert_eq!(cols.rows(), 4);
+        assert_eq!(cols.row(1), &[12.0, 11.0]);
+        // Composition extracts the packed submodel block.
+        let block = m.gather_rows(&[1, 3]).gather_cols(&[0, 2]);
+        assert_eq!(block.as_slice(), &[10.0, 12.0, 30.0, 32.0]);
+    }
+
+    #[test]
+    fn scatter_add_rows_inverts_gather_rows() {
+        let m = Matrix::from_fn(4, 3, |r, c| (r + c) as f32);
+        let picked = [3, 1];
+        let sub = m.gather_rows(&picked);
+        let mut acc = Matrix::zeros(4, 3);
+        acc.scatter_add_rows(&picked, &sub);
+        for &r in &picked {
+            assert_eq!(acc.row(r), m.row(r));
+        }
+        assert_eq!(acc.row(0), &[0.0; 3]);
+        acc.scatter_add_rows(&picked, &sub);
+        assert_eq!(acc.row(1), &[2.0, 4.0, 6.0], "scatter accumulates");
+    }
+
+    #[test]
+    #[should_panic]
+    fn gather_rows_out_of_range_panics() {
+        Matrix::zeros(2, 2).gather_rows(&[2]);
     }
 
     #[test]

@@ -1,0 +1,123 @@
+//! A reusable scratch-buffer pool for transient matrices.
+//!
+//! The per-batch forward/backward passes of the neural-network layers need a
+//! handful of short-lived matrices (weight blocks, gradient accumulators,
+//! re-materialised activations). Allocating them fresh on every minibatch
+//! turns the hot loop into an allocator benchmark; [`ScratchPool`] recycles
+//! the backing buffers instead. [`with_pool`] exposes one pool per thread so
+//! the pure, `&self` model code can borrow scratch space without threading a
+//! pool parameter through every call — and without any cross-thread sharing
+//! that could perturb the deterministic execution backends.
+//!
+//! Buffers handed out by [`take`](ScratchPool::take) are always zero-filled,
+//! so pooled and freshly-allocated matrices are interchangeable bit for bit.
+
+use std::cell::RefCell;
+
+use crate::matrix::Matrix;
+
+/// A last-in-first-out pool of `Vec<f32>` buffers re-shaped into matrices on
+/// demand.
+#[derive(Debug, Default)]
+pub struct ScratchPool {
+    free: Vec<Vec<f32>>,
+}
+
+impl ScratchPool {
+    /// Creates an empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A zero-filled `rows x cols` matrix, reusing a pooled buffer when one
+    /// is available.
+    pub fn take(&mut self, rows: usize, cols: usize) -> Matrix {
+        let len = rows * cols;
+        match self.free.pop() {
+            Some(mut buf) => {
+                buf.clear();
+                buf.resize(len, 0.0);
+                Matrix::from_vec(rows, cols, buf)
+            }
+            None => Matrix::zeros(rows, cols),
+        }
+    }
+
+    /// Returns a matrix's backing buffer to the pool for reuse.
+    pub fn recycle(&mut self, m: Matrix) {
+        self.free.push(m.into_vec());
+    }
+
+    /// Number of idle buffers currently held.
+    pub fn idle(&self) -> usize {
+        self.free.len()
+    }
+}
+
+thread_local! {
+    static POOL: RefCell<ScratchPool> = RefCell::new(ScratchPool::new());
+}
+
+/// Runs `f` with this thread's scratch pool.
+///
+/// Re-entrant: the pool is moved out of the thread-local slot for the
+/// duration of `f`, so a nested `with_pool` call (e.g. an architecture whose
+/// hot loop composes another pooled model) starts from an empty pool instead
+/// of panicking on a second `RefCell` borrow. Buffers a nested call leaves
+/// behind are folded back into the outer pool on exit, so nothing leaks.
+pub fn with_pool<R>(f: impl FnOnce(&mut ScratchPool) -> R) -> R {
+    let mut pool = POOL.with(RefCell::take);
+    let result = f(&mut pool);
+    POOL.with(|cell| {
+        let nested = cell.take();
+        pool.free.extend(nested.free);
+        cell.replace(pool);
+    });
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_returns_zeroed_matrices() {
+        let mut pool = ScratchPool::new();
+        let mut m = pool.take(2, 3);
+        assert_eq!(m.as_slice(), &[0.0; 6]);
+        m.as_mut_slice().fill(7.0);
+        pool.recycle(m);
+        // The recycled buffer comes back clean even at a different shape.
+        let again = pool.take(3, 3);
+        assert_eq!(again.as_slice(), &[0.0; 9]);
+    }
+
+    #[test]
+    fn recycling_reuses_buffers() {
+        let mut pool = ScratchPool::new();
+        let m = pool.take(4, 4);
+        assert_eq!(pool.idle(), 0);
+        pool.recycle(m);
+        assert_eq!(pool.idle(), 1);
+        let _ = pool.take(2, 2);
+        assert_eq!(pool.idle(), 0, "the pooled buffer was reused");
+    }
+
+    #[test]
+    fn thread_local_pool_is_usable_reentrantly() {
+        let outer = with_pool(|pool| {
+            let m = pool.take(2, 2);
+            pool.recycle(m);
+            // A nested call must not panic, and its recycled buffers must
+            // survive into the shared pool.
+            with_pool(|inner| {
+                let m = inner.take(3, 3);
+                inner.recycle(m);
+            });
+            pool.idle()
+        });
+        assert!(outer >= 1);
+        // A later borrow on the same thread sees both pools' buffers.
+        with_pool(|pool| assert!(pool.idle() >= 2));
+    }
+}

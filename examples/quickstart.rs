@@ -5,7 +5,7 @@
 //! cargo run --release --example quickstart
 //! ```
 //!
-//! Five environment variables support CI's determinism gate (and general
+//! Six environment variables support CI's determinism gate (and general
 //! scripting): `FEDLPS_PARALLELISM` sets the round-loop shard count
 //! (default 1 = serial, 0 = all cores), `FEDLPS_ROUND_MODE` picks the
 //! execution semantics (`sync` = the default synchronous barrier,
@@ -15,11 +15,13 @@
 //! (`uniform` = the default, `utility` = Oort-style utility selection,
 //! `power` = power-of-choice; see `examples/utility_selection.rs`),
 //! `FEDLPS_BACKEND` picks the execution backend (`auto` | `serial` |
-//! `threadpool`) and `FEDLPS_METRICS_JSON` names a file to which the full
-//! `RunResult` is written as JSON. Runs at any parallelism level and on any
-//! backend are bit-identical for the same seed *in every mode and under
-//! every policy*, which the CI matrix enforces by diffing the JSON of serial
-//! and sharded runs across modes and policies.
+//! `threadpool`), `FEDLPS_PACKED` toggles physically packed submodel
+//! execution (`1` = packed, the default; `0` = masked-dense) and
+//! `FEDLPS_METRICS_JSON` names a file to which the full `RunResult` is
+//! written as JSON. Runs at any parallelism level, on any backend and with
+//! packing on or off are bit-identical for the same seed *in every mode and
+//! under every policy*, which the CI matrix enforces by diffing the JSON of
+//! serial/sharded and packed/masked runs across modes and policies.
 
 use fedlps::prelude::*;
 
@@ -57,6 +59,14 @@ fn main() {
             .unwrap_or_else(|| panic!("FEDLPS_BACKEND must be auto|serial|threadpool, got {v:?}")),
         Err(_) => BackendKind::Auto,
     };
+    let packed_execution = match std::env::var("FEDLPS_PACKED") {
+        Ok(v) => match v.as_str() {
+            "1" | "on" | "true" => true,
+            "0" | "off" | "false" => false,
+            other => panic!("FEDLPS_PACKED must be 0|1, got {other:?}"),
+        },
+        Err(_) => true,
+    };
     let scenario = ScenarioConfig::small(DatasetKind::MnistLike).with_clients(16);
     let fl_config = FlConfig {
         rounds: 20,
@@ -68,6 +78,7 @@ fn main() {
         round_mode,
         selection,
         backend,
+        packed_execution,
         ..FlConfig::default()
     };
     let env = FlEnv::from_scenario(&scenario, HeterogeneityLevel::High, fl_config);
@@ -124,6 +135,14 @@ fn main() {
     println!(
         "execution backend:                {}",
         sim.env().config.backend.name()
+    );
+    println!(
+        "submodel execution:               {}",
+        if sim.env().config.packed_execution {
+            "packed (physically small submodels)"
+        } else {
+            "masked-dense"
+        }
     );
     if let Some(cache) = fedlps.mask_cache() {
         println!(
