@@ -54,6 +54,7 @@ pub struct RatioFeedback {
     pub accuracy: f64,
 }
 
+#[derive(Debug)]
 enum AgentState {
     Stateless,
     PUcbv(Box<PUcbv>),
@@ -61,6 +62,7 @@ enum AgentState {
 }
 
 /// Per-client ratio decision state for a whole federation.
+#[derive(Debug)]
 pub struct RatioController {
     policy: RatioPolicy,
     capabilities: Vec<f64>,

@@ -22,6 +22,7 @@ use rand::rngs::StdRng;
 /// started from — no per-task full-model clone — and its unit mask. The two
 /// forms aggregate bit-identically: every mask-covered coordinate outside the
 /// packed set is frozen at the base value during packed training.
+#[derive(Debug)]
 pub enum ContribParams {
     Dense {
         params: Vec<f32>,
@@ -37,6 +38,7 @@ pub enum ContribParams {
 
 /// A staged contribution from one client: its aggregation weight and its
 /// trained parameters (dense or packed).
+#[derive(Debug)]
 pub struct Contribution {
     pub client_id: usize,
     pub weight: f64,

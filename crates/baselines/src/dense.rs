@@ -47,6 +47,7 @@ impl DenseVariant {
 }
 
 /// Driver for the conventional dense-FL family.
+#[derive(Debug)]
 pub struct DenseFl {
     variant: DenseVariant,
     global: Vec<f32>,

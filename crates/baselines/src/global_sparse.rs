@@ -48,6 +48,7 @@ impl GlobalSparseVariant {
 }
 
 /// Driver for the globally sparse family.
+#[derive(Debug)]
 pub struct GlobalSparse {
     variant: GlobalSparseVariant,
     global: Vec<f32>,

@@ -57,6 +57,7 @@ impl PersonalizedVariant {
 }
 
 /// Driver for the personalized dense family.
+#[derive(Debug)]
 pub struct PersonalizedFl {
     variant: PersonalizedVariant,
     global: Vec<f32>,

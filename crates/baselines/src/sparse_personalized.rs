@@ -76,6 +76,7 @@ struct PersonalState {
 }
 
 /// Driver for the personalized sparse family.
+#[derive(Debug)]
 pub struct SparsePersonalized {
     variant: SparsePersonalizedVariant,
     global: Vec<f32>,

@@ -76,6 +76,7 @@ impl WidthVariant {
 }
 
 /// Driver for the width/depth-scaling family.
+#[derive(Debug)]
 pub struct WidthScaling {
     variant: WidthVariant,
     /// The immutable global snapshot, `Arc`-shared with every in-flight

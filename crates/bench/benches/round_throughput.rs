@@ -128,6 +128,8 @@ fn bench_round_throughput(c: &mut Criterion) {
             let sim = sparse_sim(packed);
             (0..3)
                 .map(|_| {
+                    #[allow(clippy::disallowed_methods)]
+                    // fedlps-lint: allow(D2, wall-clock speedup measurement is this bench's entire job; the ratio is asserted and never fed back into simulation state)
                     let start = std::time::Instant::now();
                     let mut algo = FedLps::new(FedLpsConfig::flst(ratio));
                     let _ = sim.run(&mut algo);

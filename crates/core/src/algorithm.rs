@@ -50,6 +50,7 @@ struct FedLpsUpdate {
 /// Create it with [`FedLps::new`], hand it to
 /// [`Simulator::run`](fedlps_sim::runner::Simulator::run) and read the
 /// resulting [`RunResult`](fedlps_sim::metrics::RunResult).
+#[derive(Debug)]
 pub struct FedLps {
     config: FedLpsConfig,
     global: Vec<f32>,

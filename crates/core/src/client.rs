@@ -104,6 +104,7 @@ pub struct ClientTask<'a> {
 
 /// The result of running a [`ClientTask`]: the upload outcome plus the new
 /// persistent state (returned, not written in place, to keep the task pure).
+#[derive(Debug)]
 pub struct ClientTaskOutput {
     /// Residual, mask and training statistics (Algorithm 1 lines 23-27).
     pub outcome: ClientUpdateOutcome,
@@ -116,6 +117,19 @@ pub struct ClientTaskOutput {
     /// it to the mask cache so the next participation at this shape skips
     /// compilation.
     pub plan: Option<Arc<PackedModel>>,
+}
+
+impl std::fmt::Debug for ClientTask<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ClientTask")
+            .field("arch", &self.arch.name())
+            .field("params", &self.global.len())
+            .field("options", &self.options)
+            .field("cached_mask", &self.cached_mask.is_some())
+            .field("packed_execution", &self.packed_execution)
+            .field("cached_plan", &self.cached_plan.is_some())
+            .finish_non_exhaustive()
+    }
 }
 
 impl ClientTask<'_> {

@@ -1,0 +1,303 @@
+//! The audit engine: walks the workspace, lexes every `.rs` file, applies
+//! the rules and then the inline waivers.
+//!
+//! Waiver syntax, parsed from any comment:
+//!
+//! ```text
+//! // fedlps-lint: allow(D2, wall-clock timing is this bench's entire job)
+//! ```
+//!
+//! A waiver on its own line covers the next line that carries code (stacked
+//! waivers all cover that line); a trailing waiver covers its own line. The
+//! reason is mandatory — `allow(D2)` is itself a W1 finding — and a waiver
+//! that suppresses nothing is a W2 finding, so stale allows surface instead
+//! of rotting.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::lexer::{lex, Comment, Lexed};
+use crate::rules::{check_file, Finding, RuleId};
+
+/// A parsed `fedlps-lint: allow(...)` waiver.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Waiver {
+    pub file: String,
+    /// Line of the waiver comment itself.
+    pub line: u32,
+    /// The line whose findings this waiver suppresses.
+    pub target_line: u32,
+    pub rule: Option<RuleId>,
+    pub reason: String,
+    /// Raw rule text, kept for the W-finding message when unparseable.
+    pub rule_text: String,
+}
+
+/// The complete result of one workspace audit.
+#[derive(Debug, Clone, Default)]
+pub struct AuditReport {
+    /// Findings that survived waiver application, sorted by (file, line, col).
+    pub findings: Vec<Finding>,
+    /// Findings suppressed by a (reasoned) waiver.
+    pub waived: Vec<Finding>,
+    /// Every waiver encountered, used or not.
+    pub waivers: Vec<Waiver>,
+    pub files_scanned: usize,
+}
+
+impl AuditReport {
+    /// Whether the audit passed (no live findings).
+    pub fn clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+}
+
+/// Directory names never descended into.
+const SKIP_DIRS: &[&str] = &["target", "vendor", ".git", ".github"];
+
+/// Path suffixes excluded from the audit: the lint crate's own fixtures are
+/// known-bad snippets by design.
+const SKIP_SUFFIXES: &[&str] = &["crates/lint/tests/fixtures"];
+
+/// Recursively collects every auditable `.rs` file under `root`, sorted so
+/// reports (and the JSON artifact) are byte-stable across filesystems.
+pub fn collect_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let mut entries: Vec<_> = fs::read_dir(&dir)?
+            .collect::<std::io::Result<Vec<_>>>()?
+            .into_iter()
+            .map(|e| e.path())
+            .collect();
+        entries.sort();
+        for path in entries {
+            let name = path
+                .file_name()
+                .and_then(|n| n.to_str())
+                .unwrap_or_default();
+            if path.is_dir() {
+                if SKIP_DIRS.contains(&name) || name.starts_with('.') {
+                    continue;
+                }
+                let rel = relative_unix(root, &path);
+                if SKIP_SUFFIXES.iter().any(|s| rel.ends_with(s)) {
+                    continue;
+                }
+                stack.push(path);
+            } else if name.ends_with(".rs") {
+                files.push(path);
+            }
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+fn relative_unix(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// Parses every waiver out of a file's comments. `lexed` supplies both the
+/// comments and the token lines needed to resolve each waiver's target.
+pub fn parse_waivers(file: &str, lexed: &Lexed) -> Vec<Waiver> {
+    let mut out = Vec::new();
+    for comment in &lexed.comments {
+        // Doc comments only *describe* the waiver syntax; a real waiver is
+        // a plain `//` comment at the use site.
+        if comment.doc {
+            continue;
+        }
+        let Some((rule_text, reason)) = parse_allow(&comment.text) else {
+            continue;
+        };
+        out.push(Waiver {
+            file: file.to_string(),
+            line: comment.line,
+            target_line: waiver_target(comment, lexed),
+            rule: RuleId::parse(&rule_text),
+            reason,
+            rule_text,
+        });
+    }
+    out
+}
+
+/// Extracts `(rule, reason)` from a comment containing
+/// `fedlps-lint: allow(RULE, reason…)`. The reason may be empty (W1 catches
+/// that later); returns `None` when the comment is not a waiver at all.
+fn parse_allow(text: &str) -> Option<(String, String)> {
+    let rest = text.split("fedlps-lint:").nth(1)?.trim_start();
+    let rest = rest.strip_prefix("allow")?.trim_start();
+    let rest = rest.strip_prefix('(')?;
+    let body = rest.rfind(')').map_or(rest, |end| &rest[..end]);
+    match body.split_once(',') {
+        Some((rule, reason)) => Some((rule.trim().to_string(), reason.trim().to_string())),
+        None => Some((body.trim().to_string(), String::new())),
+    }
+}
+
+/// The line a waiver suppresses: its own line when code precedes it (a
+/// trailing comment), otherwise the next line that carries any token.
+fn waiver_target(comment: &Comment, lexed: &Lexed) -> u32 {
+    let trailing = lexed
+        .tokens
+        .iter()
+        .any(|t| t.line == comment.line && t.col < comment.col);
+    if trailing {
+        return comment.line;
+    }
+    lexed
+        .tokens
+        .iter()
+        .map(|t| t.line)
+        .filter(|&l| l > comment.line)
+        .min()
+        .unwrap_or(comment.line)
+}
+
+/// Audits one file's source text.
+pub fn audit_source(file: &str, src: &str, report: &mut AuditReport) {
+    let lexed = lex(src);
+    let findings = check_file(file, &lexed);
+    let waivers = parse_waivers(file, &lexed);
+    let mut used = vec![false; waivers.len()];
+
+    for finding in findings {
+        let waiver = waivers.iter().position(|w| {
+            w.rule == Some(finding.rule) && w.target_line == finding.line && !w.reason.is_empty()
+        });
+        match waiver {
+            Some(i) => {
+                used[i] = true;
+                report.waived.push(finding);
+            }
+            None => report.findings.push(finding),
+        }
+    }
+
+    for (waiver, used) in waivers.iter().zip(&used) {
+        if waiver.reason.is_empty() || waiver.rule.is_none() {
+            report.findings.push(Finding {
+                rule: RuleId::W1,
+                file: file.to_string(),
+                line: waiver.line,
+                col: 1,
+                message: if waiver.rule.is_none() {
+                    format!("waiver names unknown rule `{}`", waiver.rule_text)
+                } else {
+                    format!(
+                        "waiver for {} has no reason; write \
+                         `fedlps-lint: allow({}, why this is safe)`",
+                        waiver.rule_text, waiver.rule_text
+                    )
+                },
+            });
+        } else if !used {
+            report.findings.push(Finding {
+                rule: RuleId::W2,
+                file: file.to_string(),
+                line: waiver.line,
+                col: 1,
+                message: format!(
+                    "waiver for {} suppresses nothing on line {}; remove the stale allow",
+                    waiver.rule_text, waiver.target_line
+                ),
+            });
+        }
+    }
+    report.waivers.extend(waivers);
+}
+
+/// Audits the whole workspace rooted at `root`.
+pub fn audit_workspace(root: &Path) -> std::io::Result<AuditReport> {
+    let mut report = AuditReport::default();
+    for path in collect_files(root)? {
+        let rel = relative_unix(root, &path);
+        let src = fs::read_to_string(&path)?;
+        audit_source(&rel, &src, &mut report);
+        report.files_scanned += 1;
+    }
+    report
+        .findings
+        .sort_by(|a, b| (&a.file, a.line, a.col, a.rule).cmp(&(&b.file, b.line, b.col, b.rule)));
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn audit(src: &str) -> AuditReport {
+        let mut report = AuditReport::default();
+        audit_source("crates/sim/src/x.rs", src, &mut report);
+        report
+    }
+
+    #[test]
+    fn waiver_suppresses_next_line() {
+        let report = audit(
+            "// fedlps-lint: allow(D1, ordering is re-sorted two lines down)\n\
+             let m = HashMap::new();\n",
+        );
+        assert!(report.clean(), "findings: {:?}", report.findings);
+        assert_eq!(report.waived.len(), 1);
+    }
+
+    #[test]
+    fn trailing_waiver_suppresses_own_line() {
+        let report = audit("let t = Instant::now(); // fedlps-lint: allow(D2, test-only timing)\n");
+        assert!(report.clean(), "findings: {:?}", report.findings);
+    }
+
+    #[test]
+    fn reasonless_waiver_is_w1_and_suppresses_nothing() {
+        let report = audit("// fedlps-lint: allow(D1)\nlet m = HashMap::new();\n");
+        let rules: Vec<_> = report.findings.iter().map(|f| f.rule).collect();
+        assert!(rules.contains(&RuleId::D1), "the violation stays live");
+        assert!(rules.contains(&RuleId::W1), "and the waiver is flagged");
+    }
+
+    #[test]
+    fn stale_waiver_is_w2() {
+        let report = audit("// fedlps-lint: allow(D1, nothing here anymore)\nlet x = 1;\n");
+        assert_eq!(report.findings.len(), 1);
+        assert_eq!(report.findings[0].rule, RuleId::W2);
+    }
+
+    #[test]
+    fn unknown_rule_is_w1() {
+        let report = audit("// fedlps-lint: allow(D9, no such rule)\nlet x = 1;\n");
+        assert_eq!(report.findings.len(), 1);
+        assert_eq!(report.findings[0].rule, RuleId::W1);
+    }
+
+    #[test]
+    fn waiver_is_rule_specific() {
+        let report = audit(
+            "// fedlps-lint: allow(D1, wrong rule for this line)\n\
+             let t = Instant::now();\n",
+        );
+        let rules: Vec<_> = report.findings.iter().map(|f| f.rule).collect();
+        assert!(
+            rules.contains(&RuleId::D2),
+            "D2 stays live under a D1 waiver"
+        );
+        assert!(rules.contains(&RuleId::W2), "and the D1 waiver is stale");
+    }
+
+    #[test]
+    fn stacked_waivers_cover_one_line() {
+        let report = audit(
+            "// fedlps-lint: allow(D1, buffered then drained in sorted order)\n\
+             // fedlps-lint: allow(D2, virtual-time shim boundary)\n\
+             let t = (HashMap::<u32, u32>::new(), Instant::now());\n",
+        );
+        assert!(report.clean(), "findings: {:?}", report.findings);
+        assert_eq!(report.waived.len(), 2);
+    }
+}

@@ -1,0 +1,522 @@
+//! A minimal Rust lexer with source positions.
+//!
+//! The determinism rules (see [`crate::rules`]) operate on token *sequences*
+//! — `Instant :: now`, `. sum :: < f32 >` — so the lexer only has to get the
+//! things right that would otherwise produce false positives: comments
+//! (where waivers live and where prose mentions `HashMap` legitimately),
+//! string literals (rule tables quote the banned names), char literals vs
+//! lifetimes, and raw strings/identifiers. It makes no attempt to parse.
+
+/// One lexed token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`HashMap`, `fn`, `self`, …). Raw
+    /// identifiers (`r#type`) carry the name without the `r#` prefix.
+    Ident(String),
+    /// A numeric literal, consumed as one unit (`1.0e-5`, `0xff`, `3f64`).
+    Number,
+    /// A string literal of any flavour (`"…"`, `r#"…"#`, `b"…"`).
+    Str,
+    /// A character literal (`'x'`, `'\n'`).
+    Char,
+    /// A lifetime (`'a`) or loop label.
+    Lifetime,
+    /// The `::` path separator (lexed as one token so rules can match
+    /// `Ident PathSep Ident` without counting colons).
+    PathSep,
+    /// Any other single punctuation character (`.`, `;`, `{`, `(`, `<`, …).
+    Punct(char),
+}
+
+/// A token plus its 1-based source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub line: u32,
+    pub col: u32,
+}
+
+impl Token {
+    /// The identifier text, if this token is an identifier.
+    pub fn ident(&self) -> Option<&str> {
+        match &self.kind {
+            TokenKind::Ident(name) => Some(name.as_str()),
+            _ => None,
+        }
+    }
+
+    /// Whether this token is the given punctuation character.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct(c)
+    }
+}
+
+/// A `//` comment with its position; block comments are recorded too so the
+/// waiver scanner sees every comment form.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    /// Comment text without the `//` / `/*` delimiters, trimmed.
+    pub text: String,
+    /// Whether this is a doc comment (`///`, `//!`, `/**`, `/*!`). Waivers
+    /// are only honoured in plain comments; docs may quote the syntax.
+    pub doc: bool,
+    pub line: u32,
+    pub col: u32,
+}
+
+/// The output of lexing one file: code tokens and comments, separately.
+#[derive(Debug, Clone, Default)]
+pub struct Lexed {
+    pub tokens: Vec<Token>,
+    pub comments: Vec<Comment>,
+}
+
+struct Cursor<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(src: &'a str) -> Self {
+        Cursor {
+            src: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, offset: usize) -> Option<u8> {
+        self.src.get(self.pos + offset).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(b)
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_'
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Lexes one file into tokens and comments. Invalid UTF-8 inside literals is
+/// impossible (the input is `&str`); malformed code degrades to punctuation
+/// tokens rather than errors — the auditor lints source that `rustc` will
+/// compile anyway, so recovery beats rejection.
+pub fn lex(src: &str) -> Lexed {
+    let mut cur = Cursor::new(src);
+    let mut out = Lexed::default();
+
+    while let Some(b) = cur.peek() {
+        let (line, col) = (cur.line, cur.col);
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                cur.bump();
+            }
+            b'/' if cur.peek_at(1) == Some(b'/') => {
+                let mut text = Vec::new();
+                while let Some(c) = cur.peek() {
+                    if c == b'\n' {
+                        break;
+                    }
+                    text.push(c);
+                    cur.bump();
+                }
+                // Strip the `//` (and doc-comment `///` / `//!`) prefix.
+                let mut s = String::from_utf8_lossy(&text).into_owned();
+                let mut slashes = 0usize;
+                while let Some(rest) = s.strip_prefix('/') {
+                    slashes += 1;
+                    s = rest.to_string();
+                }
+                let mut doc = slashes >= 3;
+                if let Some(rest) = s.strip_prefix('!') {
+                    doc = true;
+                    s = rest.to_string();
+                }
+                out.comments.push(Comment {
+                    text: s.trim().to_string(),
+                    doc,
+                    line,
+                    col,
+                });
+            }
+            b'/' if cur.peek_at(1) == Some(b'*') => {
+                cur.bump();
+                cur.bump();
+                let mut depth = 1usize;
+                let mut text = Vec::new();
+                while depth > 0 {
+                    match (cur.peek(), cur.peek_at(1)) {
+                        (Some(b'/'), Some(b'*')) => {
+                            depth += 1;
+                            cur.bump();
+                            cur.bump();
+                        }
+                        (Some(b'*'), Some(b'/')) => {
+                            depth -= 1;
+                            cur.bump();
+                            cur.bump();
+                        }
+                        (Some(c), _) => {
+                            text.push(c);
+                            cur.bump();
+                        }
+                        (None, _) => break,
+                    }
+                }
+                let raw = String::from_utf8_lossy(&text);
+                let doc = raw.starts_with('*') || raw.starts_with('!');
+                out.comments.push(Comment {
+                    text: raw.trim_start_matches(['*', '!']).trim().to_string(),
+                    doc,
+                    line,
+                    col,
+                });
+            }
+            b'"' => {
+                lex_string(&mut cur);
+                out.tokens.push(Token {
+                    kind: TokenKind::Str,
+                    line,
+                    col,
+                });
+            }
+            b'r' | b'b' if starts_raw_or_byte_string(&cur) => {
+                lex_raw_or_byte_string(&mut cur);
+                out.tokens.push(Token {
+                    kind: TokenKind::Str,
+                    line,
+                    col,
+                });
+            }
+            b'r' if cur.peek_at(1) == Some(b'#') && cur.peek_at(2).is_some_and(is_ident_start) => {
+                // Raw identifier `r#type`.
+                cur.bump();
+                cur.bump();
+                let name = lex_ident_text(&mut cur);
+                out.tokens.push(Token {
+                    kind: TokenKind::Ident(name),
+                    line,
+                    col,
+                });
+            }
+            b'\'' => {
+                if lex_char_or_lifetime(&mut cur) {
+                    out.tokens.push(Token {
+                        kind: TokenKind::Char,
+                        line,
+                        col,
+                    });
+                } else {
+                    out.tokens.push(Token {
+                        kind: TokenKind::Lifetime,
+                        line,
+                        col,
+                    });
+                }
+            }
+            b':' if cur.peek_at(1) == Some(b':') => {
+                cur.bump();
+                cur.bump();
+                out.tokens.push(Token {
+                    kind: TokenKind::PathSep,
+                    line,
+                    col,
+                });
+            }
+            _ if is_ident_start(b) => {
+                let name = lex_ident_text(&mut cur);
+                out.tokens.push(Token {
+                    kind: TokenKind::Ident(name),
+                    line,
+                    col,
+                });
+            }
+            _ if b.is_ascii_digit() => {
+                lex_number(&mut cur);
+                out.tokens.push(Token {
+                    kind: TokenKind::Number,
+                    line,
+                    col,
+                });
+            }
+            _ => {
+                cur.bump();
+                out.tokens.push(Token {
+                    kind: TokenKind::Punct(b as char),
+                    line,
+                    col,
+                });
+            }
+        }
+    }
+    out
+}
+
+fn lex_ident_text(cur: &mut Cursor<'_>) -> String {
+    let mut name = Vec::new();
+    while let Some(c) = cur.peek() {
+        if !is_ident_continue(c) {
+            break;
+        }
+        name.push(c);
+        cur.bump();
+    }
+    String::from_utf8_lossy(&name).into_owned()
+}
+
+/// `"…"` with escape handling; the opening quote is still pending.
+fn lex_string(cur: &mut Cursor<'_>) {
+    cur.bump(); // opening quote
+    while let Some(c) = cur.bump() {
+        match c {
+            b'\\' => {
+                cur.bump();
+            }
+            b'"' => break,
+            _ => {}
+        }
+    }
+}
+
+/// Whether the cursor sits on `r"`, `r#"`, `b"`, `br"`, `br#"`, `b'`-like
+/// raw/byte string openings (byte char literals are rare enough to lump in).
+fn starts_raw_or_byte_string(cur: &Cursor<'_>) -> bool {
+    let mut i = 0;
+    if cur.peek() == Some(b'b') {
+        i += 1;
+    }
+    if cur.peek_at(i) == Some(b'r') {
+        i += 1;
+        let mut j = i;
+        while cur.peek_at(j) == Some(b'#') {
+            j += 1;
+        }
+        return cur.peek_at(j) == Some(b'"');
+    }
+    // `b"…"` byte string (no `r`).
+    cur.peek() == Some(b'b') && cur.peek_at(1) == Some(b'"')
+}
+
+fn lex_raw_or_byte_string(cur: &mut Cursor<'_>) {
+    if cur.peek() == Some(b'b') {
+        cur.bump();
+    }
+    if cur.peek() == Some(b'r') {
+        cur.bump();
+        let mut hashes = 0usize;
+        while cur.peek() == Some(b'#') {
+            hashes += 1;
+            cur.bump();
+        }
+        cur.bump(); // opening quote
+                    // Raw string: no escapes; ends at `"` followed by `hashes` hashes.
+        loop {
+            match cur.bump() {
+                Some(b'"') => {
+                    let mut seen = 0usize;
+                    while seen < hashes && cur.peek() == Some(b'#') {
+                        seen += 1;
+                        cur.bump();
+                    }
+                    if seen == hashes {
+                        return;
+                    }
+                }
+                Some(_) => {}
+                None => return,
+            }
+        }
+    } else {
+        // Plain byte string `b"…"`, escapes as in normal strings.
+        lex_string(cur);
+    }
+}
+
+/// Disambiguates `'x'` / `'\n'` (char literal, returns `true`) from `'a`
+/// (lifetime, returns `false`). The opening quote is still pending.
+fn lex_char_or_lifetime(cur: &mut Cursor<'_>) -> bool {
+    cur.bump(); // the quote
+    match cur.peek() {
+        Some(b'\\') => {
+            // Escaped char literal: consume escape then scan to closing quote.
+            cur.bump();
+            cur.bump();
+            while let Some(c) = cur.bump() {
+                if c == b'\'' {
+                    break;
+                }
+            }
+            true
+        }
+        Some(c) if is_ident_start(c) => {
+            // `'a` (lifetime) or `'a'` (char). Look past the identifier.
+            let mut j = 1;
+            while cur.peek_at(j).is_some_and(is_ident_continue) {
+                j += 1;
+            }
+            let is_char = cur.peek_at(j) == Some(b'\'');
+            for _ in 0..j {
+                cur.bump();
+            }
+            if is_char {
+                cur.bump(); // closing quote
+            }
+            is_char
+        }
+        Some(_) => {
+            // `'+'`-style single-char literal.
+            cur.bump();
+            if cur.peek() == Some(b'\'') {
+                cur.bump();
+            }
+            true
+        }
+        None => true,
+    }
+}
+
+fn lex_number(cur: &mut Cursor<'_>) {
+    // Digits, underscores, type suffixes, hex/binary prefixes and exponents
+    // in one gulp; a `.` is part of the number only when followed by a digit
+    // (so `1..n` and `1.sum()` keep their dots as punctuation).
+    while let Some(c) = cur.peek() {
+        if c.is_ascii_alphanumeric() || c == b'_' {
+            // `1e-5` / `1E+3`: pull the sign in with the exponent.
+            let is_exp = (c == b'e' || c == b'E')
+                && matches!(cur.peek_at(1), Some(b'+') | Some(b'-'))
+                && cur.peek_at(2).is_some_and(|d| d.is_ascii_digit());
+            cur.bump();
+            if is_exp {
+                cur.bump();
+            }
+        } else if c == b'.' && cur.peek_at(1).is_some_and(|d| d.is_ascii_digit()) {
+            cur.bump();
+        } else {
+            break;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .iter()
+            .filter_map(|t| t.ident().map(str::to_string))
+            .collect()
+    }
+
+    #[test]
+    fn comments_are_not_tokens() {
+        let lexed = lex("// HashMap in prose\nlet x = 1; /* SystemTime */");
+        assert!(idents("// HashMap in prose\nlet x = 1;")
+            .iter()
+            .all(|i| i != "HashMap"));
+        assert_eq!(lexed.comments.len(), 2);
+        assert_eq!(lexed.comments[0].text, "HashMap in prose");
+        assert_eq!(lexed.comments[1].text, "SystemTime");
+    }
+
+    #[test]
+    fn string_literals_are_opaque() {
+        let names = idents(r##"let s = "HashMap"; let r = r#"thread_rng"#;"##);
+        assert!(names.iter().all(|i| i != "HashMap" && i != "thread_rng"));
+    }
+
+    #[test]
+    fn lifetimes_do_not_eat_code() {
+        let names = idents("fn f<'a>(x: &'a str) -> &'a str { x }");
+        assert!(names.contains(&"str".to_string()));
+        let kinds: Vec<_> = lex("&'a str").tokens.into_iter().map(|t| t.kind).collect();
+        assert!(kinds.contains(&TokenKind::Lifetime));
+    }
+
+    #[test]
+    fn char_literal_vs_lifetime() {
+        let lexed = lex("let c = 'x'; let s: &'static str = \"\";");
+        let chars = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Char)
+            .count();
+        let lifetimes = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .count();
+        assert_eq!(chars, 1);
+        assert_eq!(lifetimes, 1);
+    }
+
+    #[test]
+    fn path_sep_is_one_token() {
+        let lexed = lex("Instant::now()");
+        let kinds: Vec<_> = lexed.tokens.iter().map(|t| &t.kind).collect();
+        assert_eq!(
+            kinds[..3],
+            [
+                &TokenKind::Ident("Instant".into()),
+                &TokenKind::PathSep,
+                &TokenKind::Ident("now".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn positions_are_one_based() {
+        let lexed = lex("a\n  b");
+        assert_eq!((lexed.tokens[0].line, lexed.tokens[0].col), (1, 1));
+        assert_eq!((lexed.tokens[1].line, lexed.tokens[1].col), (2, 3));
+    }
+
+    #[test]
+    fn numbers_keep_range_dots() {
+        let lexed = lex("for i in 0..10 { let x = 1.5e-3f64; }");
+        let dots = lexed.tokens.iter().filter(|t| t.is_punct('.')).count();
+        assert_eq!(dots, 2, "the `..` of the range survives as two dots");
+        let numbers = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Number)
+            .count();
+        assert_eq!(numbers, 3);
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let src = "let x = r#\"one \"quoted\" HashSet\"#; done";
+        let names = idents(src);
+        assert!(names.contains(&"done".to_string()));
+        assert!(!names.contains(&"HashSet".to_string()));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let lexed = lex("/* outer /* inner */ still */ code");
+        assert_eq!(lexed.tokens.len(), 1);
+        assert_eq!(lexed.tokens[0].ident(), Some("code"));
+    }
+}

@@ -1,0 +1,113 @@
+//! CLI for the workspace determinism auditor.
+//!
+//! ```text
+//! cargo run -p fedlps_lint                       # text report, exit 1 on findings
+//! cargo run -p fedlps_lint -- --format json      # CI artifact to stdout
+//! cargo run -p fedlps_lint -- --out report.json --format json
+//! cargo run -p fedlps_lint -- --root path/to/ws  # audit another tree
+//! cargo run -p fedlps_lint -- --list-rules
+//! ```
+//!
+//! Exit codes: 0 clean, 1 findings, 2 usage or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use fedlps_lint::{audit_workspace, render_json, render_text, workspace_root, RuleId};
+
+struct Options {
+    root: PathBuf,
+    json: bool,
+    out: Option<PathBuf>,
+}
+
+fn parse_args() -> Result<Option<Options>, String> {
+    let mut opts = Options {
+        root: workspace_root(),
+        json: false,
+        out: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => {
+                let value = args.next().ok_or("--root needs a path")?;
+                opts.root = PathBuf::from(value);
+            }
+            "--format" => match args.next().as_deref() {
+                Some("json") => opts.json = true,
+                Some("text") => opts.json = false,
+                other => return Err(format!("--format expects text|json, got {other:?}")),
+            },
+            "--out" => {
+                let value = args.next().ok_or("--out needs a path")?;
+                opts.out = Some(PathBuf::from(value));
+            }
+            "--list-rules" => {
+                for rule in RuleId::ALL {
+                    println!("{rule}: {}", rule.describe());
+                }
+                return Ok(None);
+            }
+            "--help" | "-h" => {
+                println!(
+                    "fedlps_lint: workspace determinism auditor (rules D1-D5)\n\n\
+                     USAGE: fedlps_lint [--root DIR] [--format text|json] [--out FILE] [--list-rules]\n\n\
+                     Exit codes: 0 clean, 1 findings, 2 usage/IO error.\n\
+                     Waive a finding with `// fedlps-lint: allow(RULE, reason)` — reason mandatory."
+                );
+                return Ok(None);
+            }
+            other => return Err(format!("unknown argument `{other}` (try --help)")),
+        }
+    }
+    Ok(Some(opts))
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(Some(opts)) => opts,
+        Ok(None) => return ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("fedlps_lint: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let report = match audit_workspace(&opts.root) {
+        Ok(report) => report,
+        Err(err) => {
+            eprintln!(
+                "fedlps_lint: audit of {} failed: {err}",
+                opts.root.display()
+            );
+            return ExitCode::from(2);
+        }
+    };
+
+    let rendered = if opts.json {
+        render_json(&report)
+    } else {
+        render_text(&report)
+    };
+    match &opts.out {
+        Some(path) => {
+            if let Err(err) = std::fs::write(path, &rendered) {
+                eprintln!("fedlps_lint: cannot write {}: {err}", path.display());
+                return ExitCode::from(2);
+            }
+            // Keep the pass/fail summary visible even when the report goes
+            // to a file.
+            if opts.json {
+                eprint!("{}", render_text(&report));
+            }
+        }
+        None => print!("{rendered}"),
+    }
+
+    if report.clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,128 @@
+//! Report rendering: `file:line:col RULE message` text for humans and a
+//! machine-readable JSON document for the CI artifact.
+//!
+//! The JSON is hand-written (the crate is deliberately dependency-free); the
+//! schema is flat and additive-stable:
+//!
+//! ```json
+//! {
+//!   "clean": true,
+//!   "files_scanned": 120,
+//!   "findings": [{"file": "...", "line": 1, "col": 1, "rule": "D1", "message": "..."}],
+//!   "waived": [...same shape...],
+//!   "waivers": [{"file": "...", "line": 1, "rule": "D2", "reason": "..."}]
+//! }
+//! ```
+
+use crate::engine::AuditReport;
+use crate::rules::Finding;
+
+/// Renders the human-readable report.
+pub fn render_text(report: &AuditReport) -> String {
+    let mut out = String::new();
+    for finding in &report.findings {
+        out.push_str(&format!(
+            "{}:{}:{} {} {}\n",
+            finding.file, finding.line, finding.col, finding.rule, finding.message
+        ));
+    }
+    out.push_str(&format!(
+        "fedlps_lint: {} file(s) scanned, {} finding(s), {} waived\n",
+        report.files_scanned,
+        report.findings.len(),
+        report.waived.len()
+    ));
+    out
+}
+
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn finding_json(f: &Finding) -> String {
+    format!(
+        "{{\"file\":\"{}\",\"line\":{},\"col\":{},\"rule\":\"{}\",\"message\":\"{}\"}}",
+        escape_json(&f.file),
+        f.line,
+        f.col,
+        f.rule,
+        escape_json(&f.message)
+    )
+}
+
+/// Renders the machine-readable report.
+pub fn render_json(report: &AuditReport) -> String {
+    let findings: Vec<_> = report.findings.iter().map(finding_json).collect();
+    let waived: Vec<_> = report.waived.iter().map(finding_json).collect();
+    let waivers: Vec<_> = report
+        .waivers
+        .iter()
+        .map(|w| {
+            format!(
+                "{{\"file\":\"{}\",\"line\":{},\"rule\":\"{}\",\"reason\":\"{}\"}}",
+                escape_json(&w.file),
+                w.line,
+                escape_json(&w.rule_text),
+                escape_json(&w.reason)
+            )
+        })
+        .collect();
+    format!(
+        "{{\n  \"clean\": {},\n  \"files_scanned\": {},\n  \"findings\": [{}],\n  \"waived\": [{}],\n  \"waivers\": [{}]\n}}\n",
+        report.clean(),
+        report.files_scanned,
+        findings.join(","),
+        waived.join(","),
+        waivers.join(",")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::audit_source;
+
+    #[test]
+    fn text_report_has_grep_friendly_lines() {
+        let mut report = AuditReport::default();
+        audit_source(
+            "crates/sim/src/x.rs",
+            "let m = HashMap::new();",
+            &mut report,
+        );
+        report.files_scanned = 1;
+        let text = render_text(&report);
+        assert!(
+            text.starts_with("crates/sim/src/x.rs:1:9 D1 "),
+            "got: {text}"
+        );
+        assert!(text.contains("1 finding(s)"));
+    }
+
+    #[test]
+    fn json_report_escapes_and_parses_shape() {
+        let mut report = AuditReport::default();
+        audit_source(
+            "crates/sim/src/x.rs",
+            "let t = Instant::now(); // fedlps-lint: allow(D2, reason \"quoted\")\n",
+            &mut report,
+        );
+        report.files_scanned = 1;
+        let json = render_json(&report);
+        assert!(json.contains("\"clean\": true"));
+        assert!(json.contains("reason \\\"quoted\\\""));
+        assert!(json.contains("\"files_scanned\": 1"));
+    }
+}

@@ -1,0 +1,11 @@
+// Known-bad: hash collections iterate in a per-process seeded order, so any
+// walk over them breaks replayability. D1 must flag construction and use.
+use std::collections::HashMap;
+
+fn tally(clients: &[usize]) -> Vec<(usize, usize)> {
+    let mut counts: HashMap<usize, usize> = HashMap::new();
+    for &c in clients {
+        *counts.entry(c).or_insert(0) += 1;
+    }
+    counts.into_iter().collect()
+}

@@ -1,0 +1,11 @@
+// Known-bad: wall-clock reads and ambient RNG make runs unreproducible.
+use std::time::{Instant, SystemTime};
+
+fn measure() -> f64 {
+    let start = Instant::now();
+    let _ = SystemTime::now();
+    let noise: f64 = rand::random();
+    std::thread::spawn(|| {});
+    let mut rng = thread_rng();
+    start.elapsed().as_secs_f64() + noise + rng.gen::<f64>()
+}

@@ -1,0 +1,7 @@
+// Known-bad: this file is not crates/sim/src/backend.rs, so any rayon use
+// escapes the one seam where the thread schedule is provably absorbed.
+use rayon::prelude::*;
+
+fn step_all(tasks: Vec<Task>) -> Vec<Outcome> {
+    tasks.into_par_iter().map(run_one).collect()
+}

@@ -1,0 +1,6 @@
+// Known-bad: float addition is not associative, so a sum over a parallel
+// iterator depends on the thread schedule (also a D3 hit: rayon leaked out
+// of the backend seam — compound by construction).
+fn total_loss(reports: Vec<Report>) -> f32 {
+    reports.into_par_iter().map(|r| r.loss).sum::<f32>()
+}

@@ -1,0 +1,4 @@
+// Known-bad: the waiver has no reason, so the D1 finding stays live and the
+// waiver itself is flagged.
+// fedlps-lint: allow(D1)
+use std::collections::HashMap;

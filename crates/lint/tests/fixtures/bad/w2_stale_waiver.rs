@@ -1,0 +1,5 @@
+// Known-bad: the waiver suppresses nothing — the allow-list is rotting.
+// fedlps-lint: allow(D2, there used to be a wall-clock read here)
+fn nothing_to_waive() -> u64 {
+    42
+}

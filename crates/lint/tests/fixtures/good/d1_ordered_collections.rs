@@ -1,0 +1,10 @@
+// Known-good: BTreeMap iterates in key order; sorted vecs are fine too.
+use std::collections::BTreeMap;
+
+fn tally(clients: &[usize]) -> Vec<(usize, usize)> {
+    let mut counts: BTreeMap<usize, usize> = BTreeMap::new();
+    for &c in clients {
+        *counts.entry(c).or_insert(0) += 1;
+    }
+    counts.into_iter().collect()
+}

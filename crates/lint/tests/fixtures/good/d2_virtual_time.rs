@@ -1,0 +1,5 @@
+// Known-good: the virtual clock and seeded per-stream RNGs replay exactly.
+fn measure(clock: &VirtualClock, seed: u64) -> f64 {
+    let mut rng = rng_from_seed(split_seed(seed, STREAM_SELECTION));
+    clock.now() + rng.gen::<f64>()
+}

@@ -1,0 +1,7 @@
+// Known-good: serial iteration, and naming an enum variant `ThreadPool` is
+// not a rayon use (the backend *kind* is config, not parallelism).
+fn step_all(tasks: Vec<Task>) -> Vec<Outcome> {
+    let kind = BackendKind::ThreadPool;
+    let _ = kind;
+    tasks.into_iter().map(run_one).collect()
+}

@@ -1,0 +1,6 @@
+// Known-good: an ordered slice walk fixes the accumulation order, and
+// integer sums are associative regardless of order.
+fn total_loss(reports: &[Report]) -> f32 {
+    let _count: u64 = reports.iter().map(|r| r.steps).sum::<u64>();
+    reports.iter().map(|r| r.loss).sum::<f32>()
+}

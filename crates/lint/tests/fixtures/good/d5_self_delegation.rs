@@ -1,0 +1,18 @@
+// Known-good: an algorithm forwarding between its own absorb entry points
+// (the stale hook defaulting to the fresh one) stays inside its impl.
+impl FlAlgorithm for MyAlgo {
+    fn absorb_update(&mut self, env: &FlEnv, round: usize, update: ClientUpdate) {
+        self.inner.absorb_update(env, round, update);
+    }
+
+    fn absorb_update_stale(
+        &mut self,
+        env: &FlEnv,
+        round: usize,
+        update: ClientUpdate,
+        _staleness: u32,
+        _weight: f64,
+    ) {
+        self.absorb_update(env, round, update);
+    }
+}

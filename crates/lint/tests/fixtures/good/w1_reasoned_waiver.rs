@@ -1,0 +1,3 @@
+// Known-good: a reasoned waiver suppresses exactly its rule on its line.
+// fedlps-lint: allow(D1, fixture demonstrating a well-formed waiver; entries are drained in sorted order)
+use std::collections::HashMap;

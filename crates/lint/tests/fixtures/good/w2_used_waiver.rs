@@ -1,0 +1,4 @@
+// Known-good: trailing waiver form, consumed by the finding on its line.
+fn timed() -> Instant {
+    Instant::now() // fedlps-lint: allow(D2, fixture demonstrating the trailing waiver form)
+}

@@ -1,0 +1,44 @@
+//! The live workspace must pass its own determinism audit: zero findings,
+//! zero reasonless waivers, and every waiver both reasoned and consumed.
+//! This is the test-suite twin of the CI `determinism-lint` job.
+
+use fedlps_lint::{audit_workspace, workspace_root};
+
+#[test]
+fn workspace_passes_determinism_audit() {
+    let root = workspace_root();
+    let report = audit_workspace(&root).expect("walk the workspace");
+    assert!(
+        report.files_scanned > 50,
+        "the walk found the real tree, not an empty dir ({} files)",
+        report.files_scanned
+    );
+    assert!(
+        report.clean(),
+        "determinism audit found violations:\n{}",
+        fedlps_lint::render_text(&report)
+    );
+}
+
+#[test]
+fn workspace_has_zero_reasonless_waivers() {
+    let report = audit_workspace(&workspace_root()).expect("walk the workspace");
+    let reasonless: Vec<_> = report
+        .waivers
+        .iter()
+        .filter(|w| w.reason.is_empty() || w.rule.is_none())
+        .collect();
+    assert!(
+        reasonless.is_empty(),
+        "every waiver must carry a rule and a reason: {reasonless:?}"
+    );
+    // Every waiver in the live tree must also have earned its keep: the
+    // audit being clean (above) means W2 flagged none as stale, so each
+    // waiver suppressed at least one real finding.
+    assert!(
+        report.waived.len() >= report.waivers.len(),
+        "every waiver suppresses at least one finding ({} waived, {} waivers)",
+        report.waived.len(),
+        report.waivers.len()
+    );
+}

@@ -59,7 +59,11 @@ pub(crate) enum ModeState {
 
 impl ModeState {
     /// Builds the state machine for a round mode.
-    pub fn for_round_mode(mode: RoundMode, num_clients: usize, clients_per_round: usize) -> Self {
+    pub(crate) fn for_round_mode(
+        mode: RoundMode,
+        num_clients: usize,
+        clients_per_round: usize,
+    ) -> Self {
         match mode {
             RoundMode::Synchronous => ModeState::Cohort {
                 deadline: None,
@@ -99,7 +103,7 @@ impl ModeState {
     }
 
     /// Staleness-histogram buckets this mode needs (0 outside async).
-    pub fn hist_len(&self) -> usize {
+    pub(crate) fn hist_len(&self) -> usize {
         match self {
             ModeState::Async { max_staleness, .. } => *max_staleness as usize + 1,
             ModeState::Cohort { .. } => 0,
@@ -107,13 +111,13 @@ impl ModeState {
     }
 
     /// Whether this is the continuous async pipeline.
-    pub fn is_async(&self) -> bool {
+    pub(crate) fn is_async(&self) -> bool {
         matches!(self, ModeState::Async { .. })
     }
 
     /// Cohort view for the dispatch handler: `None` = async, `Some(budget)` =
     /// cohort (inner `None` = synchronous).
-    pub fn cohort_deadline(&self) -> Option<Option<f64>> {
+    pub(crate) fn cohort_deadline(&self) -> Option<Option<f64>> {
         match self {
             ModeState::Cohort { deadline, .. } => Some(*deadline),
             ModeState::Async { .. } => None,
@@ -121,7 +125,7 @@ impl ModeState {
     }
 
     /// Async parameters `(max_staleness, alpha, buffer_target)`, if async.
-    pub fn async_params(&self) -> Option<(u32, f64, usize)> {
+    pub(crate) fn async_params(&self) -> Option<(u32, f64, usize)> {
         match self {
             ModeState::Async {
                 max_staleness,
@@ -134,7 +138,7 @@ impl ModeState {
     }
 
     /// Deadline over-selection width (0 for sync and async).
-    pub fn over_select(&self) -> usize {
+    pub(crate) fn over_select(&self) -> usize {
         match self {
             ModeState::Cohort { over_select, .. } => *over_select,
             ModeState::Async { .. } => 0,
@@ -142,7 +146,7 @@ impl ModeState {
     }
 
     /// Records how many clients the opened cohort round dispatched.
-    pub fn set_dispatched(&mut self, count: usize) {
+    pub(crate) fn set_dispatched(&mut self, count: usize) {
         if let ModeState::Cohort { dispatched, .. } = self {
             *dispatched = count;
         }
@@ -150,7 +154,7 @@ impl ModeState {
 
     /// Cohort arrival: buffer the update for the barrier, or count a
     /// post-deadline straggler (the server moved on).
-    pub fn buffer_arrival(
+    pub(crate) fn buffer_arrival(
         &mut self,
         acc: &mut RoundAccumulator,
         client: usize,
@@ -177,7 +181,7 @@ impl ModeState {
     /// The round budget fired: later events are straggler drops, and the
     /// round lasts the full budget iff anyone is outstanding or was lost
     /// (the server cannot distinguish a straggler from a dead device).
-    pub fn deadline_fired(&mut self, acc: &RoundAccumulator, time: f64) {
+    pub(crate) fn deadline_fired(&mut self, acc: &RoundAccumulator, time: f64) {
         let drops = acc.straggler_drops;
         let ModeState::Cohort {
             dispatched,
@@ -198,7 +202,7 @@ impl ModeState {
     /// Barrier close: hands back the buffered arrivals (in ascending
     /// client-id order) and the round duration, resetting the per-round
     /// state for the next round.
-    pub fn close_barrier(&mut self) -> (BTreeMap<usize, InFlight>, f64) {
+    pub(crate) fn close_barrier(&mut self) -> (BTreeMap<usize, InFlight>, f64) {
         let ModeState::Cohort {
             arrived,
             duration,
@@ -219,7 +223,7 @@ impl ModeState {
 
     /// Async round boundary: returns the closing round's start time and
     /// opens the next round at `now`.
-    pub fn bump_round_start(&mut self, now: f64) -> f64 {
+    pub(crate) fn bump_round_start(&mut self, now: f64) -> f64 {
         let ModeState::Async { round_start, .. } = self else {
             unreachable!("cohort rounds close at the barrier");
         };
@@ -250,7 +254,7 @@ pub(crate) struct RoundAccumulator {
 impl RoundAccumulator {
     /// An accumulator whose staleness histogram has `hist_len` buckets
     /// (0 for the cohort modes, `max_staleness + 1` for async).
-    pub fn new(hist_len: usize) -> Self {
+    pub(crate) fn new(hist_len: usize) -> Self {
         Self {
             staleness_hist: vec![0; hist_len],
             ..Self::default()
@@ -259,7 +263,7 @@ impl RoundAccumulator {
 
     /// Clears the round-scoped totals for the next round, keeping the
     /// histogram shape.
-    pub fn reset(&mut self) {
+    pub(crate) fn reset(&mut self) {
         self.reports.clear();
         self.round_flops = 0.0;
         self.round_upload = 0.0;
@@ -274,7 +278,7 @@ impl RoundAccumulator {
     /// every mean here is computed over `reports` in absorption order, which
     /// the event schedule fixes independently of the thread schedule.
     #[allow(clippy::too_many_arguments)]
-    pub fn finish(
+    pub(crate) fn finish(
         &self,
         round: usize,
         mean_accuracy: Option<f64>,

@@ -83,6 +83,15 @@ pub struct ClientOutcome {
     pub update: ClientUpdate,
 }
 
+impl std::fmt::Debug for ClientOutcome {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ClientOutcome")
+            .field("report", &self.report)
+            .field("update", &"<dyn ClientUpdate>")
+            .finish()
+    }
+}
+
 impl ClientOutcome {
     /// Bundles a report with its update payload.
     pub fn new(report: ClientReport, update: impl Any + Send) -> Self {

@@ -151,6 +151,7 @@ impl ExecutionBackend for SerialBackend {
 }
 
 /// Shards each batch across a dedicated worker pool.
+#[derive(Debug)]
 pub struct ThreadPoolBackend {
     pool: rayon::ThreadPool,
     threads: usize,

@@ -69,7 +69,7 @@ pub(crate) struct Driver<'a> {
 }
 
 impl<'a> Driver<'a> {
-    pub fn new(env: &'a FlEnv) -> Self {
+    pub(crate) fn new(env: &'a FlEnv) -> Self {
         let mode = ModeState::for_round_mode(
             env.config.round_mode,
             env.num_clients(),
@@ -97,7 +97,7 @@ impl<'a> Driver<'a> {
     }
 
     /// Runs the federation to completion.
-    pub fn run(mut self, algorithm: &mut dyn FlAlgorithm) -> RunResult {
+    pub(crate) fn run(mut self, algorithm: &mut dyn FlAlgorithm) -> RunResult {
         algorithm.setup(self.env);
         let total = self.env.config.rounds;
         self.open_round(algorithm);

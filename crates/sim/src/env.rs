@@ -28,6 +28,17 @@ pub struct FlEnv {
     pub cost: CostModel,
 }
 
+impl std::fmt::Debug for FlEnv {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FlEnv")
+            .field("clients", &self.data.num_clients())
+            .field("arch", &self.arch.name())
+            .field("config", &self.config)
+            .field("cost", &self.cost)
+            .finish_non_exhaustive()
+    }
+}
+
 impl FlEnv {
     /// Builds an environment from its parts.
     pub fn new(

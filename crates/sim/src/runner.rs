@@ -28,6 +28,7 @@ use crate::metrics::RunResult;
 /// Drives an [`FlAlgorithm`] through the round loop of the configured
 /// [`RoundMode`](crate::config::RoundMode) and collects the per-round metric
 /// trace.
+#[derive(Debug)]
 pub struct Simulator {
     env: FlEnv,
 }

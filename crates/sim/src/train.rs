@@ -19,7 +19,7 @@ use rand::rngs::StdRng;
 use rand::Rng;
 
 /// Options for [`local_sgd`].
-#[derive(Clone, Copy)]
+#[derive(Debug, Clone, Copy)]
 pub struct LocalTrainOptions<'a> {
     /// Number of local iterations `E`.
     pub iterations: usize,

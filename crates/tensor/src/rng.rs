@@ -79,7 +79,6 @@ pub fn sample_without_replacement(n: usize, count: usize, rng: &mut impl Rng) ->
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::collections::HashSet;
 
     #[test]
     fn split_seed_is_deterministic_and_varies() {
@@ -112,11 +111,12 @@ mod tests {
     fn weighted_sampling_zero_weights_falls_back_to_uniform() {
         let mut rng = rng_from_seed(3);
         let weights = [0.0, 0.0, 0.0];
-        let mut seen = HashSet::new();
-        for _ in 0..200 {
-            seen.insert(sample_weighted(&weights, &mut rng));
-        }
-        assert_eq!(seen.len(), 3);
+        let mut seen: Vec<usize> = (0..200)
+            .map(|_| sample_weighted(&weights, &mut rng))
+            .collect();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen, vec![0, 1, 2]);
     }
 
     #[test]
@@ -124,8 +124,10 @@ mod tests {
         let mut rng = rng_from_seed(11);
         let picks = sample_without_replacement(10, 4, &mut rng);
         assert_eq!(picks.len(), 4);
-        let set: HashSet<_> = picks.iter().collect();
-        assert_eq!(set.len(), 4);
+        let mut sorted = picks.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 4, "picks are distinct: {picks:?}");
         assert!(picks.iter().all(|&i| i < 10));
     }
 

@@ -18,6 +18,11 @@
 //! mode the recorded time is the single executed iteration's wall clock:
 //! noisy, but enough to flag order-of-magnitude regressions.
 
+// The workspace's clippy.toml bans Instant::now (determinism rule D2), but
+// measuring wall-clock time is this shim's entire purpose; timings flow to
+// the bench report, never into simulation state.
+#![allow(clippy::disallowed_methods)]
+
 use std::io::Write;
 use std::time::{Duration, Instant};
 
