@@ -19,5 +19,5 @@ pub mod reward;
 pub mod ucb;
 
 pub use pucbv::{PUcbv, PUcbvConfig};
-pub use ratio_policy::{RatioController, RatioFeedback, RatioPolicy};
+pub use ratio_policy::{ClientInit, RatioController, RatioFeedback, RatioPolicy};
 pub use reward::{reward, utility};

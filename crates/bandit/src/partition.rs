@@ -4,7 +4,7 @@
 //! disjoint intervals (initially a uniform grid over the feasible range).
 //! Whenever a ratio is tried, its interval is split at that ratio, so the
 //! partition refines itself around the ratios the bandit actually explores —
-//! this is the decision-tree-based arm transformation borrowed from FedMP [28].
+//! this is the decision-tree-based arm transformation borrowed from FedMP \[28\].
 
 use serde::{Deserialize, Serialize};
 

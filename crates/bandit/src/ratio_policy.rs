@@ -7,6 +7,9 @@
 //! [`RatioController`] wraps the per-client agents behind one interface so
 //! both the FedLPS core and the baselines can share the plumbing.
 
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
 use fedlps_tensor::{rng_from_seed, split_seed};
 use rand::rngs::StdRng;
 use serde::{Deserialize, Serialize};
@@ -61,19 +64,132 @@ enum AgentState {
     Ucb(DiscreteUcb),
 }
 
-/// Per-client ratio decision state for a whole federation.
-#[derive(Debug)]
-pub struct RatioController {
-    policy: RatioPolicy,
-    capabilities: Vec<f64>,
-    agents: Vec<AgentState>,
-    /// The next ratio each agent proposes (learning policies update this).
-    proposals: Vec<f64>,
+/// What a lazily-materialized agent needs to know about its client:
+/// capability cap `z_k` and the `a^{-1}` accuracy baseline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClientInit {
+    /// Capability fraction `z_k` of the client's device tier.
+    pub capability: f64,
+    /// Accuracy of the initial global model on the client's local training
+    /// data (Algorithm 2's bandit baseline).
+    pub initial_accuracy: f64,
+}
+
+/// One lazily-materialized client: its agent, current proposal, capability
+/// cap and a private RNG stream (lazy agents cannot share the dense
+/// controller's sequential stream — that would make each agent's draws
+/// depend on which other clients happened to participate first).
+struct LazyAgent {
+    agent: AgentState,
+    proposal: f64,
+    capability: f64,
     rng: StdRng,
 }
 
+/// The physical representation behind a [`RatioController`].
+enum ControllerStore {
+    /// One pre-built agent per client, all sharing one sequential RNG stream
+    /// — the historical representation, golden-pinned at small populations.
+    Dense {
+        capabilities: Vec<f64>,
+        agents: Vec<AgentState>,
+        /// The next ratio each agent proposes (learning policies update this).
+        proposals: Vec<f64>,
+        rng: StdRng,
+    },
+    /// Agents materialized on first touch and stored sparsely (lint rule
+    /// D1). Each owns an RNG stream keyed by its client id, so the draw
+    /// sequence of one agent is independent of every other client —
+    /// **intentionally not bit-identical** to the dense store, whose agents
+    /// consume a single shared stream in client order.
+    Lazy {
+        num_clients: usize,
+        provider: Box<dyn Fn(usize) -> ClientInit + Send + Sync>,
+        units_per_layer: Option<Vec<usize>>,
+        /// The `Mutex` exists because `ratio_for` takes `&self` but may
+        /// materialize; agents are pure functions of `(seed, id, provider)`
+        /// plus their own feedback, so lock order never influences a value.
+        clients: Mutex<BTreeMap<usize, LazyAgent>>,
+        seed: u64,
+    },
+}
+
+/// Per-client ratio decision state for a whole federation.
+///
+/// Built either densely ([`RatioController::new`] — every agent constructed
+/// up front) or lazily ([`RatioController::lazy`] — agents materialize on a
+/// client's first participation, keeping memory `O(participants)` at
+/// registry scale).
+pub struct RatioController {
+    policy: RatioPolicy,
+    store: ControllerStore,
+}
+
+impl std::fmt::Debug for RatioController {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut s = f.debug_struct("RatioController");
+        s.field("policy", &self.policy);
+        match &self.store {
+            ControllerStore::Dense { agents, .. } => s.field("clients", &agents.len()),
+            ControllerStore::Lazy { num_clients, .. } => s
+                .field("registered", num_clients)
+                .field("materialized", &self.materialized()),
+        };
+        s.finish_non_exhaustive()
+    }
+}
+
+/// Builds one client's agent and initial proposal. The dense constructor
+/// feeds every client through this with one shared sequential RNG; the lazy
+/// store calls it on first touch with the client's private stream.
+fn build_agent(policy: &RatioPolicy, init: ClientInit, rng: &mut StdRng) -> (AgentState, f64) {
+    let z = init.capability;
+    match policy {
+        RatioPolicy::Fixed(r) => (AgentState::Stateless, r.min(z)),
+        RatioPolicy::ResourceControlled => (AgentState::Stateless, z),
+        RatioPolicy::Dense => (AgentState::Stateless, 1.0),
+        RatioPolicy::PUcbv(cfg) => {
+            let agent = PUcbv::new(*cfg, z, init.initial_accuracy);
+            let ratio = agent.initial_ratio(rng);
+            (AgentState::PUcbv(Box::new(agent)), ratio.min(z))
+        }
+        RatioPolicy::DiscreteUcb { exploration } => {
+            let ucb = DiscreteUcb::new(DiscreteUcb::default_grid(z), *exploration);
+            let arm = ucb.select(rng);
+            let ratio = ucb.ratio_of(arm);
+            (AgentState::Ucb(ucb), ratio.min(z))
+        }
+    }
+}
+
+/// Advances one agent on a round report; returns the next proposal, or
+/// `None` for stateless rules.
+fn advance_agent(agent: &mut AgentState, feedback: RatioFeedback, rng: &mut StdRng) -> Option<f64> {
+    match agent {
+        AgentState::Stateless => None,
+        AgentState::PUcbv(agent) => Some(agent.update(
+            PUcbvFeedback {
+                ratio: feedback.ratio,
+                local_cost: feedback.local_cost,
+                accuracy: feedback.accuracy,
+            },
+            rng,
+        )),
+        AgentState::Ucb(ucb) => {
+            let arm = ucb.nearest_arm(feedback.ratio);
+            ucb.record(
+                arm,
+                crate::reward::reward(feedback.accuracy, 0.0, feedback.local_cost),
+            );
+            let next_arm = ucb.select(rng);
+            Some(ucb.ratio_of(next_arm))
+        }
+    }
+}
+
 impl RatioController {
-    /// Creates the controller for `capabilities.len()` clients.
+    /// Creates the controller for `capabilities.len()` clients, every agent
+    /// built up front.
     ///
     /// `initial_accuracy` seeds the bandits' `a^{−1}` baseline (the accuracy of
     /// the initial global model on local data, as Algorithm 2 prescribes).
@@ -88,40 +204,53 @@ impl RatioController {
         let mut agents = Vec::with_capacity(capabilities.len());
         let mut proposals = Vec::with_capacity(capabilities.len());
         for (k, &z) in capabilities.iter().enumerate() {
-            match &policy {
-                RatioPolicy::Fixed(r) => {
-                    agents.push(AgentState::Stateless);
-                    proposals.push(r.min(z));
-                }
-                RatioPolicy::ResourceControlled => {
-                    agents.push(AgentState::Stateless);
-                    proposals.push(z);
-                }
-                RatioPolicy::Dense => {
-                    agents.push(AgentState::Stateless);
-                    proposals.push(1.0);
-                }
-                RatioPolicy::PUcbv(cfg) => {
-                    let agent = PUcbv::new(*cfg, z, initial_accuracy[k]);
-                    let ratio = agent.initial_ratio(&mut rng);
-                    agents.push(AgentState::PUcbv(Box::new(agent)));
-                    proposals.push(ratio.min(z));
-                }
-                RatioPolicy::DiscreteUcb { exploration } => {
-                    let ucb = DiscreteUcb::new(DiscreteUcb::default_grid(z), *exploration);
-                    let arm = ucb.select(&mut rng);
-                    let ratio = ucb.ratio_of(arm);
-                    agents.push(AgentState::Ucb(ucb));
-                    proposals.push(ratio.min(z));
-                }
-            }
+            let (agent, proposal) = build_agent(
+                &policy,
+                ClientInit {
+                    capability: z,
+                    initial_accuracy: initial_accuracy[k],
+                },
+                &mut rng,
+            );
+            agents.push(agent);
+            proposals.push(proposal);
         }
         Self {
             policy,
-            capabilities: capabilities.to_vec(),
-            agents,
-            proposals,
-            rng,
+            store: ControllerStore::Dense {
+                capabilities: capabilities.to_vec(),
+                agents,
+                proposals,
+                rng,
+            },
+        }
+    }
+
+    /// Creates a controller for `num_clients` registered clients without
+    /// building any agent: a client's agent materializes on its first
+    /// [`ratio_for`](Self::ratio_for) / [`report`](Self::report), seeded from
+    /// `provider(client)` and a private per-client RNG stream.
+    ///
+    /// Draws are **not** bit-identical to [`RatioController::new`] — the
+    /// dense constructor threads one sequential RNG through all clients,
+    /// which has no participation-order-independent lazy equivalent. Only
+    /// small-population dense runs are golden-pinned; population-scale runs
+    /// are their own (deterministic) trace.
+    pub fn lazy(
+        policy: RatioPolicy,
+        num_clients: usize,
+        provider: Box<dyn Fn(usize) -> ClientInit + Send + Sync>,
+        seed: u64,
+    ) -> Self {
+        Self {
+            policy,
+            store: ControllerStore::Lazy {
+                num_clients,
+                provider,
+                units_per_layer: None,
+                clients: Mutex::new(BTreeMap::new()),
+                seed,
+            },
         }
     }
 
@@ -130,17 +259,50 @@ impl RatioController {
         &self.policy
     }
 
+    /// Number of clients holding materialized agent state. The
+    /// population-scale bench asserts on this to pin the `O(active
+    /// participants)` memory contract.
+    pub fn materialized(&self) -> usize {
+        match &self.store {
+            ControllerStore::Dense { agents, .. } => agents.len(),
+            ControllerStore::Lazy { clients, .. } => {
+                clients.lock().expect("ratio controller lock").len()
+            }
+        }
+    }
+
     /// Quantizes every P-UCBV agent's arm space at the model's shape
     /// resolution (`units_per_layer` = sparsifiable units per layer): ratios
     /// extracting equal per-layer retained-unit counts collapse to one arm,
     /// and current proposals snap to their canonical representatives. A
     /// no-op for the stateless and discrete policies, whose arm spaces are
-    /// already coarse.
+    /// already coarse. On a lazy controller the resolution also applies to
+    /// every agent materialized later.
     pub fn with_shape_resolution(mut self, units_per_layer: &[usize]) -> Self {
-        for (k, agent) in self.agents.iter_mut().enumerate() {
-            if let AgentState::PUcbv(a) = agent {
-                a.set_shape_resolution(units_per_layer.to_vec());
-                self.proposals[k] = a.quantize(self.proposals[k]);
+        match &mut self.store {
+            ControllerStore::Dense {
+                agents, proposals, ..
+            } => {
+                for (k, agent) in agents.iter_mut().enumerate() {
+                    if let AgentState::PUcbv(a) = agent {
+                        a.set_shape_resolution(units_per_layer.to_vec());
+                        proposals[k] = a.quantize(proposals[k]);
+                    }
+                }
+            }
+            ControllerStore::Lazy {
+                units_per_layer: slot,
+                clients,
+                ..
+            } => {
+                *slot = Some(units_per_layer.to_vec());
+                let clients = clients.get_mut().expect("ratio controller lock");
+                for lazy in clients.values_mut() {
+                    if let AgentState::PUcbv(a) = &mut lazy.agent {
+                        a.set_shape_resolution(units_per_layer.to_vec());
+                        lazy.proposal = a.quantize(lazy.proposal);
+                    }
+                }
             }
         }
         self
@@ -148,46 +310,97 @@ impl RatioController {
 
     /// The sparse ratio to use for `client` this round. Always capped at the
     /// client's capability (`s_k ≤ z_k`), which mirrors the client-side reset
-    /// in the paper's "Client-side Update".
+    /// in the paper's "Client-side Update". First touch of a client on a
+    /// lazy controller materializes its agent.
     pub fn ratio_for(&self, client: usize) -> f64 {
-        self.proposals[client]
-            .min(self.capabilities[client])
-            .max(0.0)
+        match &self.store {
+            ControllerStore::Dense {
+                capabilities,
+                proposals,
+                ..
+            } => proposals[client].min(capabilities[client]).max(0.0),
+            ControllerStore::Lazy { clients, .. } => {
+                let mut clients = clients.lock().expect("ratio controller lock");
+                let lazy = Self::materialize(&self.policy, &self.store, &mut clients, client);
+                lazy.proposal.min(lazy.capability).max(0.0)
+            }
+        }
+    }
+
+    /// Materializes (or fetches) one lazy agent; callers hold the lock.
+    fn materialize<'m>(
+        policy: &RatioPolicy,
+        store: &ControllerStore,
+        clients: &'m mut BTreeMap<usize, LazyAgent>,
+        client: usize,
+    ) -> &'m mut LazyAgent {
+        let ControllerStore::Lazy {
+            num_clients,
+            provider,
+            units_per_layer,
+            seed,
+            ..
+        } = store
+        else {
+            unreachable!("materialize is only called on the lazy store");
+        };
+        assert!(client < *num_clients, "client {client} out of range");
+        clients.entry(client).or_insert_with(|| {
+            let init = provider(client);
+            let mut rng = rng_from_seed(split_seed(*seed, 0xBAD17 ^ ((client as u64) << 16)));
+            let (mut agent, mut proposal) = build_agent(policy, init, &mut rng);
+            if let (Some(units), AgentState::PUcbv(a)) = (units_per_layer, &mut agent) {
+                a.set_shape_resolution(units.clone());
+                proposal = a.quantize(proposal);
+            }
+            LazyAgent {
+                agent,
+                proposal,
+                capability: init.capability,
+                rng,
+            }
+        })
     }
 
     /// Reports a finished round for `client`; learning policies use it to
     /// propose the next ratio (Algorithm 1 lines 9-15).
     pub fn report(&mut self, client: usize, feedback: RatioFeedback) {
-        match &mut self.agents[client] {
-            AgentState::Stateless => {}
-            AgentState::PUcbv(agent) => {
-                let next = agent.update(
-                    PUcbvFeedback {
-                        ratio: feedback.ratio,
-                        local_cost: feedback.local_cost,
-                        accuracy: feedback.accuracy,
-                    },
-                    &mut self.rng,
-                );
-                self.proposals[client] = next;
+        if let ControllerStore::Dense {
+            agents,
+            proposals,
+            rng,
+            ..
+        } = &mut self.store
+        {
+            if let Some(next) = advance_agent(&mut agents[client], feedback, rng) {
+                proposals[client] = next;
             }
-            AgentState::Ucb(ucb) => {
-                let arm = ucb.nearest_arm(feedback.ratio);
-                ucb.record(
-                    arm,
-                    crate::reward::reward(feedback.accuracy, 0.0, feedback.local_cost),
-                );
-                let next_arm = ucb.select(&mut self.rng);
-                self.proposals[client] = ucb.ratio_of(next_arm);
-            }
+            return;
+        }
+        let ControllerStore::Lazy { clients, .. } = &self.store else {
+            unreachable!("the store is either dense or lazy");
+        };
+        let mut map = clients.lock().expect("ratio controller lock");
+        let lazy = Self::materialize(&self.policy, &self.store, &mut map, client);
+        if let Some(next) = advance_agent(&mut lazy.agent, feedback, &mut lazy.rng) {
+            lazy.proposal = next;
         }
     }
 
     /// Current proposals for every client (used by analyses / examples).
+    /// Allocates `O(population)` and therefore refuses to run on a lazy
+    /// controller — iterate [`ratio_for`](Self::ratio_for) over the ids you
+    /// need instead.
     pub fn proposals(&self) -> Vec<f64> {
-        (0..self.proposals.len())
-            .map(|k| self.ratio_for(k))
-            .collect()
+        match &self.store {
+            ControllerStore::Dense { proposals, .. } => {
+                (0..proposals.len()).map(|k| self.ratio_for(k)).collect()
+            }
+            ControllerStore::Lazy { num_clients, .. } => panic!(
+                "RatioController::proposals() would materialize {num_clients} agents; \
+                 iterate ratio_for(k) instead"
+            ),
+        }
     }
 }
 
@@ -304,6 +517,104 @@ mod tests {
         for (k, &z) in caps().iter().enumerate() {
             assert_eq!(rcr.ratio_for(k), z);
         }
+    }
+
+    fn tier_init(k: usize) -> ClientInit {
+        ClientInit {
+            capability: [1.0, 0.5, 0.25, 0.0625][k % 4],
+            initial_accuracy: 0.1,
+        }
+    }
+
+    #[test]
+    fn lazy_controller_materializes_on_first_touch_only() {
+        let ctrl = RatioController::lazy(
+            RatioPolicy::PUcbv(PUcbvConfig::default()),
+            1_000_000,
+            Box::new(tier_init),
+            7,
+        );
+        assert_eq!(ctrl.materialized(), 0);
+        let r = ctrl.ratio_for(999_999);
+        assert!(r > 0.0 && r <= 1.0);
+        let _ = ctrl.ratio_for(5);
+        let _ = ctrl.ratio_for(999_999); // repeat touch: no new entry
+        assert_eq!(ctrl.materialized(), 2);
+    }
+
+    #[test]
+    fn lazy_agents_are_independent_of_participation_order() {
+        let mk = || {
+            RatioController::lazy(
+                RatioPolicy::PUcbv(PUcbvConfig::default()),
+                1000,
+                Box::new(tier_init),
+                7,
+            )
+        };
+        let forward = mk();
+        let reverse = mk();
+        let ids = [3usize, 17, 512, 900];
+        let a: Vec<f64> = ids.iter().map(|&k| forward.ratio_for(k)).collect();
+        let b: Vec<f64> = ids.iter().rev().map(|&k| reverse.ratio_for(k)).collect();
+        let b: Vec<f64> = b.into_iter().rev().collect();
+        assert_eq!(a, b, "first-touch order must not change any proposal");
+    }
+
+    #[test]
+    fn lazy_controller_learns_and_respects_caps() {
+        let mut ctrl = RatioController::lazy(
+            RatioPolicy::PUcbv(PUcbvConfig::default()),
+            1_000_000,
+            Box::new(tier_init),
+            9,
+        )
+        .with_shape_resolution(&[10, 8]);
+        for round in 0..10 {
+            // Client 2 has capability 0.25.
+            let r = ctrl.ratio_for(2);
+            assert!(r > 0.0 && r <= 0.25 + 1e-9, "round {round}: {r}");
+            ctrl.report(
+                2,
+                RatioFeedback {
+                    ratio: r,
+                    local_cost: 1.0 + r,
+                    accuracy: 0.1 + 0.05 * round as f64,
+                },
+            );
+        }
+        assert_eq!(ctrl.materialized(), 1);
+    }
+
+    #[test]
+    fn lazy_stateless_rules_match_their_dense_counterparts() {
+        let caps = caps();
+        let init = |k: usize| ClientInit {
+            capability: [1.0, 0.5, 0.25, 0.0625][k],
+            initial_accuracy: 0.0,
+        };
+        for policy in [
+            RatioPolicy::Fixed(0.5),
+            RatioPolicy::ResourceControlled,
+            RatioPolicy::Dense,
+        ] {
+            let dense = RatioController::new(policy.clone(), &caps, &[0.0; 4], 1);
+            let lazy = RatioController::lazy(policy.clone(), 4, Box::new(init), 1);
+            for k in 0..4 {
+                assert_eq!(
+                    dense.ratio_for(k),
+                    lazy.ratio_for(k),
+                    "{} client {k}",
+                    policy.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn lazy_proposals_refuse_to_materialize_the_population() {
+        RatioController::lazy(RatioPolicy::Dense, 1_000_000, Box::new(tier_init), 1).proposals();
     }
 
     #[test]

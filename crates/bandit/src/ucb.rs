@@ -1,5 +1,5 @@
 //! Discrete UCB1 over a fixed grid of sparse ratios — the ratio decision used
-//! by the FedMP baseline [28], which the paper contrasts with P-UCBV.
+//! by the FedMP baseline \[28\], which the paper contrasts with P-UCBV.
 
 use rand::Rng;
 use serde::{Deserialize, Serialize};

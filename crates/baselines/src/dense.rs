@@ -105,7 +105,7 @@ impl FlAlgorithm for DenseFl {
                     .utilities
                     .iter()
                     .enumerate()
-                    .map(|(k, u)| u / (1.0 + 1.0 / env.capabilities()[k]))
+                    .map(|(k, u)| u / (1.0 + 1.0 / env.capability(k)))
                     .collect();
                 for _ in 0..c {
                     let pick = sample_weighted(&weights, rng);
@@ -138,7 +138,7 @@ impl FlAlgorithm for DenseFl {
                             Some(r) => (round - r) as f64,
                         };
                         let noise = fedlps_tensor::rng::sample_normal(rng) as f64 * 0.01;
-                        (k, env.capabilities()[k] + 0.1 * staleness + noise)
+                        (k, env.capability(k) + 0.1 * staleness + noise)
                     })
                     .collect();
                 scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
@@ -180,14 +180,14 @@ impl FlAlgorithm for DenseFl {
             DenseUpdate {
                 contribution: Contribution {
                     client_id: client,
-                    weight: env.train_sizes()[client].max(1.0),
+                    weight: env.train_size(client).max(1.0),
                     update: ContribParams::Dense {
                         params,
                         param_mask: None,
                     },
                 },
                 // Oort statistical utility: |D_k| * sqrt(mean loss).
-                utility: env.train_sizes()[client] * summary.mean_loss.max(1e-6).sqrt(),
+                utility: env.train_size(client) * summary.mean_loss.max(1e-6).sqrt(),
             },
         )
     }

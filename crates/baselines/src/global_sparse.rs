@@ -144,7 +144,7 @@ impl FlAlgorithm for GlobalSparse {
         );
         let contribution = Contribution {
             client_id: client,
-            weight: env.train_sizes()[client].max(1.0),
+            weight: env.train_size(client).max(1.0),
             update: ContribParams::Dense {
                 params,
                 param_mask: Some(mask.param_mask(env.arch.unit_layout())),

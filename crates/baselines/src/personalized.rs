@@ -111,7 +111,7 @@ impl FlAlgorithm for PersonalizedFl {
     ) -> ClientOutcome {
         let device = env.fleet.available_profile(client, round);
         let global_snapshot = &self.global;
-        let weight = env.train_sizes()[client].max(1.0);
+        let weight = env.train_size(client).max(1.0);
 
         match self.variant {
             PersonalizedVariant::Ditto { lambda } => {

@@ -258,7 +258,7 @@ impl FlAlgorithm for SparsePersonalized {
             SparsePersonalizedUpdate {
                 contribution: Contribution {
                     client_id: client,
-                    weight: env.train_sizes()[client].max(1.0),
+                    weight: env.train_size(client).max(1.0),
                     update: ContribParams::Dense {
                         params: params.clone(),
                         param_mask: Some(shared_mask),

@@ -186,7 +186,7 @@ impl FlAlgorithm for WidthScaling {
             WidthUpdate {
                 contribution: Contribution {
                     client_id: client,
-                    weight: env.train_sizes()[client].max(1.0),
+                    weight: env.train_size(client).max(1.0),
                     update,
                 },
                 feedback: RatioFeedback {

@@ -17,6 +17,13 @@
 //! CI's determinism gate diffs the two). Floor asserted here: packed ≥ 1.3×
 //! masked-dense on a ratio-0.25 fleet (the 0.5 fleet is reported alongside).
 //!
+//! The population axis is the O(active) tentpole: one million registered
+//! clients behind a [`DeviceFleet::lazy`] fleet and an
+//! [`FlEnv::new_tiled`] environment, with a 64-participant footprint. The
+//! memory contract is asserted by *counting materialized entries* (fleet
+//! profiles, bandit arms, client states, mask-cache entries) rather than by
+//! wall-clock, so the gate is deterministic on any runner.
+//!
 //! ```text
 //! cargo bench --bench round_throughput             # measure
 //! cargo bench --bench round_throughput -- --test   # CI smoke mode
@@ -26,14 +33,40 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use fedlps_core::config::FedLpsConfig;
 use fedlps_core::FedLps;
 use fedlps_data::scenario::{DatasetKind, ScenarioConfig};
-use fedlps_device::HeterogeneityLevel;
+use fedlps_device::{DeviceFleet, HeterogeneityLevel};
+use fedlps_nn::model::{ModelArch, ModelKind};
 use fedlps_sim::config::FlConfig;
 use fedlps_sim::env::FlEnv;
 use fedlps_sim::runner::Simulator;
+use std::sync::Arc;
 use std::time::Duration;
 
 const FLEET: usize = 64;
 const SHARDS: usize = 4;
+/// Registered population of the O(active) axis.
+const POPULATION: usize = 1_000_000;
+
+/// One million registered clients, 64 data shards tiled over them, a
+/// 16-client cohort over 4 rounds (≤ 64 distinct participants). Evaluation is
+/// off (`eval_every: 0`): a whole-federation sweep is the one intrinsically
+/// `O(population)` operation, so population-scale runs disable it.
+fn population_sim() -> Simulator {
+    let scenario = ScenarioConfig::small(DatasetKind::MnistLike).with_clients(FLEET);
+    let data = scenario.build();
+    let fleet = DeviceFleet::lazy(POPULATION, HeterogeneityLevel::High, 7);
+    let arch: Arc<dyn ModelArch> = ModelKind::for_dataset(scenario.kind)
+        .build(data.input, data.num_classes)
+        .into();
+    let config = FlConfig {
+        rounds: 4,
+        clients_per_round: 16,
+        local_iterations: 2,
+        batch_size: 8,
+        eval_every: 0,
+        ..FlConfig::default()
+    };
+    Simulator::new(FlEnv::new_tiled(data, fleet, arch, config))
+}
 
 fn fleet_config(parallelism: usize) -> FlConfig {
     FlConfig {
@@ -118,7 +151,52 @@ fn bench_round_throughput(c: &mut Criterion) {
         })
     });
 
+    // Population axis: the registered population is a free variable, so a
+    // round over 1M clients should cost what a round over the 64-client
+    // fleet costs (modulo the cohort draw, which is O(cohort log cohort)).
+    let million = population_sim();
+    group.bench_function("fedlps_1m_registered_64_active", |b| {
+        b.iter(|| {
+            let mut algo = FedLps::for_env(million.env());
+            million.run(&mut algo).total_flops
+        })
+    });
+
     group.finish();
+
+    // The O(active) memory contract, asserted by counting materialized
+    // entries — deterministic on any runner, unlike wall-clock. Four rounds
+    // of 16 clients touch at most 64 distinct participants; every per-client
+    // store must be bounded by that, six orders of magnitude under the
+    // registered population.
+    let sim = population_sim();
+    let mut algo = FedLps::for_env(sim.env());
+    let result = sim.run(&mut algo);
+    let active_bound = sim.env().config.rounds * sim.env().config.clients_per_round;
+    assert_eq!(sim.env().num_clients(), POPULATION);
+    assert_eq!(result.rounds.len(), sim.env().config.rounds);
+    let fleet_entries = sim.env().fleet.materialized_profiles();
+    let arms = algo.materialized_arms();
+    let states = algo.materialized_clients();
+    let masks = algo.mask_cache().map_or(0, |c| c.len());
+    println!(
+        "round_throughput/population_scale: {POPULATION} registered -> materialized \
+         {fleet_entries} fleet profiles | {arms} bandit arms | {states} client states | \
+         {masks} cached masks (bound {active_bound})"
+    );
+    for (name, count) in [
+        ("fleet profiles", fleet_entries),
+        ("bandit arms", arms),
+        ("client states", states),
+        ("mask-cache entries", masks),
+    ] {
+        assert!(
+            count <= active_bound,
+            "{name} materialized {count} entries for a {active_bound}-participant run: \
+             the population leaked into per-client state"
+        );
+        assert!(count > 0, "{name} should materialize for the participants");
+    }
 
     // The packed ≥ 1.3× floor, measured outside criterion so the assertion
     // also runs in `--test` smoke mode: best of three runs per side, which

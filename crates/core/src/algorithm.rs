@@ -1,8 +1,9 @@
 //! The FedLPS server/driver implementing [`FlAlgorithm`].
 
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
-use fedlps_bandit::ratio_policy::{RatioController, RatioFeedback};
+use fedlps_bandit::ratio_policy::{ClientInit, RatioController, RatioFeedback};
 use fedlps_nn::model::EvalStats;
 use fedlps_nn::pack::PackedModel;
 use fedlps_sim::algorithm::{ClientOutcome, ClientReport, ClientUpdate, FlAlgorithm};
@@ -54,7 +55,15 @@ struct FedLpsUpdate {
 pub struct FedLps {
     config: FedLpsConfig,
     global: Vec<f32>,
-    clients: Vec<ClientState>,
+    /// Per-client persistent state, materialized on first participation and
+    /// stored sparsely: a client that never trained reads as
+    /// [`ClientState::default`], exactly as the former dense
+    /// `Vec<ClientState>` of defaults did, but the map costs `O(participants)`
+    /// memory instead of `O(population)`.
+    clients: BTreeMap<usize, ClientState>,
+    /// The state every untouched client reads as (kept as a field so
+    /// [`client_state`](Self::client_state) can hand out a reference).
+    blank: ClientState,
     controller: Option<RatioController>,
     staged: Vec<StagedUpdate>,
     feedback: Vec<(usize, RatioFeedback)>,
@@ -69,7 +78,8 @@ impl FedLps {
         Self {
             config,
             global: Vec::new(),
-            clients: Vec::new(),
+            clients: BTreeMap::new(),
+            blank: ClientState::default(),
             controller: None,
             staged: Vec::new(),
             feedback: Vec::new(),
@@ -97,12 +107,29 @@ impl FedLps {
         &self.global
     }
 
-    /// A client's persistent state (indicator, personalized model, last mask).
+    /// A client's persistent state (indicator, personalized model, last
+    /// mask). Clients that never participated read as
+    /// [`ClientState::default`] without materializing anything.
     pub fn client_state(&self, client: usize) -> &ClientState {
-        &self.clients[client]
+        self.clients.get(&client).unwrap_or(&self.blank)
+    }
+
+    /// Number of clients whose persistent state has actually materialized —
+    /// bounded by the distinct participants, not the registered population.
+    pub fn materialized_clients(&self) -> usize {
+        self.clients.len()
+    }
+
+    /// Number of bandit arms the ratio controller holds: the full population
+    /// for a dense controller, only the touched clients for a lazy one
+    /// (0 before `setup`).
+    pub fn materialized_arms(&self) -> usize {
+        self.controller.as_ref().map_or(0, |c| c.materialized())
     }
 
     /// The sparse ratios the controller currently proposes for every client.
+    /// `O(population)`: panics on a lazy (population-scale) controller, where
+    /// per-client proposals are read through the round flow instead.
     pub fn proposed_ratios(&self) -> Vec<f64> {
         self.controller
             .as_ref()
@@ -140,7 +167,7 @@ impl FedLps {
             feedback,
             cache_event,
         } = update;
-        self.clients[client] = state;
+        self.clients.insert(client, state);
         if let Some(cache) = self.mask_cache.as_mut() {
             match cache_event {
                 MaskCacheEvent::Bypassed => {}
@@ -193,16 +220,38 @@ impl FlAlgorithm for FedLps {
 
     fn setup(&mut self, env: &FlEnv) {
         self.global = env.initial_params();
-        self.clients = vec![ClientState::default(); env.num_clients()];
-        let capabilities = env.capabilities();
-        let initial_accuracy = env.initial_training_accuracy(&self.global);
+        self.clients.clear();
         let units_per_layer = env.arch.unit_layout().units_per_layer();
-        let mut controller = RatioController::new(
-            self.config.ratio_policy.clone(),
-            &capabilities,
-            &initial_accuracy,
-            env.config.seed,
-        );
+        let mut controller = if env.fleet.is_lazy() {
+            // Population-scale path: seeding the bandits with capabilities and
+            // initial accuracies for every registered client would be an
+            // `O(population)` sweep (each accuracy is a full evaluation pass).
+            // Hand the controller a pure per-client initializer instead; it
+            // materializes an arm the first time a client is actually touched.
+            let arch = Arc::clone(&env.arch);
+            let fleet = env.fleet.clone();
+            let data = env.data.clone();
+            let global = self.global.clone();
+            let provider = Box::new(move |k: usize| ClientInit {
+                capability: fleet.static_profile(k).capability,
+                initial_accuracy: arch
+                    .evaluate(&global, &data.clients[k % data.num_clients()].train)
+                    .accuracy,
+            });
+            RatioController::lazy(
+                self.config.ratio_policy.clone(),
+                env.num_clients(),
+                provider,
+                env.config.seed,
+            )
+        } else {
+            RatioController::new(
+                self.config.ratio_policy.clone(),
+                &env.capabilities(),
+                &env.initial_training_accuracy(&self.global),
+                env.config.seed,
+            )
+        };
         if self.config.quantize_arm_space {
             // Collapse P-UCBV's continuous samples onto the model's shape
             // resolution so repeat proposals reuse cached masks.
@@ -212,8 +261,7 @@ impl FlAlgorithm for FedLps {
         self.staged.clear();
         self.feedback.clear();
         self.mask_cache = Some(
-            MaskCache::new(env.num_clients(), units_per_layer)
-                .with_refresh_every(self.config.mask_refresh_every),
+            MaskCache::new(units_per_layer).with_refresh_every(self.config.mask_refresh_every),
         );
     }
 
@@ -250,7 +298,7 @@ impl FlAlgorithm for FedLps {
         let task = ClientTask {
             arch: &*env.arch,
             global: &self.global,
-            state: &self.clients[client],
+            state: self.client_state(client),
             data: env.train_data(client),
             options,
             cached_mask,
@@ -308,7 +356,7 @@ impl FlAlgorithm for FedLps {
                 client,
                 state: output.state,
                 staged: StagedUpdate {
-                    weight: env.train_sizes()[client].max(1.0),
+                    weight: env.train_size(client).max(1.0),
                     residual: outcome.residual,
                 },
                 feedback: RatioFeedback {
@@ -355,7 +403,7 @@ impl FlAlgorithm for FedLps {
     fn evaluate_client(&self, env: &FlEnv, client: usize) -> EvalStats {
         // Personalized deployment: the client's own sparse model if it has
         // ever trained, otherwise the dense global model.
-        match &self.clients[client].personal_model {
+        match &self.client_state(client).personal_model {
             Some(personal) => env.arch.evaluate(personal, env.test_data(client)),
             None => env.arch.evaluate(&self.global, env.test_data(client)),
         }

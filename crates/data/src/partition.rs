@@ -1,7 +1,7 @@
 //! Non-IID partitioning strategies.
 //!
 //! The paper's main experiments use the *pathological* partition of
-//! McMahan et al. / Dai et al. [45]: every client is assigned a small fixed
+//! McMahan et al. / Dai et al. \[45\]: every client is assigned a small fixed
 //! number of classes (2 for MNIST/CIFAR-10, 10 for CIFAR-100, 20 for
 //! Tiny-ImageNet). Figure 6 additionally sweeps the non-IID level by varying
 //! how many classes each client *lacks*. This module implements that scheme

@@ -6,8 +6,43 @@
 //! `{1, 1/2, 1/4, 1/8, 1/16}`. During training the locally *available*
 //! capability can additionally fluctuate because devices run other workloads;
 //! the fleet models this with a per-round availability factor.
+//!
+//! # Population scale: dense vs. lazy fleets
+//!
+//! A fleet has two physical representations behind one API:
+//!
+//! * [`DeviceFleet::sample`] pre-builds every [`DeviceProfile`] in a `Vec` —
+//!   the historical representation, right for federations of tens to
+//!   thousands of clients;
+//! * [`DeviceFleet::lazy`] registers a population of any size in `O(1)`
+//!   memory. A client's profile is a pure seeded function of its client-id,
+//!   materialized on first access and memoized sparsely, so resident memory
+//!   stays `O(clients actually touched)` even at millions of registered
+//!   devices — the cross-device regime of Oort (OSDI '21) / REFL
+//!   (EuroSys '23).
+//!
+//! The two representations are **bit-identical** at equal `(size, level,
+//! seed)`: the lazy fleet replays the exact tier-draw RNG stream of the dense
+//! constructor from cloned checkpoints (see `CHECKPOINT_STRIDE`), rejection
+//! sampling included, which a proptest regression pins for every
+//! heterogeneity level. Per-round availability and churn were already pure
+//! per-id functions and behave identically in both representations.
+//!
+//! ```
+//! use fedlps_device::fleet::DeviceFleet;
+//! use fedlps_device::HeterogeneityLevel;
+//!
+//! let dense = DeviceFleet::sample(1000, HeterogeneityLevel::High, 7);
+//! let lazy = DeviceFleet::lazy(1000, HeterogeneityLevel::High, 7);
+//! assert_eq!(dense.static_profile(643), lazy.static_profile(643));
+//! assert_eq!(lazy.materialized_profiles(), 1); // only client 643 is resident
+//! ```
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
 
 use fedlps_tensor::{rng_from_seed, split_seed};
+use rand::rngs::StdRng;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -101,10 +136,125 @@ impl DynamicsConfig {
     }
 }
 
+/// Distance (in device indices) between cloned RNG checkpoints of the lazy
+/// tier stream. First access to an index region replays at most this many
+/// tier draws; checkpoint storage is `O(highest touched index / stride)` —
+/// a few hundred cloned RNG states even at a million registered devices.
+const CHECKPOINT_STRIDE: usize = 4096;
+
+/// Draws one tier exactly as [`DeviceFleet::sample`] does — the shared
+/// primitive that keeps the dense constructor and the lazy replay
+/// bit-identical (including the rejection-sampling behaviour of
+/// `gen_range` on non-power-of-two tier pools).
+fn draw_tier(tiers: &[CapabilityTier], rng: &mut StdRng) -> CapabilityTier {
+    tiers[rng.gen_range(0..tiers.len())]
+}
+
+/// The lazily evaluated tier stream backing [`DeviceFleet::lazy`].
+///
+/// Conceptually this *is* the `(0..num_devices)` tier-draw loop of
+/// [`DeviceFleet::sample`], evaluated on demand: `profile(k)` replays the
+/// draw stream from the nearest checkpoint at or below `k`, memoizes the
+/// requested profile in a sparse `BTreeMap` (lint rule D1) and clones an RNG
+/// checkpoint every [`CHECKPOINT_STRIDE`] indices so later accesses in the
+/// same region are cheap. Shared behind an `Arc` so fleet clones see one
+/// cache; the interior `Mutex` only guards memoization — results are a pure
+/// function of `(seed, k)`, so the lock order can never influence a value.
+struct LazyTiers {
+    num_devices: usize,
+    tiers: Vec<CapabilityTier>,
+    /// The tier stream seed: `split_seed(fleet seed, 0xDE71CE)`.
+    stream_seed: u64,
+    state: Mutex<LazyTiersState>,
+}
+
+struct LazyTiersState {
+    /// `checkpoints[i]` is the RNG positioned to draw device `i * STRIDE`.
+    checkpoints: Vec<StdRng>,
+    /// Profiles materialized so far, keyed by device id.
+    profiles: BTreeMap<usize, DeviceProfile>,
+}
+
+impl LazyTiers {
+    fn new(num_devices: usize, tiers: Vec<CapabilityTier>, stream_seed: u64) -> Self {
+        Self {
+            num_devices,
+            tiers,
+            stream_seed,
+            state: Mutex::new(LazyTiersState {
+                checkpoints: vec![rng_from_seed(stream_seed)],
+                profiles: BTreeMap::new(),
+            }),
+        }
+    }
+
+    fn profile(&self, k: usize) -> DeviceProfile {
+        assert!(k < self.num_devices, "device {k} out of range");
+        let mut state = self.state.lock().expect("lazy fleet lock");
+        if let Some(p) = state.profiles.get(&k) {
+            return *p;
+        }
+        let ci = k / CHECKPOINT_STRIDE;
+        while state.checkpoints.len() <= ci {
+            let mut rng = state.checkpoints.last().expect("seed checkpoint").clone();
+            for _ in 0..CHECKPOINT_STRIDE {
+                let _ = draw_tier(&self.tiers, &mut rng);
+            }
+            state.checkpoints.push(rng);
+        }
+        let mut rng = state.checkpoints[ci].clone();
+        let mut tier = draw_tier(&self.tiers, &mut rng);
+        for _ in (ci * CHECKPOINT_STRIDE)..k {
+            tier = draw_tier(&self.tiers, &mut rng);
+        }
+        let profile = DeviceProfile::from_tier(tier);
+        state.profiles.insert(k, profile);
+        profile
+    }
+
+    fn materialized(&self) -> usize {
+        self.state.lock().expect("lazy fleet lock").profiles.len()
+    }
+
+    /// Streams the full tier sequence without memoizing anything:
+    /// `O(num_devices)` time, `O(1)` extra memory.
+    fn mean_capability(&self) -> f64 {
+        if self.num_devices == 0 {
+            return 0.0;
+        }
+        let mut rng = rng_from_seed(self.stream_seed);
+        let mut sum = 0.0;
+        for _ in 0..self.num_devices {
+            sum += DeviceProfile::from_tier(draw_tier(&self.tiers, &mut rng)).capability;
+        }
+        sum / self.num_devices as f64
+    }
+}
+
+impl std::fmt::Debug for LazyTiers {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LazyTiers")
+            .field("num_devices", &self.num_devices)
+            .field("materialized", &self.materialized())
+            .finish_non_exhaustive()
+    }
+}
+
+/// The physical representation behind a [`DeviceFleet`].
+#[derive(Debug, Clone)]
+enum FleetRepr {
+    /// Every profile pre-built (the historical representation).
+    Dense(Vec<DeviceProfile>),
+    /// Profiles materialized on demand; clones share one memo cache.
+    Lazy(Arc<LazyTiers>),
+}
+
 /// A fleet of edge devices with static tiers and optional dynamics.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+///
+/// See the [module docs](self) for the dense/lazy representation contract.
+#[derive(Debug, Clone)]
 pub struct DeviceFleet {
-    devices: Vec<DeviceProfile>,
+    repr: FleetRepr,
     level: HeterogeneityLevel,
     dynamics: DynamicsConfig,
     seed: u64,
@@ -113,17 +263,35 @@ pub struct DeviceFleet {
 impl DeviceFleet {
     /// Samples a fleet of `num_devices` devices from the given heterogeneity
     /// level, uniformly over its tier pool (the paper's configuration).
+    /// Materializes every profile up front; see [`DeviceFleet::lazy`] for the
+    /// `O(touched)`-memory representation of the same fleet.
     pub fn sample(num_devices: usize, level: HeterogeneityLevel, seed: u64) -> Self {
         let tiers = level.tiers();
         let mut rng = rng_from_seed(split_seed(seed, 0xDE71CE));
         let devices = (0..num_devices)
-            .map(|_| {
-                let tier = tiers[rng.gen_range(0..tiers.len())];
-                DeviceProfile::from_tier(tier)
-            })
+            .map(|_| DeviceProfile::from_tier(draw_tier(&tiers, &mut rng)))
             .collect();
         Self {
-            devices,
+            repr: FleetRepr::Dense(devices),
+            level,
+            dynamics: DynamicsConfig::default(),
+            seed,
+        }
+    }
+
+    /// Registers a fleet of `num_devices` devices without materializing any
+    /// profile: each profile is computed from `(seed, id)` on first access
+    /// and memoized sparsely. Bit-identical to [`DeviceFleet::sample`] at
+    /// equal arguments, with resident memory proportional to the number of
+    /// *distinct devices touched* rather than the registered population.
+    pub fn lazy(num_devices: usize, level: HeterogeneityLevel, seed: u64) -> Self {
+        let tiers = level.tiers();
+        Self {
+            repr: FleetRepr::Lazy(Arc::new(LazyTiers::new(
+                num_devices,
+                tiers,
+                split_seed(seed, 0xDE71CE),
+            ))),
             level,
             dynamics: DynamicsConfig::default(),
             seed,
@@ -133,7 +301,7 @@ impl DeviceFleet {
     /// Builds a fleet from explicit profiles.
     pub fn from_profiles(devices: Vec<DeviceProfile>, seed: u64) -> Self {
         Self {
-            devices,
+            repr: FleetRepr::Dense(devices),
             level: HeterogeneityLevel::High,
             dynamics: DynamicsConfig::default(),
             seed,
@@ -149,12 +317,31 @@ impl DeviceFleet {
 
     /// Number of devices in the fleet.
     pub fn len(&self) -> usize {
-        self.devices.len()
+        match &self.repr {
+            FleetRepr::Dense(devices) => devices.len(),
+            FleetRepr::Lazy(lazy) => lazy.num_devices,
+        }
     }
 
     /// Whether the fleet is empty.
     pub fn is_empty(&self) -> bool {
-        self.devices.is_empty()
+        self.len() == 0
+    }
+
+    /// Whether this fleet uses the lazy `O(touched)`-memory representation.
+    pub fn is_lazy(&self) -> bool {
+        matches!(self.repr, FleetRepr::Lazy(_))
+    }
+
+    /// Number of device profiles currently resident in memory: the full
+    /// population for a dense fleet, the distinct devices touched so far for
+    /// a lazy one. The population-scale bench asserts on this to pin the
+    /// `O(active participants)` memory contract.
+    pub fn materialized_profiles(&self) -> usize {
+        match &self.repr {
+            FleetRepr::Dense(devices) => devices.len(),
+            FleetRepr::Lazy(lazy) => lazy.materialized(),
+        }
     }
 
     /// The heterogeneity level the fleet was sampled from.
@@ -162,21 +349,43 @@ impl DeviceFleet {
         self.level
     }
 
-    /// The *static* profile of device `k` (its nominal tier).
+    /// The *static* profile of device `k` (its nominal tier). `O(1)` on a
+    /// dense fleet; on a lazy fleet the first access to an index region
+    /// replays at most `CHECKPOINT_STRIDE` (4096) tier draws and memoizes the
+    /// result.
     pub fn static_profile(&self, k: usize) -> DeviceProfile {
-        self.devices[k]
+        match &self.repr {
+            FleetRepr::Dense(devices) => devices[k],
+            FleetRepr::Lazy(lazy) => lazy.profile(k),
+        }
     }
 
-    /// All static profiles.
+    /// All static profiles as one slice.
+    ///
+    /// Only the dense representation can answer this without materializing
+    /// the whole population, so this method **panics on a lazy fleet** —
+    /// iterate [`static_profile`](Self::static_profile) over the ids you
+    /// actually need instead, which is also why the method is deprecated.
+    #[deprecated(
+        since = "0.1.0",
+        note = "forces full materialization; iterate `static_profile(k)` over the ids you need"
+    )]
     pub fn profiles(&self) -> &[DeviceProfile] {
-        &self.devices
+        match &self.repr {
+            FleetRepr::Dense(devices) => devices,
+            FleetRepr::Lazy(_) => panic!(
+                "DeviceFleet::profiles() would materialize a lazy fleet of {} devices; \
+                 iterate static_profile(k) instead",
+                self.len()
+            ),
+        }
     }
 
     /// The profile of device `k` as available in round `r`: the static profile
     /// scaled by a deterministic pseudo-random availability factor when
     /// dynamics are enabled.
     pub fn available_profile(&self, k: usize, round: usize) -> DeviceProfile {
-        let base = self.devices[k];
+        let base = self.static_profile(k);
         if !self.dynamics.enabled {
             return base;
         }
@@ -210,12 +419,67 @@ impl DeviceFleet {
         Some((rng.gen::<f64>() * 0.98 + 0.01).clamp(0.01, 0.99))
     }
 
-    /// Mean capability fraction of the fleet (a summary used in logs).
+    /// Mean capability fraction of the fleet (a summary used in logs). On a
+    /// lazy fleet this streams the tier sequence in `O(len)` time but `O(1)`
+    /// extra memory — nothing is materialized.
     pub fn mean_capability(&self) -> f64 {
-        if self.devices.is_empty() {
-            return 0.0;
+        match &self.repr {
+            FleetRepr::Dense(devices) => {
+                if devices.is_empty() {
+                    return 0.0;
+                }
+                devices.iter().map(|d| d.capability).sum::<f64>() / devices.len() as f64
+            }
+            FleetRepr::Lazy(lazy) => lazy.mean_capability(),
         }
-        self.devices.iter().map(|d| d.capability).sum::<f64>() / self.devices.len() as f64
+    }
+}
+
+// Serialization is manual because the two representations serialize
+// differently: a dense fleet records its profiles verbatim (round-trips any
+// `from_profiles` fleet), while a lazy fleet records only its registered size
+// — its profiles are recomputed from `(seed, level)` on demand, so persisting
+// them would defeat the representation.
+impl Serialize for DeviceFleet {
+    fn to_value(&self) -> serde::Value {
+        let mut fields = vec![
+            ("level".to_string(), self.level.to_value()),
+            ("dynamics".to_string(), self.dynamics.to_value()),
+            ("seed".to_string(), self.seed.to_value()),
+        ];
+        match &self.repr {
+            FleetRepr::Dense(devices) => {
+                fields.push(("devices".to_string(), devices.to_value()));
+            }
+            FleetRepr::Lazy(lazy) => {
+                fields.push(("lazy_devices".to_string(), lazy.num_devices.to_value()));
+            }
+        }
+        serde::Value::Obj(fields)
+    }
+}
+
+impl<'de> Deserialize<'de> for DeviceFleet {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        let level = HeterogeneityLevel::from_value(value.field("level")?)?;
+        let dynamics = DynamicsConfig::from_value(value.field("dynamics")?)?;
+        let seed = u64::from_value(value.field("seed")?)?;
+        let repr = if let Ok(devices) = value.field("devices") {
+            FleetRepr::Dense(Vec::<DeviceProfile>::from_value(devices)?)
+        } else {
+            let num_devices = usize::from_value(value.field("lazy_devices")?)?;
+            FleetRepr::Lazy(Arc::new(LazyTiers::new(
+                num_devices,
+                level.tiers(),
+                split_seed(seed, 0xDE71CE),
+            )))
+        };
+        Ok(Self {
+            repr,
+            level,
+            dynamics,
+            seed,
+        })
     }
 }
 
@@ -231,11 +495,16 @@ mod tests {
         assert_eq!(HeterogeneityLevel::None.tiers().len(), 1);
     }
 
+    /// All static profiles of a fleet, via the non-deprecated per-id API.
+    fn all_profiles(fleet: &DeviceFleet) -> Vec<DeviceProfile> {
+        (0..fleet.len()).map(|k| fleet.static_profile(k)).collect()
+    }
+
     #[test]
     fn sampled_fleet_only_uses_allowed_tiers() {
         let fleet = DeviceFleet::sample(50, HeterogeneityLevel::Low, 3);
         assert_eq!(fleet.len(), 50);
-        for d in fleet.profiles() {
+        for d in all_profiles(&fleet) {
             assert!(d.capability >= 0.5 - 1e-12);
         }
     }
@@ -252,8 +521,93 @@ mod tests {
         let a = DeviceFleet::sample(10, HeterogeneityLevel::High, 7);
         let b = DeviceFleet::sample(10, HeterogeneityLevel::High, 7);
         let c = DeviceFleet::sample(10, HeterogeneityLevel::High, 8);
-        assert_eq!(a.profiles(), b.profiles());
-        assert_ne!(a.profiles(), c.profiles());
+        assert_eq!(all_profiles(&a), all_profiles(&b));
+        assert_ne!(all_profiles(&a), all_profiles(&c));
+    }
+
+    #[test]
+    fn lazy_fleet_is_bit_identical_to_dense_sample() {
+        for level in [
+            HeterogeneityLevel::None,
+            HeterogeneityLevel::Low,
+            HeterogeneityLevel::Median,
+            HeterogeneityLevel::High,
+        ] {
+            for seed in [0, 7, 4242] {
+                let dense = DeviceFleet::sample(300, level, seed);
+                let lazy = DeviceFleet::lazy(300, level, seed);
+                assert_eq!(
+                    all_profiles(&dense),
+                    all_profiles(&lazy),
+                    "level {} seed {seed}",
+                    level.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lazy_fleet_replay_is_access_order_independent_across_checkpoints() {
+        // Spans several CHECKPOINT_STRIDE regions, probed out of order and
+        // with repeats; each probe must match the dense fleet regardless of
+        // which checkpoints were built first.
+        let n = 3 * CHECKPOINT_STRIDE + 17;
+        let dense = DeviceFleet::sample(n, HeterogeneityLevel::High, 11);
+        let lazy = DeviceFleet::lazy(n, HeterogeneityLevel::High, 11);
+        let probes = [
+            n - 1,
+            0,
+            2 * CHECKPOINT_STRIDE + 5,
+            CHECKPOINT_STRIDE - 1,
+            CHECKPOINT_STRIDE,
+            0,
+            n - 1,
+            CHECKPOINT_STRIDE + 1,
+        ];
+        for &k in &probes {
+            assert_eq!(
+                lazy.static_profile(k),
+                dense.static_profile(k),
+                "device {k}"
+            );
+        }
+        let distinct = probes.iter().collect::<std::collections::BTreeSet<_>>();
+        assert_eq!(lazy.materialized_profiles(), distinct.len());
+        assert_eq!(dense.materialized_profiles(), n);
+    }
+
+    #[test]
+    fn lazy_fleet_mean_capability_matches_dense_without_materializing() {
+        let dense = DeviceFleet::sample(5000, HeterogeneityLevel::Median, 3);
+        let lazy = DeviceFleet::lazy(5000, HeterogeneityLevel::Median, 3);
+        assert_eq!(lazy.mean_capability(), dense.mean_capability());
+        assert_eq!(lazy.materialized_profiles(), 0);
+    }
+
+    #[test]
+    fn lazy_fleet_clones_share_one_memo_cache() {
+        let lazy = DeviceFleet::lazy(100, HeterogeneityLevel::High, 7);
+        let clone = lazy.clone();
+        let _ = clone.static_profile(42);
+        assert_eq!(lazy.materialized_profiles(), 1);
+    }
+
+    #[test]
+    fn fleet_serde_round_trips_both_representations() {
+        let dense = DeviceFleet::sample(8, HeterogeneityLevel::Low, 5);
+        let restored = DeviceFleet::from_value(&dense.to_value()).expect("dense round-trip");
+        assert!(!restored.is_lazy());
+        assert_eq!(all_profiles(&restored), all_profiles(&dense));
+
+        let lazy = DeviceFleet::lazy(1_000_000, HeterogeneityLevel::High, 5);
+        let restored = DeviceFleet::from_value(&lazy.to_value()).expect("lazy round-trip");
+        assert!(restored.is_lazy());
+        assert_eq!(restored.len(), 1_000_000);
+        assert_eq!(restored.materialized_profiles(), 0);
+        assert_eq!(
+            restored.static_profile(999_999),
+            lazy.static_profile(999_999)
+        );
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Analytic FLOP formulas.
 //!
 //! The paper measures local computation cost in floating-point operations
-//! (FLOPs), following the accounting of DisPFL [45]: a dense layer mapping
+//! (FLOPs), following the accounting of DisPFL \[45\]: a dense layer mapping
 //! `in` to `out` features costs `2 * in * out` FLOPs per sample in the forward
 //! pass (one multiply + one add per weight), and a training step costs about
 //! three forward passes (forward + gradient w.r.t. weights + gradient w.r.t.

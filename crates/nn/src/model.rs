@@ -97,7 +97,7 @@ pub trait ModelArch: Send + Sync {
     fn train_flops_per_sample(&self, retained_per_layer: &[usize]) -> f64;
 
     /// Analytic FLOPs of one *inference* sample; by convention a third of the
-    /// training cost (forward only), matching the accounting in [45].
+    /// training cost (forward only), matching the accounting in \[45\].
     fn inference_flops_per_sample(&self, retained_per_layer: &[usize]) -> f64 {
         self.train_flops_per_sample(retained_per_layer) / 3.0
     }

@@ -9,9 +9,9 @@
 //! * [`event`] — timestamped events (`dispatch`, `compute-finish`,
 //!   `upload-finish`, `offline`, `round-deadline`) with a *total* and
 //!   schedule-independent ordering;
-//! * [`queue`] — a binary-heap event queue plus an [`EventLog`](queue::EventLog)
+//! * [`queue`] — a binary-heap event queue plus an [`EventLog`]
 //!   used to assert that schedules replay identically;
-//! * [`mode`] — the [`RoundMode`](mode::RoundMode) selector stored in the
+//! * [`mode`] — the [`RoundMode`] selector stored in the
 //!   simulator's `FlConfig`: synchronous rounds, deadline rounds with
 //!   over-selection, or staleness-aware asynchronous absorption;
 //! * [`schedule`] — the pure per-round planner mapping client latencies

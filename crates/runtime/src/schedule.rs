@@ -7,7 +7,7 @@
 //! clients drop (straggling past the deadline or churning offline mid-round)
 //! and how long the round takes. The async pipeline uses the same [`Event`]
 //! ordering but schedules incrementally through an
-//! [`EventQueue`](crate::queue::EventQueue) because its dispatch times depend
+//! [`EventQueue`] because its dispatch times depend
 //! on earlier arrivals.
 
 use serde::{Deserialize, Serialize};

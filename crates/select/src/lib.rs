@@ -27,7 +27,9 @@
 //! driver, never from worker threads.
 
 pub mod policy;
+pub mod pool;
 pub mod stats;
 
 pub use policy::{PowerOfChoice, SelectionKind, SelectionPolicy, Uniform, UtilityBased};
+pub use pool::ClientPool;
 pub use stats::{ClientSelectionStats, SelectionTracker};

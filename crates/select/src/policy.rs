@@ -1,12 +1,44 @@
 //! The [`SelectionPolicy`] trait and the three shipped policies.
+//!
+//! The driver consults the active policy at three points — cohort formation,
+//! deadline over-selection, async slot refills — all on one deterministic
+//! selection RNG stream. Policies never scan the registered population:
+//! candidates arrive as a [`ClientPool`] (ascending ids minus a small
+//! exclusion set, `O(|excluded|)` memory) and already-observed clients come
+//! from the tracker's sparse [`explored_ids`](SelectionTracker::explored_ids)
+//! set, so each decision costs `O(cohort + participants)` work regardless of
+//! whether the federation registers sixty-four clients or a million.
+//!
+//! Sublinearity does not change a single draw: pools enumerate the same ids
+//! in the same ascending order as the dense candidate vectors they replaced,
+//! and every RNG consumption is positional, so selections are bit-identical
+//! to the historical full-scan implementations (pinned by this crate's
+//! `dense_reference` regression tests).
+//!
+//! ```
+//! use fedlps_select::{ClientPool, SelectionKind, SelectionTracker};
+//! use fedlps_tensor::rng_from_seed;
+//!
+//! let tracker = SelectionTracker::new(vec![1.0, 2.0, 3.0, 4.0]);
+//! let mut policy = SelectionKind::Uniform.build();
+//! let mut rng = rng_from_seed(7);
+//!
+//! let cohort = policy.select_cohort(&tracker, 0, 2, &mut rng);
+//! assert_eq!(cohort.len(), 2);
+//!
+//! // Refill candidates: everyone not currently busy.
+//! let idle = ClientPool::excluding(tracker.num_clients(), cohort.iter().copied());
+//! let refill = policy.select_refill(&tracker, 0, &idle, &mut rng);
+//! assert!(refill.is_some_and(|k| !cohort.contains(&k)));
+//! ```
 
 use fedlps_tensor::rng::sample_without_replacement;
 use rand::rngs::StdRng;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
-use std::collections::BTreeSet;
 
+use crate::pool::ClientPool;
 use crate::stats::SelectionTracker;
 
 /// How the server picks participating clients.
@@ -24,7 +56,9 @@ use crate::stats::SelectionTracker;
 /// Implementations must be pure functions of `(tracker, arguments, rng)`: no
 /// interior clocks, no thread-dependent state. That contract is what lets
 /// every policy stay bit-identical across `parallelism` settings and
-/// execution backends.
+/// execution backends. Implementations should also avoid `O(population)`
+/// work and memory — draw positionally against the given [`ClientPool`] /
+/// tracker instead of enumerating all clients.
 pub trait SelectionPolicy: Send {
     /// Short name used in logs and tables.
     fn name(&self) -> &'static str;
@@ -49,13 +83,13 @@ pub trait SelectionPolicy: Send {
         rng: &mut StdRng,
     ) -> Vec<usize>;
 
-    /// Chooses one idle client to refill a freed async slot (`idle` is in
-    /// ascending client order), or `None` when nobody is idle.
+    /// Chooses one client from the `idle` pool to refill a freed async slot,
+    /// or `None` when the pool is empty.
     fn select_refill(
         &mut self,
         tracker: &SelectionTracker,
         round: usize,
-        idle: &[usize],
+        idle: &ClientPool,
         rng: &mut StdRng,
     ) -> Option<usize>;
 }
@@ -146,6 +180,16 @@ fn rank_desc(mut pool: Vec<usize>, score: impl Fn(usize) -> Option<f64>) -> Vec<
     pool
 }
 
+/// The explored members of a pool, ascending: the tracker's sparse explored
+/// set filtered by membership — `O(participants)`, never `O(population)`.
+fn explored_members(tracker: &SelectionTracker, pool: &ClientPool) -> Vec<usize> {
+    tracker
+        .explored_ids()
+        .into_iter()
+        .filter(|&k| pool.contains(k))
+        .collect()
+}
+
 /// Uniform random selection — today's (and the paper's) behaviour.
 ///
 /// The RNG draw sequence of each method is kept bit-identical to the
@@ -181,14 +225,11 @@ impl SelectionPolicy for Uniform {
         if extra == 0 {
             return Vec::new();
         }
-        let taken: BTreeSet<usize> = chosen.iter().copied().collect();
-        let idle: Vec<usize> = (0..tracker.num_clients())
-            .filter(|k| !taken.contains(k))
-            .collect();
+        let idle = ClientPool::excluding(tracker.num_clients(), chosen.iter().copied());
         let take = extra.min(idle.len());
         sample_without_replacement(idle.len(), take, rng)
             .into_iter()
-            .map(|i| idle[i])
+            .map(|i| idle.nth(i))
             .collect()
     }
 
@@ -196,13 +237,13 @@ impl SelectionPolicy for Uniform {
         &mut self,
         _tracker: &SelectionTracker,
         _round: usize,
-        idle: &[usize],
+        idle: &ClientPool,
         rng: &mut StdRng,
     ) -> Option<usize> {
         if idle.is_empty() {
             None
         } else {
-            Some(idle[rng.gen_range(0..idle.len())])
+            Some(idle.nth(rng.gen_range(0..idle.len())))
         }
     }
 }
@@ -215,6 +256,10 @@ impl SelectionPolicy for Uniform {
 /// `ceil(exploration × count)` slots for clients that never participated,
 /// drawn uniformly. Never-reported-but-dispatched clients rank with infinite
 /// optimism inside the exploit pool, so nobody is starved forever.
+///
+/// Work per decision is `O(participants + cohort)`: the exploit ranking runs
+/// over the tracker's sparse explored set and exploration draws positionally
+/// against the (virtual) unexplored pool — the population is never scanned.
 #[derive(Debug, Clone, Copy)]
 pub struct UtilityBased {
     /// Fraction of each cohort reserved for exploration.
@@ -235,7 +280,7 @@ impl UtilityBased {
     fn pick(
         &self,
         tracker: &SelectionTracker,
-        pool: Vec<usize>,
+        pool: &ClientPool,
         count: usize,
         rng: &mut StdRng,
     ) -> Vec<usize> {
@@ -243,8 +288,8 @@ impl UtilityBased {
         if count == 0 {
             return Vec::new();
         }
-        let (unexplored, explored): (Vec<usize>, Vec<usize>) =
-            pool.into_iter().partition(|&k| !tracker.explored(k));
+        let explored = explored_members(tracker, pool);
+        let unexplored = pool.without(explored.iter().copied());
         let want_explore = ((self.exploration * count as f64).ceil() as usize).min(count);
         // Exploration cannot exceed the unexplored pool; exploitation cannot
         // exceed the explored pool — shift slots to whichever side has room.
@@ -261,7 +306,7 @@ impl UtilityBased {
         picked.extend(
             sample_without_replacement(unexplored.len(), explore_n, rng)
                 .into_iter()
-                .map(|i| unexplored[i]),
+                .map(|i| unexplored.nth(i)),
         );
         picked
     }
@@ -279,8 +324,12 @@ impl SelectionPolicy for UtilityBased {
         count: usize,
         rng: &mut StdRng,
     ) -> Vec<usize> {
-        let pool: Vec<usize> = (0..tracker.num_clients()).collect();
-        self.pick(tracker, pool, count, rng)
+        self.pick(
+            tracker,
+            &ClientPool::full(tracker.num_clients()),
+            count,
+            rng,
+        )
     }
 
     fn select_extra(
@@ -294,41 +343,39 @@ impl SelectionPolicy for UtilityBased {
         if extra == 0 {
             return Vec::new();
         }
-        let taken: BTreeSet<usize> = chosen.iter().copied().collect();
-        let pool: Vec<usize> = (0..tracker.num_clients())
-            .filter(|k| !taken.contains(k))
-            .collect();
-        self.pick(tracker, pool, extra, rng)
+        let pool = ClientPool::excluding(tracker.num_clients(), chosen.iter().copied());
+        self.pick(tracker, &pool, extra, rng)
     }
 
     fn select_refill(
         &mut self,
         tracker: &SelectionTracker,
         _round: usize,
-        idle: &[usize],
+        idle: &ClientPool,
         rng: &mut StdRng,
     ) -> Option<usize> {
         if idle.is_empty() {
             return None;
         }
         if rng.gen_bool(self.exploration.clamp(0.0, 1.0)) {
-            return Some(idle[rng.gen_range(0..idle.len())]);
+            return Some(idle.nth(rng.gen_range(0..idle.len())));
         }
-        let unexplored: Vec<usize> = idle
-            .iter()
-            .copied()
-            .filter(|&k| !tracker.explored(k))
-            .collect();
+        let explored = explored_members(tracker, idle);
+        let unexplored = idle.without(explored.iter().copied());
         if !unexplored.is_empty() {
-            return Some(unexplored[rng.gen_range(0..unexplored.len())]);
+            return Some(unexplored.nth(rng.gen_range(0..unexplored.len())));
         }
-        rank_desc(idle.to_vec(), |k| self.score(tracker, k))
+        // Everyone idle has participated, so the idle pool *is* `explored`.
+        rank_desc(explored, |k| self.score(tracker, k))
             .first()
             .copied()
     }
 }
 
 /// Power-of-`d`-choices selection, biased toward high-loss clients.
+///
+/// Only the `d` drawn candidates are ever examined, so decisions cost
+/// `O(d log d)` independent of the population size.
 #[derive(Debug, Clone, Copy)]
 pub struct PowerOfChoice {
     /// Candidate-set size `d` (0 = auto: twice the requested count).
@@ -352,7 +399,7 @@ impl PowerOfChoice {
     fn pick(
         &self,
         tracker: &SelectionTracker,
-        pool: Vec<usize>,
+        pool: &ClientPool,
         count: usize,
         rng: &mut StdRng,
     ) -> Vec<usize> {
@@ -363,7 +410,7 @@ impl PowerOfChoice {
         let d = self.candidate_count(count, pool.len());
         let cands: Vec<usize> = sample_without_replacement(pool.len(), d, rng)
             .into_iter()
-            .map(|i| pool[i])
+            .map(|i| pool.nth(i))
             .collect();
         rank_desc(cands, |k| Self::loss(tracker, k))
             .into_iter()
@@ -384,8 +431,12 @@ impl SelectionPolicy for PowerOfChoice {
         count: usize,
         rng: &mut StdRng,
     ) -> Vec<usize> {
-        let pool: Vec<usize> = (0..tracker.num_clients()).collect();
-        self.pick(tracker, pool, count, rng)
+        self.pick(
+            tracker,
+            &ClientPool::full(tracker.num_clients()),
+            count,
+            rng,
+        )
     }
 
     fn select_extra(
@@ -399,18 +450,15 @@ impl SelectionPolicy for PowerOfChoice {
         if extra == 0 {
             return Vec::new();
         }
-        let taken: BTreeSet<usize> = chosen.iter().copied().collect();
-        let pool: Vec<usize> = (0..tracker.num_clients())
-            .filter(|k| !taken.contains(k))
-            .collect();
-        self.pick(tracker, pool, extra, rng)
+        let pool = ClientPool::excluding(tracker.num_clients(), chosen.iter().copied());
+        self.pick(tracker, &pool, extra, rng)
     }
 
     fn select_refill(
         &mut self,
         tracker: &SelectionTracker,
         _round: usize,
-        idle: &[usize],
+        idle: &ClientPool,
         rng: &mut StdRng,
     ) -> Option<usize> {
         if idle.is_empty() {
@@ -418,8 +466,8 @@ impl SelectionPolicy for PowerOfChoice {
         }
         // Power of two choices: two independent uniform probes, keep the one
         // with the higher loss (optimistically infinite when unexplored).
-        let a = idle[rng.gen_range(0..idle.len())];
-        let b = idle[rng.gen_range(0..idle.len())];
+        let a = idle.nth(rng.gen_range(0..idle.len()));
+        let b = idle.nth(rng.gen_range(0..idle.len()));
         let winner = match (Self::loss(tracker, a), Self::loss(tracker, b)) {
             (None, _) => a,
             (_, None) => b,

@@ -1,0 +1,152 @@
+//! Candidate pools that never materialize the population.
+//!
+//! Selection used to receive its candidates as a dense `Vec<usize>` built by
+//! scanning `0..num_clients` — an `O(population)` allocation per decision
+//! that defeats the lazy-fleet memory contract. A [`ClientPool`] represents
+//! the same ascending id set (`0..num_clients` minus a small exclusion set)
+//! in `O(|excluded|)` memory, with positional lookup via [`ClientPool::nth`].
+//!
+//! Because the pool enumerates the *same ids in the same ascending order* as
+//! the dense vector it replaced, positional draws against it (partial
+//! Fisher–Yates indices, `gen_range` probes) produce bit-identical selections
+//! — the policies' historical RNG sequences are preserved exactly.
+//!
+//! ```
+//! use fedlps_select::ClientPool;
+//!
+//! // 0..10 minus {2, 5}: the ascending members are [0, 1, 3, 4, 6, 7, 8, 9].
+//! let pool = ClientPool::excluding(10, [2, 5]);
+//! assert_eq!(pool.len(), 8);
+//! assert_eq!(pool.nth(2), 3);
+//! assert_eq!(pool.nth(5), 7);
+//! assert!(!pool.contains(5) && pool.contains(6));
+//! ```
+
+use std::collections::BTreeSet;
+
+/// The ascending id set `0..num_clients` minus an exclusion set, in
+/// `O(|excluded|)` memory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClientPool {
+    num_clients: usize,
+    /// Excluded ids, all `< num_clients`.
+    excluded: BTreeSet<usize>,
+}
+
+impl ClientPool {
+    /// The full population `0..num_clients`.
+    pub fn full(num_clients: usize) -> Self {
+        Self {
+            num_clients,
+            excluded: BTreeSet::new(),
+        }
+    }
+
+    /// The population minus `excluded` (out-of-range ids are ignored).
+    pub fn excluding(num_clients: usize, excluded: impl IntoIterator<Item = usize>) -> Self {
+        Self {
+            num_clients,
+            excluded: excluded.into_iter().filter(|&k| k < num_clients).collect(),
+        }
+    }
+
+    /// This pool minus additionally-excluded ids.
+    pub fn without(&self, ids: impl IntoIterator<Item = usize>) -> Self {
+        let mut excluded = self.excluded.clone();
+        excluded.extend(ids.into_iter().filter(|&k| k < self.num_clients));
+        Self {
+            num_clients: self.num_clients,
+            excluded,
+        }
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.num_clients - self.excluded.len()
+    }
+
+    /// Whether the pool has no members.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether `client` is a member.
+    pub fn contains(&self, client: usize) -> bool {
+        client < self.num_clients && !self.excluded.contains(&client)
+    }
+
+    /// The `i`-th member in ascending id order (the id a dense
+    /// `Vec<usize>` of the members would hold at position `i`). Runs in
+    /// `O(|excluded|)`, independent of the population size.
+    pub fn nth(&self, i: usize) -> usize {
+        assert!(
+            i < self.len(),
+            "position {i} out of range for pool of {}",
+            self.len()
+        );
+        // Each excluded id at or below the running candidate shifts it up by
+        // one; the exclusion set is sorted, so one forward walk settles it.
+        let mut id = i;
+        for &e in &self.excluded {
+            if e <= id {
+                id += 1;
+            } else {
+                break;
+            }
+        }
+        id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Dense reference: the member list as policies used to materialize it.
+    fn dense(pool: &ClientPool, n: usize) -> Vec<usize> {
+        (0..n).filter(|&k| pool.contains(k)).collect()
+    }
+
+    #[test]
+    fn nth_matches_the_dense_member_list() {
+        for (n, excluded) in [
+            (10, vec![]),
+            (10, vec![0]),
+            (10, vec![9]),
+            (10, vec![2, 5]),
+            (10, vec![0, 1, 2, 3]),
+            (10, vec![6, 7, 8, 9]),
+            (1, vec![0]),
+            (7, vec![0, 2, 4, 6]),
+        ] {
+            let pool = ClientPool::excluding(n, excluded.iter().copied());
+            let members = dense(&pool, n);
+            assert_eq!(pool.len(), members.len(), "excluded {excluded:?}");
+            for (i, &id) in members.iter().enumerate() {
+                assert_eq!(pool.nth(i), id, "excluded {excluded:?} position {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn without_merges_exclusions() {
+        let pool = ClientPool::excluding(10, [2, 5]).without([5, 7, 42]);
+        assert_eq!(dense(&pool, 10), vec![0, 1, 3, 4, 6, 8, 9]);
+        assert_eq!(pool.len(), 7);
+    }
+
+    #[test]
+    fn full_pool_is_the_identity() {
+        let pool = ClientPool::full(5);
+        assert_eq!(pool.len(), 5);
+        for i in 0..5 {
+            assert_eq!(pool.nth(i), i);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn nth_rejects_out_of_range_positions() {
+        ClientPool::excluding(3, [1]).nth(2);
+    }
+}

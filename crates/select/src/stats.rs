@@ -1,6 +1,8 @@
 //! Per-client participation and utility statistics backing the selection
 //! policies.
 
+use std::collections::BTreeMap;
+
 /// What the selection layer knows about one client.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct ClientSelectionStats {
@@ -15,24 +17,61 @@ pub struct ClientSelectionStats {
     pub last_round: Option<usize>,
 }
 
+/// The statistics of a client that was never dispatched nor reported —
+/// what [`SelectionTracker::stats`] returns for ids with no sparse entry.
+const BLANK_STATS: ClientSelectionStats = ClientSelectionStats {
+    participations: 0,
+    last_loss: None,
+    last_latency: None,
+    last_round: None,
+};
+
+/// Where a tracker's per-client latency prior comes from.
+///
+/// The prior is the Eq. (14) cost of training and uploading the full dense
+/// model on the client's static device tier — a pure function of the
+/// environment, so utilities are well-defined before a client has ever
+/// participated.
+enum LatencyPrior {
+    /// One pre-computed latency per client (the historical representation).
+    Dense(Vec<f64>),
+    /// Latency computed from the client id on demand; nothing per-client is
+    /// stored. Used with lazy fleets, where pre-computing a prior vector
+    /// would itself be `O(population)`.
+    Lazy(Box<dyn Fn(usize) -> f64 + Send + Sync>),
+}
+
+impl std::fmt::Debug for LatencyPrior {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LatencyPrior::Dense(v) => f.debug_tuple("Dense").field(&v.len()).finish(),
+            LatencyPrior::Lazy(_) => f.debug_tuple("Lazy").finish(),
+        }
+    }
+}
+
 /// The statistics store the driver feeds and the policies read.
 ///
-/// `expected_latency` is a per-client *prior*: the Eq. (14) cost of training
-/// and uploading the full dense model on the client's static device tier. It
-/// is a pure function of the environment, so utilities are well-defined
-/// before a client has ever participated. Observed statistics are recorded
-/// only at event-ordered absorption points, which keeps every policy
-/// bit-identical across thread counts.
-#[derive(Debug, Clone, PartialEq)]
+/// Observed statistics are recorded only at event-ordered absorption points,
+/// which keeps every policy bit-identical across thread counts. Storage is
+/// sparse (`BTreeMap` keyed by client id, lint rule D1): a client occupies
+/// memory only once it is dispatched, so the tracker stays `O(participants)`
+/// even when it fronts a million-client registry. Reading an absent client
+/// yields blank default statistics — exactly what the historical
+/// `Vec<ClientSelectionStats>` of defaults held, so the sparse store is
+/// observationally identical to the dense one.
+#[derive(Debug)]
 pub struct SelectionTracker {
-    stats: Vec<ClientSelectionStats>,
-    expected_latency: Vec<f64>,
+    num_clients: usize,
+    stats: BTreeMap<usize, ClientSelectionStats>,
+    prior: LatencyPrior,
     /// The fastest expected latency: reference for the speed term.
     latency_ref: f64,
 }
 
 impl SelectionTracker {
-    /// Creates a tracker for `expected_latency.len()` clients.
+    /// Creates a tracker for `expected_latency.len()` clients with a dense
+    /// per-client latency prior.
     pub fn new(expected_latency: Vec<f64>) -> Self {
         assert!(
             expected_latency.iter().all(|l| l.is_finite() && *l > 0.0),
@@ -43,8 +82,9 @@ impl SelectionTracker {
             .copied()
             .fold(f64::INFINITY, f64::min);
         Self {
-            stats: vec![ClientSelectionStats::default(); expected_latency.len()],
-            expected_latency,
+            num_clients: expected_latency.len(),
+            stats: BTreeMap::new(),
+            prior: LatencyPrior::Dense(expected_latency),
             latency_ref: if latency_ref.is_finite() {
                 latency_ref
             } else {
@@ -53,44 +93,92 @@ impl SelectionTracker {
         }
     }
 
+    /// Creates a tracker whose latency prior is computed per client id on
+    /// demand — nothing `O(population)` is allocated. `latency_ref` is the
+    /// latency of the fastest device tier the federation can contain
+    /// (the prior must never undercut it, or [`speed`](Self::speed) would
+    /// exceed 1; values are clamped rather than trusted).
+    pub fn lazy(
+        num_clients: usize,
+        prior: Box<dyn Fn(usize) -> f64 + Send + Sync>,
+        latency_ref: f64,
+    ) -> Self {
+        assert!(
+            latency_ref.is_finite() && latency_ref > 0.0,
+            "latency reference must be positive and finite"
+        );
+        Self {
+            num_clients,
+            stats: BTreeMap::new(),
+            prior: LatencyPrior::Lazy(prior),
+            latency_ref,
+        }
+    }
+
     /// Number of clients tracked.
     pub fn num_clients(&self) -> usize {
+        self.num_clients
+    }
+
+    /// Number of clients holding materialized statistics (dispatched at least
+    /// once). The population-scale bench asserts on this to pin the
+    /// `O(active participants)` memory contract.
+    pub fn materialized_clients(&self) -> usize {
         self.stats.len()
     }
 
-    /// The statistics of one client.
+    /// The statistics of one client (blank defaults if never dispatched).
     pub fn stats(&self, client: usize) -> &ClientSelectionStats {
-        &self.stats[client]
+        self.stats.get(&client).unwrap_or(&BLANK_STATS)
     }
 
-    /// All per-client participation counts (dispatch counts).
+    /// All per-client participation counts (dispatch counts). Allocates
+    /// `O(num_clients)` — callers fronting a lazy population should use
+    /// [`explored_ids`](Self::explored_ids) instead.
     pub fn participations(&self) -> Vec<u64> {
-        self.stats.iter().map(|s| s.participations).collect()
+        let mut counts = vec![0; self.num_clients];
+        for (&k, s) in &self.stats {
+            counts[k] = s.participations;
+        }
+        counts
+    }
+
+    /// Ids of every client dispatched at least once, ascending. Sized by the
+    /// participants, not the population.
+    pub fn explored_ids(&self) -> Vec<usize> {
+        self.stats
+            .iter()
+            .filter(|(_, s)| s.participations > 0)
+            .map(|(&k, _)| k)
+            .collect()
     }
 
     /// Records that `client` was handed the model at `round`.
     pub fn on_dispatch(&mut self, client: usize, round: usize) {
-        let s = &mut self.stats[client];
+        let s = self.stats.entry(client).or_default();
         s.participations += 1;
         s.last_round = Some(round);
     }
 
     /// Records the statistics of an absorbed report.
     pub fn on_report(&mut self, client: usize, train_loss: f64, latency: f64) {
-        let s = &mut self.stats[client];
+        let s = self.stats.entry(client).or_default();
         s.last_loss = Some(train_loss);
         s.last_latency = Some(latency);
     }
 
     /// The Eq. (14) full-model latency prior of a client.
     pub fn expected_latency(&self, client: usize) -> f64 {
-        self.expected_latency[client]
+        match &self.prior {
+            LatencyPrior::Dense(v) => v[client],
+            LatencyPrior::Lazy(f) => f(client),
+        }
     }
 
     /// The system-speed term in `(0, 1]`: the fastest client scores 1, a
     /// client expected to take `x` times longer scores `1/x`.
     pub fn speed(&self, client: usize) -> f64 {
-        (self.latency_ref / self.expected_latency[client]).min(1.0)
+        (self.latency_ref / self.expected_latency(client)).min(1.0)
     }
 
     /// The finite, reportable utility of a client: its last observed training
@@ -99,17 +187,17 @@ impl SelectionTracker {
     /// reported score 0 here; policies rank them with explicit optimism
     /// instead of a sentinel value, so this number stays JSON-safe.
     pub fn utility(&self, client: usize) -> f64 {
-        self.stats[client].last_loss.unwrap_or(0.0).max(0.0) * self.speed(client)
+        self.stats(client).last_loss.unwrap_or(0.0).max(0.0) * self.speed(client)
     }
 
     /// Whether a client has ever been dispatched.
     pub fn explored(&self, client: usize) -> bool {
-        self.stats[client].participations > 0
+        self.stats(client).participations > 0
     }
 
     /// Number of distinct clients dispatched at least once.
     pub fn distinct_participants(&self) -> u64 {
-        self.stats.iter().filter(|s| s.participations > 0).count() as u64
+        self.stats.values().filter(|s| s.participations > 0).count() as u64
     }
 }
 
@@ -131,6 +219,8 @@ mod tests {
         assert_eq!(t.stats(1).last_latency, Some(2.2));
         assert_eq!(t.distinct_participants(), 1);
         assert!(t.explored(1) && !t.explored(0));
+        assert_eq!(t.explored_ids(), vec![1]);
+        assert_eq!(t.participations(), vec![0, 2, 0]);
     }
 
     #[test]
@@ -149,6 +239,36 @@ mod tests {
         t.on_report(1, 0.8, 2.0);
         assert!((t.utility(1) - 0.4).abs() < 1e-12);
         assert!(t.utility(1).is_finite());
+    }
+
+    #[test]
+    fn lazy_tracker_stores_only_touched_clients() {
+        let mut t = SelectionTracker::lazy(1_000_000, Box::new(|k| 1.0 + k as f64), 1.0);
+        assert_eq!(t.num_clients(), 1_000_000);
+        assert_eq!(t.materialized_clients(), 0);
+        t.on_dispatch(999_999, 0);
+        t.on_report(999_999, 0.5, 3.0);
+        t.on_dispatch(7, 1);
+        assert_eq!(t.materialized_clients(), 2);
+        assert_eq!(t.explored_ids(), vec![7, 999_999]);
+        assert_eq!(t.stats(500_000).participations, 0, "absent reads are blank");
+        assert_eq!(t.expected_latency(3), 4.0);
+        assert_eq!(t.speed(0), 1.0);
+    }
+
+    #[test]
+    fn sparse_reads_match_the_dense_defaults() {
+        // A report without a dispatch must behave exactly as it did with the
+        // dense Vec-of-defaults store.
+        let mut t = SelectionTracker::new(vec![1.0, 1.0]);
+        t.on_report(0, 0.9, 1.5);
+        assert_eq!(t.stats(0).participations, 0);
+        assert!(
+            !t.explored(0),
+            "reported-but-never-dispatched stays unexplored"
+        );
+        assert!(t.explored_ids().is_empty());
+        assert_eq!(t.distinct_participants(), 0);
     }
 
     #[test]

@@ -10,6 +10,57 @@
 //! orchestration. Deadline straggler drops, post-deadline arrivals and async
 //! staleness discards are just different calls on the same state machine,
 //! not separate per-mode loops.
+//!
+//! The layer is private; its behaviour is observable through the metric
+//! trace. Under a deadline, rounds close at the budget instead of waiting
+//! for the slowest client, and the work of stragglers is dropped — visible
+//! as a shorter simulated time at the same round count:
+//!
+//! ```
+//! use fedlps_data::scenario::{DatasetKind, ScenarioConfig};
+//! use fedlps_device::HeterogeneityLevel;
+//! use fedlps_nn::model::EvalStats;
+//! use fedlps_sim::algorithm::{ClientOutcome, ClientReport, ClientUpdate, FlAlgorithm};
+//! use fedlps_sim::config::{FlConfig, RoundMode};
+//! use fedlps_sim::env::FlEnv;
+//! use fedlps_sim::runner::Simulator;
+//!
+//! /// The smallest possible algorithm: bills per-client latency (slower
+//! /// devices take longer), stages no update.
+//! struct Null;
+//! impl FlAlgorithm for Null {
+//!     fn name(&self) -> String { "null".into() }
+//!     fn setup(&mut self, _env: &FlEnv) {}
+//!     fn client_step(&self, env: &FlEnv, _round: usize, client: usize,
+//!                    _rng: &mut rand::rngs::StdRng) -> ClientOutcome {
+//!         let mut report = ClientReport::idle(client);
+//!         report.local_cost.compute_seconds = env.expected_latency(client);
+//!         ClientOutcome::new(report, ())
+//!     }
+//!     fn absorb_update(&mut self, _env: &FlEnv, _round: usize, _update: ClientUpdate) {}
+//!     fn aggregate(&mut self, _env: &FlEnv, _round: usize, _reports: &[ClientReport]) {}
+//!     fn evaluate_client(&self, _env: &FlEnv, _client: usize) -> EvalStats {
+//!         EvalStats { loss: 0.0, accuracy: 0.0, samples: 1 }
+//!     }
+//! }
+//!
+//! let run = |mode: RoundMode| {
+//!     let env = FlEnv::from_scenario(
+//!         &ScenarioConfig::tiny(DatasetKind::MnistLike),
+//!         HeterogeneityLevel::High,
+//!         FlConfig::tiny().with_rounds(3).with_round_mode(mode),
+//!     );
+//!     Simulator::new(env).run(&mut Null)
+//! };
+//!
+//! let sync = run(RoundMode::Synchronous);
+//! // Budget half the longest synchronous round, over-selecting 2 spares.
+//! let budget = sync.rounds.iter().map(|r| r.round_time).fold(0.0, f64::max) * 0.5;
+//! let deadline = run(RoundMode::deadline(budget, 2));
+//! assert_eq!(deadline.rounds.len(), sync.rounds.len());
+//! assert!(deadline.total_time < sync.total_time);
+//! assert!(deadline.rounds.iter().all(|r| r.round_time <= budget + 1e-12));
+//! ```
 
 use std::collections::BTreeMap;
 

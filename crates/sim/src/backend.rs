@@ -14,6 +14,27 @@
 //! [`FlConfig::parallelism`](crate::config::FlConfig)). The trait is the seam
 //! the ROADMAP's multi-backend item asked for: a process pool, a GPU queue or
 //! a remote executor only has to map tasks to outcomes in order.
+//!
+//! Backends are normally resolved from the configuration, not constructed by
+//! hand:
+//!
+//! ```
+//! use fedlps_sim::backend::{BackendKind, ThreadPoolBackend};
+//! use fedlps_sim::config::FlConfig;
+//!
+//! // `Auto` is the default: serial at parallelism 1, a pool above.
+//! let serial = FlConfig::default().with_parallelism(1);
+//! assert_eq!(BackendKind::Auto.build(&serial).name(), "serial");
+//!
+//! let sharded = FlConfig::default().with_parallelism(4);
+//! assert_eq!(BackendKind::Auto.build(&sharded).name(), "thread-pool");
+//!
+//! // Kinds parse from the `FEDLPS_BACKEND` environment knob by name.
+//! assert_eq!(BackendKind::from_name("threadpool"), Some(BackendKind::ThreadPool));
+//!
+//! // Explicit construction is available when a caller wants to pin a size.
+//! assert_eq!(ThreadPoolBackend::new(3).threads(), 3);
+//! ```
 
 use fedlps_tensor::{rng_from_seed, split_seed};
 use rayon::prelude::*;

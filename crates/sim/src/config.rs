@@ -25,7 +25,9 @@ pub struct FlConfig {
     /// Local optimiser settings.
     pub sgd: SgdConfig,
     /// Evaluate every client's model every `eval_every` rounds (1 = every
-    /// round, matching the paper's accuracy-vs-round curves).
+    /// round, matching the paper's accuracy-vs-round curves; 0 = never —
+    /// whole-federation evaluation is an `O(population)` sweep, so
+    /// population-scale runs disable it).
     pub eval_every: usize,
     /// Weight `α` of the communication term in the Eq. (14) cost model.
     pub cost_alpha: f64,
@@ -45,9 +47,10 @@ pub struct FlConfig {
     pub round_mode: RoundMode,
     /// Which selection policy forms cohorts, over-selects under a deadline
     /// and refills freed async slots (consulted whenever the algorithm does
-    /// not override [`FlAlgorithm::select_clients`](crate::algorithm::
-    /// FlAlgorithm::select_clients)). The default uniform policy reproduces
-    /// the paper's sampling bit for bit.
+    /// not override
+    /// [`FlAlgorithm::select_clients`](crate::algorithm::FlAlgorithm::select_clients)).
+    /// The default uniform policy reproduces the paper's sampling bit for
+    /// bit.
     pub selection: SelectionKind,
     /// Which execution backend runs the client steps. The default `Auto`
     /// resolves from `parallelism` (serial at 1, thread pool above); results

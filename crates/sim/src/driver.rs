@@ -26,7 +26,7 @@
 use std::collections::{BTreeMap, BTreeSet};
 
 use fedlps_runtime::{Event, EventKind, EventQueue, VirtualClock};
-use fedlps_select::{SelectionPolicy, SelectionTracker};
+use fedlps_select::{ClientPool, SelectionPolicy, SelectionTracker};
 use fedlps_tensor::{rng_from_seed, split_seed};
 use rand::rngs::StdRng;
 
@@ -75,10 +75,18 @@ impl<'a> Driver<'a> {
             env.num_clients(),
             env.config.clients_per_round,
         );
+        // A lazy fleet means a population-scale registry: per-client state
+        // must stay O(participants), so the tracker computes its latency
+        // prior per id instead of pre-building an O(population) vector.
+        let tracker = if env.fleet.is_lazy() {
+            SelectionTracker::lazy(env.num_clients(), env.latency_prior(), env.latency_floor())
+        } else {
+            SelectionTracker::new(env.expected_latencies())
+        };
         Self {
             backend: env.config.backend.build(&env.config),
             policy: env.config.selection.build(),
-            tracker: SelectionTracker::new(env.expected_latencies()),
+            tracker,
             selection_rng: rng_from_seed(split_seed(env.config.seed, STREAM_SELECTION)),
             queue: EventQueue::new(),
             clock: VirtualClock::new(),
@@ -120,7 +128,14 @@ impl<'a> Driver<'a> {
             }
         }
 
-        let participations = self.tracker.participations();
+        // The dense per-client census is an O(population) vector; a
+        // population-scale run reports no census rather than materializing
+        // one entry per registered client.
+        let participations = if self.env.fleet.is_lazy() {
+            Vec::new()
+        } else {
+            self.tracker.participations()
+        };
         RunResult::from_rounds(algorithm.name(), self.env.data.name.clone(), self.rounds)
             .with_client_participations(participations)
     }
@@ -332,9 +347,15 @@ impl<'a> Driver<'a> {
     /// Selection layer, async refill: one idle client (neither in flight nor
     /// holding an unprocessed dispatch) chosen by the policy.
     fn refill(&mut self, now: f64) {
-        let idle: Vec<usize> = (0..self.env.num_clients())
-            .filter(|k| !self.in_flight.contains_key(k) && !self.pending.contains(k))
-            .collect();
+        // The idle pool is the population minus the busy set — O(in-flight)
+        // memory, never a population scan.
+        let idle = ClientPool::excluding(
+            self.env.num_clients(),
+            self.in_flight
+                .keys()
+                .copied()
+                .chain(self.pending.iter().copied()),
+        );
         if let Some(next) =
             self.policy
                 .select_refill(&self.tracker, self.version, &idle, &mut self.selection_rng)
@@ -410,8 +431,11 @@ impl<'a> Driver<'a> {
     ) {
         self.cumulative_flops += self.acc.round_flops;
         self.cumulative_upload += self.acc.round_upload;
+        // `eval_every == 0` disables whole-federation evaluation entirely —
+        // at population scale it is an O(population × eval) sweep.
+        let eval_every = self.env.config.eval_every;
         let evaluate_now =
-            round % self.env.config.eval_every == 0 || round + 1 == self.env.config.rounds;
+            eval_every != 0 && (round % eval_every == 0 || round + 1 == self.env.config.rounds);
         let mean_accuracy = evaluate_now.then(|| parallel_mean_accuracy(self.env, algorithm));
         self.rounds.push(self.acc.finish(
             round,

@@ -26,6 +26,11 @@ pub struct FlEnv {
     pub config: FlConfig,
     /// Eq. (14) cost model.
     pub cost: CostModel,
+    /// Registered population size (= `fleet.len()`). Equals
+    /// `data.num_clients()` for standard environments; population-scale
+    /// environments built with [`FlEnv::new_tiled`] register more clients
+    /// than the dataset holds shards, tiling data shards over client ids.
+    num_clients: usize,
 }
 
 impl std::fmt::Debug for FlEnv {
@@ -53,12 +58,50 @@ impl FlEnv {
             "fleet size must match the number of clients"
         );
         let cost = CostModel::new(config.cost_alpha);
+        let num_clients = fleet.len();
         Self {
             data,
             fleet,
             arch,
             config,
             cost,
+            num_clients,
+        }
+    }
+
+    /// Builds a population-scale environment: the fleet registers more
+    /// clients than the dataset holds shards, and client `k` trains on shard
+    /// `k % data.num_clients()`. With a [`DeviceFleet::lazy`] fleet this
+    /// makes the registered population a free axis — the dataset pool and all
+    /// per-client state stay sized by the shards / active participants.
+    ///
+    /// For `fleet.len() == data.num_clients()` the tiling is the identity
+    /// and the environment is indistinguishable from [`FlEnv::new`].
+    pub fn new_tiled(
+        data: FederatedDataset,
+        fleet: DeviceFleet,
+        arch: Arc<dyn ModelArch>,
+        config: FlConfig,
+    ) -> Self {
+        assert!(
+            data.num_clients() > 0,
+            "a tiled environment needs at least one data shard"
+        );
+        assert!(
+            fleet.len() >= data.num_clients(),
+            "the registered population ({}) cannot be smaller than the shard pool ({})",
+            fleet.len(),
+            data.num_clients()
+        );
+        let cost = CostModel::new(config.cost_alpha);
+        let num_clients = fleet.len();
+        Self {
+            data,
+            fleet,
+            arch,
+            config,
+            cost,
+            num_clients,
         }
     }
 
@@ -82,53 +125,123 @@ impl FlEnv {
         Self::new(data, fleet, arch, config)
     }
 
-    /// Number of clients in the federation.
+    /// Number of registered clients in the federation.
     pub fn num_clients(&self) -> usize {
-        self.data.num_clients()
+        self.num_clients
+    }
+
+    /// The data shard a client trains and tests on. The modulo is the
+    /// identity for standard environments (`num_clients ==
+    /// data.num_clients()`); tiled population-scale environments wrap client
+    /// ids over the shard pool.
+    fn shard(&self, client: usize) -> usize {
+        client % self.data.num_clients()
     }
 
     /// A client's local training data.
     pub fn train_data(&self, client: usize) -> &Dataset {
-        &self.data.clients[client].train
+        &self.data.clients[self.shard(client)].train
     }
 
     /// A client's local test data.
     pub fn test_data(&self, client: usize) -> &Dataset {
-        &self.data.clients[client].test
+        &self.data.clients[self.shard(client)].test
     }
 
-    /// Capability fractions `z_k` of every client (static tiers).
+    /// Capability fractions `z_k` of every client (static tiers). Allocates
+    /// `O(population)` — population-scale paths read
+    /// [`capability`](Self::capability) per participant instead.
     pub fn capabilities(&self) -> Vec<f64> {
-        self.fleet.profiles().iter().map(|p| p.capability).collect()
+        (0..self.num_clients())
+            .map(|k| self.fleet.static_profile(k).capability)
+            .collect()
     }
 
-    /// FedAvg aggregation weights `|D_k|`.
+    /// Capability fraction `z_k` of one client (static tier).
+    pub fn capability(&self, client: usize) -> f64 {
+        self.fleet.static_profile(client).capability
+    }
+
+    /// FedAvg aggregation weights `|D_k|` for every client. Allocates
+    /// `O(population)` — population-scale paths read
+    /// [`train_size`](Self::train_size) per participant instead.
     pub fn train_sizes(&self) -> Vec<f64> {
-        self.data.train_sizes().iter().map(|&n| n as f64).collect()
+        (0..self.num_clients())
+            .map(|k| self.train_size(k))
+            .collect()
     }
 
-    /// The Eq. (14) full-dense-model latency prior of every client: compute
+    /// FedAvg aggregation weight `|D_k|` of one client.
+    pub fn train_size(&self, client: usize) -> f64 {
+        self.train_data(client).len() as f64
+    }
+
+    /// The Eq. (14) full-dense-model latency prior of one client: compute
     /// time of a round of local SGD on the client's static device tier plus
     /// the upload time of the dense parameter vector. A pure function of the
     /// environment — well-defined before anyone has trained — used by the
     /// selection layer to score system speed.
+    pub fn expected_latency(&self, client: usize) -> f64 {
+        Self::latency_of(
+            &*self.arch,
+            &self.cost,
+            &self.config,
+            &self.fleet.static_profile(client),
+        )
+    }
+
+    fn latency_of(
+        arch: &dyn ModelArch,
+        cost: &CostModel,
+        config: &FlConfig,
+        profile: &fedlps_device::DeviceProfile,
+    ) -> f64 {
+        crate::train::account_round(
+            arch,
+            cost,
+            profile,
+            None,
+            config.local_iterations,
+            config.batch_size,
+            arch.param_count(),
+            arch.param_count(),
+        )
+        .local_cost
+        .total()
+    }
+
+    /// [`expected_latency`](Self::expected_latency) of every client.
+    /// Allocates `O(population)` — population-scale paths use
+    /// [`latency_prior`](Self::latency_prior) instead.
     pub fn expected_latencies(&self) -> Vec<f64> {
         (0..self.num_clients())
-            .map(|k| {
-                crate::train::account_round(
-                    &*self.arch,
-                    &self.cost,
-                    &self.fleet.static_profile(k),
-                    None,
-                    self.config.local_iterations,
-                    self.config.batch_size,
-                    self.arch.param_count(),
-                    self.arch.param_count(),
-                )
-                .local_cost
-                .total()
-            })
+            .map(|k| self.expected_latency(k))
             .collect()
+    }
+
+    /// The fastest latency any device tier can achieve: the Eq. (14) cost on
+    /// a full-capability profile. Lower-bounds every client's
+    /// [`expected_latency`](Self::expected_latency) — the reference for the
+    /// selection layer's speed term on lazy populations.
+    pub fn latency_floor(&self) -> f64 {
+        Self::latency_of(
+            &*self.arch,
+            &self.cost,
+            &self.config,
+            &fedlps_device::DeviceProfile::from_tier(fedlps_device::CapabilityTier::Full),
+        )
+    }
+
+    /// The per-client latency prior as a self-contained function, for
+    /// [`SelectionTracker::lazy`](fedlps_select::SelectionTracker::lazy):
+    /// nothing `O(population)` is captured (the lazy fleet clone shares its
+    /// memo cache through an `Arc`).
+    pub fn latency_prior(&self) -> Box<dyn Fn(usize) -> f64 + Send + Sync> {
+        let arch = Arc::clone(&self.arch);
+        let cost = self.cost;
+        let config = self.config;
+        let fleet = self.fleet.clone();
+        Box::new(move |k| Self::latency_of(&*arch, &cost, &config, &fleet.static_profile(k)))
     }
 
     /// Draws initial global parameters deterministically from the run seed.

@@ -13,15 +13,15 @@
 //!
 //! * [`config`] — federation hyper-parameters (rounds, selection policy,
 //!   execution backend, local iterations, batch size, …);
-//! * [`env`] — the immutable environment handed to algorithms: dataset,
-//!   device fleet, model architecture, cost model;
-//! * [`algorithm`] — the [`FlAlgorithm`](algorithm::FlAlgorithm) trait and the
-//!   per-round [`ClientReport`](algorithm::ClientReport);
-//! * [`backend`] — the [`ExecutionBackend`](backend::ExecutionBackend) seam:
+//! * [`env`](mod@env) — the immutable environment handed to algorithms:
+//!   dataset, device fleet, model architecture, cost model;
+//! * [`algorithm`] — the [`FlAlgorithm`] trait and the per-round
+//!   [`ClientReport`];
+//! * [`backend`] — the [`ExecutionBackend`] seam:
 //!   where the pure client steps run (serial / thread pool);
-//! * [`driver`] (private) — the single event-driven loop all three round
+//! * `driver` (private) — the single event-driven loop all three round
 //!   modes share, wiring selection → execution → absorption;
-//! * [`absorb`] (private) — mode-agnostic absorption/metrics accounting;
+//! * `absorb` (private) — mode-agnostic absorption/metrics accounting;
 //! * [`train`] — shared local-training helpers (masked/proximal SGD, FLOP and
 //!   byte accounting) reused by every algorithm;
 //! * [`metrics`] — per-round metrics, run results, time-to-accuracy;

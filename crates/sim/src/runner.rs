@@ -5,14 +5,15 @@
 //! collects the per-round metric trace. The loop itself lives in three
 //! layered modules behind this facade:
 //!
-//! * [`crate::driver`] — the single scheduler-driven loop all three round
-//!   modes share;
+//! * `crate::driver` (private) — the single scheduler-driven loop all three
+//!   round modes share;
 //! * `fedlps_select` (via [`FlConfig::selection`](crate::config::FlConfig)) —
 //!   pluggable client-selection policies consulted for cohorts, deadline
 //!   over-selection and async refills;
 //! * [`crate::backend`] — pluggable execution backends running the pure
 //!   client steps, serial or thread-pool;
-//! * [`crate::absorb`] — the mode-agnostic absorption/metrics accounting.
+//! * `crate::absorb` (private) — the mode-agnostic absorption/metrics
+//!   accounting.
 //!
 //! Every combination of {round mode × selection policy × backend ×
 //! parallelism} produces bit-identical metric traces for a given seed:
@@ -161,7 +162,7 @@ mod tests {
                 .downcast::<(usize, Vec<f32>)>()
                 .expect("MiniFedAvg update payload");
             self.staged
-                .push((client, env.train_sizes()[client] * weight, params));
+                .push((client, env.train_size(client) * weight, params));
         }
 
         fn aggregate(&mut self, _env: &FlEnv, _round: usize, _reports: &[ClientReport]) {

@@ -15,7 +15,7 @@
 //!
 //! Keys are quantized: a mask depends on the sparse ratio only through the
 //! per-layer retained-unit counts `⌈s · J_l⌉` (see
-//! [`retained_per_layer`](crate::ratio::retained_per_layer)), so two ratios
+//! [`retained_per_layer`]), so two ratios
 //! that retain identical unit counts share a cache entry. This matters in
 //! practice because P-UCBV samples ratios continuously inside its best
 //! partition — exact floating-point keys would never hit.
@@ -25,6 +25,7 @@
 //! inserts, invalidations and hit/miss accounting happen in the serial
 //! absorb phase of the round loop.
 
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use fedlps_nn::pack::PackedModel;
@@ -52,11 +53,16 @@ struct CacheEntry {
 /// Each client owns at most one entry (its latest pattern); a lookup at a
 /// ratio that retains different per-layer unit counts misses, and the
 /// subsequent insert replaces — i.e. invalidates — that client's entry only.
+///
+/// Entries live in a sparse map keyed by client id, so the cache costs
+/// `O(clients that have actually built a mask)` memory regardless of the
+/// registered population size — a million-client federation with a 64-client
+/// cohort holds at most a handful of entries per round.
 #[derive(Debug, Clone)]
 pub struct MaskCache {
     /// Sparsifiable units per layer; fixes the ratio quantization.
     units_per_layer: Vec<usize>,
-    entries: Vec<Option<CacheEntry>>,
+    entries: BTreeMap<usize, CacheEntry>,
     /// Rebuild a client's mask every `n` participations (`None` = freeze
     /// until the ratio moves to a different shape, the default contract).
     refresh_every: Option<u32>,
@@ -65,12 +71,14 @@ pub struct MaskCache {
 }
 
 impl MaskCache {
-    /// Creates an empty cache for `num_clients` clients of a model with the
-    /// given per-layer sparsifiable unit counts.
-    pub fn new(num_clients: usize, units_per_layer: Vec<usize>) -> Self {
+    /// Creates an empty cache for a model with the given per-layer
+    /// sparsifiable unit counts. The cache grows with the clients that
+    /// actually participate, not with the registered population, so no
+    /// population size is declared up front.
+    pub fn new(units_per_layer: Vec<usize>) -> Self {
         Self {
             units_per_layer,
-            entries: vec![None; num_clients],
+            entries: BTreeMap::new(),
             refresh_every: None,
             hits: 0,
             misses: 0,
@@ -102,7 +110,7 @@ impl MaskCache {
     /// mirroring [`record`](Self::record) for lookups that ran against a
     /// parallel snapshot.
     pub fn mark_served(&mut self, client: usize) {
-        if let Some(Some(entry)) = self.entries.get_mut(client) {
+        if let Some(entry) = self.entries.get_mut(&client) {
             entry.served = entry.served.saturating_add(1);
         }
     }
@@ -119,7 +127,7 @@ impl MaskCache {
     /// [`record`](Self::record) / [`mark_served`](Self::mark_served) from the
     /// serial phase instead).
     pub fn lookup(&self, client: usize, ratio: f64) -> Option<&UnitMask> {
-        let entry = self.entries.get(client)?.as_ref()?;
+        let entry = self.entries.get(&client)?;
         if let Some(n) = self.refresh_every {
             // Built at participation 0, an entry serves participations
             // 1..n-1 and is rebuilt at the n-th.
@@ -139,21 +147,21 @@ impl MaskCache {
     /// `Arc` lets parallel client tasks execute the plan without copying it.
     pub fn lookup_plan(&self, client: usize, ratio: f64) -> Option<Arc<PackedModel>> {
         self.lookup(client, ratio)?;
-        self.entries[client].as_ref()?.plan.clone()
+        self.entries.get(&client)?.plan.clone()
     }
 
     /// Attaches a compiled plan to `client`'s current entry (no-op when the
     /// client holds no entry). Called from the serial absorb phase after a
     /// task compiled the plan the cache was missing.
     pub fn attach_plan(&mut self, client: usize, plan: Arc<PackedModel>) {
-        if let Some(Some(entry)) = self.entries.get_mut(client) {
+        if let Some(entry) = self.entries.get_mut(&client) {
             entry.plan = Some(plan);
         }
     }
 
     /// Whether `client` currently holds a (possibly stale-keyed) entry.
     pub fn contains(&self, client: usize) -> bool {
-        self.entries.get(client).is_some_and(|e| e.is_some())
+        self.entries.contains_key(&client)
     }
 
     /// Stores `mask` as `client`'s pattern at `ratio`, replacing (and thereby
@@ -161,15 +169,15 @@ impl MaskCache {
     /// are untouched.
     pub fn insert(&mut self, client: usize, ratio: f64, mask: UnitMask) {
         let counts = self.key_for(ratio);
-        if client >= self.entries.len() {
-            self.entries.resize(client + 1, None);
-        }
-        self.entries[client] = Some(CacheEntry {
-            counts,
-            mask,
-            plan: None,
-            served: 0,
-        });
+        self.entries.insert(
+            client,
+            CacheEntry {
+                counts,
+                mask,
+                plan: None,
+                served: 0,
+            },
+        );
     }
 
     /// Convenience used by serial callers: counted lookup-or-build. Returns
@@ -194,9 +202,7 @@ impl MaskCache {
 
     /// Drops `client`'s entry (e.g. when its persistent state is reset).
     pub fn invalidate(&mut self, client: usize) {
-        if let Some(slot) = self.entries.get_mut(client) {
-            *slot = None;
-        }
+        self.entries.remove(&client);
     }
 
     /// Records the outcome of a lookup performed outside the cache (the
@@ -230,21 +236,20 @@ impl MaskCache {
         }
     }
 
-    /// Number of clients currently holding an entry.
+    /// Number of clients currently holding an entry — the materialized
+    /// footprint of the cache (population-scale assertions count this).
     pub fn len(&self) -> usize {
-        self.entries.iter().filter(|e| e.is_some()).count()
+        self.entries.len()
     }
 
     /// Whether no client holds an entry.
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        self.entries.is_empty()
     }
 
     /// Drops every entry and resets the counters.
     pub fn clear(&mut self) {
-        for e in &mut self.entries {
-            *e = None;
-        }
+        self.entries.clear();
         self.hits = 0;
         self.misses = 0;
     }
@@ -260,7 +265,7 @@ mod tests {
 
     fn cache() -> MaskCache {
         // Two layers of 8 and 4 sparsifiable units.
-        MaskCache::new(3, vec![8, 4])
+        MaskCache::new(vec![8, 4])
     }
 
     #[test]
@@ -334,11 +339,15 @@ mod tests {
     }
 
     #[test]
-    fn insert_beyond_initial_capacity_grows() {
-        let mut c = MaskCache::new(1, vec![4]);
+    fn entries_cost_only_the_clients_that_built_a_mask() {
+        let mut c = MaskCache::new(vec![4]);
+        // Arbitrarily large client ids are fine: storage is per-entry, not
+        // per-registered-client.
+        c.insert(999_999, 0.5, mask_of(&[true; 4]));
         c.insert(5, 0.5, mask_of(&[true; 4]));
-        assert!(c.contains(5));
-        assert_eq!(c.len(), 1);
+        assert!(c.contains(5) && c.contains(999_999));
+        assert!(!c.contains(0));
+        assert_eq!(c.len(), 2);
     }
 
     #[test]
@@ -410,7 +419,7 @@ mod tests {
             hidden: vec![4],
             num_classes: 2,
         });
-        let mut c = MaskCache::new(2, vec![4]);
+        let mut c = MaskCache::new(vec![4]);
         let mask = mask_of(&[true, true, false, false]);
         c.insert(0, 0.5, mask.clone());
         assert!(c.lookup_plan(0, 0.5).is_none(), "no plan compiled yet");

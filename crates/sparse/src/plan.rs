@@ -1,11 +1,11 @@
 //! Compiling unit masks into executable submodel plans.
 //!
-//! A [`UnitMask`](crate::mask::UnitMask) says *which* units survive; a
+//! A [`UnitMask`] says *which* units survive; a
 //! [`SubmodelPlan`] turns that into the per-layer kept-unit index lists a
 //! model architecture needs to build a physically packed submodel (see
 //! [`fedlps_nn::pack`]). The plan itself is architecture-agnostic bookkeeping;
 //! [`SubmodelPlan::compile`] hands it to
-//! [`ModelArch::pack`](fedlps_nn::model::ModelArch::pack) to obtain the
+//! [`ModelArch::pack`] to obtain the
 //! compact executable. Compiled plans are cached per client alongside the
 //! masks in [`MaskCache`](crate::cache::MaskCache), so a client whose ratio
 //! keeps extracting the same submodel shape pays the compilation once.

@@ -98,7 +98,7 @@ proptest! {
         let scores: Vec<f32> = (0..layout.total_units())
             .map(|i| ((i as f32) + seed as f32 * 0.13).sin())
             .collect();
-        let mut cache = MaskCache::new(8, layout.units_per_layer());
+        let mut cache = MaskCache::new(layout.units_per_layer());
 
         // First participation: a compulsory miss, then the build is cached.
         let (built, hit) = cache.get_or_insert_with(client, ratio, || {

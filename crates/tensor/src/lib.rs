@@ -1,6 +1,6 @@
 //! Dense `f32` linear-algebra primitives used throughout the FedLPS reproduction.
 //!
-//! The neural-network substrate in [`fedlps-nn`] is written against plain
+//! The neural-network substrate in `fedlps_nn` is written against plain
 //! slices and the small [`Matrix`] type defined here, rather than a heavyweight
 //! tensor library: every model in the paper (MLP, VGG-style CNN, LSTM) only
 //! needs dense mat-mul, element-wise maps and a handful of reductions, and

@@ -7,6 +7,7 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
 
 /// Builds a [`StdRng`] from a 64-bit seed.
 pub fn rng_from_seed(seed: u64) -> StdRng {
@@ -64,16 +65,29 @@ pub fn sample_weighted(weights: &[f64], rng: &mut impl Rng) -> usize {
 }
 
 /// Samples `count` distinct indices from `0..n` uniformly without replacement.
+///
+/// Sparse partial Fisher–Yates: instead of materialising the full `0..n`
+/// index vector, only the displaced entries are tracked in a `BTreeMap`, so
+/// both memory and (post-draw) work are `O(count)` regardless of `n`. The RNG
+/// draw sequence and the returned indices are bit-identical to the dense
+/// partial shuffle (`indices.swap(i, j)` over a pre-built vector) for every
+/// `(n, count, rng)` — large-population callers rely on that equivalence.
 pub fn sample_without_replacement(n: usize, count: usize, rng: &mut impl Rng) -> Vec<usize> {
     let count = count.min(n);
-    let mut indices: Vec<usize> = (0..n).collect();
-    // Partial Fisher–Yates: only the first `count` positions need shuffling.
+    // `displaced[p]` is the value currently stored at position `p` of the
+    // virtual index vector; absent positions still hold their own index.
+    let mut displaced: BTreeMap<usize, usize> = BTreeMap::new();
+    let mut picks = Vec::with_capacity(count);
     for i in 0..count {
         let j = rng.gen_range(i..n);
-        indices.swap(i, j);
+        let at_j = displaced.get(&j).copied().unwrap_or(j);
+        let at_i = displaced.get(&i).copied().unwrap_or(i);
+        // The virtual swap(i, j): position `i` is never read again (all later
+        // probes target `i+1..n`), so only position `j` needs recording.
+        displaced.insert(j, at_i);
+        picks.push(at_j);
     }
-    indices.truncate(count);
-    indices
+    picks
 }
 
 #[cfg(test)]
@@ -136,5 +150,28 @@ mod tests {
         let mut rng = rng_from_seed(11);
         let picks = sample_without_replacement(3, 10, &mut rng);
         assert_eq!(picks.len(), 3);
+    }
+
+    /// The historical dense partial Fisher–Yates the sparse version replaced.
+    fn dense_reference(n: usize, count: usize, rng: &mut impl Rng) -> Vec<usize> {
+        let count = count.min(n);
+        let mut indices: Vec<usize> = (0..n).collect();
+        for i in 0..count {
+            let j = rng.gen_range(i..n);
+            indices.swap(i, j);
+        }
+        indices.truncate(count);
+        indices
+    }
+
+    #[test]
+    fn sparse_fisher_yates_is_bit_identical_to_the_dense_shuffle() {
+        for seed in 0..20 {
+            for &(n, count) in &[(1, 1), (5, 5), (10, 4), (64, 64), (257, 19), (1000, 3)] {
+                let sparse = sample_without_replacement(n, count, &mut rng_from_seed(seed));
+                let dense = dense_reference(n, count, &mut rng_from_seed(seed));
+                assert_eq!(sparse, dense, "n={n} count={count} seed={seed}");
+            }
+        }
     }
 }

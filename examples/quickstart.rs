@@ -156,7 +156,7 @@ fn main() {
 
     println!("\nper-client sparse ratios proposed by P-UCBV after training:");
     for (k, ratio) in fedlps.proposed_ratios().iter().enumerate() {
-        let cap = sim.env().capabilities()[k];
+        let cap = sim.env().capability(k);
         println!("  client {k:>2}: capability {cap:>6.4} -> ratio {ratio:.3}");
     }
 

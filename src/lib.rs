@@ -16,22 +16,23 @@
 //!
 //! See the individual crates for details:
 //!
-//! * [`tensor`](fedlps_tensor) — dense math, RNG, statistics.
-//! * [`nn`](fedlps_nn) — from-scratch MLP / CNN / LSTM models with unit-level
+//! * [`tensor`] — dense math, RNG, statistics.
+//! * [`nn`] — from-scratch MLP / CNN / LSTM models with unit-level
 //!   structured masking and analytic FLOP counting.
-//! * [`data`](fedlps_data) — synthetic federated datasets and non-IID
+//! * [`data`] — synthetic federated datasets and non-IID
 //!   partitioners.
-//! * [`sparse`](fedlps_sparse) — masks and sparse-pattern strategies.
-//! * [`device`](fedlps_device) — system-heterogeneity and cost model.
-//! * [`bandit`](fedlps_bandit) — P-UCBV and baseline ratio policies.
-//! * [`runtime`](fedlps_runtime) — the event-driven federation runtime:
+//! * [`sparse`] — masks and sparse-pattern strategies.
+//! * [`device`] — system-heterogeneity and cost model, including the lazy
+//!   population-scale [`DeviceFleet`](fedlps_device::DeviceFleet).
+//! * [`bandit`] — P-UCBV and baseline ratio policies.
+//! * [`runtime`] — the event-driven federation runtime:
 //!   virtual clock, deterministic scheduling, round modes.
-//! * [`select`](fedlps_select) — pluggable client-selection policies
+//! * [`select`] — pluggable client-selection policies
 //!   (uniform / Oort-style utility / power-of-choice) and participation
 //!   statistics.
-//! * [`sim`](fedlps_sim) — the federation simulator and metrics.
-//! * [`core`](fedlps_core) — the FedLPS algorithm itself.
-//! * [`baselines`](fedlps_baselines) — the 19 comparison FL frameworks.
+//! * [`sim`] — the federation simulator and metrics.
+//! * [`core`] — the FedLPS algorithm itself.
+//! * [`baselines`] — the 19 comparison FL frameworks.
 
 pub use fedlps_bandit as bandit;
 pub use fedlps_baselines as baselines;

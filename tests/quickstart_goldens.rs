@@ -1,0 +1,69 @@
+//! Pre-refactor golden traces for the quickstart configuration at 64 clients.
+//!
+//! The lazy-fleet refactor (ISSUE 7) promises that small-population runs are
+//! bit-identical to the historical dense representation. These tests pin that
+//! promise: the metrics JSON of a quickstart-shaped run at 64 clients, in each
+//! of the three round modes, must stay byte-equal to the goldens captured
+//! before the refactor landed (`tests/goldens/quickstart64_*.json`).
+//!
+//! To regenerate after an *intentional* trace change (which must be called out
+//! in the PR description), run:
+//!
+//! ```text
+//! FEDLPS_UPDATE_GOLDENS=1 cargo test --test quickstart_goldens
+//! ```
+
+use fedlps::prelude::*;
+
+/// The quickstart example's configuration, scaled to 64 clients.
+fn quickstart64_env(round_mode: RoundMode) -> FlEnv {
+    let scenario = ScenarioConfig::small(DatasetKind::MnistLike).with_clients(64);
+    let fl_config = FlConfig {
+        rounds: 20,
+        clients_per_round: 5,
+        local_iterations: 5,
+        batch_size: 20,
+        eval_every: 2,
+        round_mode,
+        ..FlConfig::default()
+    };
+    FlEnv::from_scenario(&scenario, HeterogeneityLevel::High, fl_config)
+}
+
+fn check_golden(name: &str, round_mode: RoundMode) {
+    let sim = Simulator::new(quickstart64_env(round_mode));
+    let mut fedlps = fedlps::core::FedLps::for_env(sim.env());
+    let result = sim.run(&mut fedlps);
+    let json = serde_json::to_string(&result).expect("RunResult serializes");
+
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/goldens")
+        .join(format!("{name}.json"));
+    if std::env::var("FEDLPS_UPDATE_GOLDENS").is_ok() {
+        std::fs::create_dir_all(path.parent().expect("goldens dir")).expect("mkdir goldens");
+        std::fs::write(&path, &json).expect("golden is writable");
+        return;
+    }
+    let golden = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden {}: {e}", path.display()));
+    assert_eq!(
+        json, golden,
+        "metrics JSON for {name} diverged from the pre-refactor golden; if the \
+         trace change is intentional, regenerate with FEDLPS_UPDATE_GOLDENS=1"
+    );
+}
+
+#[test]
+fn quickstart64_sync_matches_pre_refactor_golden() {
+    check_golden("quickstart64_sync", RoundMode::Synchronous);
+}
+
+#[test]
+fn quickstart64_deadline_matches_pre_refactor_golden() {
+    check_golden("quickstart64_deadline", RoundMode::deadline(0.004, 2));
+}
+
+#[test]
+fn quickstart64_async_matches_pre_refactor_golden() {
+    check_golden("quickstart64_async", RoundMode::asynchronous(4, 0.6));
+}
