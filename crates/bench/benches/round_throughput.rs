@@ -24,6 +24,12 @@
 //! profiles, bandit arms, client states, mask-cache entries) rather than by
 //! wall-clock, so the gate is deterministic on any runner.
 //!
+//! The aggregation axis is the merge-tree tentpole: Eq. (13) over a
+//! 4096-client staged cohort, as the serial ascending walk versus the
+//! coordinate-sharded merge tree at 4 shards. The tree is bit-identical by
+//! construction (coordinates shard, clients never reassociate), so the only
+//! question is wall-clock; floor asserted here: tree ≥ 1.3× serial.
+//!
 //! ```text
 //! cargo bench --bench round_throughput             # measure
 //! cargo bench --bench round_throughput -- --test   # CI smoke mode
@@ -31,6 +37,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use fedlps_core::config::FedLpsConfig;
+use fedlps_core::server::{aggregate_residuals_tree, Residual, StagedUpdate};
 use fedlps_core::FedLps;
 use fedlps_data::scenario::{DatasetKind, ScenarioConfig};
 use fedlps_device::{DeviceFleet, HeterogeneityLevel};
@@ -38,6 +45,8 @@ use fedlps_nn::model::{ModelArch, ModelKind};
 use fedlps_sim::config::FlConfig;
 use fedlps_sim::env::FlEnv;
 use fedlps_sim::runner::Simulator;
+use fedlps_tensor::rng_from_seed;
+use rand::Rng;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -45,6 +54,32 @@ const FLEET: usize = 64;
 const SHARDS: usize = 4;
 /// Registered population of the O(active) axis.
 const POPULATION: usize = 1_000_000;
+/// Staged cohort size of the aggregation axis.
+const AGG_COHORT: usize = 4096;
+/// Parameter count of the aggregation axis (coordinates are what shard).
+const AGG_PARAMS: usize = 16 * 1024;
+
+/// A 4096-client staged cohort over a 16k-parameter model: packed residuals
+/// on one shared gather map (every 4th coordinate — a ratio-0.25 compiled
+/// submodel's upload), the worst case for the merge walk's scatter cursor.
+fn staged_cohort() -> (Vec<f32>, Vec<StagedUpdate>) {
+    let mut rng = rng_from_seed(0xA66);
+    let global: Vec<f32> = (0..AGG_PARAMS)
+        .map(|_| rng.gen_range(-1.0f32..1.0))
+        .collect();
+    let coords: Arc<Vec<u32>> = Arc::new((0..AGG_PARAMS as u32).step_by(4).collect());
+    let staged = (0..AGG_COHORT)
+        .map(|_| StagedUpdate {
+            weight: rng.gen_range(1..64) as f64,
+            residual: Residual::Packed {
+                coords: Arc::clone(&coords),
+                values: coords.iter().map(|_| rng.gen_range(-1.0f32..1.0)).collect(),
+                len: AGG_PARAMS,
+            },
+        })
+        .collect();
+    (global, staged)
+}
 
 /// One million registered clients, 64 data shards tiled over them, a
 /// 16-client cohort over 4 rounds (≤ 64 distinct participants). Evaluation is
@@ -162,7 +197,77 @@ fn bench_round_throughput(c: &mut Criterion) {
         })
     });
 
+    // Aggregation axis: the serial Eq. (13) walk vs the coordinate-sharded
+    // merge tree over the same 4096-client staged cohort.
+    let (agg_global, agg_staged) = staged_cohort();
+    group.bench_function("aggregate_4096c_serial", |b| {
+        b.iter(|| {
+            let mut g = agg_global.clone();
+            aggregate_residuals_tree(&mut g, &agg_staged, 1);
+            g[0]
+        })
+    });
+    group.bench_function("aggregate_4096c_tree_4", |b| {
+        b.iter(|| {
+            let mut g = agg_global.clone();
+            aggregate_residuals_tree(&mut g, &agg_staged, SHARDS);
+            g[0]
+        })
+    });
+
     group.finish();
+
+    // The merge tree's bit-identity and its ≥ 1.3× floor, measured outside
+    // criterion so both also run in `--test` smoke mode (best of three per
+    // side keeps CI-runner noise out of the ratio).
+    let mut serial_out = agg_global.clone();
+    aggregate_residuals_tree(&mut serial_out, &agg_staged, 1);
+    let mut tree_out = agg_global.clone();
+    aggregate_residuals_tree(&mut tree_out, &agg_staged, SHARDS);
+    assert!(
+        serial_out
+            .iter()
+            .zip(tree_out.iter())
+            .all(|(s, t)| s.to_bits() == t.to_bits()),
+        "merge tree diverged from the serial walk"
+    );
+    let agg_time = |shards: usize| {
+        (0..3)
+            .map(|_| {
+                #[allow(clippy::disallowed_methods)]
+                // fedlps-lint: allow(D2, wall-clock speedup measurement is this bench's entire job; the ratio is asserted and never fed back into simulation state)
+                let start = std::time::Instant::now();
+                let mut g = agg_global.clone();
+                aggregate_residuals_tree(&mut g, &agg_staged, shards);
+                start.elapsed()
+            })
+            .min()
+            .expect("three runs")
+    };
+    let agg_serial = agg_time(1);
+    let agg_tree = agg_time(SHARDS);
+    let tree_speedup = agg_serial.as_secs_f64() / agg_tree.as_secs_f64();
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!(
+        "round_throughput/merge_tree_speedup: {AGG_COHORT}-client cohort, {AGG_PARAMS} params \
+         -> serial {agg_serial:?} | tree({SHARDS}) {agg_tree:?} | {tree_speedup:.2}x \
+         ({cores} core(s))"
+    );
+    if cores >= SHARDS {
+        // The scale floor only binds where the workers physically exist.
+        assert!(
+            tree_speedup >= 1.3,
+            "merge-tree aggregation regressed below the 1.3x floor at {SHARDS} shards \
+             on {cores} cores: {tree_speedup:.2}x"
+        );
+    } else {
+        // Fewer cores than shards: no speedup to demand, but the tree's
+        // sharding overhead (plan, spawn, combine) must stay bounded.
+        assert!(
+            tree_speedup >= 0.7,
+            "merge-tree sharding overhead exploded on {cores} core(s): {tree_speedup:.2}x"
+        );
+    }
 
     // The O(active) memory contract, asserted by counting materialized
     // entries — deterministic on any runner, unlike wall-clock. Four rounds

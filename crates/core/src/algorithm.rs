@@ -15,7 +15,7 @@ use rand::rngs::StdRng;
 
 use crate::client::{ClientState, ClientTask, ClientUpdateOptions};
 use crate::config::FedLpsConfig;
-use crate::server::{aggregate_residuals, StagedUpdate};
+use crate::server::{aggregate_residuals_tree, StagedUpdate};
 
 /// How a client step interacted with the cross-round mask cache.
 enum MaskCacheEvent {
@@ -390,8 +390,15 @@ impl FlAlgorithm for FedLps {
         self.absorb(update, weight);
     }
 
-    fn aggregate(&mut self, _env: &FlEnv, _round: usize, _reports: &[ClientReport]) {
-        aggregate_residuals(&mut self.global, &self.staged);
+    fn aggregate(&mut self, env: &FlEnv, _round: usize, _reports: &[ClientReport]) {
+        // The merge tree shards the absorption walk on the coordinate axis,
+        // so following the configured parallelism here is bit-free: every
+        // shard count reproduces the serial walk exactly.
+        aggregate_residuals_tree(
+            &mut self.global,
+            &self.staged,
+            env.config.effective_parallelism().max(1),
+        );
         self.staged.clear();
         if let Some(controller) = self.controller.as_mut() {
             for (client, feedback) in self.feedback.drain(..) {

@@ -1,6 +1,9 @@
-//! Server-side aggregation (Eq. 13).
+//! Server-side aggregation (Eq. 13), serial and merge-tree sharded.
 
+use std::ops::Range;
 use std::sync::Arc;
+
+use fedlps_topo::MergePlan;
 
 /// A client's uploaded residual `(ω^r − ω_{k,E}) ⊙ m_{k,E}` (Eq. 12), either
 /// as a dense full-coordinate vector (the masked-dense execution path) or as
@@ -87,26 +90,86 @@ pub struct StagedUpdate {
 /// order as the dense case with `r = 0` off-pattern, so packed and dense
 /// uploads aggregate bit-identically.
 pub fn aggregate_residuals(global: &mut [f32], staged: &[StagedUpdate]) {
+    aggregate_residuals_tree(global, staged, 1);
+}
+
+/// Eq. (13) sharded over the [`MergePlan`] merge tree: the parameter vector
+/// is split into `shards` contiguous coordinate ranges, each leaf replays
+/// the full ascending-staged walk restricted to its range via
+/// [`merge_residuals_range`], and the fixed-shape pairwise combine
+/// reassembles the result by exact range concatenation. Leaves execute
+/// through the simulator's backend seam
+/// ([`fedlps_sim::backend::run_merge_shards`]), the one place parallelism is
+/// allowed to live, so the result is **bit-identical** to the serial walk at
+/// every shard count and worker count — sharding on the client axis would
+/// reassociate float additions, sharding on the coordinate axis cannot.
+pub fn aggregate_residuals_tree(global: &mut [f32], staged: &[StagedUpdate], shards: usize) {
     if staged.is_empty() {
         return;
     }
-    let total_weight: f64 = staged.iter().map(|s| s.weight).sum();
-    assert!(total_weight > 0.0, "aggregation weights must be positive");
-    let mut next = vec![0.0f32; global.len()];
     for s in staged {
         assert_eq!(s.residual.len(), global.len(), "residual length mismatch");
+    }
+    let total_weight: f64 = staged.iter().map(|s| s.weight).sum();
+    assert!(total_weight > 0.0, "aggregation weights must be positive");
+    let plan = MergePlan::new(global.len(), shards);
+    let segments = if plan.shards() == 1 {
+        vec![merge_residuals_range(
+            global,
+            staged,
+            total_weight,
+            0..global.len(),
+        )]
+    } else {
+        let global = &*global;
+        fedlps_sim::backend::run_merge_shards(plan.shards(), |shard| {
+            merge_residuals_range(global, staged, total_weight, plan.range(shard))
+        })
+    };
+    let next = plan.combine(segments);
+    global.copy_from_slice(&next);
+}
+
+/// One merge-tree leaf: the Eq. (13) absorption walk restricted to a
+/// contiguous coordinate `range`, returning the `next[range]` segment.
+///
+/// Per coordinate `i` the walk performs exactly the serial full-vector
+/// sequence — for each staged update in order, `next[i] += coeff * (g[i] -
+/// r[i])` with `coeff = (weight / total_weight) as f32` — and coordinates
+/// never interact, so restricting the walk to a range changes no bit of any
+/// coordinate it covers. Packed residuals position their ascending-coords
+/// cursor with a binary search and then replay the same peekable scatter
+/// walk as the full-vector case.
+pub fn merge_residuals_range(
+    global: &[f32],
+    staged: &[StagedUpdate],
+    total_weight: f64,
+    range: Range<usize>,
+) -> Vec<f32> {
+    let mut next = vec![0.0f32; range.len()];
+    for s in staged {
         let coeff = (s.weight / total_weight) as f32;
         match &s.residual {
             Residual::Dense(residual) => {
-                for ((n, &g), &r) in next.iter_mut().zip(global.iter()).zip(residual.iter()) {
+                for ((n, &g), &r) in next
+                    .iter_mut()
+                    .zip(global[range.clone()].iter())
+                    .zip(residual[range.clone()].iter())
+                {
                     *n += coeff * (g - r);
                 }
             }
             Residual::Packed { coords, values, .. } => {
-                let mut sparse = coords.iter().zip(values.iter()).peekable();
-                for (i, (n, &g)) in next.iter_mut().zip(global.iter()).enumerate() {
+                let skip = coords.partition_point(|&c| (c as usize) < range.start);
+                let mut sparse = coords[skip..].iter().zip(values[skip..].iter()).peekable();
+                for (i, (n, &g)) in next
+                    .iter_mut()
+                    .zip(global[range.clone()].iter())
+                    .enumerate()
+                {
+                    let coord = range.start + i;
                     let r = match sparse.peek() {
-                        Some(&(&c, &v)) if c as usize == i => {
+                        Some(&(&c, &v)) if c as usize == coord => {
                             sparse.next();
                             v
                         }
@@ -117,7 +180,7 @@ pub fn aggregate_residuals(global: &mut [f32], staged: &[StagedUpdate]) {
             }
         }
     }
-    global.copy_from_slice(&next);
+    next
 }
 
 #[cfg(test)]

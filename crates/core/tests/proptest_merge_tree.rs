@@ -1,0 +1,75 @@
+//! Property test of the merge-tree aggregation contract: Eq. (13) sharded
+//! over the coordinate-axis merge tree is **bit-identical** to the serial
+//! ascending-staged walk at every shard count — including shard counts that
+//! exceed the parameter count — for any mix of dense and packed residuals.
+//!
+//! This is the invariant that lets `FedLps::aggregate` follow the config's
+//! `effective_parallelism()` without perturbing a single golden byte: the
+//! tree shards *coordinates*, not clients, so no float addition is ever
+//! reassociated; each leaf replays the exact per-coordinate op sequence of
+//! the serial walk and the pairwise combine is range concatenation.
+
+use std::sync::Arc;
+
+use fedlps_core::server::{aggregate_residuals_tree, Residual, StagedUpdate};
+use fedlps_tensor::rng_from_seed;
+use proptest::prelude::*;
+use rand::Rng;
+
+/// Builds a random staged-update set (mixed dense / packed residuals) and a
+/// random global vector from one seed.
+fn random_case(seed: u64, len: usize, clients: usize) -> (Vec<f32>, Vec<StagedUpdate>) {
+    let mut rng = rng_from_seed(seed ^ 0x7EE);
+    let global: Vec<f32> = (0..len).map(|_| rng.gen_range(-2.0f32..2.0)).collect();
+    let staged = (0..clients)
+        .map(|_| {
+            let weight = rng.gen_range(1..50) as f64;
+            let residual = if rng.gen_bool(0.5) {
+                Residual::Dense((0..len).map(|_| rng.gen_range(-1.0f32..1.0)).collect())
+            } else {
+                // A strictly ascending coordinate subset, like a compiled
+                // submodel's gather map.
+                let coords: Vec<u32> = (0..len as u32).filter(|_| rng.gen_bool(0.4)).collect();
+                let values = coords.iter().map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+                Residual::Packed {
+                    coords: Arc::new(coords),
+                    values,
+                    len,
+                }
+            };
+            StagedUpdate { weight, residual }
+        })
+        .collect();
+    (global, staged)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn merge_tree_is_bit_identical_to_the_serial_walk(
+        seed in 0u64..1_000_000,
+        len in 1usize..96,
+        clients in 1usize..7,
+        shards in 2usize..130,
+    ) {
+        let (global, staged) = random_case(seed, len, clients);
+
+        let mut serial = global.clone();
+        aggregate_residuals_tree(&mut serial, &staged, 1);
+
+        let mut sharded = global.clone();
+        aggregate_residuals_tree(&mut sharded, &staged, shards);
+
+        for (i, (s, t)) in serial.iter().zip(sharded.iter()).enumerate() {
+            prop_assert_eq!(
+                s.to_bits(),
+                t.to_bits(),
+                "coordinate {} diverges at {} shards (len {})",
+                i,
+                shards,
+                len
+            );
+        }
+    }
+}

@@ -87,6 +87,19 @@ impl DeviceProfile {
         }
     }
 
+    /// The uplink tier of a zone/edge aggregator in a two-tier topology:
+    /// reference-class compute on a provisioned link `uplink` times the
+    /// reference device uplink. The Eq. 14 cost model prices the combined
+    /// zone → server upload against this profile's bandwidth.
+    pub fn zone_aggregator(uplink: f64) -> Self {
+        assert!(uplink > 0.0, "the zone uplink factor must be positive");
+        Self {
+            capability: 1.0,
+            compute_flops_per_sec: REFERENCE_GFLOPS,
+            bandwidth_bytes_per_sec: REFERENCE_BANDWIDTH * uplink,
+        }
+    }
+
     /// The maximum sparse ratio this device can afford: the paper caps the
     /// server-chosen ratio at the client capability (`s_k ≤ z_k`,
     /// "Client-side Update").

@@ -150,6 +150,21 @@ fn draw_tier(tiers: &[CapabilityTier], rng: &mut StdRng) -> CapabilityTier {
     tiers[rng.gen_range(0..tiers.len())]
 }
 
+/// RNG stream of the client → zone-aggregator assignment of a two-tier
+/// topology (disjoint from the tier/availability/churn streams above).
+const STREAM_ZONE: u64 = 0x20E5A5;
+
+/// Seeded zone assignment of a hierarchical (two-tier) topology: which of
+/// the `zones` edge aggregators client `client` uploads through. A pure
+/// `O(1)` function of `(seed, client)` — like churn and availability, it
+/// never materializes a per-population vector, so registered-population
+/// scale is preserved.
+pub fn zone_assignment(seed: u64, client: usize, zones: usize) -> usize {
+    assert!(zones >= 1, "a two-tier topology needs at least one zone");
+    let mut rng = rng_from_seed(split_seed(split_seed(seed, STREAM_ZONE), client as u64));
+    rng.gen_range(0..zones)
+}
+
 /// The lazily evaluated tier stream backing [`DeviceFleet::lazy`].
 ///
 /// Conceptually this *is* the `(0..num_devices)` tier-draw loop of

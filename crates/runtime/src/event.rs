@@ -14,6 +14,9 @@ pub enum EventKind {
     /// The device went offline mid-round (availability churn); its update is
     /// lost.
     Offline,
+    /// A zone aggregator's per-zone deadline fired (two-tier topology);
+    /// the zone's outstanding clients are dropped at the zone.
+    ZoneDeadline,
     /// The round's deadline fired; outstanding clients are dropped.
     RoundDeadline,
     /// The server hands a client the current global model and it starts
@@ -30,8 +33,11 @@ impl EventKind {
             EventKind::ComputeFinish => 0,
             EventKind::UploadFinish => 1,
             EventKind::Offline => 2,
-            EventKind::RoundDeadline => 3,
-            EventKind::Dispatch => 4,
+            // Zone deadlines close *before* the round deadline at an equal
+            // timestamp: the edge tier resolves ahead of the server tier.
+            EventKind::ZoneDeadline => 3,
+            EventKind::RoundDeadline => 4,
+            EventKind::Dispatch => 5,
         }
     }
 
@@ -41,6 +47,7 @@ impl EventKind {
             EventKind::ComputeFinish => "compute-finish",
             EventKind::UploadFinish => "upload-finish",
             EventKind::Offline => "offline",
+            EventKind::ZoneDeadline => "zone-deadline",
             EventKind::RoundDeadline => "round-deadline",
             EventKind::Dispatch => "dispatch",
         }
@@ -117,6 +124,18 @@ mod tests {
         assert!(arrive < dispatch);
         let deadline = ev(3.0, Event::ROUND_SCOPE, EventKind::RoundDeadline, 2);
         assert!(arrive < deadline && deadline < dispatch);
+    }
+
+    #[test]
+    fn zone_deadlines_precede_the_round_deadline_at_equal_time() {
+        // An update landing at its zone exactly at both deadlines is
+        // resolved in tier order: buffered by the zone, then the zone
+        // closes, then the round closes, then new dispatches run.
+        let arrive = ev(2.0, 4, EventKind::UploadFinish, 0);
+        let zone = ev(2.0, 1, EventKind::ZoneDeadline, 1);
+        let round = ev(2.0, Event::ROUND_SCOPE, EventKind::RoundDeadline, 2);
+        let dispatch = ev(2.0, 0, EventKind::Dispatch, 3);
+        assert!(arrive < zone && zone < round && round < dispatch);
     }
 
     #[test]

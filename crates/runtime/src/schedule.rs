@@ -159,7 +159,9 @@ impl RoundPlan {
             }
             log.record(event);
             match event.kind {
-                EventKind::Dispatch | EventKind::ComputeFinish => {}
+                // The pure planner models a flat, zone-free round; the
+                // driver's topology layer owns zone deadlines.
+                EventKind::Dispatch | EventKind::ComputeFinish | EventKind::ZoneDeadline => {}
                 EventKind::UploadFinish => {
                     arrivals.push(Arrival {
                         client: event.client,

@@ -204,14 +204,16 @@ impl ModeState {
     }
 
     /// Cohort arrival: buffer the update for the barrier, or count a
-    /// post-deadline straggler (the server moved on).
+    /// post-deadline straggler (the server moved on). Returns whether the
+    /// update was buffered — the topology layer books zone state only for
+    /// updates the barrier will actually absorb.
     pub(crate) fn buffer_arrival(
         &mut self,
         acc: &mut RoundAccumulator,
         client: usize,
         fl: InFlight,
         time: f64,
-    ) {
+    ) -> bool {
         let ModeState::Cohort {
             arrived,
             duration,
@@ -223,9 +225,11 @@ impl ModeState {
         };
         if *deadline_fired {
             acc.straggler_drops += 1;
+            false
         } else {
             *duration = duration.max(time);
             arrived.insert(client, fl);
+            true
         }
     }
 
@@ -233,7 +237,9 @@ impl ModeState {
     /// round lasts the full budget iff anyone is outstanding or was lost
     /// (the server cannot distinguish a straggler from a dead device).
     pub(crate) fn deadline_fired(&mut self, acc: &RoundAccumulator, time: f64) {
-        let drops = acc.straggler_drops;
+        // Zone-deadline drops count against the arrival reckoning too: a
+        // client dropped at its zone will never reach the server barrier.
+        let drops = acc.straggler_drops + acc.zone_straggler_drops;
         let ModeState::Cohort {
             dispatched,
             arrived,
@@ -300,6 +306,13 @@ pub(crate) struct RoundAccumulator {
     pub stale_discards: u64,
     /// Per-staleness absorption counts (empty outside async mode).
     pub staleness_hist: Vec<u64>,
+    /// Two-tier topology: uploads dropped at their zone aggregator because
+    /// the zone's deadline had fired (0 under the flat topology).
+    pub zone_straggler_drops: u64,
+    /// Two-tier topology: bytes the zone tier forwarded to the server this
+    /// round — combined pre-merged uploads in the cohort modes, individual
+    /// store-and-forward uploads in async mode (0 under flat).
+    pub zone_upload: f64,
 }
 
 impl RoundAccumulator {
@@ -321,6 +334,8 @@ impl RoundAccumulator {
         self.straggler_drops = 0;
         self.stale_discards = 0;
         self.staleness_hist.iter_mut().for_each(|v| *v = 0);
+        self.zone_straggler_drops = 0;
+        self.zone_upload = 0.0;
     }
 
     /// Closes the round: folds the accumulated totals into one
@@ -373,6 +388,8 @@ impl RoundAccumulator {
                 .iter()
                 .filter(|r| r.participations == 1)
                 .count() as u64,
+            zone_straggler_drops: self.zone_straggler_drops,
+            zone_upload_bytes: self.zone_upload,
         }
     }
 }

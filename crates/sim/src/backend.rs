@@ -137,6 +137,25 @@ pub(crate) fn parallel_mean_accuracy(env: &FlEnv, algorithm: &dyn FlAlgorithm) -
     per_client.iter().map(|(a, _)| a).sum::<f64>() / total_samples as f64
 }
 
+/// Executes the leaves of a [`fedlps_topo::MergePlan`]: one closure call per
+/// shard index, collected in index order. This is the merge tree's pass
+/// through the execution-backend seam — the only file where parallelism may
+/// live (lint rule D3). Each leaf is a pure function of its shard index
+/// (a coordinate range of the aggregation walk), and `collect` on an indexed
+/// parallel iterator returns results in index order whatever the thread
+/// schedule, so the output is bit-identical to the serial loop at every
+/// worker count. `shards <= 1` stays on the calling thread.
+pub fn run_merge_shards<T, F>(shards: usize, leaf: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Send + Sync,
+{
+    if shards <= 1 {
+        return (0..shards).map(leaf).collect();
+    }
+    (0..shards).into_par_iter().map(leaf).collect()
+}
+
 /// Runs one task on the calling thread (shared by both backends).
 fn run_one(
     env: &FlEnv,

@@ -6,6 +6,7 @@ use serde::{Deserialize, Serialize};
 pub use crate::backend::BackendKind;
 pub use fedlps_runtime::RoundMode;
 pub use fedlps_select::SelectionKind;
+pub use fedlps_topo::Topology;
 
 /// Configuration of a federated-learning run.
 ///
@@ -64,6 +65,14 @@ pub struct FlConfig {
     /// determinism gate diffs the two). On by default; off reproduces the
     /// historical masked-dense execution for debugging and benchmarking.
     pub packed_execution: bool,
+    /// The physical aggregation topology: `Flat` (clients upload straight to
+    /// the server — the default, byte-identical to the historical traces) or
+    /// `TwoTier` (clients → zone aggregators → server, with zone-level
+    /// deadlines and uplink pricing). The topology overlays *timing, traffic
+    /// and drops*; the absorbed arithmetic is the canonical ascending walk
+    /// either way, so every topology stays bit-identical across backends and
+    /// parallelism settings.
+    pub topology: Topology,
 }
 
 impl Default for FlConfig {
@@ -82,6 +91,7 @@ impl Default for FlConfig {
             selection: SelectionKind::Uniform,
             backend: BackendKind::Auto,
             packed_execution: true,
+            topology: Topology::Flat,
         }
     }
 }
@@ -162,6 +172,12 @@ impl FlConfig {
         self
     }
 
+    /// Builder-style override of the aggregation topology.
+    pub fn with_topology(mut self, topology: Topology) -> Self {
+        self.topology = topology;
+        self
+    }
+
     /// The number of worker shards the round loop should actually use:
     /// resolves the `0 = auto` convention against the machine's core count.
     pub fn effective_parallelism(&self) -> usize {
@@ -232,6 +248,7 @@ mod tests {
                 .with_backend(BackendKind::ThreadPool),
             FlConfig::default().with_selection(SelectionKind::power_of_choice()),
             FlConfig::default().with_packed_execution(false),
+            FlConfig::default().with_topology(Topology::two_tier().with_zone_deadline(0.25)),
         ] {
             let json = serde_json::to_string(&cfg).unwrap();
             let back: FlConfig = serde_json::from_str(&json).unwrap();
@@ -254,6 +271,14 @@ mod tests {
                 .with_packed_execution(false)
                 .packed_execution
         );
+    }
+
+    #[test]
+    fn topology_defaults_to_flat() {
+        assert_eq!(FlConfig::default().topology, Topology::Flat);
+        let cfg = FlConfig::tiny().with_topology(Topology::two_tier());
+        assert_eq!(cfg.topology.name(), "two-tier");
+        assert_eq!(cfg.topology.zones(), 4);
     }
 
     #[test]

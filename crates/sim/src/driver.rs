@@ -12,7 +12,12 @@
 //!   buffer arrivals and absorb them at the barrier in ascending client-id
 //!   order, async mode absorbs immediately with an `alpha^staleness`
 //!   discount; deadline drops and staleness discards are event-handler
-//!   cases of the shared [`ModeState`] machine, not separate loops.
+//!   cases of the shared [`ModeState`] machine, not separate loops;
+//! * **topology** ([`crate::topology`]) overlays the physical aggregation
+//!   path: flat is a pass-through, the two-tier zone tier adds zone-deadline
+//!   drops (more event-handler cases), combined zone → server forwards and
+//!   the async store-and-forward hop — timing, traffic and drops only, never
+//!   the absorbed arithmetic.
 //!
 //! Cohort rounds run on a round-relative timeline — the queue drains
 //! completely before the next round opens, reproducing the pure
@@ -35,6 +40,7 @@ use crate::algorithm::FlAlgorithm;
 use crate::backend::{parallel_mean_accuracy, ExecutionBackend, StepTask};
 use crate::env::FlEnv;
 use crate::metrics::{RoundMetrics, RunResult};
+use crate::topology::{absorb_arrivals, TopologyState};
 
 /// RNG stream of the selection layer (cohorts, over-selection, refills).
 const STREAM_SELECTION: u64 = 0x5E1E;
@@ -66,6 +72,7 @@ pub(crate) struct Driver<'a> {
     cumulative_upload: f64,
     dispatch_seq: u64,
     mode: ModeState,
+    topo: TopologyState,
 }
 
 impl<'a> Driver<'a> {
@@ -100,6 +107,7 @@ impl<'a> Driver<'a> {
             cumulative_upload: 0.0,
             dispatch_seq: 0,
             mode,
+            topo: TopologyState::new(env),
             env,
         }
     }
@@ -148,6 +156,9 @@ impl<'a> Driver<'a> {
             EventKind::Dispatch => self.on_dispatch(algorithm, event),
             EventKind::UploadFinish => self.on_upload(algorithm, event),
             EventKind::Offline => self.on_offline(event),
+            // A zone aggregator's budget expired: the event carries the zone
+            // id, and later arrivals of that zone drop at the zone tier.
+            EventKind::ZoneDeadline => self.topo.zone_deadline_fired(event.client, event.time),
             EventKind::RoundDeadline => self.mode.deadline_fired(&self.acc, event.time),
             EventKind::ComputeFinish => {
                 unreachable!("the driver never schedules {:?}", event.kind)
@@ -194,17 +205,25 @@ impl<'a> Driver<'a> {
         // Count the cohort *after* dedup, so a custom `select_clients`
         // returning a repeated id cannot convince the deadline rule that a
         // phantom client is still outstanding.
-        let mut dispatched = 0;
+        let mut dispatched = Vec::new();
         for client in selected {
             if self.pending.insert(client) {
                 self.queue.push(0.0, client, EventKind::Dispatch);
-                dispatched += 1;
+                dispatched.push(client);
             }
         }
-        self.mode.set_dispatched(dispatched);
+        self.mode.set_dispatched(dispatched.len());
         if let Some(Some(budget)) = self.mode.cohort_deadline() {
             self.queue
                 .push(budget, Event::ROUND_SCOPE, EventKind::RoundDeadline);
+        }
+        // The zone tier opens its round over the same cohort. Cohort modes
+        // only: the async pipeline has no round-relative timeline to anchor
+        // zone deadlines to (its zone tier is a store-and-forward hop).
+        if !self.mode.is_async() {
+            for (zone, deadline) in self.topo.open_cohort_round(&dispatched) {
+                self.queue.push(deadline, zone, EventKind::ZoneDeadline);
+            }
         }
     }
 
@@ -272,9 +291,18 @@ impl<'a> Driver<'a> {
                     self.queue
                         .push(event.time + frac * total, client, EventKind::Offline)
                 }
-                None => self
-                    .queue
-                    .push(event.time + total, client, EventKind::UploadFinish),
+                None => {
+                    // Async uploads traverse the zone tier store-and-forward:
+                    // the zone → server leg re-prices the payload over the
+                    // zone uplink. Cohort zones buffer instead — their cost
+                    // is the combined forward at the barrier.
+                    let hop = match cohort_deadline {
+                        Some(_) => 0.0,
+                        None => self.topo.async_zone_hop(outcome.report.upload_bytes),
+                    };
+                    self.queue
+                        .push(event.time + total + hop, client, EventKind::UploadFinish)
+                }
             };
             let evicted = self.in_flight.insert(
                 client,
@@ -297,13 +325,27 @@ impl<'a> Driver<'a> {
             .remove(&event.client)
             .expect("arrival without a matching dispatch");
         let Some((max_staleness, alpha, buffer_target)) = self.mode.async_params() else {
-            self.mode
-                .buffer_arrival(&mut self.acc, event.client, fl, event.time);
+            // An upload landing after its zone's deadline fired drops at the
+            // zone aggregator — the server barrier never sees it.
+            if self.topo.zone_dropped(event.client) {
+                self.acc.zone_straggler_drops += 1;
+                self.topo.on_resolved(event.client);
+                return;
+            }
+            if self
+                .mode
+                .buffer_arrival(&mut self.acc, event.client, fl, event.time)
+            {
+                self.topo.on_survivor(event.client, event.time);
+            } else {
+                self.topo.on_resolved(event.client);
+            }
             return;
         };
 
         self.acc.round_flops += fl.report.flops;
         self.acc.round_upload += fl.report.upload_bytes;
+        self.acc.zone_upload += self.topo.async_forward_bytes(fl.report.upload_bytes);
         let staleness = (self.version - fl.dispatched_version) as u32;
         if staleness > max_staleness {
             self.acc.stale_discards += 1;
@@ -341,6 +383,9 @@ impl<'a> Driver<'a> {
         if self.mode.is_async() {
             self.acc.round_flops += fl.report.flops;
             self.refill(event.time);
+        } else {
+            // The client's zone stops waiting for it.
+            self.topo.on_resolved(event.client);
         }
     }
 
@@ -372,17 +417,23 @@ impl<'a> Driver<'a> {
         let env = self.env;
         let round = self.version;
         let (arrived, duration) = self.mode.close_barrier();
-        for (client, fl) in arrived {
-            self.acc.round_upload += fl.report.upload_bytes;
-            self.tracker
-                .on_report(client, fl.report.train_loss, fl.report.local_cost.total());
-            self.acc.reports.push(fl.report);
-            algorithm.absorb_update(env, round, fl.update);
-        }
+        let tracker = &mut self.tracker;
+        absorb_arrivals(
+            algorithm,
+            env,
+            round,
+            arrived,
+            &mut self.acc,
+            |c, loss, cost| {
+                tracker.on_report(c, loss, cost);
+            },
+        );
         algorithm.aggregate(env, round, &self.acc.reports);
 
         // Cost accounting: the round duration *is* Eq. (18) in synchronous
-        // mode and min(budget, last arrival) under a deadline.
+        // mode and min(budget, last arrival) under a deadline; an active
+        // zone tier extends it by the latest combined zone → server forward.
+        let duration = self.topo.close_cohort_round(duration, &mut self.acc);
         let round_start_time = self.cumulative_time;
         self.cumulative_time += duration;
         self.close_round(

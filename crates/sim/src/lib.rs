@@ -22,6 +22,9 @@
 //! * `driver` (private) — the single event-driven loop all three round
 //!   modes share, wiring selection → execution → absorption;
 //! * `absorb` (private) — mode-agnostic absorption/metrics accounting;
+//! * `topology` (private) — the physical-topology overlay: the barrier
+//!   absorption walk plus the two-tier zone tier's timing, traffic and
+//!   deadline drops (configured via [`config::Topology`]);
 //! * [`train`] — shared local-training helpers (masked/proximal SGD, FLOP and
 //!   byte accounting) reused by every algorithm;
 //! * [`metrics`] — per-round metrics, run results, time-to-accuracy;
@@ -40,10 +43,11 @@ pub mod train;
 
 mod absorb;
 mod driver;
+mod topology;
 
 pub use algorithm::{ClientReport, FlAlgorithm};
 pub use backend::{BackendKind, ExecutionBackend, SerialBackend, StepTask, ThreadPoolBackend};
-pub use config::{FlConfig, RoundMode, SelectionKind};
+pub use config::{FlConfig, RoundMode, SelectionKind, Topology};
 pub use env::FlEnv;
 pub use metrics::{RoundMetrics, RunResult};
 pub use runner::Simulator;

@@ -6,10 +6,16 @@
 //! accuracy/time summaries (Figures 6-8). All of those are derived from the
 //! [`RunResult`] collected by the simulator.
 
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Error, Serialize, Value};
 
 /// Metrics recorded at the end of one communication round.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// Serde is hand-written rather than derived: the two `zone_*` fields are
+/// emitted only when nonzero, so flat-topology traces serialize to exactly
+/// the bytes the pre-topology goldens pinned, while two-tier traces carry
+/// the zone tier's drops and traffic. Deserialization tolerates their
+/// absence (defaulting to zero) for the same reason.
+#[derive(Debug, Clone, PartialEq)]
 pub struct RoundMetrics {
     /// Round index `r` (in async mode: the server aggregation/version index).
     pub round: usize,
@@ -61,6 +67,129 @@ pub struct RoundMetrics {
     /// Absorbed clients participating for the very first time this round —
     /// how fast the selection policy is still exploring the federation.
     pub first_time_participants: u64,
+    /// Two-tier topology: uploads dropped at their zone aggregator because
+    /// the zone's deadline had fired before they landed. Always 0 under the
+    /// flat topology (and omitted from the serialized form when 0).
+    pub zone_straggler_drops: u64,
+    /// Two-tier topology: bytes the zone tier forwarded to the server this
+    /// round — one combined pre-merged upload per active zone in the cohort
+    /// modes (priced by the zone uplink in Eq. 14), individual
+    /// store-and-forward uploads in async mode. Compare against
+    /// `round_upload_bytes` (the client → zone tier) for the uplink saving.
+    /// Always 0 under flat (and omitted from the serialized form when 0).
+    pub zone_upload_bytes: f64,
+}
+
+impl Serialize for RoundMetrics {
+    fn to_value(&self) -> Value {
+        let mut fields = vec![
+            ("round".to_string(), self.round.to_value()),
+            ("mean_accuracy".to_string(), self.mean_accuracy.to_value()),
+            ("train_accuracy".to_string(), self.train_accuracy.to_value()),
+            ("train_loss".to_string(), self.train_loss.to_value()),
+            ("round_time".to_string(), self.round_time.to_value()),
+            (
+                "round_start_time".to_string(),
+                self.round_start_time.to_value(),
+            ),
+            (
+                "cumulative_time".to_string(),
+                self.cumulative_time.to_value(),
+            ),
+            ("round_flops".to_string(), self.round_flops.to_value()),
+            (
+                "cumulative_flops".to_string(),
+                self.cumulative_flops.to_value(),
+            ),
+            (
+                "round_upload_bytes".to_string(),
+                self.round_upload_bytes.to_value(),
+            ),
+            (
+                "cumulative_upload_bytes".to_string(),
+                self.cumulative_upload_bytes.to_value(),
+            ),
+            (
+                "mean_sparse_ratio".to_string(),
+                self.mean_sparse_ratio.to_value(),
+            ),
+            (
+                "mask_cache_hits".to_string(),
+                self.mask_cache_hits.to_value(),
+            ),
+            (
+                "mask_cache_misses".to_string(),
+                self.mask_cache_misses.to_value(),
+            ),
+            (
+                "straggler_drops".to_string(),
+                self.straggler_drops.to_value(),
+            ),
+            ("stale_discards".to_string(), self.stale_discards.to_value()),
+            ("staleness_hist".to_string(), self.staleness_hist.to_value()),
+            (
+                "mean_selection_utility".to_string(),
+                self.mean_selection_utility.to_value(),
+            ),
+            (
+                "first_time_participants".to_string(),
+                self.first_time_participants.to_value(),
+            ),
+        ];
+        if self.zone_straggler_drops != 0 {
+            fields.push((
+                "zone_straggler_drops".to_string(),
+                self.zone_straggler_drops.to_value(),
+            ));
+        }
+        if self.zone_upload_bytes != 0.0 {
+            fields.push((
+                "zone_upload_bytes".to_string(),
+                self.zone_upload_bytes.to_value(),
+            ));
+        }
+        Value::Obj(fields)
+    }
+}
+
+impl<'de> Deserialize<'de> for RoundMetrics {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        Ok(RoundMetrics {
+            round: Deserialize::from_value(value.field("round")?)?,
+            mean_accuracy: Deserialize::from_value(value.field("mean_accuracy")?)?,
+            train_accuracy: Deserialize::from_value(value.field("train_accuracy")?)?,
+            train_loss: Deserialize::from_value(value.field("train_loss")?)?,
+            round_time: Deserialize::from_value(value.field("round_time")?)?,
+            round_start_time: Deserialize::from_value(value.field("round_start_time")?)?,
+            cumulative_time: Deserialize::from_value(value.field("cumulative_time")?)?,
+            round_flops: Deserialize::from_value(value.field("round_flops")?)?,
+            cumulative_flops: Deserialize::from_value(value.field("cumulative_flops")?)?,
+            round_upload_bytes: Deserialize::from_value(value.field("round_upload_bytes")?)?,
+            cumulative_upload_bytes: Deserialize::from_value(
+                value.field("cumulative_upload_bytes")?,
+            )?,
+            mean_sparse_ratio: Deserialize::from_value(value.field("mean_sparse_ratio")?)?,
+            mask_cache_hits: Deserialize::from_value(value.field("mask_cache_hits")?)?,
+            mask_cache_misses: Deserialize::from_value(value.field("mask_cache_misses")?)?,
+            straggler_drops: Deserialize::from_value(value.field("straggler_drops")?)?,
+            stale_discards: Deserialize::from_value(value.field("stale_discards")?)?,
+            staleness_hist: Deserialize::from_value(value.field("staleness_hist")?)?,
+            mean_selection_utility: Deserialize::from_value(
+                value.field("mean_selection_utility")?,
+            )?,
+            first_time_participants: Deserialize::from_value(
+                value.field("first_time_participants")?,
+            )?,
+            zone_straggler_drops: match value.field("zone_straggler_drops") {
+                Ok(v) => Deserialize::from_value(v)?,
+                Err(_) => 0,
+            },
+            zone_upload_bytes: match value.field("zone_upload_bytes") {
+                Ok(v) => Deserialize::from_value(v)?,
+                Err(_) => 0.0,
+            },
+        })
+    }
 }
 
 /// The full trace of one federated run plus its summary statistics.
@@ -220,6 +349,19 @@ impl RunResult {
         self.rounds.iter().map(|r| r.stale_discards).sum()
     }
 
+    /// Total uploads dropped at a zone aggregator's deadline over the whole
+    /// run (0 under the flat topology).
+    pub fn total_zone_straggler_drops(&self) -> u64 {
+        self.rounds.iter().map(|r| r.zone_straggler_drops).sum()
+    }
+
+    /// Total zone → server bytes over the whole run (0 under the flat
+    /// topology). Compare with `total_upload_bytes` — the client → zone
+    /// tier — for the uplink saving of zone pre-merging.
+    pub fn total_zone_upload_bytes(&self) -> f64 {
+        self.rounds.iter().map(|r| r.zone_upload_bytes).sum()
+    }
+
     /// Elementwise sum of the per-round staleness histograms (empty for runs
     /// that never executed asynchronously).
     pub fn staleness_histogram(&self) -> Vec<u64> {
@@ -296,6 +438,8 @@ mod tests {
             staleness_hist: vec![1, i as u64],
             mean_selection_utility: 0.5,
             first_time_participants: (i == 0) as u64,
+            zone_straggler_drops: 0,
+            zone_upload_bytes: 0.0,
         }
     }
 
@@ -370,6 +514,44 @@ mod tests {
         let json = serde_json::to_string(&r).unwrap();
         let back: RunResult = serde_json::from_str(&json).unwrap();
         assert_eq!(r, back);
+    }
+
+    #[test]
+    fn zone_fields_roundtrip_and_stay_out_of_flat_traces() {
+        // Flat rounds (zone fields zero) serialize without any zone keys —
+        // that invariant is what keeps the pre-topology goldens byte-exact.
+        let flat = round(0, Some(0.2), 100.0, 2.0);
+        let json = serde_json::to_string(&flat).unwrap();
+        assert!(
+            !json.contains("zone_"),
+            "flat trace leaked zone keys: {json}"
+        );
+        let back: RoundMetrics = serde_json::from_str(&json).unwrap();
+        assert_eq!(flat, back);
+
+        // Two-tier rounds carry and roundtrip both zone fields.
+        let mut tiered = round(1, None, 100.0, 2.0);
+        tiered.zone_straggler_drops = 3;
+        tiered.zone_upload_bytes = 4096.0;
+        let json = serde_json::to_string(&tiered).unwrap();
+        assert!(json.contains("\"zone_straggler_drops\":3"));
+        assert!(json.contains("zone_upload_bytes"));
+        let back: RoundMetrics = serde_json::from_str(&json).unwrap();
+        assert_eq!(tiered, back);
+    }
+
+    #[test]
+    fn zone_summaries() {
+        let mut rounds = vec![round(0, Some(0.2), 100.0, 2.0), round(1, None, 100.0, 2.0)];
+        rounds[0].zone_straggler_drops = 2;
+        rounds[0].zone_upload_bytes = 100.0;
+        rounds[1].zone_straggler_drops = 1;
+        rounds[1].zone_upload_bytes = 50.0;
+        let r = RunResult::from_rounds("a".into(), "d".into(), rounds);
+        assert_eq!(r.total_zone_straggler_drops(), 3);
+        assert!((r.total_zone_upload_bytes() - 150.0).abs() < 1e-12);
+        assert_eq!(result().total_zone_straggler_drops(), 0);
+        assert_eq!(result().total_zone_upload_bytes(), 0.0);
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! cargo run --release --example quickstart
 //! ```
 //!
-//! Six environment variables support CI's determinism gate (and general
+//! Seven environment variables support CI's determinism gate (and general
 //! scripting): `FEDLPS_PARALLELISM` sets the round-loop shard count
 //! (default 1 = serial, 0 = all cores), `FEDLPS_ROUND_MODE` picks the
 //! execution semantics (`sync` = the default synchronous barrier,
@@ -16,12 +16,16 @@
 //! `power` = power-of-choice; see `examples/utility_selection.rs`),
 //! `FEDLPS_BACKEND` picks the execution backend (`auto` | `serial` |
 //! `threadpool`), `FEDLPS_PACKED` toggles physically packed submodel
-//! execution (`1` = packed, the default; `0` = masked-dense) and
-//! `FEDLPS_METRICS_JSON` names a file to which the full `RunResult` is
-//! written as JSON. Runs at any parallelism level, on any backend and with
-//! packing on or off are bit-identical for the same seed *in every mode and
+//! execution (`1` = packed, the default; `0` = masked-dense),
+//! `FEDLPS_TOPOLOGY` picks the aggregation topology (`flat` = the default
+//! direct uploads, `two-tier` = zone aggregators; see
+//! `examples/hierarchical_fleet.rs`) and `FEDLPS_METRICS_JSON` names a file
+//! to which the full `RunResult` is written as JSON. Runs at any
+//! parallelism level, on any backend, with packing on or off and under
+//! either topology are bit-identical for the same seed *in every mode and
 //! under every policy*, which the CI matrix enforces by diffing the JSON of
-//! serial/sharded and packed/masked runs across modes and policies.
+//! serial/sharded and packed/masked runs across modes, policies and
+//! topologies.
 
 use fedlps::prelude::*;
 
@@ -67,6 +71,11 @@ fn main() {
         },
         Err(_) => true,
     };
+    let topology = match std::env::var("FEDLPS_TOPOLOGY") {
+        Ok(v) => Topology::from_name(&v)
+            .unwrap_or_else(|| panic!("FEDLPS_TOPOLOGY must be flat|two-tier, got {v:?}")),
+        Err(_) => Topology::Flat,
+    };
     let scenario = ScenarioConfig::small(DatasetKind::MnistLike).with_clients(16);
     let fl_config = FlConfig {
         rounds: 20,
@@ -79,6 +88,7 @@ fn main() {
         selection,
         backend,
         packed_execution,
+        topology,
         ..FlConfig::default()
     };
     let env = FlEnv::from_scenario(&scenario, HeterogeneityLevel::High, fl_config);
@@ -143,6 +153,10 @@ fn main() {
         } else {
             "masked-dense"
         }
+    );
+    println!(
+        "aggregation topology:             {}",
+        sim.env().config.topology.name()
     );
     if let Some(cache) = fedlps.mask_cache() {
         println!(

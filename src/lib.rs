@@ -30,6 +30,8 @@
 //! * [`select`] — pluggable client-selection policies
 //!   (uniform / Oort-style utility / power-of-choice) and participation
 //!   statistics.
+//! * [`topo`] — aggregation topologies: the deterministic merge tree and
+//!   the flat / two-tier (zone-aggregator) upload paths.
 //! * [`sim`] — the federation simulator and metrics.
 //! * [`core`] — the FedLPS algorithm itself.
 //! * [`baselines`] — the 19 comparison FL frameworks.
@@ -45,6 +47,7 @@ pub use fedlps_select as select;
 pub use fedlps_sim as sim;
 pub use fedlps_sparse as sparse;
 pub use fedlps_tensor as tensor;
+pub use fedlps_topo as topo;
 
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
@@ -70,4 +73,5 @@ pub mod prelude {
         runner::Simulator,
     };
     pub use fedlps_sparse::{mask::UnitMask, pattern::PatternStrategy};
+    pub use fedlps_topo::Topology;
 }

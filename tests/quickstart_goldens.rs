@@ -1,10 +1,12 @@
 //! Pre-refactor golden traces for the quickstart configuration at 64 clients.
 //!
 //! The lazy-fleet refactor (ISSUE 7) promises that small-population runs are
-//! bit-identical to the historical dense representation. These tests pin that
-//! promise: the metrics JSON of a quickstart-shaped run at 64 clients, in each
-//! of the three round modes, must stay byte-equal to the goldens captured
-//! before the refactor landed (`tests/goldens/quickstart64_*.json`).
+//! bit-identical to the historical dense representation, and the topology
+//! subsystem (ISSUE 8) promises that `Topology::Flat` — spelled explicitly
+//! below — reproduces the same traces byte for byte. These tests pin both
+//! promises: the metrics JSON of a quickstart-shaped run at 64 clients, in
+//! each of the three round modes, must stay byte-equal to the goldens
+//! captured before either change landed (`tests/goldens/quickstart64_*.json`).
 //!
 //! To regenerate after an *intentional* trace change (which must be called out
 //! in the PR description), run:
@@ -25,6 +27,9 @@ fn quickstart64_env(round_mode: RoundMode) -> FlEnv {
         batch_size: 20,
         eval_every: 2,
         round_mode,
+        // Explicit, not defaulted: these goldens are the byte-identity proof
+        // for the flat topology.
+        topology: Topology::Flat,
         ..FlConfig::default()
     };
     FlEnv::from_scenario(&scenario, HeterogeneityLevel::High, fl_config)

@@ -1,0 +1,93 @@
+//! The topology subsystem's determinism contract, at integration scale:
+//!
+//! * two-tier traces are **parallelism-invariant** in every round mode (the
+//!   topology overlays timing/traffic/drops on the same absorbed arithmetic,
+//!   so the shard count must not leak into a single byte);
+//! * without a zone deadline, the two-tier synchronous run carries exactly
+//!   the flat run's *learning* trace — the zone tier only re-times the
+//!   uploads and adds the combined zone → server forwards.
+
+use fedlps::prelude::*;
+
+fn env(round_mode: RoundMode, parallelism: usize, topology: Topology) -> FlEnv {
+    let scenario = ScenarioConfig::tiny(DatasetKind::MnistLike);
+    let fl_config = FlConfig::tiny()
+        .with_round_mode(round_mode)
+        .with_parallelism(parallelism)
+        .with_topology(topology);
+    FlEnv::from_scenario(&scenario, HeterogeneityLevel::High, fl_config)
+}
+
+fn run(round_mode: RoundMode, parallelism: usize, topology: Topology) -> RunResult {
+    let sim = Simulator::new(env(round_mode, parallelism, topology));
+    let mut fedlps = fedlps::core::FedLps::for_env(sim.env());
+    sim.run(&mut fedlps)
+}
+
+#[test]
+fn two_tier_traces_are_parallelism_invariant_in_every_round_mode() {
+    let topology = Topology::two_tier().with_zone_deadline(0.002);
+    for (name, mode) in [
+        ("sync", RoundMode::Synchronous),
+        ("deadline", RoundMode::deadline(0.004, 2)),
+        ("async", RoundMode::asynchronous(4, 0.6)),
+    ] {
+        // Async ignores zone deadlines (no round-relative timeline), so the
+        // same topology value exercises both semantics.
+        let serial = run(mode, 1, topology);
+        let sharded = run(mode, 4, topology);
+        let a = serde_json::to_string(&serial).unwrap();
+        let b = serde_json::to_string(&sharded).unwrap();
+        assert_eq!(a, b, "{name}: two-tier trace depends on parallelism");
+    }
+}
+
+#[test]
+fn two_tier_without_zone_deadline_keeps_the_flat_learning_trace_in_sync() {
+    let flat = run(RoundMode::Synchronous, 1, Topology::Flat);
+    let tiered = run(RoundMode::Synchronous, 1, Topology::two_tier());
+
+    // The learning trajectory is untouched: same absorbed arithmetic.
+    assert_eq!(flat.final_accuracy, tiered.final_accuracy);
+    for (f, t) in flat.rounds.iter().zip(tiered.rounds.iter()) {
+        assert_eq!(f.mean_accuracy, t.mean_accuracy);
+        assert_eq!(f.train_loss.to_bits(), t.train_loss.to_bits());
+        assert_eq!(f.round_flops.to_bits(), t.round_flops.to_bits());
+        assert_eq!(
+            f.round_upload_bytes.to_bits(),
+            t.round_upload_bytes.to_bits()
+        );
+        assert_eq!(f.straggler_drops, t.straggler_drops);
+    }
+
+    // What changes is the physical journey: every round pays the combined
+    // zone → server forwards, so the zone tier carries traffic and the
+    // simulated clock runs at least as long.
+    assert_eq!(flat.total_zone_upload_bytes(), 0.0);
+    assert!(tiered.total_zone_upload_bytes() > 0.0);
+    assert_eq!(
+        tiered.total_zone_straggler_drops(),
+        0,
+        "no zone deadline set"
+    );
+    assert!(tiered.total_time >= flat.total_time);
+    assert!(tiered
+        .rounds
+        .iter()
+        .all(|r| r.zone_upload_bytes > 0.0 && r.zone_straggler_drops == 0));
+}
+
+#[test]
+fn async_two_tier_forwards_every_landed_upload_individually() {
+    let result = run(RoundMode::asynchronous(4, 0.6), 1, Topology::two_tier());
+    // Store-and-forward: the zone tier re-carries exactly the bytes that
+    // landed at the server (no barrier to pre-merge behind).
+    for r in &result.rounds {
+        assert_eq!(
+            r.zone_upload_bytes.to_bits(),
+            r.round_upload_bytes.to_bits()
+        );
+        assert_eq!(r.zone_straggler_drops, 0, "async has no zone deadlines");
+    }
+    assert!(result.total_zone_upload_bytes() > 0.0);
+}
