@@ -187,8 +187,11 @@ pub fn baseline_client_round_shared(
         frozen: None,
     };
     if let Some(packed) = compile_packed(&*env.arch, &mask, &options, env.config.packed_execution) {
-        let mut values = Vec::with_capacity(packed.packed_len());
-        packed.gather_params(global, &mut values);
+        // One exact-size flat allocation; it escapes into the upload, so it
+        // cannot come from the scratch pool, but the slice-based gather keeps
+        // the hot path free of push-per-element growth.
+        let mut values = vec![0.0f32; packed.packed_len()];
+        packed.gather_params_into(global, &mut values);
         let summary =
             local_sgd_packed_values(&packed, &mut values, env.train_data(client), &options, rng);
         let report = masked_report(env, client, device, Some(&mask), sparse_ratio, &summary);

@@ -1,6 +1,7 @@
 //! Component-level micro-benchmarks: the building blocks whose cost dominates
 //! a FedLPS round (local sparse training, mask construction, the P-UCBV
-//! update and the residual aggregation).
+//! update, the residual aggregation), plus the tensor-kernel axes that track
+//! the blocked matmul rewrite against the retained reference kernels.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use fedlps_bandit::pucbv::{PUcbv, PUcbvConfig, PUcbvFeedback};
@@ -8,10 +9,20 @@ use fedlps_core::client::{client_update, ClientState, ClientUpdateOptions};
 use fedlps_core::server::{aggregate_residuals, StagedUpdate};
 use fedlps_data::scenario::{DatasetKind, ScenarioConfig};
 use fedlps_nn::model::ModelKind;
+use fedlps_nn::pack::KeptUnits;
 use fedlps_nn::sgd::SgdConfig;
 use fedlps_sparse::pattern::PatternStrategy;
-use fedlps_tensor::rng_from_seed;
+use fedlps_tensor::{rng_from_seed, Arena, Density, Matrix};
+use rand::Rng;
 use std::time::Duration;
+
+/// Dense square size of the kernel speedup gate.
+const DENSE_N: usize = 128;
+
+fn dense_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
+    let mut rng = rng_from_seed(seed);
+    Matrix::from_fn(rows, cols, |_, _| rng.gen_range(-1.0f32..1.0))
+}
 
 fn bench_components(c: &mut Criterion) {
     let mut group = c.benchmark_group("components");
@@ -93,7 +104,128 @@ fn bench_components(c: &mut Criterion) {
         })
     });
 
+    // ---- Tensor-kernel axes: the blocked kernels against the retained
+    // reference scalar kernels, so BENCH_smoke.json captures the kernel
+    // trajectory alongside the round-level numbers. ----
+
+    let a = dense_matrix(DENSE_N, DENSE_N, 10);
+    let b = dense_matrix(DENSE_N, DENSE_N, 11);
+    group.bench_function("matmul_dense_128", |bch| {
+        let mut out = Matrix::zeros(DENSE_N, DENSE_N);
+        bch.iter(|| {
+            out.as_mut_slice().fill(0.0);
+            a.matmul_into_with(&b, &mut out, Density::Dense);
+            out.get(0, 0)
+        })
+    });
+    group.bench_function("matmul_dense_128_reference", |bch| {
+        let mut out = Matrix::zeros(DENSE_N, DENSE_N);
+        bch.iter(|| {
+            out.as_mut_slice().fill(0.0);
+            a.matmul_into_reference(&b, &mut out);
+            out.get(0, 0)
+        })
+    });
+
+    // The packed forward's workhorse: activations × packed-weightsᵀ at a
+    // ratio-0.25 submodel of a 128-unit layer (32 kept rows). The packed
+    // path passes `Density::Dense` — packed operands are dense by
+    // construction.
+    let activ = dense_matrix(16, DENSE_N, 12);
+    let packed_w = dense_matrix(DENSE_N / 4, DENSE_N, 13);
+    group.bench_function("matmul_nt_packed_ratio25", |bch| {
+        let mut out = Matrix::zeros(16, DENSE_N / 4);
+        bch.iter(|| {
+            activ.matmul_nt_into_with(&packed_w, &mut out, Density::Dense);
+            out.get(0, 0)
+        })
+    });
+    group.bench_function("matmul_nt_packed_ratio25_reference", |bch| {
+        let mut out = Matrix::zeros(16, DENSE_N / 4);
+        bch.iter(|| {
+            activ.matmul_nt_into_reference(&packed_w, &mut out);
+            out.get(0, 0)
+        })
+    });
+
+    // Pack/unpack round trip: gather the kept parameters of a half-width
+    // MLP submodel into an arena slice and scatter a packed gradient back —
+    // the allocation-free data motion every packed client step performs.
+    let kept = KeptUnits::from_nested(&[(0..64).collect(), (0..32).collect()]);
+    let packed_model = arch.pack(&kept).expect("packable");
+    group.bench_function("pack_unpack_roundtrip", |bch| {
+        let mut arena = Arena::from_pool(2 * packed_model.packed_len());
+        let mut full_grad = vec![0.0f32; global.len()];
+        bch.iter(|| {
+            let [pp, pg] = arena.views([packed_model.packed_len(), packed_model.packed_len()]);
+            packed_model.gather_params_into(&global, pp);
+            pg.copy_from_slice(pp);
+            packed_model.scatter_add(pg, &mut full_grad);
+            pp[0]
+        })
+    });
+
+    // Arena carve vs per-layer `Vec` allocations for the packed client
+    // step's buffer set (masked, gradient, packed params, packed grad).
+    let n = global.len();
+    let p = packed_model.packed_len();
+    group.bench_function("packed_step_buffers_arena", |bch| {
+        let mut arena = Arena::from_pool(2 * n + 2 * p);
+        bch.iter(|| {
+            let [masked, grad, pp, pg] = arena.views([n, n, p, p]);
+            masked[0] = 1.0;
+            grad[0] + pp.len() as f32 + pg.len() as f32 + masked[0]
+        })
+    });
+    group.bench_function("packed_step_buffers_per_layer", |bch| {
+        bch.iter(|| {
+            let mut masked = vec![0.0f32; n];
+            let grad = vec![0.0f32; n];
+            let pp = vec![0.0f32; p];
+            let pg = vec![0.0f32; p];
+            masked[0] = 1.0;
+            grad[0] + pp.len() as f32 + pg.len() as f32 + masked[0]
+        })
+    });
+
     group.finish();
+
+    // The kernel speedup gate: blocked vs reference on the dense 128×128
+    // multiply, best of three per side. Single-threaded work on both sides,
+    // so the ratio is core-count-independent and can gate in CI's smoke
+    // mode (criterion's own measurements are skipped under `--test`).
+    let time_dense = |blocked: bool| {
+        (0..3)
+            .map(|_| {
+                let mut out = Matrix::zeros(DENSE_N, DENSE_N);
+                #[allow(clippy::disallowed_methods)]
+                // fedlps-lint: allow(D2, wall-clock kernel speedup measurement is this bench's entire job; the ratio is asserted and never fed back into simulation state)
+                let start = std::time::Instant::now();
+                for _ in 0..20 {
+                    if blocked {
+                        a.matmul_into_with(&b, &mut out, Density::Dense);
+                    } else {
+                        a.matmul_into_reference(&b, &mut out);
+                    }
+                }
+                (start.elapsed(), out.get(0, 0))
+            })
+            .map(|(t, _)| t)
+            .min()
+            .expect("three runs")
+    };
+    let reference = time_dense(false);
+    let blocked = time_dense(true);
+    let kernel_speedup = reference.as_secs_f64() / blocked.as_secs_f64();
+    println!(
+        "components/matmul_dense_128_speedup: reference {reference:?} | blocked {blocked:?} \
+         | {kernel_speedup:.2}x"
+    );
+    assert!(
+        kernel_speedup >= 1.5,
+        "blocked dense 128x128 matmul regressed below the 1.5x floor vs the \
+         reference scalar kernel: {kernel_speedup:.2}x"
+    );
 }
 
 criterion_group!(components, bench_components);

@@ -14,8 +14,9 @@ use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 use crate::importance::ImportanceIndicator;
-use crate::loss::{ImportanceLoss, PackedScratch};
+use crate::loss::ImportanceLoss;
 use crate::server::Residual;
+use fedlps_tensor::Arena;
 
 /// State a FedLPS client keeps across rounds: its importance indicator
 /// (`Record Q^s_k ← Q^r_{k,E}`, Algorithm 1 line 23) and its personalized
@@ -186,50 +187,60 @@ impl ClientTask<'_> {
         } else {
             None
         };
-        let mut scratch = PackedScratch::default();
-
         let data = self.data;
         if !data.is_empty() {
             let batch = options.batch_size.max(1).min(data.len());
-            let mut grad = vec![0.0f32; arch.param_count()];
+            // One flat arena per client step: the masked snapshot, the
+            // full-length gradient and the packed model's parameter/gradient
+            // views all live in a single pooled backing vector instead of
+            // per-buffer (and previously per-iteration) `Vec` allocations.
+            let n = arch.param_count();
+            let p = plan.as_deref().map_or(0, PackedModel::packed_len);
+            let mut arena = Arena::from_pool(2 * n + 2 * p);
+            let [masked, grad, packed_params, packed_grad] = arena.views([n, n, p, p]);
+            let mut indices = Vec::with_capacity(batch);
             for _ in 0..options.iterations {
-                let masked: Vec<f32> = local.iter().zip(pmask.iter()).map(|(p, m)| p * m).collect();
-                let indices: Vec<usize> =
-                    (0..batch).map(|_| rng.gen_range(0..data.len())).collect();
+                for ((slot, &pv), &m) in masked.iter_mut().zip(local.iter()).zip(pmask.iter()) {
+                    *slot = pv * m;
+                }
+                indices.clear();
+                indices.extend((0..batch).map(|_| rng.gen_range(0..data.len())));
                 grad.fill(0.0);
                 let breakdown = match plan.as_deref() {
                     Some(packed) => objective.evaluate_packed(
                         arch,
                         packed,
-                        &mut scratch,
-                        &masked,
+                        packed_params,
+                        packed_grad,
+                        masked,
                         global_params,
                         &indicator,
                         data,
                         &indices,
-                        &mut grad,
+                        grad,
                     ),
                     None => objective.evaluate(
                         arch,
-                        &masked,
+                        masked,
                         global_params,
                         &indicator,
                         data,
                         &indices,
-                        &mut grad,
+                        grad,
                     ),
                 };
 
                 // Line 21: importance-indicator update (uses the same gradient buffer).
-                let q_grad = indicator.gradient(layout, &local, &grad, options.lambda);
+                let q_grad = indicator.gradient(layout, &local, grad, options.lambda);
                 // Line 20: masked SGD step on the retained parameters only.
-                options.sgd.step_masked(&mut local, &mut grad, &pmask);
+                options.sgd.step_masked(&mut local, grad, &pmask);
                 indicator.step(&q_grad, options.importance_lr);
 
                 loss_sum += breakdown.total;
                 acc_sum += breakdown.accuracy;
                 executed += 1;
             }
+            arena.release();
         }
 
         // Lines 23-25: persist Q, store the personalized sparse model and

@@ -14,15 +14,6 @@ use fedlps_nn::pack::PackedModel;
 
 use crate::importance::ImportanceIndicator;
 
-/// Reusable packed-parameter and packed-gradient buffers, so the per-batch
-/// gather/backward/scatter cycle of [`ImportanceLoss::evaluate_packed`] stops
-/// allocating once warm.
-#[derive(Debug, Default)]
-pub struct PackedScratch {
-    params: Vec<f32>,
-    grad: Vec<f32>,
-}
-
 /// Decomposition of one evaluation of the FedLPS objective.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LossBreakdown {
@@ -75,9 +66,13 @@ impl ImportanceLoss {
 
     /// [`evaluate`](Self::evaluate) with the task forward/backward running on
     /// the physically packed submodel: the kept parameters are gathered from
-    /// `masked_params`, the compact model computes the minibatch loss and
-    /// gradient, and the packed gradient is scattered back into `grad` (which
-    /// must arrive zeroed, exactly as `loss_and_grad` expects).
+    /// `masked_params` into `packed_params`, the compact model computes the
+    /// minibatch loss and gradient in `packed_grad`, and the packed gradient
+    /// is scattered back into `grad` (which must arrive zeroed, exactly as
+    /// `loss_and_grad` expects). Both packed buffers are caller-provided
+    /// `packed_len()` slices — the client step carves them out of its
+    /// per-step [`Arena`](fedlps_tensor::Arena) — and are fully overwritten
+    /// here, so their prior contents never matter.
     ///
     /// Bit-identical to the masked-dense evaluation: the packed task pass
     /// accumulates the same nonzero terms in the same order, the masked-dense
@@ -88,7 +83,8 @@ impl ImportanceLoss {
         &self,
         arch: &dyn ModelArch,
         packed: &PackedModel,
-        scratch: &mut PackedScratch,
+        packed_params: &mut [f32],
+        packed_grad: &mut [f32],
         masked_params: &[f32],
         global_params: &[f32],
         indicator: &ImportanceIndicator,
@@ -96,13 +92,12 @@ impl ImportanceLoss {
         indices: &[usize],
         grad: &mut [f32],
     ) -> LossBreakdown {
-        packed.gather_params(masked_params, &mut scratch.params);
-        scratch.grad.clear();
-        scratch.grad.resize(packed.packed_len(), 0.0);
+        packed.gather_params_into(masked_params, packed_params);
+        packed_grad.fill(0.0);
         let stats = packed
             .arch()
-            .loss_and_grad(&scratch.params, data, indices, &mut scratch.grad);
-        packed.scatter_add(&scratch.grad, grad);
+            .loss_and_grad(packed_params, data, indices, packed_grad);
+        packed.scatter_add(packed_grad, grad);
         self.regularize(arch, stats, masked_params, global_params, indicator, grad)
     }
 

@@ -16,7 +16,7 @@ use serde::{Deserialize, Serialize};
 use crate::activation::{relu, relu_grad, softmax_cross_entropy};
 use crate::flops::{conv_layer_flops, dense_layer_flops, TRAIN_FLOPS_MULTIPLIER};
 use crate::model::{EvalStats, ModelArch, TrainStats};
-use crate::pack::{GatherMap, PackedModel};
+use crate::pack::{GatherMap, KeptUnits, PackedModel};
 use crate::unit::{LayerUnits, ParamRange, UnitLayout, UnitParams};
 
 const KERNEL: usize = 3;
@@ -554,24 +554,25 @@ impl ModelArch for ConvNet {
         forward * TRAIN_FLOPS_MULTIPLIER
     }
 
-    fn pack(&self, kept_per_layer: &[Vec<usize>]) -> Option<PackedModel> {
+    fn pack(&self, kept: &KeptUnits) -> Option<PackedModel> {
         assert_eq!(
-            kept_per_layer.len(),
+            kept.num_layers(),
             self.convs.len() + 1,
             "one kept list per conv block plus the hidden dense layer"
         );
-        if kept_per_layer.iter().any(|k| k.is_empty()) {
+        if !kept.is_executable() {
             return None; // an empty block would disconnect the network
         }
         let packed = ConvNet::new(ConvNetConfig {
             in_channels: self.config.in_channels,
             height: self.config.height,
             width: self.config.width,
-            channels: kept_per_layer[..self.convs.len()]
-                .iter()
-                .map(|k| k.len())
+            channels: kept
+                .layers()
+                .take(self.convs.len())
+                .map(<[usize]>::len)
                 .collect(),
-            hidden: kept_per_layer[self.convs.len()].len(),
+            hidden: kept.layer(self.convs.len()).len(),
             num_classes: self.config.num_classes,
         });
         // Pooling decisions depend only on the spatial sizes, so the packed
@@ -579,8 +580,8 @@ impl ModelArch for ConvNet {
         let mut map = GatherMap::with_capacity(packed.param_count());
         for (li, conv) in self.convs.iter().enumerate() {
             let per_channel = conv.in_channels * KERNEL * KERNEL;
-            let in_kept = li.checked_sub(1).map(|p| &kept_per_layer[p]);
-            for &oc in &kept_per_layer[li] {
+            let in_kept = li.checked_sub(1).map(|p| kept.layer(p));
+            for &oc in kept.layer(li) {
                 assert!(oc < conv.out_channels, "kept channel {oc} out of range");
                 let oc_start = conv.w_start + oc * per_channel;
                 match in_kept {
@@ -592,12 +593,12 @@ impl ModelArch for ConvNet {
                     }
                 }
             }
-            for &oc in &kept_per_layer[li] {
+            for &oc in kept.layer(li) {
                 map.push(conv.b_start + oc);
             }
         }
-        let hidden_kept = &kept_per_layer[self.convs.len()];
-        let feat_kept = &kept_per_layer[self.convs.len() - 1];
+        let hidden_kept = kept.layer(self.convs.len());
+        let feat_kept = kept.layer(self.convs.len() - 1);
         for &j in hidden_kept {
             assert!(
                 j < self.dense_hidden.out_dim,
@@ -751,7 +752,7 @@ mod tests {
         }
         let mask = net.unit_layout().expand_mask(&keep);
         let masked: Vec<f32> = params.iter().zip(mask.iter()).map(|(p, m)| p * m).collect();
-        let packed = net.pack(&kept).expect("packable");
+        let packed = net.pack(&KeptUnits::from_nested(&kept)).expect("packable");
 
         let indices: Vec<usize> = (0..6).collect();
         let mut dense_grad = vec![0.0f32; net.param_count()];

@@ -23,7 +23,7 @@ use serde::{Deserialize, Serialize};
 use crate::activation::{sigmoid, softmax_cross_entropy, tanh};
 use crate::flops::{dense_layer_flops, lstm_step_flops, TRAIN_FLOPS_MULTIPLIER};
 use crate::model::{EvalStats, ModelArch, TrainStats};
-use crate::pack::{GatherMap, PackedModel};
+use crate::pack::{GatherMap, KeptUnits, PackedModel};
 use crate::unit::{LayerUnits, ParamRange, UnitLayout, UnitParams};
 
 /// Configuration of the LSTM language model.
@@ -414,13 +414,13 @@ impl ModelArch for LstmLm {
         (per_step * self.config.seq_len as f64 + output) * TRAIN_FLOPS_MULTIPLIER
     }
 
-    fn pack(&self, kept_per_layer: &[Vec<usize>]) -> Option<PackedModel> {
+    fn pack(&self, kept_units: &KeptUnits) -> Option<PackedModel> {
         assert_eq!(
-            kept_per_layer.len(),
+            kept_units.num_layers(),
             1,
             "the LSTM has one sparsifiable layer"
         );
-        let kept = &kept_per_layer[0];
+        let kept = kept_units.layer(0);
         if kept.is_empty() {
             return None;
         }
@@ -622,9 +622,9 @@ mod tests {
         let data = toy_text_dataset(8);
         let mut rng = rng_from_seed(29);
         let params = m.init_params(&mut rng);
-        let kept = vec![vec![0usize, 1, 3, 4]];
+        let kept = KeptUnits::from_nested(&[vec![0usize, 1, 3, 4]]);
         let mut keep = vec![false; 6];
-        for &j in &kept[0] {
+        for &j in kept.layer(0) {
             keep[j] = true;
         }
         let mask = m.unit_layout().expand_mask(&keep);

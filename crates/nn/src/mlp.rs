@@ -15,7 +15,7 @@ use serde::{Deserialize, Serialize};
 use crate::activation::{relu, relu_grad};
 use crate::flops::dense_layer_flops;
 use crate::model::{EvalStats, ModelArch, TrainStats};
-use crate::pack::{GatherMap, PackedModel};
+use crate::pack::{GatherMap, KeptUnits, PackedModel};
 use crate::unit::{LayerUnits, ParamRange, UnitLayout, UnitParams};
 
 /// MLP configuration.
@@ -320,48 +320,43 @@ impl ModelArch for Mlp {
         forward * 3.0
     }
 
-    fn pack(&self, kept_per_layer: &[Vec<usize>]) -> Option<PackedModel> {
+    fn pack(&self, kept: &KeptUnits) -> Option<PackedModel> {
         assert_eq!(
-            kept_per_layer.len(),
+            kept.num_layers(),
             self.layers.len() - 1,
             "one kept-unit list per hidden layer"
         );
-        if kept_per_layer.iter().any(|k| k.is_empty()) {
+        if !kept.is_executable() {
             return None; // an empty hidden layer would disconnect the network
         }
         let packed = Mlp::new(MlpConfig {
             input_dim: self.config.input_dim,
-            hidden: kept_per_layer.iter().map(|k| k.len()).collect(),
+            hidden: kept.layers().map(<[usize]>::len).collect(),
             num_classes: self.config.num_classes,
         });
         // Gather map in the packed layout's order: per layer, the kept rows
         // restricted to the previous layer's kept columns, then the kept
         // biases. The output layer keeps every row; the input keeps every
-        // column. Section starts ascend with the layer offsets and rows/cols
-        // ascend within, so the whole map is strictly ascending (checked by
+        // column — both expressed as `KeptRange::All`, iterated in place.
+        // Section starts ascend with the layer offsets and rows/cols ascend
+        // within, so the whole map is strictly ascending (checked by
         // `PackedModel::new`).
         let mut map = GatherMap::with_capacity(packed.param_count());
         for (li, layer) in self.layers.iter().enumerate() {
-            let out_all: Vec<usize>;
-            let rows: &[usize] = if li < kept_per_layer.len() {
-                &kept_per_layer[li]
-            } else {
-                out_all = (0..layer.out_dim).collect();
-                &out_all
-            };
-            for &r in rows {
+            let rows = kept.layer_or_all(li, layer.out_dim);
+            for r in rows.iter() {
                 assert!(r < layer.out_dim, "kept unit {r} out of range");
                 let row_start = layer.w_start + r * layer.in_dim;
-                match li.checked_sub(1).map(|p| &kept_per_layer[p]) {
+                match li.checked_sub(1) {
                     None => map.push_range(row_start, layer.in_dim),
-                    Some(cols) => {
-                        for &c in cols {
+                    Some(p) => {
+                        for &c in kept.layer(p) {
                             map.push(row_start + c);
                         }
                     }
                 }
             }
-            for &r in rows {
+            for r in rows.iter() {
                 map.push(layer.b_start + r);
             }
         }
@@ -475,7 +470,7 @@ mod tests {
         let keep: Vec<bool> = (0..13).map(|j| ![1, 4, 6, 8, 11].contains(&j)).collect();
         let mask = mlp.unit_layout().expand_mask(&keep);
         let masked: Vec<f32> = params.iter().zip(mask.iter()).map(|(p, m)| p * m).collect();
-        let kept = vec![vec![0usize, 2, 3, 5, 7], vec![1usize, 2, 4]];
+        let kept = KeptUnits::from_nested(&[vec![0usize, 2, 3, 5, 7], vec![1usize, 2, 4]]);
         let packed = mlp.pack(&kept).expect("packable");
         assert_eq!(packed.arch().param_count(), packed.packed_len());
 
@@ -507,8 +502,15 @@ mod tests {
     #[test]
     fn pack_rejects_empty_layers() {
         let mlp = toy_mlp();
-        assert!(mlp.pack(&[vec![], vec![0, 1]]).is_none());
-        assert!(mlp.pack(&[(0..8).collect(), (0..5).collect()]).is_some());
+        assert!(mlp
+            .pack(&KeptUnits::from_nested(&[vec![], vec![0, 1]]))
+            .is_none());
+        assert!(mlp
+            .pack(&KeptUnits::from_nested(&[
+                (0..8).collect(),
+                (0..5).collect()
+            ]))
+            .is_some());
     }
 
     #[test]

@@ -120,15 +120,16 @@ pub trait ModelArch: Send + Sync {
 
     /// Compiles a physically packed submodel retaining only the listed units
     /// (one ascending index list per sparsifiable layer, matching
-    /// [`unit_layout`](Self::unit_layout)).
+    /// [`unit_layout`](Self::unit_layout), in the flat
+    /// [`KeptUnits`](crate::pack::KeptUnits) layout).
     ///
     /// Returns `None` when the architecture does not support packing or the
     /// kept set is not executable (e.g. an empty layer would disconnect the
     /// network); callers then fall back to masked-dense execution. Packed
     /// training is bit-identical to masked-dense training — see
     /// [`pack`](crate::pack) for why.
-    fn pack(&self, kept_per_layer: &[Vec<usize>]) -> Option<crate::pack::PackedModel> {
-        let _ = kept_per_layer;
+    fn pack(&self, kept: &crate::pack::KeptUnits) -> Option<crate::pack::PackedModel> {
+        let _ = kept;
         None
     }
 }

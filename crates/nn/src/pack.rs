@@ -20,6 +20,131 @@ use std::sync::Arc;
 
 use crate::model::ModelArch;
 
+/// Kept-unit index lists for every sparsifiable layer, stored flat: one
+/// backing vector plus per-layer offsets, instead of one `Vec` per layer.
+///
+/// This is the currency between the mask-compilation side (`fedlps_sparse`'s
+/// `SubmodelPlan`) and [`ModelArch::pack`]: plans are built per client per
+/// round, so the flat layout keeps plan construction to two allocations
+/// regardless of depth.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KeptUnits {
+    units: Vec<usize>,
+    /// `offsets[i]..offsets[i + 1]` spans layer `i`; `len == layers + 1`.
+    offsets: Vec<usize>,
+}
+
+impl Default for KeptUnits {
+    fn default() -> Self {
+        Self::with_capacity(0, 0)
+    }
+}
+
+impl KeptUnits {
+    /// An empty selection with room for `layers` layers of `units` total
+    /// kept units.
+    pub fn with_capacity(layers: usize, units: usize) -> Self {
+        let mut offsets = Vec::with_capacity(layers + 1);
+        offsets.push(0);
+        Self {
+            units: Vec::with_capacity(units),
+            offsets,
+        }
+    }
+
+    /// Appends the next layer's ascending kept-unit indices.
+    pub fn push_layer(&mut self, kept: impl IntoIterator<Item = usize>) {
+        self.units.extend(kept);
+        self.offsets.push(self.units.len());
+    }
+
+    /// Builds from per-layer lists (test/call-site convenience).
+    pub fn from_nested(layers: &[Vec<usize>]) -> Self {
+        let mut kept = Self::with_capacity(layers.len(), layers.iter().map(Vec::len).sum());
+        for layer in layers {
+            kept.push_layer(layer.iter().copied());
+        }
+        kept
+    }
+
+    /// Number of layers recorded.
+    pub fn num_layers(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// The ascending kept-unit indices of layer `i`.
+    pub fn layer(&self, i: usize) -> &[usize] {
+        &self.units[self.offsets[i]..self.offsets[i + 1]]
+    }
+
+    /// Iterates the per-layer index lists in layer order.
+    pub fn layers(&self) -> impl Iterator<Item = &[usize]> + '_ {
+        (0..self.num_layers()).map(move |i| self.layer(i))
+    }
+
+    /// Layer `i`'s list when it exists, else the full `0..all` range —
+    /// how `pack` implementations address layers the mask never drops
+    /// (e.g. the classifier) without materializing `(0..all).collect()`.
+    pub fn layer_or_all(&self, i: usize, all: usize) -> KeptRange<'_> {
+        if i < self.num_layers() {
+            KeptRange::Listed(self.layer(i))
+        } else {
+            KeptRange::All(all)
+        }
+    }
+
+    /// Number of retained units per layer.
+    pub fn retained_per_layer(&self) -> Vec<usize> {
+        self.offsets.windows(2).map(|w| w[1] - w[0]).collect()
+    }
+
+    /// Whether every layer keeps at least one unit — the structural
+    /// condition for a packed submodel to be a connected network.
+    pub fn is_executable(&self) -> bool {
+        self.offsets.windows(2).all(|w| w[1] > w[0])
+    }
+}
+
+/// One layer's kept units: an explicit ascending list, or the whole
+/// `0..len` range, iterated in place.
+#[derive(Debug, Clone, Copy)]
+pub enum KeptRange<'a> {
+    /// Explicit ascending kept-unit indices.
+    Listed(&'a [usize]),
+    /// All units of a layer of the given width.
+    All(usize),
+}
+
+impl KeptRange<'_> {
+    /// Number of selected units.
+    pub fn len(&self) -> usize {
+        match self {
+            KeptRange::Listed(s) => s.len(),
+            KeptRange::All(n) => *n,
+        }
+    }
+
+    /// Whether the selection is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The `i`-th selected unit.
+    #[inline]
+    pub fn get(&self, i: usize) -> usize {
+        match self {
+            KeptRange::Listed(s) => s[i],
+            KeptRange::All(_) => i,
+        }
+    }
+
+    /// Iterates the selected units in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        let this = *self;
+        (0..this.len()).map(move |i| this.get(i))
+    }
+}
+
 /// A compiled packed submodel: the physically small architecture and the
 /// strictly ascending map from packed parameter indices to full ones.
 ///
@@ -100,6 +225,17 @@ impl PackedModel {
         assert_eq!(full.len(), self.full_len, "full parameter length mismatch");
         out.clear();
         out.extend(self.gather.iter().map(|&i| full[i as usize]));
+    }
+
+    /// [`gather_params`](Self::gather_params) into a caller-provided slice of
+    /// exactly [`packed_len`](Self::packed_len) elements — the arena-backed
+    /// variant the packed client step uses so gathering never allocates.
+    pub fn gather_params_into(&self, full: &[f32], out: &mut [f32]) {
+        assert_eq!(full.len(), self.full_len, "full parameter length mismatch");
+        assert_eq!(out.len(), self.gather.len(), "packed slice length mismatch");
+        for (o, &i) in out.iter_mut().zip(self.gather.iter()) {
+            *o = full[i as usize];
+        }
     }
 
     /// Writes packed values back into their full coordinates (assignment).

@@ -15,6 +15,7 @@ use fedlps_nn::pack::PackedModel;
 use fedlps_nn::sgd::SgdConfig;
 use fedlps_sparse::mask::UnitMask;
 use fedlps_sparse::plan::SubmodelPlan;
+use fedlps_tensor::Arena;
 use rand::rngs::StdRng;
 use rand::Rng;
 
@@ -74,13 +75,16 @@ pub fn local_sgd(
         }
     }
     let batch = options.batch_size.max(1).min(data.len());
-    let mut grad = vec![0.0f32; params.len()];
+    let mut arena = Arena::from_pool(params.len());
+    let [grad] = arena.views([params.len()]);
+    let mut indices = Vec::with_capacity(batch);
     let mut loss_sum = 0.0;
     let mut acc_sum = 0.0;
     for _ in 0..options.iterations {
-        let indices: Vec<usize> = (0..batch).map(|_| rng.gen_range(0..data.len())).collect();
+        indices.clear();
+        indices.extend((0..batch).map(|_| rng.gen_range(0..data.len())));
         grad.fill(0.0);
-        let stats = arch.loss_and_grad(params, data, &indices, &mut grad);
+        let stats = arch.loss_and_grad(params, data, &indices, grad);
         if let Some((mu, global)) = options.prox {
             for ((g, p), gp) in grad.iter_mut().zip(params.iter()).zip(global.iter()) {
                 *g += mu * (p - gp);
@@ -94,12 +98,13 @@ pub fn local_sgd(
             }
         }
         match options.param_mask {
-            Some(mask) => options.sgd.step_masked(params, &mut grad, mask),
-            None => options.sgd.step(params, &mut grad),
+            Some(mask) => options.sgd.step_masked(params, grad, mask),
+            None => options.sgd.step(params, grad),
         }
         loss_sum += stats.loss;
         acc_sum += stats.accuracy;
     }
+    arena.release();
     LocalTrainSummary {
         mean_loss: loss_sum / options.iterations as f64,
         mean_accuracy: acc_sum / options.iterations as f64,
@@ -167,10 +172,14 @@ pub fn local_sgd_packed(
             *p *= m;
         }
     }
-    let mut pp = Vec::with_capacity(packed.packed_len());
-    packed.gather_params(params, &mut pp);
-    let summary = local_sgd_packed_values(packed, &mut pp, data, options, rng);
-    packed.scatter_params(&pp, params);
+    // The packed model's parameters live in one flat pooled arena view for
+    // the whole local pass — gather in, train, scatter out, recycle.
+    let mut arena = Arena::from_pool(packed.packed_len());
+    let [pp] = arena.views([packed.packed_len()]);
+    packed.gather_params_into(params, pp);
+    let summary = local_sgd_packed_values(packed, pp, data, options, rng);
+    packed.scatter_params(pp, params);
+    arena.release();
     summary
 }
 
@@ -196,20 +205,24 @@ pub fn local_sgd_packed_values(
     }
     let batch = options.batch_size.max(1).min(data.len());
     let arch = packed.arch();
-    let mut grad = vec![0.0f32; packed.packed_len()];
+    let mut arena = Arena::from_pool(packed.packed_len());
+    let [grad] = arena.views([packed.packed_len()]);
+    let mut indices = Vec::with_capacity(batch);
     let mut loss_sum = 0.0;
     let mut acc_sum = 0.0;
     for _ in 0..options.iterations {
-        let indices: Vec<usize> = (0..batch).map(|_| rng.gen_range(0..data.len())).collect();
+        indices.clear();
+        indices.extend((0..batch).map(|_| rng.gen_range(0..data.len())));
         grad.fill(0.0);
-        let stats = arch.loss_and_grad(values, data, &indices, &mut grad);
+        let stats = arch.loss_and_grad(values, data, &indices, grad);
         // The gradient outside the packed set is exactly zero, so clipping
         // the packed gradient computes the same norm the dense path clips,
         // and a plain step equals the masked step on the kept coordinates.
-        options.sgd.step(values, &mut grad);
+        options.sgd.step(values, grad);
         loss_sum += stats.loss;
         acc_sum += stats.accuracy;
     }
+    arena.release();
     LocalTrainSummary {
         mean_loss: loss_sum / options.iterations as f64,
         mean_accuracy: acc_sum / options.iterations as f64,

@@ -3,7 +3,9 @@
 //! A [`UnitMask`] says *which* units survive; a
 //! [`SubmodelPlan`] turns that into the per-layer kept-unit index lists a
 //! model architecture needs to build a physically packed submodel (see
-//! [`fedlps_nn::pack`]). The plan itself is architecture-agnostic bookkeeping;
+//! [`fedlps_nn::pack`]). The plan itself is architecture-agnostic bookkeeping
+//! in the flat [`KeptUnits`] layout — one backing vector plus layer offsets,
+//! so deriving a plan costs two allocations however deep the model is.
 //! [`SubmodelPlan::compile`] hands it to
 //! [`ModelArch::pack`] to obtain the
 //! compact executable. Compiled plans are cached per client alongside the
@@ -11,50 +13,45 @@
 //! keeps extracting the same submodel shape pays the compilation once.
 
 use fedlps_nn::model::ModelArch;
-use fedlps_nn::pack::PackedModel;
+use fedlps_nn::pack::{KeptUnits, PackedModel};
 use fedlps_nn::unit::UnitLayout;
 
 use crate::mask::UnitMask;
 
-/// Kept-unit index lists, one ascending list per sparsifiable layer.
+/// Kept-unit index lists, one ascending list per sparsifiable layer, stored
+/// flat.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SubmodelPlan {
-    kept: Vec<Vec<usize>>,
+    kept: KeptUnits,
 }
 
 impl SubmodelPlan {
     /// Derives the plan of a unit mask under a model's layout.
     pub fn from_mask(layout: &UnitLayout, mask: &UnitMask) -> Self {
         assert_eq!(mask.len(), layout.total_units(), "mask length mismatch");
-        let mut kept = Vec::with_capacity(layout.layers().len());
+        let mut kept = KeptUnits::with_capacity(layout.layers().len(), mask.retained_units());
         let mut j = 0;
         for layer in layout.layers() {
-            let mut layer_kept = Vec::with_capacity(layer.len());
-            for u in 0..layer.len() {
-                if mask.is_kept(j + u) {
-                    layer_kept.push(u);
-                }
-            }
+            kept.push_layer((0..layer.len()).filter(|&u| mask.is_kept(j + u)));
             j += layer.len();
-            kept.push(layer_kept);
         }
         Self { kept }
     }
 
     /// The kept-unit index lists in layer order.
-    pub fn kept_per_layer(&self) -> &[Vec<usize>] {
+    pub fn kept(&self) -> &KeptUnits {
         &self.kept
     }
 
     /// Number of retained units per layer.
     pub fn retained_per_layer(&self) -> Vec<usize> {
-        self.kept.iter().map(|k| k.len()).collect()
+        self.kept.retained_per_layer()
     }
 
     /// Whether every layer keeps at least one unit — the structural condition
     /// for the packed submodel to be a connected network.
     pub fn is_executable(&self) -> bool {
-        self.kept.iter().all(|k| !k.is_empty())
+        self.kept.is_executable()
     }
 
     /// Compiles the plan into a physically packed submodel of `arch`.
@@ -91,7 +88,12 @@ mod tests {
         let model = mlp();
         let keep = [true, false, true, false, false, true, false, true, false];
         let plan = SubmodelPlan::from_mask(model.unit_layout(), &mask_of(&keep));
-        assert_eq!(plan.kept_per_layer(), &[vec![0, 2, 5], vec![1]]);
+        assert_eq!(
+            plan.kept(),
+            &KeptUnits::from_nested(&[vec![0, 2, 5], vec![1]])
+        );
+        assert_eq!(plan.kept().layer(0), &[0, 2, 5]);
+        assert_eq!(plan.kept().layer(1), &[1]);
         assert_eq!(plan.retained_per_layer(), vec![3, 1]);
         assert!(plan.is_executable());
     }
@@ -121,10 +123,14 @@ mod tests {
         assert!(packed.packed_len() <= mask.retained_params(model.unit_layout()));
 
         // Round-trip: gather from a distinctive full vector, scatter into a
-        // fresh buffer, gather again — the packed view must be stable.
+        // fresh buffer, gather again — the packed view must be stable. The
+        // slice-based gather must agree with the allocating one.
         let full: Vec<f32> = (0..model.param_count()).map(|i| i as f32 + 0.5).collect();
         let mut packed_params = Vec::new();
         packed.gather_params(&full, &mut packed_params);
+        let mut packed_into = vec![0.0f32; packed.packed_len()];
+        packed.gather_params_into(&full, &mut packed_into);
+        assert_eq!(packed_params, packed_into);
         let mut reconstructed = vec![0.0f32; model.param_count()];
         packed.scatter_params(&packed_params, &mut reconstructed);
         let mut again = Vec::new();

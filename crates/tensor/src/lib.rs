@@ -12,6 +12,7 @@
 //! sparse-pattern and bandit crates rely on.
 
 pub mod init;
+pub mod kernels;
 pub mod matrix;
 pub mod ops;
 pub mod rng;
@@ -19,9 +20,10 @@ pub mod scratch;
 pub mod stats;
 
 pub use init::{he_std, xavier_std, Initializer};
+pub use kernels::Density;
 pub use matrix::Matrix;
 pub use rng::{rng_from_seed, split_seed};
-pub use scratch::ScratchPool;
+pub use scratch::{Arena, ScratchPool};
 
 /// Numerical tolerance used by tests and the finite-difference gradient checker.
 pub const EPS: f32 = 1e-5;

@@ -8,6 +8,8 @@
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
+use crate::kernels::{self, Density};
+
 /// Row-major dense matrix of `f32` values.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Matrix {
@@ -150,8 +152,48 @@ impl Matrix {
     }
 
     /// [`matmul`](Self::matmul) writing into a caller-provided zeroed output
-    /// (accumulates on top of whatever `out` holds).
+    /// (accumulates on top of whatever `out` holds). Runs the blocked kernel
+    /// of [`kernels`](crate::kernels) with an [`Density::Auto`] density hint;
+    /// bit-identical to [`matmul_into_reference`](Self::matmul_into_reference).
     pub fn matmul_into(&self, other: &Matrix, out: &mut Matrix) {
+        self.matmul_into_with(other, out, Density::Auto);
+    }
+
+    /// [`matmul_into`](Self::matmul_into) with an explicit [`Density`] hint
+    /// for `self`'s exact-zero content (wall-clock only — both flavours
+    /// produce the same bits; see [`kernels`](crate::kernels)).
+    pub fn matmul_into_with(&self, other: &Matrix, out: &mut Matrix, density: Density) {
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul dimension mismatch: {}x{} * {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        assert_eq!((out.rows, out.cols), (self.rows, other.cols));
+        if kernels::resolve(density, &self.data) {
+            kernels::matmul::<false>(
+                &self.data,
+                &other.data,
+                &mut out.data,
+                self.rows,
+                self.cols,
+                other.cols,
+            );
+        } else {
+            kernels::matmul::<true>(
+                &self.data,
+                &other.data,
+                &mut out.data,
+                self.rows,
+                self.cols,
+                other.cols,
+            );
+        }
+    }
+
+    /// The pre-blocking scalar i-k-j kernel, retained as the bit-identity
+    /// reference for property tests and as the benchmark baseline the
+    /// blocked kernels are gated against.
+    pub fn matmul_into_reference(&self, other: &Matrix, out: &mut Matrix) {
         assert_eq!(
             self.cols, other.rows,
             "matmul dimension mismatch: {}x{} * {}x{}",
@@ -181,8 +223,42 @@ impl Matrix {
     }
 
     /// [`matmul_tn`](Self::matmul_tn) writing into a caller-provided zeroed
-    /// output (accumulates on top of whatever `out` holds).
+    /// output (accumulates on top of whatever `out` holds). Blocked kernel,
+    /// [`Density::Auto`] hint, bit-identical to
+    /// [`matmul_tn_into_reference`](Self::matmul_tn_into_reference).
     pub fn matmul_tn_into(&self, other: &Matrix, out: &mut Matrix) {
+        self.matmul_tn_into_with(other, out, Density::Auto);
+    }
+
+    /// [`matmul_tn_into`](Self::matmul_tn_into) with an explicit [`Density`]
+    /// hint for `self`'s exact-zero content.
+    pub fn matmul_tn_into_with(&self, other: &Matrix, out: &mut Matrix, density: Density) {
+        assert_eq!(self.rows, other.rows, "matmul_tn dimension mismatch");
+        assert_eq!((out.rows, out.cols), (self.cols, other.cols));
+        if kernels::resolve(density, &self.data) {
+            kernels::matmul_tn::<false>(
+                &self.data,
+                &other.data,
+                &mut out.data,
+                self.rows,
+                self.cols,
+                other.cols,
+            );
+        } else {
+            kernels::matmul_tn::<true>(
+                &self.data,
+                &other.data,
+                &mut out.data,
+                self.rows,
+                self.cols,
+                other.cols,
+            );
+        }
+    }
+
+    /// The pre-blocking scalar k-i-j kernel, retained as the bit-identity
+    /// reference and benchmark baseline.
+    pub fn matmul_tn_into_reference(&self, other: &Matrix, out: &mut Matrix) {
         assert_eq!(self.rows, other.rows, "matmul_tn dimension mismatch");
         assert_eq!((out.rows, out.cols), (self.cols, other.cols));
         for k in 0..self.rows {
@@ -217,8 +293,42 @@ impl Matrix {
 
     /// [`matmul_nt`](Self::matmul_nt) writing into a caller-provided output
     /// (overwritten), so hot loops can reuse a [`ScratchPool`](crate::scratch::ScratchPool)
-    /// buffer instead of allocating per call.
+    /// buffer instead of allocating per call. Blocked kernel,
+    /// [`Density::Auto`] hint, bit-identical to
+    /// [`matmul_nt_into_reference`](Self::matmul_nt_into_reference).
     pub fn matmul_nt_into(&self, other: &Matrix, out: &mut Matrix) {
+        self.matmul_nt_into_with(other, out, Density::Auto);
+    }
+
+    /// [`matmul_nt_into`](Self::matmul_nt_into) with an explicit [`Density`]
+    /// hint for `self`'s exact-zero content.
+    pub fn matmul_nt_into_with(&self, other: &Matrix, out: &mut Matrix, density: Density) {
+        assert_eq!(self.cols, other.cols, "matmul_nt dimension mismatch");
+        assert_eq!((out.rows, out.cols), (self.rows, other.rows));
+        if kernels::resolve(density, &self.data) {
+            kernels::matmul_nt::<false>(
+                &self.data,
+                &other.data,
+                &mut out.data,
+                self.rows,
+                self.cols,
+                other.rows,
+            );
+        } else {
+            kernels::matmul_nt::<true>(
+                &self.data,
+                &other.data,
+                &mut out.data,
+                self.rows,
+                self.cols,
+                other.rows,
+            );
+        }
+    }
+
+    /// The pre-blocking scalar i-j-k kernel, retained as the bit-identity
+    /// reference and benchmark baseline.
+    pub fn matmul_nt_into_reference(&self, other: &Matrix, out: &mut Matrix) {
         assert_eq!(self.cols, other.cols, "matmul_nt dimension mismatch");
         assert_eq!((out.rows, out.cols), (self.rows, other.rows));
         for i in 0..self.rows {
@@ -264,6 +374,39 @@ impl Matrix {
             }
         }
         Matrix::from_vec(self.rows, cols.len(), data)
+    }
+
+    /// The `rows × cols` sub-block of `self` in one fused pass — equivalent
+    /// to `self.gather_rows(rows).gather_cols(cols)` without materializing
+    /// the intermediate row-gathered matrix.
+    ///
+    /// # Panics
+    /// Panics if any index is out of range.
+    pub fn gather_rows_cols(&self, rows: &[usize], cols: &[usize]) -> Matrix {
+        let mut out = Matrix::zeros(rows.len(), cols.len());
+        self.gather_rows_cols_into(rows, cols, &mut out);
+        out
+    }
+
+    /// [`gather_rows_cols`](Self::gather_rows_cols) writing into a
+    /// caller-provided matrix (overwritten), so packed hot loops can reuse a
+    /// pooled buffer.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch or out-of-range indices.
+    pub fn gather_rows_cols_into(&self, rows: &[usize], cols: &[usize], out: &mut Matrix) {
+        assert_eq!(
+            (out.rows, out.cols),
+            (rows.len(), cols.len()),
+            "gather_rows_cols_into shape mismatch"
+        );
+        for (i, &r) in rows.iter().enumerate() {
+            let src = self.row(r);
+            let dst = &mut out.data[i * cols.len()..(i + 1) * cols.len()];
+            for (d, &c) in dst.iter_mut().zip(cols.iter()) {
+                *d = src[c];
+            }
+        }
     }
 
     /// Adds each row of `src` into the row of `self` named by `rows`
@@ -477,6 +620,8 @@ mod tests {
         // Composition extracts the packed submodel block.
         let block = m.gather_rows(&[1, 3]).gather_cols(&[0, 2]);
         assert_eq!(block.as_slice(), &[10.0, 12.0, 30.0, 32.0]);
+        // The fused single-pass gather produces the same block.
+        assert_eq!(m.gather_rows_cols(&[1, 3], &[0, 2]), block);
     }
 
     #[test]

@@ -1,4 +1,5 @@
-//! A reusable scratch-buffer pool for transient matrices.
+//! A reusable scratch-buffer pool for transient matrices, plus a flat
+//! [`Arena`] for the packed client step.
 //!
 //! The per-batch forward/backward passes of the neural-network layers need a
 //! handful of short-lived matrices (weight blocks, gradient accumulators,
@@ -11,16 +12,44 @@
 //!
 //! Buffers handed out by [`take`](ScratchPool::take) are always zero-filled,
 //! so pooled and freshly-allocated matrices are interchangeable bit for bit.
+//!
+//! Reuse is size-bucketed: idle buffers live in power-of-two capacity
+//! classes, LIFO within each class. A request pops the most recently
+//! recycled buffer of its own class (the per-batch model passes cycle
+//! through a fixed set of shapes, so this keeps the hot loop touching the
+//! same cache-warm allocations), walking up to larger classes only when its
+//! own is empty. A large buffer — e.g. the packed client step's flat
+//! [`Arena`] — therefore never gets burned on a small request, and a small
+//! buffer is never popped for a large request and reallocated (the old
+//! plain-LIFO failure mode).
 
 use std::cell::RefCell;
 
 use crate::matrix::Matrix;
 
-/// A last-in-first-out pool of `Vec<f32>` buffers re-shaped into matrices on
-/// demand.
-#[derive(Debug, Default)]
+/// Number of power-of-two capacity classes (class 63 covers any `usize`).
+const CLASSES: usize = 64;
+
+/// The size class of a buffer: `floor(log2(capacity))`, so every buffer in
+/// class `c` has capacity in `[2^c, 2^(c+1))`.
+fn class_of(capacity: usize) -> usize {
+    debug_assert!(capacity > 0);
+    (usize::BITS - 1 - capacity.leading_zeros()) as usize
+}
+
+/// A pool of `Vec<f32>` buffers re-shaped into matrices (or flat arenas) on
+/// demand, with size-bucketed (power-of-two class, LIFO within class) reuse.
+#[derive(Debug)]
 pub struct ScratchPool {
-    free: Vec<Vec<f32>>,
+    buckets: Vec<Vec<Vec<f32>>>,
+}
+
+impl Default for ScratchPool {
+    fn default() -> Self {
+        Self {
+            buckets: (0..CLASSES).map(|_| Vec::new()).collect(),
+        }
+    }
 }
 
 impl ScratchPool {
@@ -32,25 +61,58 @@ impl ScratchPool {
     /// A zero-filled `rows x cols` matrix, reusing a pooled buffer when one
     /// is available.
     pub fn take(&mut self, rows: usize, cols: usize) -> Matrix {
-        let len = rows * cols;
-        match self.free.pop() {
-            Some(mut buf) => {
-                buf.clear();
-                buf.resize(len, 0.0);
-                Matrix::from_vec(rows, cols, buf)
-            }
-            None => Matrix::zeros(rows, cols),
-        }
+        Matrix::from_vec(rows, cols, self.take_vec(rows * cols))
+    }
+
+    /// A zero-filled buffer of `len` elements, reusing a pooled buffer.
+    ///
+    /// The request's own class is tried first: its top buffer is reused when
+    /// it is large enough (same-size take/recycle cycles always hit this
+    /// cache-warm path). Otherwise the smallest non-empty larger class
+    /// serves the request — every buffer there is guaranteed to fit — and
+    /// only when all of those are empty is a fresh buffer allocated.
+    pub fn take_vec(&mut self, len: usize) -> Vec<f32> {
+        let c = class_of(len.max(1));
+        let fits = self.buckets[c]
+            .last()
+            .is_some_and(|top| top.capacity() >= len);
+        let reused = if fits {
+            self.buckets[c].pop()
+        } else {
+            self.buckets[c + 1..]
+                .iter_mut()
+                .find_map(|bucket| bucket.pop())
+        };
+        let mut buf = reused.unwrap_or_default();
+        buf.clear();
+        buf.resize(len, 0.0);
+        buf
     }
 
     /// Returns a matrix's backing buffer to the pool for reuse.
     pub fn recycle(&mut self, m: Matrix) {
-        self.free.push(m.into_vec());
+        self.recycle_vec(m.into_vec());
+    }
+
+    /// Returns a flat buffer to the pool for reuse.
+    pub fn recycle_vec(&mut self, buf: Vec<f32>) {
+        if buf.capacity() > 0 {
+            self.buckets[class_of(buf.capacity())].push(buf);
+        }
     }
 
     /// Number of idle buffers currently held.
     pub fn idle(&self) -> usize {
-        self.free.len()
+        self.buckets.iter().map(Vec::len).sum()
+    }
+
+    /// Folds every idle buffer of `other` into this pool.
+    fn absorb(&mut self, other: ScratchPool) {
+        for bucket in other.buckets {
+            for buf in bucket {
+                self.recycle_vec(buf);
+            }
+        }
     }
 }
 
@@ -70,10 +132,63 @@ pub fn with_pool<R>(f: impl FnOnce(&mut ScratchPool) -> R) -> R {
     let result = f(&mut pool);
     POOL.with(|cell| {
         let nested = cell.take();
-        pool.free.extend(nested.free);
+        pool.absorb(nested);
         cell.replace(pool);
     });
     result
+}
+
+/// A flat scratch arena: one backing `Vec<f32>` carved into disjoint
+/// zero-filled views.
+///
+/// The packed client step needs several parameter-sized buffers at once
+/// (masked parameters, gradient, packed parameters, packed gradient); an
+/// arena replaces those per-step `Vec` allocations with one backing buffer
+/// drawn from — and returned to — this thread's [`ScratchPool`]. The arena
+/// owns its buffer, so nested [`with_pool`] calls inside the step (every
+/// model forward/backward) keep their own pooling undisturbed.
+#[derive(Debug, Default)]
+pub struct Arena {
+    buf: Vec<f32>,
+}
+
+impl Arena {
+    /// An arena whose backing buffer is drawn from this thread's pool, with
+    /// at least `capacity` elements reserved so steady-state re-carving
+    /// (e.g. one arena per client step) stops reallocating once the pool
+    /// holds a buffer of the working-set size.
+    pub fn from_pool(capacity: usize) -> Self {
+        Self {
+            buf: with_pool(|pool| pool.take_vec(capacity)),
+        }
+    }
+
+    /// Returns the backing buffer to this thread's pool.
+    pub fn release(self) {
+        with_pool(|pool| pool.recycle_vec(self.buf));
+    }
+
+    /// Carves the arena into `N` disjoint zero-filled views of the given
+    /// lengths, resizing the backing buffer once to their sum.
+    ///
+    /// Each call re-carves the whole arena, invalidating previous views
+    /// (the borrow checker enforces this).
+    pub fn views<const N: usize>(&mut self, lens: [usize; N]) -> [&mut [f32]; N] {
+        let total: usize = lens.iter().sum();
+        self.buf.clear();
+        self.buf.resize(total, 0.0);
+        let mut rest: &mut [f32] = &mut self.buf;
+        let mut views: Vec<&mut [f32]> = Vec::with_capacity(N);
+        for len in lens {
+            let (head, tail) = rest.split_at_mut(len);
+            views.push(head);
+            rest = tail;
+        }
+        match views.try_into() {
+            Ok(arr) => arr,
+            Err(_) => unreachable!("exactly N views are carved"),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -103,6 +218,62 @@ mod tests {
         assert_eq!(pool.idle(), 0, "the pooled buffer was reused");
     }
 
+    /// Satellite: a large-small-large take sequence must reuse the large
+    /// buffer for the second large request. Under the old plain-LIFO pop
+    /// the small buffer (recycled last) would be popped and reallocated.
+    #[test]
+    fn buckets_survive_large_small_large_sequence() {
+        let mut pool = ScratchPool::new();
+        let large = pool.take_vec(1024);
+        let large_ptr = large.as_ptr();
+        let small = pool.take_vec(16);
+        pool.recycle_vec(large);
+        pool.recycle_vec(small); // small was recycled last
+        let again = pool.take_vec(1024);
+        assert_eq!(
+            again.as_ptr(),
+            large_ptr,
+            "the large request must reuse the large idle buffer"
+        );
+        // The small buffer is still pooled, and a small request gets it
+        // (its own size class, not just any buffer that covers the request).
+        assert_eq!(pool.idle(), 1);
+        let small_again = pool.take_vec(8);
+        assert!(
+            small_again.capacity() < 1024,
+            "small request picked the small buffer"
+        );
+    }
+
+    #[test]
+    fn small_buffers_are_never_grown_for_large_requests() {
+        let mut pool = ScratchPool::new();
+        pool.recycle_vec(vec![1.0; 8]);
+        pool.recycle_vec(vec![2.0; 64]);
+        // Nothing pooled covers 128: the request gets a fresh buffer and
+        // both idle buffers stay pooled for their own size classes.
+        let grown = pool.take_vec(128);
+        assert_eq!(grown.len(), 128);
+        assert_eq!(pool.idle(), 2);
+        assert!(
+            pool.take_vec(1).capacity() <= 8,
+            "smallest class serves first"
+        );
+        assert!(pool.take_vec(33).capacity() <= 64);
+    }
+
+    #[test]
+    fn same_size_cycles_reuse_the_same_allocation() {
+        let mut pool = ScratchPool::new();
+        // Odd (non-power-of-two) length: the buffer's capacity class is
+        // below the next power of two, and the take must still find it.
+        let buf = pool.take_vec(100);
+        let ptr = buf.as_ptr();
+        pool.recycle_vec(buf);
+        let again = pool.take_vec(100);
+        assert_eq!(again.as_ptr(), ptr, "steady-state cycle stays hot");
+    }
+
     #[test]
     fn thread_local_pool_is_usable_reentrantly() {
         let outer = with_pool(|pool| {
@@ -119,5 +290,29 @@ mod tests {
         assert!(outer >= 1);
         // A later borrow on the same thread sees both pools' buffers.
         with_pool(|pool| assert!(pool.idle() >= 2));
+    }
+
+    #[test]
+    fn arena_views_are_disjoint_zeroed_and_recycled() {
+        let mut arena = Arena::from_pool(4);
+        let [a, b, c] = arena.views([3, 0, 5]);
+        assert_eq!(a, &[0.0; 3]);
+        assert_eq!(b, &[] as &[f32]);
+        assert_eq!(c, &[0.0; 5]);
+        a.fill(1.0);
+        c.fill(2.0);
+        assert_eq!(a, &[1.0; 3]);
+        assert_eq!(c, &[2.0; 5]);
+        // Re-carving zeroes everything again.
+        let [d] = arena.views([8]);
+        assert_eq!(d, &[0.0; 8]);
+        let cap = 8;
+        arena.release();
+        // The backing buffer went back to this thread's pool.
+        with_pool(|pool| {
+            assert!(pool.idle() >= 1);
+            let reclaimed = pool.take_vec(cap);
+            assert_eq!(reclaimed, vec![0.0; cap]);
+        });
     }
 }

@@ -1,0 +1,149 @@
+//! Property-based bit-identity pins for the blocked matmul kernels.
+//!
+//! The blocked, lane-vectorized kernels behind `matmul_into`,
+//! `matmul_tn_into` and `matmul_nt_into` must be *bit-identical* to the
+//! retained reference scalar kernels for every shape (including the
+//! lane-tail widths 1, 7, 9, 17 the blocking has to handle as partial
+//! tiles), every operand zero density, and every [`Density`] hint — the
+//! packed==masked and serial==sharded contracts ride on it. These tests pin
+//! that, plus the gather/scatter fusion equalities.
+
+use fedlps_tensor::{rng_from_seed, Density, Matrix};
+use proptest::prelude::*;
+use rand::Rng;
+
+/// A matrix whose entries are exactly zero with probability `zero_density`.
+fn sparse_matrix(rows: usize, cols: usize, zero_density: f64, seed: u64) -> Matrix {
+    let mut rng = rng_from_seed(seed);
+    Matrix::from_fn(rows, cols, |_, _| {
+        if rng.gen_range(0.0f64..1.0) < zero_density {
+            0.0
+        } else {
+            rng.gen_range(-2.0f32..2.0)
+        }
+    })
+}
+
+fn bits(m: &Matrix) -> Vec<u32> {
+    m.as_slice().iter().map(|v| v.to_bits()).collect()
+}
+
+/// Shapes drawn to hit full tiles, single lanes and every tail class.
+const DIMS: [usize; 9] = [1, 2, 7, 8, 9, 16, 17, 32, 33];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Blocked `matmul_into` == reference, all hints, any density.
+    #[test]
+    fn matmul_blocked_matches_reference(mi in 0usize..DIMS.len(), ki in 0usize..DIMS.len(),
+                                        ni in 0usize..DIMS.len(), density in 0.0f64..1.0,
+                                        seed in 0u64..1_000_000) {
+        let (m, k, n) = (DIMS[mi], DIMS[ki], DIMS[ni]);
+        let a = sparse_matrix(m, k, density, seed);
+        let b = sparse_matrix(k, n, density * 0.5, seed ^ 0x9E37);
+        let mut reference = Matrix::zeros(m, n);
+        a.matmul_into_reference(&b, &mut reference);
+        for hint in [Density::Auto, Density::Dense, Density::Sparse] {
+            let mut out = Matrix::zeros(m, n);
+            a.matmul_into_with(&b, &mut out, hint);
+            prop_assert_eq!(bits(&out), bits(&reference), "hint {:?}", hint);
+        }
+    }
+
+    /// Blocked `matmul_tn_into` == reference, all hints, any density.
+    #[test]
+    fn matmul_tn_blocked_matches_reference(ri in 0usize..DIMS.len(), mi in 0usize..DIMS.len(),
+                                           ni in 0usize..DIMS.len(), density in 0.0f64..1.0,
+                                           seed in 0u64..1_000_000) {
+        let (r, m, n) = (DIMS[ri], DIMS[mi], DIMS[ni]);
+        let a = sparse_matrix(r, m, density, seed);
+        let b = sparse_matrix(r, n, density * 0.5, seed ^ 0x51F0);
+        let mut reference = Matrix::zeros(m, n);
+        a.matmul_tn_into_reference(&b, &mut reference);
+        for hint in [Density::Auto, Density::Dense, Density::Sparse] {
+            let mut out = Matrix::zeros(m, n);
+            a.matmul_tn_into_with(&b, &mut out, hint);
+            prop_assert_eq!(bits(&out), bits(&reference), "hint {:?}", hint);
+        }
+    }
+
+    /// Blocked `matmul_nt_into` == reference, all hints, any density.
+    #[test]
+    fn matmul_nt_blocked_matches_reference(mi in 0usize..DIMS.len(), ki in 0usize..DIMS.len(),
+                                           ri in 0usize..DIMS.len(), density in 0.0f64..1.0,
+                                           seed in 0u64..1_000_000) {
+        let (m, k, r) = (DIMS[mi], DIMS[ki], DIMS[ri]);
+        let a = sparse_matrix(m, k, density, seed);
+        let b = sparse_matrix(r, k, density * 0.5, seed ^ 0xC0DE);
+        let mut reference = Matrix::zeros(m, r);
+        a.matmul_nt_into_reference(&b, &mut reference);
+        for hint in [Density::Auto, Density::Dense, Density::Sparse] {
+            let mut out = Matrix::zeros(m, r);
+            a.matmul_nt_into_with(&b, &mut out, hint);
+            prop_assert_eq!(bits(&out), bits(&reference), "hint {:?}", hint);
+        }
+    }
+
+    /// The accumulate kernels load their register tiles from `out`'s prior
+    /// content; accumulation on a pre-filled output must stay bit-identical
+    /// to the reference for both accumulate variants.
+    #[test]
+    fn accumulation_on_prior_output_is_preserved(mi in 0usize..DIMS.len(),
+                                                 ki in 0usize..DIMS.len(),
+                                                 ni in 0usize..DIMS.len(),
+                                                 density in 0.0f64..1.0,
+                                                 seed in 0u64..1_000_000) {
+        let (m, k, n) = (DIMS[mi], DIMS[ki], DIMS[ni]);
+        let a = sparse_matrix(m, k, density, seed);
+        let b = sparse_matrix(k, n, 0.2, seed ^ 0xBEEF);
+        // Prior content free of -0.0 (the documented precondition shared by
+        // every in-repo call site, whose outputs are pool-zeroed).
+        let prior = sparse_matrix(m, n, 0.3, seed ^ 0xF00D);
+        let mut reference = prior.clone();
+        a.matmul_into_reference(&b, &mut reference);
+        let mut out = prior.clone();
+        a.matmul_into(&b, &mut out);
+        prop_assert_eq!(bits(&out), bits(&reference));
+
+        let at = sparse_matrix(k, m, density, seed ^ 0xAB);
+        let mut ref_tn = prior.clone();
+        at.matmul_tn_into_reference(&b, &mut ref_tn);
+        let mut out_tn = prior.clone();
+        at.matmul_tn_into(&b, &mut out_tn);
+        prop_assert_eq!(bits(&out_tn), bits(&ref_tn));
+    }
+
+    /// Fused `gather_rows_cols` == the composed two-pass gather, and the
+    /// gather/scatter pair round-trips exactly.
+    #[test]
+    fn gather_scatter_fusion_round_trips(rows in 1usize..12, cols in 1usize..12,
+                                         seed in 0u64..1_000_000) {
+        let m = sparse_matrix(rows, cols, 0.1, seed);
+        let mut rng = rng_from_seed(seed ^ 0x6A7);
+        let picked_rows: Vec<usize> =
+            (0..rows).filter(|_| rng.gen_range(0u32..2) == 1).collect();
+        let picked_cols: Vec<usize> =
+            (0..cols).filter(|_| rng.gen_range(0u32..2) == 1).collect();
+
+        let fused = m.gather_rows_cols(&picked_rows, &picked_cols);
+        let composed = m.gather_rows(&picked_rows).gather_cols(&picked_cols);
+        prop_assert_eq!(&fused, &composed);
+        let mut into = Matrix::zeros(picked_rows.len(), picked_cols.len());
+        m.gather_rows_cols_into(&picked_rows, &picked_cols, &mut into);
+        prop_assert_eq!(&into, &fused);
+
+        // Scatter the gathered rows back into a zero matrix: the selected
+        // rows reappear exactly, the rest stay zero.
+        let sub = m.gather_rows(&picked_rows);
+        let mut acc = Matrix::zeros(rows, cols);
+        acc.scatter_add_rows(&picked_rows, &sub);
+        for r in 0..rows {
+            if picked_rows.contains(&r) {
+                prop_assert_eq!(acc.row(r), m.row(r));
+            } else {
+                prop_assert!(acc.row(r).iter().all(|&v| v == 0.0));
+            }
+        }
+    }
+}
