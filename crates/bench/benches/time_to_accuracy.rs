@@ -19,7 +19,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use fedlps_core::FedLps;
 use fedlps_data::scenario::{DatasetKind, ScenarioConfig};
 use fedlps_device::HeterogeneityLevel;
-use fedlps_sim::config::{FlConfig, RoundMode, SelectionKind};
+use fedlps_sim::config::{AvailabilityModel, FlConfig, RoundMode, SelectionKind};
 use fedlps_sim::env::FlEnv;
 use fedlps_sim::metrics::RunResult;
 use fedlps_sim::runner::Simulator;
@@ -33,6 +33,16 @@ fn fleet_sim(
     rounds: usize,
     eval_every: usize,
 ) -> Simulator {
+    fleet_sim_under(mode, selection, AvailabilityModel::Iid, rounds, eval_every)
+}
+
+fn fleet_sim_under(
+    mode: RoundMode,
+    selection: SelectionKind,
+    availability: AvailabilityModel,
+    rounds: usize,
+    eval_every: usize,
+) -> Simulator {
     let scenario = ScenarioConfig::small(DatasetKind::MnistLike).with_clients(FLEET);
     let config = FlConfig {
         rounds,
@@ -43,7 +53,8 @@ fn fleet_sim(
         ..FlConfig::default()
     }
     .with_round_mode(mode)
-    .with_selection(selection);
+    .with_selection(selection)
+    .with_availability(availability);
     Simulator::new(FlEnv::from_scenario(
         &scenario,
         HeterogeneityLevel::High,
@@ -165,6 +176,57 @@ fn bench_time_to_accuracy(c: &mut Criterion) {
          ({:.3} vs {:.3})",
         fast_share(&utility),
         fast_share(&sync)
+    );
+
+    // The availability axis of the same question (the fault subsystem's
+    // headline): under a correlated day/night wave — two slow cycles over
+    // the i.i.d. horizon, half of each period offline, per-client phases —
+    // the synchronous barrier waits out every outage its cohort dispatches
+    // into. A slow wave is *predictable*: a client observed waiting last
+    // round is probably still near its night, its inflated observed latency
+    // depresses the tracker's pessimistic speed term, and utility selection
+    // routes the next cohort around it. Uniform selection keeps dispatching
+    // into the night, so utility must finish the same horizon in less
+    // virtual time.
+    let diurnal = AvailabilityModel::Diurnal {
+        period: sync.total_time / 2.0,
+        phase_spread: 1.0,
+        night_offline: 0.5,
+    };
+    let run_wave = |selection: SelectionKind| {
+        let sim = fleet_sim_under(RoundMode::Synchronous, selection, diurnal, rounds, 2);
+        let mut algo = FedLps::for_env(sim.env());
+        sim.run(&mut algo)
+    };
+    let wave_uniform = run_wave(SelectionKind::Uniform);
+    let wave_utility = run_wave(SelectionKind::utility());
+    println!(
+        "time_to_accuracy/diurnal_virtual_seconds: uniform {:.3}s (waits {:.3}s) | utility \
+         {:.3}s (waits {:.3}s)",
+        wave_uniform.total_time,
+        wave_uniform.total_unavailable_wait_seconds(),
+        wave_utility.total_time,
+        wave_utility.total_unavailable_wait_seconds(),
+    );
+    for (name, run, iid) in [
+        ("uniform", &wave_uniform, &sync),
+        ("utility", &wave_utility, &utility),
+    ] {
+        assert!(
+            run.total_unavailable_dispatches() > 0 && run.total_unavailable_wait_seconds() > 0.0,
+            "a 40%-night wave must catch some {name} dispatches"
+        );
+        assert!(
+            run.total_time > iid.total_time,
+            "the wave must cost {name} selection virtual time"
+        );
+    }
+    assert!(
+        wave_utility.total_time < wave_uniform.total_time,
+        "utility selection must beat uniform under the day/night wave \
+         ({} vs {})",
+        wave_utility.total_time,
+        wave_uniform.total_time
     );
 }
 

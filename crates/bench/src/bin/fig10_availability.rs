@@ -1,0 +1,178 @@
+//! Figure 10 (repro extension): round modes × selection policies under
+//! correlated (diurnal) availability vs i.i.d. churn.
+//!
+//! The paper's experiments assume clients are available whenever selected
+//! (§IV). This harness measures what that assumption hides, by running the
+//! same federation grid — {sync, sync+quorum, deadline, async} × {uniform,
+//! utility} — under two availability models and comparing each cell's
+//! *diurnal tax*: total virtual time under a correlated day/night wave
+//! divided by total time under the i.i.d. coin flip.
+//!
+//! Under i.i.d. churn no dispatch ever blocks, so the waits column is zero
+//! and the modes differ only in how they schedule compute. Under a diurnal
+//! wave the synchronous barrier pays the full outage bill — every round
+//! waits for whichever cohort member dispatched into the night — while the
+//! deadline hard-caps what any outage can cost (its tax stays near 1) and
+//! the quorum closes rounds at a survivor fraction. That spread *is* the
+//! separation the fault subsystem exists to expose.
+//!
+//! Every cell also runs transient upload faults (retry + backoff), so the
+//! comparison happens on the full fault model, not a clean network.
+
+use fedlps_bench::harness::ExperimentEnv;
+use fedlps_bench::table::{pct, TableBuilder};
+use fedlps_bench::Scale;
+use fedlps_core::FedLps;
+use fedlps_data::scenario::DatasetKind;
+use fedlps_device::HeterogeneityLevel;
+use fedlps_sim::config::{AvailabilityModel, FaultConfig, RoundMode, SelectionKind};
+use fedlps_sim::metrics::RunResult;
+use fedlps_sim::runner::Simulator;
+
+fn run_cell(
+    base: &ExperimentEnv,
+    availability: AvailabilityModel,
+    mode: RoundMode,
+    quorum: f64,
+    selection: SelectionKind,
+    faults: FaultConfig,
+) -> RunResult {
+    let mut env = base.build();
+    env.config = env
+        .config
+        .with_round_mode(mode)
+        .with_quorum(quorum)
+        .with_selection(selection)
+        .with_availability(availability)
+        .with_faults(faults);
+    let sim = Simulator::new(env);
+    let mut algo = FedLps::for_env(sim.env());
+    sim.run(&mut algo)
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    // Remove device heterogeneity entirely: under the paper's five-tier
+    // fleet the straggler variance alone separates the round modes, masking
+    // the availability axis this figure isolates. With identical devices the
+    // cohort modes tie exactly under i.i.d. churn, so any separation in the
+    // diurnal half of the table is attributable to correlated availability.
+    let mut base = ExperimentEnv::paper_default(scale, DatasetKind::MnistLike);
+    base.heterogeneity = HeterogeneityLevel::None;
+
+    // Probe synchronous/uniform with availability and faults both off: a
+    // clean baseline that sizes everything else. The deadline budget sits
+    // 20% above the worst fault-free round (the standard provisioning rule —
+    // with identical devices any budget below the round time drops the whole
+    // cohort), the retry backoff costs a quarter round per attempt (the
+    // default 10ms backoff would dwarf a quick-scale round and turn every
+    // retry into the dominant effect), and the diurnal wave runs four
+    // day/night cycles over the probe's horizon with half of each period
+    // offline and per-client phases.
+    let probe = run_cell(
+        &base,
+        AvailabilityModel::Iid,
+        RoundMode::Synchronous,
+        1.0,
+        SelectionKind::Uniform,
+        FaultConfig::none(),
+    );
+    let worst_round = probe
+        .rounds
+        .iter()
+        .map(|r| r.round_time)
+        .fold(0.0, f64::max);
+    let faults = FaultConfig {
+        upload_failure_prob: 0.1,
+        max_retries: 2,
+        retry_backoff: worst_round * 0.25,
+        ..FaultConfig::default()
+    };
+    let diurnal = AvailabilityModel::Diurnal {
+        period: probe.total_time / 4.0,
+        phase_spread: 1.0,
+        night_offline: 0.5,
+    };
+    let modes = [
+        ("sync", RoundMode::Synchronous, 1.0),
+        ("sync+quorum", RoundMode::Synchronous, 0.7),
+        ("deadline", RoundMode::deadline(worst_round * 1.2, 3), 1.0),
+        ("async", RoundMode::asynchronous(4, 0.6), 1.0),
+    ];
+    // A time-to-accuracy bar every cell can reach.
+    let target = probe.final_accuracy * 0.8;
+
+    let mut table = TableBuilder::new(
+        "Figure 10 — Round modes × selection under correlated availability",
+        &[
+            "Availability",
+            "Mode",
+            "Selection",
+            "Acc (%)",
+            "Time (s)",
+            "TTA (s)",
+            "Waits (s)",
+            "Drops",
+            "Retries",
+        ],
+    );
+    let mut cells = Vec::new();
+    for (avail_name, availability) in [("iid", AvailabilityModel::Iid), ("diurnal", diurnal)] {
+        for (mode_name, mode, quorum) in modes {
+            for selection in [SelectionKind::Uniform, SelectionKind::utility()] {
+                let result = run_cell(&base, availability, mode, quorum, selection, faults);
+                table.row(vec![
+                    avail_name.to_string(),
+                    mode_name.to_string(),
+                    selection.name().to_string(),
+                    pct(result.final_accuracy),
+                    format!("{:.3}", result.total_time),
+                    result
+                        .time_to_accuracy(target)
+                        .map(|t| format!("{t:.3}"))
+                        .unwrap_or_else(|| "not reached".to_string()),
+                    format!("{:.3}", result.total_unavailable_wait_seconds()),
+                    format!(
+                        "{}",
+                        result.total_straggler_drops() + result.total_upload_failure_drops()
+                    ),
+                    format!("{}", result.total_retry_attempts()),
+                ]);
+                cells.push((avail_name, mode_name, selection.name(), result.total_time));
+            }
+        }
+    }
+    table.print();
+
+    // The headline: each configuration's diurnal tax (time under the wave
+    // relative to the same configuration under i.i.d. churn).
+    println!("\ndiurnal tax (total time under the wave / under i.i.d. churn):");
+    for (mode_name, _, _) in modes {
+        for selection in ["uniform", "utility"] {
+            let time_of = |avail: &str| {
+                cells
+                    .iter()
+                    .find(|(a, m, s, _)| *a == avail && *m == mode_name && *s == selection)
+                    .map(|(_, _, _, t)| *t)
+                    .expect("every grid cell ran")
+            };
+            println!(
+                "  {:<12} {:<8} {:>5.2}x",
+                mode_name,
+                selection,
+                time_of("diurnal") / time_of("iid")
+            );
+        }
+    }
+    println!(
+        "\nExpected shape: only the diurnal half pays availability waits — \
+         i.i.d. churn never blocks a dispatch. Under the wave the \
+         synchronous barrier is the slowest configuration — it pays the \
+         full outage bill — the deadline round degrades most \
+         gracefully (a budget caps what any outage can cost, so its tax \
+         stays near 1x at the price of dropped night-bound clients), the \
+         quorum buys back part of the barrier's tail, and the asynchronous \
+         pipeline stays fastest in absolute time even though every occupied \
+         slot still sits out its wait."
+    );
+}

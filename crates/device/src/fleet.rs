@@ -123,16 +123,33 @@ impl Default for DynamicsConfig {
 
 impl DynamicsConfig {
     /// Builder-style override of the mid-round offline-churn probability.
-    /// Strictly below 1: certain churn would mean no update ever completes,
-    /// which starves the async pipeline (every slot refills forever and no
-    /// aggregation can happen).
+    /// Range errors surface through [`validate`](DynamicsConfig::validate)
+    /// (run once by the simulator's entry point), not here — builders stay
+    /// infallible so configs can be assembled in any order.
     pub fn with_offline_prob(mut self, prob: f64) -> Self {
-        assert!(
-            (0.0..1.0).contains(&prob),
-            "offline probability must be in [0, 1), got {prob}"
-        );
         self.offline_prob = prob;
         self
+    }
+
+    /// Checks the knobs, returning an actionable message on the first bad
+    /// one. `offline_prob` must stay strictly below 1: certain churn would
+    /// mean no update ever completes, which starves the async pipeline
+    /// (every slot refills forever and no aggregation can happen).
+    pub fn validate(&self) -> Result<(), String> {
+        if !(0.0..1.0).contains(&self.offline_prob) {
+            return Err(format!(
+                "offline_prob must be in [0, 1) — certain churn starves the \
+                 async pipeline — got {}",
+                self.offline_prob
+            ));
+        }
+        if !(0.0..=1.0).contains(&self.min_availability) {
+            return Err(format!(
+                "min_availability must be in [0, 1], got {}",
+                self.min_availability
+            ));
+        }
+        Ok(())
     }
 }
 
@@ -328,6 +345,11 @@ impl DeviceFleet {
     pub fn with_dynamics(mut self, dynamics: DynamicsConfig) -> Self {
         self.dynamics = dynamics;
         self
+    }
+
+    /// The fleet's availability-dynamics configuration.
+    pub fn dynamics(&self) -> DynamicsConfig {
+        self.dynamics
     }
 
     /// Number of devices in the fleet.
@@ -710,15 +732,28 @@ mod tests {
     }
 
     #[test]
-    #[should_panic]
-    fn offline_prob_out_of_range_rejected() {
-        DynamicsConfig::default().with_offline_prob(1.5);
-    }
-
-    #[test]
-    #[should_panic]
-    fn certain_offline_churn_rejected() {
-        // prob = 1.0 would starve the async pipeline: no update ever lands.
-        DynamicsConfig::default().with_offline_prob(1.0);
+    fn dynamics_validation_rejects_bad_knobs_with_actionable_messages() {
+        assert!(DynamicsConfig::default().validate().is_ok());
+        assert!(DynamicsConfig::default()
+            .with_offline_prob(0.99)
+            .validate()
+            .is_ok());
+        // Out-of-range probability, and prob = 1.0 specifically: certain
+        // churn would starve the async pipeline (no update ever lands).
+        for bad in [1.5, 1.0, -0.1] {
+            let err = DynamicsConfig::default()
+                .with_offline_prob(bad)
+                .validate()
+                .unwrap_err();
+            assert!(err.contains("offline_prob"), "{err}");
+            assert!(err.contains(&bad.to_string()), "{err}");
+        }
+        let err = DynamicsConfig {
+            min_availability: -0.2,
+            ..DynamicsConfig::default()
+        }
+        .validate()
+        .unwrap_err();
+        assert!(err.contains("min_availability"), "{err}");
     }
 }

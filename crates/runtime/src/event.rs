@@ -11,6 +11,11 @@ pub enum EventKind {
     /// A client's upload landed at the server (the `α·B̂/B` term): in every
     /// mode this is the instant the update becomes absorbable.
     UploadFinish,
+    /// A transient upload fault: the attempt that would have landed at this
+    /// instant failed on the wire. The driver either schedules a
+    /// retransmission after an exponential backoff or, once the retry cap is
+    /// exhausted, drops the update permanently.
+    UploadRetry,
     /// The device went offline mid-round (availability churn); its update is
     /// lost.
     Offline,
@@ -32,12 +37,17 @@ impl EventKind {
         match self {
             EventKind::ComputeFinish => 0,
             EventKind::UploadFinish => 1,
-            EventKind::Offline => 2,
+            // A failed attempt resolves right after successful arrivals at
+            // the same instant, and *before* churn/deadline bookkeeping: the
+            // retransmission must be scheduled against the pre-deadline
+            // round state it raced.
+            EventKind::UploadRetry => 2,
+            EventKind::Offline => 3,
             // Zone deadlines close *before* the round deadline at an equal
             // timestamp: the edge tier resolves ahead of the server tier.
-            EventKind::ZoneDeadline => 3,
-            EventKind::RoundDeadline => 4,
-            EventKind::Dispatch => 5,
+            EventKind::ZoneDeadline => 4,
+            EventKind::RoundDeadline => 5,
+            EventKind::Dispatch => 6,
         }
     }
 
@@ -46,6 +56,7 @@ impl EventKind {
         match self {
             EventKind::ComputeFinish => "compute-finish",
             EventKind::UploadFinish => "upload-finish",
+            EventKind::UploadRetry => "upload-retry",
             EventKind::Offline => "offline",
             EventKind::ZoneDeadline => "zone-deadline",
             EventKind::RoundDeadline => "round-deadline",
@@ -136,6 +147,19 @@ mod tests {
         let round = ev(2.0, Event::ROUND_SCOPE, EventKind::RoundDeadline, 2);
         let dispatch = ev(2.0, 0, EventKind::Dispatch, 3);
         assert!(arrive < zone && zone < round && round < dispatch);
+    }
+
+    #[test]
+    fn upload_retries_resolve_between_arrivals_and_churn() {
+        // At one instant: landed uploads buffer first, then failed attempts
+        // schedule their retransmissions, then churn and the deadlines
+        // resolve, then new dispatches run.
+        let arrive = ev(4.0, 2, EventKind::UploadFinish, 0);
+        let retry = ev(4.0, 5, EventKind::UploadRetry, 1);
+        let offline = ev(4.0, 1, EventKind::Offline, 2);
+        let deadline = ev(4.0, Event::ROUND_SCOPE, EventKind::RoundDeadline, 3);
+        assert!(arrive < retry && retry < offline);
+        assert!(offline < deadline);
     }
 
     #[test]

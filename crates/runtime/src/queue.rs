@@ -96,6 +96,34 @@ impl EventLog {
         self.events.is_empty()
     }
 
+    /// Renders the log as a human-readable table, one processed event per
+    /// line: `time  kind  client  seq`. Round-scoped events (deadlines)
+    /// print `-` in the client column. Every [`EventKind`] renders by its
+    /// [`name`](EventKind::name), including the fault-injection kinds
+    /// (`upload-retry`).
+    pub fn render(&self) -> String {
+        let mut out = String::with_capacity(self.events.len() * 48 + 48);
+        out.push_str(&format!(
+            "{:>12}  {:<15} {:>8} {:>6}\n",
+            "time", "kind", "client", "seq"
+        ));
+        for e in &self.events {
+            let client = if e.client == Event::ROUND_SCOPE {
+                "-".to_string()
+            } else {
+                e.client.to_string()
+            };
+            out.push_str(&format!(
+                "{:>12.6}  {:<15} {:>8} {:>6}\n",
+                e.time,
+                e.kind.name(),
+                client,
+                e.seq
+            ));
+        }
+        out
+    }
+
     /// An order- and bit-pattern-sensitive digest (FNV-1a over the event
     /// fields, times hashed by their IEEE-754 bits). Equal logs have equal
     /// fingerprints; schedule divergence flips it with high probability.
@@ -137,6 +165,58 @@ mod tests {
         assert_eq!(order[2], (2.0, 1, EventKind::UploadFinish, 2));
         assert_eq!(order[3], (2.0, 0, EventKind::Dispatch, 3));
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn upload_retry_total_order_is_pinned_in_the_queue() {
+        // Pin the full tie-break rank chain at one instant, with the new
+        // fault kind in place: arrivals, then failed-attempt retries, then
+        // churn, then the zone and round deadlines, then dispatches —
+        // regardless of insertion order.
+        let mut q = EventQueue::new();
+        q.push(1.0, 0, EventKind::Dispatch);
+        q.push(1.0, Event::ROUND_SCOPE, EventKind::RoundDeadline);
+        q.push(1.0, 3, EventKind::Offline);
+        q.push(1.0, 2, EventKind::UploadRetry);
+        q.push(1.0, 1, EventKind::ZoneDeadline);
+        q.push(1.0, 4, EventKind::UploadFinish);
+
+        let kinds: Vec<EventKind> = std::iter::from_fn(|| q.pop()).map(|e| e.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                EventKind::UploadFinish,
+                EventKind::UploadRetry,
+                EventKind::Offline,
+                EventKind::ZoneDeadline,
+                EventKind::RoundDeadline,
+                EventKind::Dispatch,
+            ]
+        );
+    }
+
+    #[test]
+    fn render_names_every_event_kind() {
+        let mut log = EventLog::new();
+        let mut q = EventQueue::new();
+        q.push(0.5, 7, EventKind::UploadFinish);
+        q.push(0.5, 7, EventKind::UploadRetry);
+        q.push(0.75, Event::ROUND_SCOPE, EventKind::RoundDeadline);
+        while let Some(e) = q.pop() {
+            log.record(e);
+        }
+        let table = log.render();
+        assert!(table.contains("upload-finish"));
+        assert!(table.contains("upload-retry"));
+        assert!(table.contains("round-deadline"));
+        // Round-scoped events render `-` instead of a client id.
+        let deadline_line = table
+            .lines()
+            .find(|l| l.contains("round-deadline"))
+            .unwrap();
+        assert!(deadline_line.contains(" - "));
+        // One header plus one line per event.
+        assert_eq!(table.lines().count(), 1 + log.len());
     }
 
     #[test]

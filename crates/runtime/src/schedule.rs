@@ -159,9 +159,13 @@ impl RoundPlan {
             }
             log.record(event);
             match event.kind {
-                // The pure planner models a flat, zone-free round; the
-                // driver's topology layer owns zone deadlines.
-                EventKind::Dispatch | EventKind::ComputeFinish | EventKind::ZoneDeadline => {}
+                // The pure planner models a flat, zone-free, fault-free
+                // round; the driver's topology layer owns zone deadlines and
+                // its fault layer owns upload retries.
+                EventKind::Dispatch
+                | EventKind::ComputeFinish
+                | EventKind::ZoneDeadline
+                | EventKind::UploadRetry => {}
                 EventKind::UploadFinish => {
                     arrivals.push(Arrival {
                         client: event.client,

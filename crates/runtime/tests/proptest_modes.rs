@@ -9,7 +9,9 @@
 use fedlps_core::FedLps;
 use fedlps_data::scenario::{DatasetKind, ScenarioConfig};
 use fedlps_device::HeterogeneityLevel;
-use fedlps_sim::config::{FlConfig, RoundMode, SelectionKind};
+use fedlps_sim::config::{
+    AvailabilityModel, FaultConfig, FlConfig, RoundMode, SelectionKind, Topology,
+};
 use fedlps_sim::env::FlEnv;
 use fedlps_sim::metrics::RunResult;
 use fedlps_sim::runner::Simulator;
@@ -72,6 +74,64 @@ proptest! {
         let serial = run(seed, mode, 1);
         let sharded = run(seed, mode, 4);
         prop_assert_eq!(serial, sharded);
+    }
+
+    /// Fault schedules are part of the determinism contract too: correlated
+    /// availability (diurnal waves, zone-correlated bursts), transient
+    /// upload retries and the quorum early-close must all replay through the
+    /// event queue — for any seed, in every round mode and both topologies,
+    /// a faulted run is bit-identical at parallelism 1 vs 4.
+    #[test]
+    fn fault_schedules_are_bit_identical_across_parallelism(seed in 0u64..100_000) {
+        let faults = FaultConfig {
+            upload_failure_prob: 0.3,
+            max_retries: 2,
+            ..FaultConfig::default()
+        };
+        for availability in [
+            AvailabilityModel::from_name("diurnal").unwrap(),
+            AvailabilityModel::from_name("burst").unwrap(),
+        ] {
+            for mode in [
+                RoundMode::Synchronous,
+                RoundMode::deadline(0.5, 2),
+                RoundMode::asynchronous(3, 0.6),
+            ] {
+                for topology in [Topology::Flat, Topology::two_tier()] {
+                    let go = |parallelism| {
+                        let scenario = ScenarioConfig::tiny(DatasetKind::MnistLike);
+                        let config = FlConfig {
+                            rounds: 3,
+                            clients_per_round: 3,
+                            local_iterations: 2,
+                            batch_size: 8,
+                            eval_every: 3,
+                            ..FlConfig::default()
+                        }
+                        .with_seed(seed)
+                        .with_parallelism(parallelism)
+                        .with_round_mode(mode)
+                        .with_topology(topology)
+                        .with_availability(availability)
+                        .with_faults(faults)
+                        .with_quorum(0.85);
+                        let env =
+                            FlEnv::from_scenario(&scenario, HeterogeneityLevel::High, config);
+                        let sim = Simulator::new(env);
+                        let mut algo = FedLps::for_env(sim.env());
+                        sim.run(&mut algo)
+                    };
+                    prop_assert_eq!(
+                        go(1),
+                        go(4),
+                        "{}/{}/{} fault schedule must be schedule-independent",
+                        mode.name(),
+                        topology.name(),
+                        availability.name()
+                    );
+                }
+            }
+        }
     }
 
     /// Every selection policy is a pure function of `(tracker, rng)`: for any

@@ -175,10 +175,30 @@ impl SelectionTracker {
         }
     }
 
+    /// The pessimistic latency of a client: the Eq. (14) full-model prior,
+    /// unless the last *observed* round was worse. Observed latencies carry
+    /// everything the prior cannot know — availability waits (a dispatch
+    /// into a diurnal/burst outage window), retry backoff and retransmission
+    /// time on faulty uplinks — so a client just seen waiting out the night
+    /// reads as slow until a clean round clears it. Observations *below* the
+    /// prior are ignored: submodel rounds are legitimately cheaper than the
+    /// full-model prior, and trusting them would double-count the sparse
+    /// ratio the utility policies already budget for.
+    pub fn pessimistic_latency(&self, client: usize) -> f64 {
+        let prior = self.expected_latency(client);
+        match self.stats(client).last_latency {
+            Some(observed) if observed > prior => observed,
+            _ => prior,
+        }
+    }
+
     /// The system-speed term in `(0, 1]`: the fastest client scores 1, a
-    /// client expected to take `x` times longer scores `1/x`.
+    /// client expected to take `x` times longer scores `1/x`. Uses the
+    /// [`pessimistic_latency`](Self::pessimistic_latency), so waits and
+    /// retries observed on the last round depress a client's score until it
+    /// completes a clean round.
     pub fn speed(&self, client: usize) -> f64 {
-        (self.latency_ref / self.expected_latency(client)).min(1.0)
+        (self.latency_ref / self.pessimistic_latency(client)).min(1.0)
     }
 
     /// The finite, reportable utility of a client: its last observed training
@@ -230,6 +250,23 @@ mod tests {
         assert_eq!(t.speed(1), 0.5);
         assert_eq!(t.speed(2), 0.25);
         assert_eq!(t.expected_latency(2), 4.0);
+    }
+
+    #[test]
+    fn observed_waits_depress_speed_until_a_clean_round_clears_them() {
+        let mut t = SelectionTracker::new(vec![1.0, 2.0]);
+        // A cheap submodel round below the prior is not trusted: the prior
+        // already budgets for full-model cost.
+        t.on_report(1, 0.5, 0.5);
+        assert_eq!(t.pessimistic_latency(1), 2.0);
+        assert_eq!(t.speed(1), 0.5);
+        // A round inflated by an availability wait (or retry backoff) is:
+        // the client reads slow until it completes a clean round.
+        t.on_report(1, 0.5, 8.0);
+        assert_eq!(t.pessimistic_latency(1), 8.0);
+        assert_eq!(t.speed(1), 0.125);
+        t.on_report(1, 0.5, 2.0);
+        assert_eq!(t.speed(1), 0.5);
     }
 
     #[test]

@@ -96,6 +96,15 @@ pub(crate) enum ModeState {
         duration: f64,
         /// Whether the deadline fired (later events are straggler drops).
         deadline_fired: bool,
+        /// Configured quorum fraction in `(0, 1]` (1.0 = full barrier).
+        quorum: f64,
+        /// Buffered arrivals that close the round early (`usize::MAX` when
+        /// the quorum knob is off — recomputed per round by
+        /// [`set_dispatched`](ModeState::set_dispatched)).
+        quorum_target: usize,
+        /// The quorum closed this round: the deadline, if it fires later,
+        /// must not stretch the duration back to the budget.
+        quorum_fired: bool,
     },
     /// The staleness-aware continuous pipeline.
     Async {
@@ -109,11 +118,15 @@ pub(crate) enum ModeState {
 }
 
 impl ModeState {
-    /// Builds the state machine for a round mode.
+    /// Builds the state machine for a round mode. `quorum` is the cohort
+    /// quorum fraction in `(0, 1]` (validated by `FlConfig::validate`, not
+    /// here); the async pipeline ignores it — its buffer target plays the
+    /// same role.
     pub(crate) fn for_round_mode(
         mode: RoundMode,
         num_clients: usize,
         clients_per_round: usize,
+        quorum: f64,
     ) -> Self {
         match mode {
             RoundMode::Synchronous => ModeState::Cohort {
@@ -123,6 +136,9 @@ impl ModeState {
                 arrived: BTreeMap::new(),
                 duration: 0.0,
                 deadline_fired: false,
+                quorum,
+                quorum_target: usize::MAX,
+                quorum_fired: false,
             },
             RoundMode::Deadline {
                 budget,
@@ -134,22 +150,19 @@ impl ModeState {
                 arrived: BTreeMap::new(),
                 duration: 0.0,
                 deadline_fired: false,
+                quorum,
+                quorum_target: usize::MAX,
+                quorum_fired: false,
             },
             RoundMode::Async {
                 max_staleness,
                 alpha,
-            } => {
-                assert!(
-                    alpha > 0.0 && alpha <= 1.0,
-                    "staleness discount base must be in (0, 1], got {alpha}"
-                );
-                ModeState::Async {
-                    max_staleness,
-                    alpha,
-                    buffer_target: clients_per_round.min(num_clients).max(1),
-                    round_start: 0.0,
-                }
-            }
+            } => ModeState::Async {
+                max_staleness,
+                alpha,
+                buffer_target: clients_per_round.min(num_clients).max(1),
+                round_start: 0.0,
+            },
         }
     }
 
@@ -196,10 +209,26 @@ impl ModeState {
         }
     }
 
-    /// Records how many clients the opened cohort round dispatched.
+    /// Records how many clients the opened cohort round dispatched, and
+    /// derives the round's quorum target from it: with `quorum < 1`, the
+    /// barrier closes as soon as `ceil(quorum × dispatched)` (at least one)
+    /// updates are buffered. At the default `quorum = 1.0` the target is
+    /// unreachable-before-the-barrier (`usize::MAX`-guarded by the full
+    /// house), keeping the historical close semantics bit for bit.
     pub(crate) fn set_dispatched(&mut self, count: usize) {
-        if let ModeState::Cohort { dispatched, .. } = self {
+        if let ModeState::Cohort {
+            dispatched,
+            quorum,
+            quorum_target,
+            ..
+        } = self
+        {
             *dispatched = count;
+            *quorum_target = if *quorum < 1.0 {
+                ((*quorum * count as f64).ceil() as usize).max(1)
+            } else {
+                usize::MAX
+            };
         }
     }
 
@@ -207,6 +236,11 @@ impl ModeState {
     /// post-deadline straggler (the server moved on). Returns whether the
     /// update was buffered — the topology layer books zone state only for
     /// updates the barrier will actually absorb.
+    ///
+    /// With `quorum < 1`, the arrival that fills the quorum target also
+    /// closes the round: later events this round are straggler drops, just
+    /// as if the deadline had fired, and the round ends at this arrival's
+    /// time (events pop in time order, so `duration` is already final).
     pub(crate) fn buffer_arrival(
         &mut self,
         acc: &mut RoundAccumulator,
@@ -218,6 +252,8 @@ impl ModeState {
             arrived,
             duration,
             deadline_fired,
+            quorum_target,
+            quorum_fired,
             ..
         } = self
         else {
@@ -229,6 +265,11 @@ impl ModeState {
         } else {
             *duration = duration.max(time);
             arrived.insert(client, fl);
+            if arrived.len() >= *quorum_target {
+                *deadline_fired = true;
+                *quorum_fired = true;
+                acc.quorum_closes += 1;
+            }
             true
         }
     }
@@ -237,19 +278,26 @@ impl ModeState {
     /// round lasts the full budget iff anyone is outstanding or was lost
     /// (the server cannot distinguish a straggler from a dead device).
     pub(crate) fn deadline_fired(&mut self, acc: &RoundAccumulator, time: f64) {
-        // Zone-deadline drops count against the arrival reckoning too: a
-        // client dropped at its zone will never reach the server barrier.
-        let drops = acc.straggler_drops + acc.zone_straggler_drops;
+        // Zone-deadline and upload-failure drops count against the arrival
+        // reckoning too: a client dropped at its zone (or whose retries ran
+        // out) will never reach the server barrier.
+        let drops = acc.straggler_drops + acc.zone_straggler_drops + acc.upload_failure_drops;
         let ModeState::Cohort {
             dispatched,
             arrived,
             duration,
             deadline_fired,
+            quorum_fired,
             ..
         } = self
         else {
             unreachable!("the async pipeline never schedules a round deadline");
         };
+        if *quorum_fired {
+            // The quorum already closed the round at its final arrival; the
+            // budget firing afterwards must not stretch the duration back.
+            return;
+        }
         *deadline_fired = true;
         if (arrived.len() as u64) + drops < *dispatched as u64 || drops > 0 {
             *duration = time;
@@ -265,6 +313,7 @@ impl ModeState {
             duration,
             deadline_fired,
             dispatched,
+            quorum_fired,
             ..
         } = self
         else {
@@ -275,6 +324,7 @@ impl ModeState {
         *duration = 0.0;
         *deadline_fired = false;
         *dispatched = 0;
+        *quorum_fired = false;
         (taken, d)
     }
 
@@ -313,6 +363,23 @@ pub(crate) struct RoundAccumulator {
     /// round — combined pre-merged uploads in the cohort modes, individual
     /// store-and-forward uploads in async mode (0 under flat).
     pub zone_upload: f64,
+    /// Upload attempts that failed transiently and were retried.
+    pub retry_attempts: u64,
+    /// Dispatched clients permanently lost after exhausting their upload
+    /// retry budget.
+    pub upload_failure_drops: u64,
+    /// The subset of `straggler_drops` caused by mid-round offline churn
+    /// (rather than the deadline catching a slow-but-alive client).
+    pub churn_drops: u64,
+    /// Cohort rounds this metrics entry closed via the quorum knob instead
+    /// of the full barrier / deadline (0 or 1 in the cohort modes).
+    pub quorum_closes: u64,
+    /// Dispatches that found the device unavailable under the configured
+    /// availability model and had to wait the outage out.
+    pub unavailable_dispatches: u64,
+    /// Total virtual seconds those dispatches spent waiting for the device
+    /// to come back.
+    pub unavailable_wait: f64,
 }
 
 impl RoundAccumulator {
@@ -336,6 +403,12 @@ impl RoundAccumulator {
         self.staleness_hist.iter_mut().for_each(|v| *v = 0);
         self.zone_straggler_drops = 0;
         self.zone_upload = 0.0;
+        self.retry_attempts = 0;
+        self.upload_failure_drops = 0;
+        self.churn_drops = 0;
+        self.quorum_closes = 0;
+        self.unavailable_dispatches = 0;
+        self.unavailable_wait = 0.0;
     }
 
     /// Closes the round: folds the accumulated totals into one
@@ -390,6 +463,12 @@ impl RoundAccumulator {
                 .count() as u64,
             zone_straggler_drops: self.zone_straggler_drops,
             zone_upload_bytes: self.zone_upload,
+            retry_attempts: self.retry_attempts,
+            upload_failure_drops: self.upload_failure_drops,
+            churn_drops: self.churn_drops,
+            quorum_closes: self.quorum_closes,
+            unavailable_dispatches: self.unavailable_dispatches,
+            unavailable_wait_seconds: self.unavailable_wait,
         }
     }
 }
@@ -450,7 +529,7 @@ mod tests {
 
     #[test]
     fn cohort_state_machine_buffers_then_drops_after_the_deadline() {
-        let mut mode = ModeState::for_round_mode(RoundMode::deadline(2.0, 1), 8, 3);
+        let mut mode = ModeState::for_round_mode(RoundMode::deadline(2.0, 1), 8, 3, 1.0);
         assert_eq!(mode.hist_len(), 0);
         assert!(!mode.is_async());
         assert_eq!(mode.over_select(), 1);
@@ -506,7 +585,7 @@ mod tests {
             let plan = RoundPlan::schedule(&specs, Some(budget));
 
             // Drive ModeState with the same events the driver would pop.
-            let mut mode = ModeState::for_round_mode(RoundMode::deadline(budget, 0), n, n);
+            let mut mode = ModeState::for_round_mode(RoundMode::deadline(budget, 0), n, n, 1.0);
             mode.set_dispatched(n);
             let mut acc = RoundAccumulator::new(0);
             let mut queue = EventQueue::new();
@@ -557,8 +636,77 @@ mod tests {
     }
 
     #[test]
+    fn quorum_closes_the_round_at_the_filling_arrival() {
+        let fl = |c: usize| InFlight {
+            dispatched_version: 0,
+            report: ClientReport::idle(c),
+            update: Box::new(()),
+        };
+        // 4 dispatched at quorum 0.6 → target ceil(2.4) = 3.
+        let mut mode = ModeState::for_round_mode(RoundMode::deadline(10.0, 0), 8, 4, 0.6);
+        mode.set_dispatched(4);
+        let mut acc = RoundAccumulator::new(0);
+        assert!(mode.buffer_arrival(&mut acc, 0, fl(0), 1.0));
+        assert!(mode.buffer_arrival(&mut acc, 1, fl(1), 2.0));
+        assert_eq!(acc.quorum_closes, 0);
+        assert!(mode.buffer_arrival(&mut acc, 2, fl(2), 3.0));
+        assert_eq!(acc.quorum_closes, 1);
+        // The fourth client is now a straggler, and the budget firing later
+        // must not stretch the round back out to 10.0.
+        assert!(!mode.buffer_arrival(&mut acc, 3, fl(3), 4.0));
+        assert_eq!(acc.straggler_drops, 1);
+        mode.deadline_fired(&acc, 10.0);
+        let (arrived, duration) = mode.close_barrier();
+        assert_eq!(arrived.keys().copied().collect::<Vec<_>>(), vec![0, 1, 2]);
+        assert_eq!(duration, 3.0);
+    }
+
+    #[test]
+    fn quorum_of_one_keeps_the_full_barrier() {
+        let fl = |c: usize| InFlight {
+            dispatched_version: 0,
+            report: ClientReport::idle(c),
+            update: Box::new(()),
+        };
+        let mut mode = ModeState::for_round_mode(RoundMode::Synchronous, 8, 2, 1.0);
+        mode.set_dispatched(2);
+        let mut acc = RoundAccumulator::new(0);
+        assert!(mode.buffer_arrival(&mut acc, 0, fl(0), 1.0));
+        assert!(mode.buffer_arrival(&mut acc, 1, fl(1), 5.0));
+        assert_eq!(acc.quorum_closes, 0);
+        let (arrived, duration) = mode.close_barrier();
+        assert_eq!(arrived.len(), 2);
+        assert_eq!(duration, 5.0);
+    }
+
+    #[test]
+    fn quorum_target_is_at_least_one_and_resets_per_round() {
+        let mut mode = ModeState::for_round_mode(RoundMode::deadline(5.0, 0), 8, 1, 0.1);
+        mode.set_dispatched(1);
+        let mut acc = RoundAccumulator::new(0);
+        let fl = InFlight {
+            dispatched_version: 0,
+            report: ClientReport::idle(0),
+            update: Box::new(()),
+        };
+        assert!(mode.buffer_arrival(&mut acc, 0, fl, 0.5));
+        assert_eq!(acc.quorum_closes, 1);
+        let (_, duration) = mode.close_barrier();
+        assert_eq!(duration, 0.5);
+        // The next round starts with a fresh quorum state.
+        mode.set_dispatched(1);
+        let fl = InFlight {
+            dispatched_version: 0,
+            report: ClientReport::idle(3),
+            update: Box::new(()),
+        };
+        assert!(mode.buffer_arrival(&mut acc, 3, fl, 0.25));
+        assert_eq!(acc.quorum_closes, 2);
+    }
+
+    #[test]
     fn async_state_machine_tracks_round_starts() {
-        let mut mode = ModeState::for_round_mode(RoundMode::asynchronous(2, 0.5), 8, 3);
+        let mut mode = ModeState::for_round_mode(RoundMode::asynchronous(2, 0.5), 8, 3, 1.0);
         assert!(mode.is_async());
         assert_eq!(mode.hist_len(), 3);
         assert_eq!(mode.async_params(), Some((2, 0.5, 3)));

@@ -4,9 +4,31 @@ use fedlps_nn::sgd::SgdConfig;
 use serde::{Deserialize, Serialize};
 
 pub use crate::backend::BackendKind;
+pub use fedlps_faults::{AvailabilityModel, FaultConfig};
 pub use fedlps_runtime::RoundMode;
 pub use fedlps_select::SelectionKind;
 pub use fedlps_topo::Topology;
+
+/// One actionable rejection from [`FlConfig::validate`]: which knob is bad
+/// and what it must satisfy. [`Simulator`](crate::runner::Simulator) runs
+/// the validation pass once at construction, so a bad robustness knob
+/// (quorum > 1, backoff base ≤ 1, diurnal period ≤ 0, …) fails up front
+/// with one readable message instead of a panic mid-run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    /// The offending knob, as a `FlConfig` field path.
+    pub knob: &'static str,
+    /// What the knob must satisfy (and what it was).
+    pub message: String,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid `FlConfig.{}`: {}", self.knob, self.message)
+    }
+}
+
+impl std::error::Error for ConfigError {}
 
 /// Configuration of a federated-learning run.
 ///
@@ -73,6 +95,28 @@ pub struct FlConfig {
     /// either way, so every topology stays bit-identical across backends and
     /// parallelism settings.
     pub topology: Topology,
+    /// When (and how correlatedly) clients are unavailable. The default
+    /// [`AvailabilityModel::Iid`] reproduces the historical
+    /// `DynamicsConfig::offline_prob` coin flip bit for bit; the `Diurnal`
+    /// and `Burst` models instead make dispatched clients *wait out* their
+    /// seeded offline windows before computing — in every round mode,
+    /// including synchronous, so a barrier genuinely stalls on a night
+    /// wave.
+    pub availability: AvailabilityModel,
+    /// Transient upload faults with retry + exponential backoff (see
+    /// [`FaultConfig`]); the default injects nothing. Failed attempts are
+    /// replayed as `UploadRetry` events through the event queue, so retry
+    /// schedules stay bit-identical at every parallelism/backend/topology
+    /// setting.
+    pub faults: FaultConfig,
+    /// Barrier quorum in `(0, 1]`: a sync/deadline round closes as soon as
+    /// this fraction of the dispatched cohort has been buffered, instead of
+    /// stalling on a correlated outage. `1.0` (the default) waits for the
+    /// full cohort — the historical behaviour. Later arrivals of a
+    /// quorum-closed round drop as stragglers; the degraded close is
+    /// surfaced as `quorum_closes` in the round metrics. Async rounds
+    /// ignore the knob (their buffer target plays the same role).
+    pub quorum: f64,
 }
 
 impl Default for FlConfig {
@@ -92,6 +136,9 @@ impl Default for FlConfig {
             backend: BackendKind::Auto,
             packed_execution: true,
             topology: Topology::Flat,
+            availability: AvailabilityModel::Iid,
+            faults: FaultConfig::none(),
+            quorum: 1.0,
         }
     }
 }
@@ -178,6 +225,88 @@ impl FlConfig {
         self
     }
 
+    /// Builder-style override of the availability model.
+    pub fn with_availability(mut self, availability: AvailabilityModel) -> Self {
+        self.availability = availability;
+        self
+    }
+
+    /// Builder-style override of the transient upload-fault knobs.
+    pub fn with_faults(mut self, faults: FaultConfig) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Builder-style override of the barrier quorum fraction.
+    pub fn with_quorum(mut self, quorum: f64) -> Self {
+        self.quorum = quorum;
+        self
+    }
+
+    /// Checks every knob once, returning the first violation as one
+    /// actionable [`ConfigError`]. [`Simulator`](crate::runner::Simulator)
+    /// runs this at construction; call it directly to pre-flight a config
+    /// without building an environment.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        let err = |knob: &'static str, message: String| Err(ConfigError { knob, message });
+        if self.rounds == 0 {
+            return err("rounds", "must be at least 1".to_string());
+        }
+        if self.clients_per_round == 0 {
+            return err("clients_per_round", "must be at least 1".to_string());
+        }
+        if self.local_iterations == 0 {
+            return err("local_iterations", "must be at least 1".to_string());
+        }
+        if self.batch_size == 0 {
+            return err("batch_size", "must be at least 1".to_string());
+        }
+        if !(self.cost_alpha.is_finite() && self.cost_alpha >= 0.0) {
+            return err(
+                "cost_alpha",
+                format!("must be finite and >= 0, got {}", self.cost_alpha),
+            );
+        }
+        // Mirror the RoundMode constructor contracts for directly
+        // constructed variants.
+        match self.round_mode {
+            RoundMode::Synchronous => {}
+            RoundMode::Deadline { budget, .. } => {
+                if !(budget.is_finite() && budget > 0.0) {
+                    return err(
+                        "round_mode",
+                        format!("deadline budget must be finite and > 0, got {budget}"),
+                    );
+                }
+            }
+            RoundMode::Async { alpha, .. } => {
+                if !(alpha > 0.0 && alpha <= 1.0) {
+                    return err(
+                        "round_mode",
+                        format!("async staleness discount must be in (0, 1], got {alpha}"),
+                    );
+                }
+            }
+        }
+        if !(self.quorum > 0.0 && self.quorum <= 1.0) {
+            return err(
+                "quorum",
+                format!(
+                    "must be in (0, 1] — a zero quorum closes rounds before \
+                     anyone reports — got {}",
+                    self.quorum
+                ),
+            );
+        }
+        if let Err(message) = self.availability.validate() {
+            return err("availability", message);
+        }
+        if let Err(message) = self.faults.validate() {
+            return err("faults", message);
+        }
+        Ok(())
+    }
+
     /// The number of worker shards the round loop should actually use:
     /// resolves the `0 = auto` convention against the machine's core count.
     pub fn effective_parallelism(&self) -> usize {
@@ -249,6 +378,15 @@ mod tests {
             FlConfig::default().with_selection(SelectionKind::power_of_choice()),
             FlConfig::default().with_packed_execution(false),
             FlConfig::default().with_topology(Topology::two_tier().with_zone_deadline(0.25)),
+            FlConfig::default()
+                .with_availability(AvailabilityModel::from_name("diurnal").unwrap())
+                .with_quorum(0.75),
+            FlConfig::default()
+                .with_availability(AvailabilityModel::from_name("burst").unwrap())
+                .with_faults(FaultConfig {
+                    upload_failure_prob: 0.2,
+                    ..FaultConfig::default()
+                }),
         ] {
             let json = serde_json::to_string(&cfg).unwrap();
             let back: FlConfig = serde_json::from_str(&json).unwrap();
@@ -279,6 +417,75 @@ mod tests {
         let cfg = FlConfig::tiny().with_topology(Topology::two_tier());
         assert_eq!(cfg.topology.name(), "two-tier");
         assert_eq!(cfg.topology.zones(), 4);
+    }
+
+    #[test]
+    fn fault_knobs_default_to_the_legacy_behaviour() {
+        let cfg = FlConfig::default();
+        assert_eq!(cfg.availability, AvailabilityModel::Iid);
+        assert!(!cfg.faults.enabled());
+        assert_eq!(cfg.quorum, 1.0);
+        cfg.validate().unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_each_bad_robustness_knob() {
+        let cases: Vec<(FlConfig, &str)> = vec![
+            (FlConfig::tiny().with_quorum(1.5), "quorum"),
+            (FlConfig::tiny().with_quorum(0.0), "quorum"),
+            (
+                FlConfig::tiny().with_faults(FaultConfig {
+                    upload_failure_prob: 0.1,
+                    backoff_base: 1.0,
+                    ..FaultConfig::default()
+                }),
+                "faults",
+            ),
+            (
+                FlConfig::tiny().with_availability(AvailabilityModel::Diurnal {
+                    period: 0.0,
+                    phase_spread: 1.0,
+                    night_offline: 0.3,
+                }),
+                "availability",
+            ),
+            (
+                FlConfig::tiny().with_availability(AvailabilityModel::Burst {
+                    zones: 4,
+                    every: 1.0,
+                    outage: 2.0,
+                }),
+                "availability",
+            ),
+            (FlConfig::tiny().with_rounds(0), "rounds"),
+            (
+                FlConfig {
+                    round_mode: RoundMode::Deadline {
+                        budget: f64::INFINITY,
+                        over_select: 1,
+                    },
+                    ..FlConfig::tiny()
+                },
+                "round_mode",
+            ),
+            (
+                FlConfig {
+                    round_mode: RoundMode::Async {
+                        max_staleness: 2,
+                        alpha: 0.0,
+                    },
+                    ..FlConfig::tiny()
+                },
+                "round_mode",
+            ),
+        ];
+        for (cfg, knob) in cases {
+            let e = cfg.validate().unwrap_err();
+            assert_eq!(e.knob, knob, "wrong knob blamed: {e}");
+            // The Display form is the one actionable message the Simulator
+            // panics with — it must name the field path.
+            assert!(e.to_string().contains(&format!("FlConfig.{knob}")));
+        }
     }
 
     #[test]

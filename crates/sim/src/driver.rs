@@ -30,6 +30,7 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
+use fedlps_faults::FaultInjector;
 use fedlps_runtime::{Event, EventKind, EventQueue, VirtualClock};
 use fedlps_select::{ClientPool, SelectionPolicy, SelectionTracker};
 use fedlps_tensor::{rng_from_seed, split_seed};
@@ -50,6 +51,21 @@ const STREAM_ROUND: u64 = 0xB172;
 const STREAM_COHORT_STEP: u64 = 0xC11E;
 /// Stream family of async client steps (keyed by dispatch sequence).
 const STREAM_ASYNC_STEP: u64 = 0xA57C;
+
+/// An in-flight client whose last upload attempt failed on the wire: what the
+/// retry handler needs to replay the transmission.
+#[derive(Debug, Clone, Copy)]
+struct RetryState {
+    /// The scheduling tick the dispatch was keyed by (round index in the
+    /// cohort modes, dispatch sequence in async) — retry fates draw from the
+    /// same `(client, tick, attempt)` stream family as the initial attempt.
+    tick: u64,
+    /// Failed attempts so far (≥ 1 while a retry is pending).
+    failures: u32,
+    /// Wire cost of one retransmission: the upload leg plus the async
+    /// store-and-forward hop, *excluding* compute and availability waits.
+    resend_seconds: f64,
+}
 
 /// Drives one full federated run; built fresh per
 /// [`Simulator::run`](crate::runner::Simulator::run) call.
@@ -73,6 +89,9 @@ pub(crate) struct Driver<'a> {
     dispatch_seq: u64,
     mode: ModeState,
     topo: TopologyState,
+    injector: FaultInjector,
+    /// Clients with a pending `UploadRetry` event, keyed by client id.
+    retry: BTreeMap<usize, RetryState>,
 }
 
 impl<'a> Driver<'a> {
@@ -81,6 +100,7 @@ impl<'a> Driver<'a> {
             env.config.round_mode,
             env.num_clients(),
             env.config.clients_per_round,
+            env.config.quorum,
         );
         // A lazy fleet means a population-scale registry: per-client state
         // must stay O(participants), so the tracker computes its latency
@@ -108,6 +128,8 @@ impl<'a> Driver<'a> {
             dispatch_seq: 0,
             mode,
             topo: TopologyState::new(env),
+            injector: FaultInjector::new(env.config.seed, env.config.faults),
+            retry: BTreeMap::new(),
             env,
         }
     }
@@ -155,6 +177,7 @@ impl<'a> Driver<'a> {
         match event.kind {
             EventKind::Dispatch => self.on_dispatch(algorithm, event),
             EventKind::UploadFinish => self.on_upload(algorithm, event),
+            EventKind::UploadRetry => self.on_upload_retry(event),
             EventKind::Offline => self.on_offline(event),
             // A zone aggregator's budget expired: the event carries the zone
             // id, and later arrivals of that zone drop at the zone tier.
@@ -300,8 +323,49 @@ impl<'a> Driver<'a> {
                         Some(_) => 0.0,
                         None => self.topo.async_zone_hop(outcome.report.upload_bytes),
                     };
-                    self.queue
-                        .push(event.time + total + hop, client, EventKind::UploadFinish)
+                    // A retransmission replays only the wire legs — capture
+                    // their cost before availability waits land in the report.
+                    let resend_seconds = outcome.report.local_cost.comm_seconds + hop;
+                    // Correlated availability: a device inside an outage
+                    // window waits it out before starting. Unlike i.i.d.
+                    // churn this binds in *every* mode — a synchronous server
+                    // waits the outage out (the quorum knob exists to bound
+                    // exactly that) — and the wait is billed as latency so
+                    // selection policies can learn to route around it.
+                    // Cohort rounds run on a round-relative timeline; the
+                    // model is sampled on the absolute virtual clock.
+                    let abs_time = match cohort_deadline {
+                        Some(_) => self.cumulative_time + event.time,
+                        None => event.time,
+                    };
+                    let wait = env
+                        .config
+                        .availability
+                        .offline_until(env.config.seed, client, abs_time)
+                        .map_or(0.0, |until| until - abs_time);
+                    if wait > 0.0 {
+                        self.acc.unavailable_dispatches += 1;
+                        self.acc.unavailable_wait += wait;
+                        outcome.report.local_cost.comm_seconds += wait;
+                    }
+                    let arrival = event.time + wait + total + hop;
+                    let tick = match cohort_deadline {
+                        Some(_) => round as u64,
+                        None => seq,
+                    };
+                    if self.injector.upload_attempt_fails(client, tick, 0) {
+                        self.retry.insert(
+                            client,
+                            RetryState {
+                                tick,
+                                failures: 1,
+                                resend_seconds,
+                            },
+                        );
+                        self.queue.push(arrival, client, EventKind::UploadRetry)
+                    } else {
+                        self.queue.push(arrival, client, EventKind::UploadFinish)
+                    }
                 }
             };
             let evicted = self.in_flight.insert(
@@ -320,6 +384,8 @@ impl<'a> Driver<'a> {
     /// barrier (or count a straggler once the deadline fired); async mode
     /// absorbs immediately with the staleness discount and refills the slot.
     fn on_upload(&mut self, algorithm: &mut dyn FlAlgorithm, event: Event) {
+        // A landed upload ends any retry bookkeeping for the client.
+        self.retry.remove(&event.client);
         let fl = self
             .in_flight
             .remove(&event.client)
@@ -370,6 +436,62 @@ impl<'a> Driver<'a> {
         }
     }
 
+    /// Fault layer: the client's last upload attempt failed in transit. The
+    /// event fires at the instant the update *would* have landed; the client
+    /// either backs off and retransmits, or — once the retry budget is
+    /// exhausted — drops permanently.
+    fn on_upload_retry(&mut self, event: Event) {
+        let state = *self
+            .retry
+            .get(&event.client)
+            .expect("retry event without retry state");
+        let fl = self
+            .in_flight
+            .get_mut(&event.client)
+            .expect("retry event without a matching dispatch");
+        // The failed attempt still burned its airtime: the bytes crossed the
+        // uplink even though the server never saw a usable update.
+        self.acc.round_upload += fl.report.upload_bytes;
+        if state.failures > self.injector.config().max_retries {
+            // Retry budget exhausted: the update is permanently lost. Like
+            // churn, spent FLOPs still count against the federation.
+            let fl = self
+                .in_flight
+                .remove(&event.client)
+                .expect("checked in flight above");
+            self.retry.remove(&event.client);
+            self.acc.upload_failure_drops += 1;
+            if self.mode.is_async() {
+                self.acc.round_flops += fl.report.flops;
+                self.refill(event.time);
+            } else {
+                // The client's zone stops waiting for it.
+                self.topo.on_resolved(event.client);
+            }
+            return;
+        }
+        // Exponential backoff, then replay the wire legs. The extra latency
+        // lands in the report so the selection tracker observes it.
+        let delay = self.injector.backoff_delay(state.failures);
+        let arrival = event.time + delay + state.resend_seconds;
+        fl.report.local_cost.comm_seconds += delay + state.resend_seconds;
+        self.acc.retry_attempts += 1;
+        if self
+            .injector
+            .upload_attempt_fails(event.client, state.tick, state.failures)
+        {
+            self.retry
+                .get_mut(&event.client)
+                .expect("retry state present")
+                .failures += 1;
+            self.queue
+                .push(arrival, event.client, EventKind::UploadRetry);
+        } else {
+            self.queue
+                .push(arrival, event.client, EventKind::UploadFinish);
+        }
+    }
+
     /// Absorption layer, disconnect case: the device died mid-round. Its work
     /// is spent, its update is lost; async slots refill now.
     fn on_offline(&mut self, event: Event) {
@@ -378,8 +500,10 @@ impl<'a> Driver<'a> {
             .remove(&event.client)
             .expect("offline event without a matching dispatch");
         // Pre-deadline churn and post-deadline stragglers both count as
-        // drops (the server cannot tell them apart).
+        // drops (the server cannot tell them apart); `churn_drops` keeps the
+        // cause attribution for the drop histogram.
         self.acc.straggler_drops += 1;
+        self.acc.churn_drops += 1;
         if self.mode.is_async() {
             self.acc.round_flops += fl.report.flops;
             self.refill(event.time);

@@ -10,10 +10,12 @@ use serde::{Deserialize, Error, Serialize, Value};
 
 /// Metrics recorded at the end of one communication round.
 ///
-/// Serde is hand-written rather than derived: the two `zone_*` fields are
-/// emitted only when nonzero, so flat-topology traces serialize to exactly
-/// the bytes the pre-topology goldens pinned, while two-tier traces carry
-/// the zone tier's drops and traffic. Deserialization tolerates their
+/// Serde is hand-written rather than derived: the two `zone_*` fields and
+/// the six fault-injection fields (`retry_attempts` through
+/// `unavailable_wait_seconds`) are emitted only when nonzero, so
+/// flat-topology, fault-free traces serialize to exactly the bytes the
+/// pre-topology/pre-fault goldens pinned, while two-tier or fault-injected
+/// traces carry their extra columns. Deserialization tolerates their
 /// absence (defaulting to zero) for the same reason.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RoundMetrics {
@@ -78,6 +80,27 @@ pub struct RoundMetrics {
     /// `round_upload_bytes` (the client → zone tier) for the uplink saving.
     /// Always 0 under flat (and omitted from the serialized form when 0).
     pub zone_upload_bytes: f64,
+    /// Upload retransmissions scheduled this round by the fault injector
+    /// (each failed attempt that still had retry budget). Always 0 without
+    /// fault injection (and omitted from the serialized form when 0).
+    pub retry_attempts: u64,
+    /// Updates dropped permanently after exhausting the upload retry cap.
+    /// Counted separately from `straggler_drops` (omitted when 0).
+    pub upload_failure_drops: u64,
+    /// The subset of `straggler_drops` caused by i.i.d. mid-round offline
+    /// churn rather than a deadline (omitted when 0).
+    pub churn_drops: u64,
+    /// Cohort rounds closed by the quorum knob before the full cohort
+    /// reported — the graceful-degradation path (omitted when 0).
+    pub quorum_closes: u64,
+    /// Dispatches that found their client inside an availability window
+    /// (diurnal night / burst outage) and had to wait it out (omitted
+    /// when 0).
+    pub unavailable_dispatches: u64,
+    /// Total seconds those dispatches waited for availability before
+    /// computing — the availability occupancy of the round (omitted
+    /// when 0).
+    pub unavailable_wait_seconds: f64,
 }
 
 impl Serialize for RoundMetrics {
@@ -148,6 +171,33 @@ impl Serialize for RoundMetrics {
                 self.zone_upload_bytes.to_value(),
             ));
         }
+        if self.retry_attempts != 0 {
+            fields.push(("retry_attempts".to_string(), self.retry_attempts.to_value()));
+        }
+        if self.upload_failure_drops != 0 {
+            fields.push((
+                "upload_failure_drops".to_string(),
+                self.upload_failure_drops.to_value(),
+            ));
+        }
+        if self.churn_drops != 0 {
+            fields.push(("churn_drops".to_string(), self.churn_drops.to_value()));
+        }
+        if self.quorum_closes != 0 {
+            fields.push(("quorum_closes".to_string(), self.quorum_closes.to_value()));
+        }
+        if self.unavailable_dispatches != 0 {
+            fields.push((
+                "unavailable_dispatches".to_string(),
+                self.unavailable_dispatches.to_value(),
+            ));
+        }
+        if self.unavailable_wait_seconds != 0.0 {
+            fields.push((
+                "unavailable_wait_seconds".to_string(),
+                self.unavailable_wait_seconds.to_value(),
+            ));
+        }
         Value::Obj(fields)
     }
 }
@@ -185,6 +235,30 @@ impl<'de> Deserialize<'de> for RoundMetrics {
                 Err(_) => 0,
             },
             zone_upload_bytes: match value.field("zone_upload_bytes") {
+                Ok(v) => Deserialize::from_value(v)?,
+                Err(_) => 0.0,
+            },
+            retry_attempts: match value.field("retry_attempts") {
+                Ok(v) => Deserialize::from_value(v)?,
+                Err(_) => 0,
+            },
+            upload_failure_drops: match value.field("upload_failure_drops") {
+                Ok(v) => Deserialize::from_value(v)?,
+                Err(_) => 0,
+            },
+            churn_drops: match value.field("churn_drops") {
+                Ok(v) => Deserialize::from_value(v)?,
+                Err(_) => 0,
+            },
+            quorum_closes: match value.field("quorum_closes") {
+                Ok(v) => Deserialize::from_value(v)?,
+                Err(_) => 0,
+            },
+            unavailable_dispatches: match value.field("unavailable_dispatches") {
+                Ok(v) => Deserialize::from_value(v)?,
+                Err(_) => 0,
+            },
+            unavailable_wait_seconds: match value.field("unavailable_wait_seconds") {
                 Ok(v) => Deserialize::from_value(v)?,
                 Err(_) => 0.0,
             },
@@ -349,6 +423,59 @@ impl RunResult {
         self.rounds.iter().map(|r| r.stale_discards).sum()
     }
 
+    /// Total upload retransmissions scheduled over the whole run (0 without
+    /// fault injection).
+    pub fn total_retry_attempts(&self) -> u64 {
+        self.rounds.iter().map(|r| r.retry_attempts).sum()
+    }
+
+    /// Total updates dropped after exhausting the upload retry cap.
+    pub fn total_upload_failure_drops(&self) -> u64 {
+        self.rounds.iter().map(|r| r.upload_failure_drops).sum()
+    }
+
+    /// Total drops caused by i.i.d. mid-round offline churn (the churn
+    /// subset of `total_straggler_drops`).
+    pub fn total_churn_drops(&self) -> u64 {
+        self.rounds.iter().map(|r| r.churn_drops).sum()
+    }
+
+    /// Total cohort rounds the quorum knob closed before the full cohort
+    /// reported.
+    pub fn total_quorum_closes(&self) -> u64 {
+        self.rounds.iter().map(|r| r.quorum_closes).sum()
+    }
+
+    /// Total dispatches that had to wait out an availability window.
+    pub fn total_unavailable_dispatches(&self) -> u64 {
+        self.rounds.iter().map(|r| r.unavailable_dispatches).sum()
+    }
+
+    /// Total seconds dispatched clients spent waiting for availability.
+    pub fn total_unavailable_wait_seconds(&self) -> f64 {
+        self.rounds.iter().map(|r| r.unavailable_wait_seconds).sum()
+    }
+
+    /// The per-cause drop histogram of the whole run, as
+    /// `(cause, count)` pairs in a fixed order: `churn` (i.i.d. mid-round
+    /// disconnects), `deadline-straggler` (non-churn barrier drops),
+    /// `zone-deadline`, `stale` (async staleness discards) and
+    /// `upload-failure` (retry cap exhausted). Causes are disjoint; zero
+    /// counts are kept so rows line up across configurations.
+    pub fn drop_causes(&self) -> Vec<(&'static str, u64)> {
+        let churn = self.total_churn_drops();
+        vec![
+            ("churn", churn),
+            (
+                "deadline-straggler",
+                self.total_straggler_drops().saturating_sub(churn),
+            ),
+            ("zone-deadline", self.total_zone_straggler_drops()),
+            ("stale", self.total_stale_discards()),
+            ("upload-failure", self.total_upload_failure_drops()),
+        ]
+    }
+
     /// Total uploads dropped at a zone aggregator's deadline over the whole
     /// run (0 under the flat topology).
     pub fn total_zone_straggler_drops(&self) -> u64 {
@@ -440,6 +567,12 @@ mod tests {
             first_time_participants: (i == 0) as u64,
             zone_straggler_drops: 0,
             zone_upload_bytes: 0.0,
+            retry_attempts: 0,
+            upload_failure_drops: 0,
+            churn_drops: 0,
+            quorum_closes: 0,
+            unavailable_dispatches: 0,
+            unavailable_wait_seconds: 0.0,
         }
     }
 
@@ -526,6 +659,18 @@ mod tests {
             !json.contains("zone_"),
             "flat trace leaked zone keys: {json}"
         );
+        for key in [
+            "retry_attempts",
+            "upload_failure_drops",
+            "churn_drops",
+            "quorum_closes",
+            "unavailable",
+        ] {
+            assert!(
+                !json.contains(key),
+                "fault-free trace leaked `{key}`: {json}"
+            );
+        }
         let back: RoundMetrics = serde_json::from_str(&json).unwrap();
         assert_eq!(flat, back);
 
@@ -538,6 +683,49 @@ mod tests {
         assert!(json.contains("zone_upload_bytes"));
         let back: RoundMetrics = serde_json::from_str(&json).unwrap();
         assert_eq!(tiered, back);
+    }
+
+    #[test]
+    fn fault_fields_roundtrip_and_feed_the_drop_histogram() {
+        let mut faulty = round(0, Some(0.2), 100.0, 2.0);
+        faulty.retry_attempts = 5;
+        faulty.upload_failure_drops = 2;
+        faulty.churn_drops = 1; // of this round's 0 straggler_drops below
+        faulty.straggler_drops = 3;
+        faulty.quorum_closes = 1;
+        faulty.unavailable_dispatches = 4;
+        faulty.unavailable_wait_seconds = 0.75;
+        let json = serde_json::to_string(&faulty).unwrap();
+        for key in [
+            "retry_attempts",
+            "upload_failure_drops",
+            "churn_drops",
+            "quorum_closes",
+            "unavailable_dispatches",
+            "unavailable_wait_seconds",
+        ] {
+            assert!(json.contains(key), "missing `{key}` in {json}");
+        }
+        let back: RoundMetrics = serde_json::from_str(&json).unwrap();
+        assert_eq!(faulty, back);
+
+        let r = RunResult::from_rounds("a".into(), "d".into(), vec![faulty]);
+        assert_eq!(r.total_retry_attempts(), 5);
+        assert_eq!(r.total_upload_failure_drops(), 2);
+        assert_eq!(r.total_churn_drops(), 1);
+        assert_eq!(r.total_quorum_closes(), 1);
+        assert_eq!(r.total_unavailable_dispatches(), 4);
+        assert!((r.total_unavailable_wait_seconds() - 0.75).abs() < 1e-12);
+        assert_eq!(
+            r.drop_causes(),
+            vec![
+                ("churn", 1),
+                ("deadline-straggler", 2),
+                ("zone-deadline", 0),
+                ("stale", 0),
+                ("upload-failure", 2),
+            ]
+        );
     }
 
     #[test]

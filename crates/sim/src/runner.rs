@@ -36,7 +36,24 @@ pub struct Simulator {
 
 impl Simulator {
     /// Creates a simulator over the given environment.
+    ///
+    /// This is the one choke point every run passes through, so the whole
+    /// configuration is validated here — bad knobs fail immediately with one
+    /// actionable message instead of asserting deep inside the round loop
+    /// (or worse, silently misbehaving).
+    ///
+    /// # Panics
+    ///
+    /// Panics with the offending knob's name and an explanation if
+    /// [`FlConfig::validate`](crate::config::FlConfig::validate) rejects the
+    /// configuration, or if the fleet's `DynamicsConfig` is out of range.
     pub fn new(env: FlEnv) -> Self {
+        if let Err(e) = env.config.validate() {
+            panic!("{e}");
+        }
+        if let Err(e) = env.fleet.dynamics().validate() {
+            panic!("invalid `DynamicsConfig`: {e}");
+        }
         Self { env }
     }
 
@@ -484,6 +501,136 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn bad_config_knobs_panic_at_construction_with_the_knob_name() {
+        let err = std::panic::catch_unwind(|| {
+            Simulator::new(env_with(FlConfig::tiny().with_quorum(1.5)))
+        })
+        .unwrap_err();
+        let msg = err.downcast_ref::<String>().expect("panic payload");
+        assert!(msg.contains("FlConfig.quorum"), "{msg}");
+
+        let err = std::panic::catch_unwind(|| {
+            let mut env = env_with(FlConfig::tiny());
+            env.fleet = env
+                .fleet
+                .clone()
+                .with_dynamics(DynamicsConfig::default().with_offline_prob(1.0));
+            Simulator::new(env)
+        })
+        .unwrap_err();
+        let msg = err.downcast_ref::<String>().expect("panic payload");
+        assert!(msg.contains("offline_prob"), "{msg}");
+    }
+
+    /// Transient upload faults: retries surface in the metrics, permanent
+    /// drops are attributed to their cause, and the trace stays bit-identical
+    /// across parallelism in every round mode.
+    #[test]
+    fn upload_faults_retry_then_drop_deterministically() {
+        use crate::config::FaultConfig;
+        let faults = FaultConfig {
+            upload_failure_prob: 0.4,
+            max_retries: 1,
+            ..FaultConfig::default()
+        };
+        for mode in [
+            RoundMode::Synchronous,
+            RoundMode::deadline(1e9, 0),
+            RoundMode::asynchronous(3, 0.6),
+        ] {
+            let run = |parallelism: usize| {
+                Simulator::new(env_with(
+                    FlConfig::tiny()
+                        .with_round_mode(mode)
+                        .with_faults(faults)
+                        .with_parallelism(parallelism),
+                ))
+                .run(&mut MiniFedAvg::new())
+            };
+            let result = run(1);
+            assert_eq!(result.rounds.len(), FlConfig::tiny().rounds);
+            assert!(
+                result.total_retry_attempts() > 0,
+                "{}: p=0.4 over 6 rounds x 3 clients should retry someone",
+                mode.name()
+            );
+            assert_eq!(
+                result,
+                run(4),
+                "{}: fault schedules must be parallelism-independent",
+                mode.name()
+            );
+        }
+        // With no retransmissions allowed, first failures drop permanently.
+        let harsh = Simulator::new(env_with(FlConfig::tiny().with_faults(FaultConfig {
+            upload_failure_prob: 0.6,
+            max_retries: 0,
+            ..FaultConfig::default()
+        })))
+        .run(&mut MiniFedAvg::new());
+        assert!(harsh.total_upload_failure_drops() > 0);
+        assert_eq!(
+            harsh
+                .drop_causes()
+                .iter()
+                .find(|(cause, _)| *cause == "upload-failure")
+                .unwrap()
+                .1,
+            harsh.total_upload_failure_drops()
+        );
+    }
+
+    /// Diurnal availability: dispatches into an outage wait it out (billed
+    /// as latency), in synchronous mode too.
+    #[test]
+    fn diurnal_availability_stretches_rounds_and_is_observable() {
+        use crate::config::AvailabilityModel;
+        let run = |availability: AvailabilityModel| {
+            Simulator::new(env_with(FlConfig::tiny().with_availability(availability)))
+                .run(&mut MiniFedAvg::new())
+        };
+        let iid = run(AvailabilityModel::Iid);
+        let diurnal = run(AvailabilityModel::Diurnal {
+            period: iid.total_time / 3.0,
+            phase_spread: 1.0,
+            night_offline: 0.5,
+        });
+        assert!(
+            diurnal.total_unavailable_dispatches() > 0,
+            "half the day offline must catch some dispatch"
+        );
+        assert!(diurnal.total_unavailable_wait_seconds() > 0.0);
+        assert!(
+            diurnal.total_time > iid.total_time,
+            "waiting out outages must cost virtual time ({} vs {})",
+            diurnal.total_time,
+            iid.total_time
+        );
+        assert_eq!(iid.total_unavailable_dispatches(), 0);
+    }
+
+    /// The quorum knob closes barrier rounds early: same round count, less
+    /// virtual time, stragglers dropped, closes attributed in the metrics.
+    #[test]
+    fn quorum_closes_synchronous_rounds_early() {
+        let full = Simulator::new(env_with(FlConfig::tiny())).run(&mut MiniFedAvg::new());
+        let quorum =
+            Simulator::new(env_with(FlConfig::tiny().with_quorum(0.5))).run(&mut MiniFedAvg::new());
+        assert_eq!(quorum.rounds.len(), full.rounds.len());
+        assert!(
+            quorum.total_quorum_closes() > 0,
+            "a 0.5 quorum over 3-client cohorts must close early"
+        );
+        assert!(
+            quorum.total_time < full.total_time,
+            "closing at the quorum must beat waiting for the straggler ({} vs {})",
+            quorum.total_time,
+            full.total_time
+        );
+        assert!(quorum.total_straggler_drops() > 0);
     }
 
     /// The driver stamps the selection layer's stats into the reports and

@@ -1,4 +1,5 @@
-//! Blocked, lane-vectorized matmul kernels behind [`Matrix`]'s multiply API.
+//! Blocked, lane-vectorized matmul kernels behind [`Matrix`](crate::Matrix)'s
+//! multiply API.
 //!
 //! # Kernel architecture
 //!

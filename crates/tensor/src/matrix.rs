@@ -153,7 +153,7 @@ impl Matrix {
 
     /// [`matmul`](Self::matmul) writing into a caller-provided zeroed output
     /// (accumulates on top of whatever `out` holds). Runs the blocked kernel
-    /// of [`kernels`](crate::kernels) with an [`Density::Auto`] density hint;
+    /// of [`crate::kernels`] with an [`Density::Auto`] density hint;
     /// bit-identical to [`matmul_into_reference`](Self::matmul_into_reference).
     pub fn matmul_into(&self, other: &Matrix, out: &mut Matrix) {
         self.matmul_into_with(other, out, Density::Auto);
@@ -161,7 +161,7 @@ impl Matrix {
 
     /// [`matmul_into`](Self::matmul_into) with an explicit [`Density`] hint
     /// for `self`'s exact-zero content (wall-clock only — both flavours
-    /// produce the same bits; see [`kernels`](crate::kernels)).
+    /// produce the same bits; see [`crate::kernels`]).
     pub fn matmul_into_with(&self, other: &Matrix, out: &mut Matrix, density: Density) {
         assert_eq!(
             self.cols, other.rows,

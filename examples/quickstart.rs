@@ -5,7 +5,7 @@
 //! cargo run --release --example quickstart
 //! ```
 //!
-//! Seven environment variables support CI's determinism gate (and general
+//! Nine environment variables support CI's determinism gate (and general
 //! scripting): `FEDLPS_PARALLELISM` sets the round-loop shard count
 //! (default 1 = serial, 0 = all cores), `FEDLPS_ROUND_MODE` picks the
 //! execution semantics (`sync` = the default synchronous barrier,
@@ -19,13 +19,18 @@
 //! execution (`1` = packed, the default; `0` = masked-dense),
 //! `FEDLPS_TOPOLOGY` picks the aggregation topology (`flat` = the default
 //! direct uploads, `two-tier` = zone aggregators; see
-//! `examples/hierarchical_fleet.rs`) and `FEDLPS_METRICS_JSON` names a file
-//! to which the full `RunResult` is written as JSON. Runs at any
-//! parallelism level, on any backend, with packing on or off and under
-//! either topology are bit-identical for the same seed *in every mode and
-//! under every policy*, which the CI matrix enforces by diffing the JSON of
-//! serial/sharded and packed/masked runs across modes, policies and
-//! topologies.
+//! `examples/hierarchical_fleet.rs`), `FEDLPS_AVAILABILITY` picks the
+//! device-availability model (`iid` = the default per-dispatch coin flip,
+//! `diurnal` = seeded day/night waves, `burst` = zone-correlated outage
+//! windows; see `examples/diurnal_fleet.rs`), `FEDLPS_QUORUM` sets the
+//! cohort quorum fraction in `(0, 1]` (default 1.0 = full barrier) and
+//! `FEDLPS_METRICS_JSON` names a file to which the full `RunResult` is
+//! written as JSON. Runs at any parallelism level, on any backend, with
+//! packing on or off, under either topology and under any availability
+//! model are bit-identical for the same seed *in every mode and under every
+//! policy*, which the CI matrix enforces by diffing the JSON of
+//! serial/sharded and packed/masked runs across modes, policies, topologies
+//! and availability models.
 
 use fedlps::prelude::*;
 
@@ -76,6 +81,17 @@ fn main() {
             .unwrap_or_else(|| panic!("FEDLPS_TOPOLOGY must be flat|two-tier, got {v:?}")),
         Err(_) => Topology::Flat,
     };
+    let availability = match std::env::var("FEDLPS_AVAILABILITY") {
+        Ok(v) => AvailabilityModel::from_name(&v)
+            .unwrap_or_else(|| panic!("FEDLPS_AVAILABILITY must be iid|diurnal|burst, got {v:?}")),
+        Err(_) => AvailabilityModel::Iid,
+    };
+    let quorum: f64 = match std::env::var("FEDLPS_QUORUM") {
+        Ok(v) => v
+            .parse()
+            .unwrap_or_else(|_| panic!("FEDLPS_QUORUM must be a fraction in (0, 1], got {v:?}")),
+        Err(_) => 1.0,
+    };
     let scenario = ScenarioConfig::small(DatasetKind::MnistLike).with_clients(16);
     let fl_config = FlConfig {
         rounds: 20,
@@ -89,6 +105,8 @@ fn main() {
         backend,
         packed_execution,
         topology,
+        availability,
+        quorum,
         ..FlConfig::default()
     };
     let env = FlEnv::from_scenario(&scenario, HeterogeneityLevel::High, fl_config);
@@ -158,6 +176,18 @@ fn main() {
         "aggregation topology:             {}",
         sim.env().config.topology.name()
     );
+    println!(
+        "availability model:               {}",
+        sim.env().config.availability.name()
+    );
+    if sim.env().config.quorum < 1.0 {
+        println!(
+            "cohort quorum:                    {:.2} ({} early closes, {} drops)",
+            sim.env().config.quorum,
+            result.total_quorum_closes(),
+            result.total_straggler_drops()
+        );
+    }
     if let Some(cache) = fedlps.mask_cache() {
         println!(
             "mask cache:                       {} hits / {} misses ({:.0}% hit rate, {:.0}% after round 3)",

@@ -27,6 +27,9 @@
 //! * [`bandit`] — P-UCBV and baseline ratio policies.
 //! * [`runtime`] — the event-driven federation runtime:
 //!   virtual clock, deterministic scheduling, round modes.
+//! * [`faults`] — the fault-injection subsystem: correlated availability
+//!   models (diurnal waves, zone-correlated bursts) and seeded transient
+//!   upload faults with retry/backoff.
 //! * [`select`] — pluggable client-selection policies
 //!   (uniform / Oort-style utility / power-of-choice) and participation
 //!   statistics.
@@ -41,6 +44,7 @@ pub use fedlps_baselines as baselines;
 pub use fedlps_core as core;
 pub use fedlps_data as data;
 pub use fedlps_device as device;
+pub use fedlps_faults as faults;
 pub use fedlps_nn as nn;
 pub use fedlps_runtime as runtime;
 pub use fedlps_select as select;
@@ -62,6 +66,7 @@ pub mod prelude {
         cost::CostModel,
         fleet::{DeviceFleet, HeterogeneityLevel},
     };
+    pub use fedlps_faults::{AvailabilityModel, FaultConfig};
     pub use fedlps_nn::model::{ModelArch, ModelKind};
     pub use fedlps_select::{SelectionKind, SelectionPolicy, SelectionTracker};
     pub use fedlps_sim::{
